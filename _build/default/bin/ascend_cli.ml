@@ -1,0 +1,211 @@
+(* Command-line front end to the simulator.
+
+     dune exec bin/ascend_cli.exe -- simulate resnet50 --core max
+     dune exec bin/ascend_cli.exe -- profile bert-large --core max --training
+     dune exec bin/ascend_cli.exe -- disasm mobilenet --core lite --layer 3
+     dune exec bin/ascend_cli.exe -- streams siamese --core standard --cores 4
+     dune exec bin/ascend_cli.exe -- list *)
+
+open Cmdliner
+module Config = Ascend.Arch.Config
+module Engine = Ascend.Compiler.Engine
+module Graph = Ascend.Nn.Graph
+
+let models : (string * (batch:int -> Graph.t)) list =
+  [
+    ("resnet50", fun ~batch -> Ascend.Nn.Resnet.v1_5 ~batch ());
+    ("resnet18", fun ~batch -> Ascend.Nn.Resnet.v1_5_18 ~batch ());
+    ("mobilenet", fun ~batch -> Ascend.Nn.Mobilenet.v2 ~batch ());
+    ("vgg16", fun ~batch -> Ascend.Nn.Vgg.v16 ~batch ());
+    ("bert-base", fun ~batch -> Ascend.Nn.Bert.base ~batch ~seq_len:128 ());
+    ("bert-large", fun ~batch -> Ascend.Nn.Bert.large ~batch ~seq_len:128 ());
+    ("gesture", fun ~batch -> Ascend.Nn.Gesture.build ~batch ());
+    ("siamese", fun ~batch -> Ascend.Nn.Siamese.build ~batch ());
+    ("wide-deep", fun ~batch -> Ascend.Nn.Wide_deep.default ~batch ());
+    ("pointnet", fun ~batch -> Ascend.Nn.Pointnet.build ~batch ());
+    ("face-detect", fun ~batch -> Ascend.Nn.Face_detect.build ~batch ());
+    ("fpn-detector", fun ~batch -> Ascend.Nn.Fpn_detector.build ~batch ());
+  ]
+
+let cores =
+  [
+    ("tiny", Config.tiny);
+    ("lite", Config.lite);
+    ("mini", Config.mini);
+    ("standard", Config.standard);
+    ("max", Config.max);
+  ]
+
+let model_conv =
+  let parse s =
+    match List.assoc_opt s models with
+    | Some f -> Ok f
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown model %s (try: %s)" s
+             (String.concat ", " (List.map fst models))))
+  in
+  Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<model>")
+
+let core_conv =
+  let parse s =
+    match List.assoc_opt s cores with
+    | Some c -> Ok c
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown core %s (try: %s)" s
+             (String.concat ", " (List.map fst cores))))
+  in
+  Arg.conv (parse, fun ppf (c : Config.t) ->
+      Format.pp_print_string ppf c.Config.name)
+
+let model_arg =
+  Arg.(required & pos 0 (some model_conv) None & info [] ~docv:"MODEL")
+
+let core_arg =
+  Arg.(value & opt core_conv Config.max & info [ "core" ] ~docv:"CORE"
+         ~doc:"Core version: tiny, lite, mini, standard or max.")
+
+let batch_arg =
+  Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc:"Batch size.")
+
+let training_arg =
+  Arg.(value & flag & info [ "training" ] ~doc:"Simulate forward + backward.")
+
+let run_model build config ~batch ~training =
+  let graph = build ~batch in
+  let run = if training then Engine.run_training else Engine.run_inference in
+  run config graph
+
+let exit_of = function
+  | Ok () -> 0
+  | Error e ->
+    prerr_endline ("error: " ^ e);
+    1
+
+(* --- simulate ----------------------------------------------------- *)
+
+let simulate build config batch training =
+  exit_of
+    (match run_model build config ~batch ~training with
+    | Error _ as e -> e
+    | Ok r ->
+      Format.printf
+        "%s on %s (batch %d%s): %a, %.2f W average, %.3f mJ, %d layers@."
+        r.Engine.graph_name config.Config.name batch
+        (if training then ", training" else "")
+        Ascend.Util.Units.pp_seconds (Engine.seconds r)
+        (Engine.average_power_w r)
+        (r.Engine.total_energy_j *. 1e3)
+        (List.length r.Engine.layers);
+      Format.printf "throughput: %.1f items/s@."
+        (Engine.inferences_per_second r ~batch);
+      Ok ())
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Compile and simulate a model on one core.")
+    Term.(const simulate $ model_arg $ core_arg $ batch_arg $ training_arg)
+
+(* --- profile ------------------------------------------------------ *)
+
+let profile build config batch training =
+  exit_of
+    (match run_model build config ~batch ~training with
+    | Error _ as e -> e
+    | Ok r ->
+      Format.printf "%a@." Engine.pp_layer_table r;
+      Ok ())
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Per-layer cube/vector cycle profile (the paper's Figures 4-8).")
+    Term.(const profile $ model_arg $ core_arg $ batch_arg $ training_arg)
+
+(* --- disasm ------------------------------------------------------- *)
+
+let layer_arg =
+  Arg.(value & opt int 0 & info [ "layer" ] ~docv:"I" ~doc:"Layer index.")
+
+let disasm build config batch layer =
+  exit_of
+    (match run_model build config ~batch ~training:false with
+    | Error e -> Error e
+    | Ok r -> (
+      match List.nth_opt r.Engine.layers layer with
+      | None ->
+        Error (Printf.sprintf "layer %d out of range (0..%d)" layer
+                 (List.length r.Engine.layers - 1))
+      | Some l ->
+        Format.printf "%a@." Ascend.Isa.Program.pp l.Engine.program;
+        let instrs = l.Engine.program.Ascend.Isa.Program.instructions in
+        Format.printf
+          "instruction stream: %d instructions, %d B raw, compression ratio \
+           %.2f@."
+          (List.length instrs)
+          (Bytes.length (Ascend.Isa.Encoding.encode instrs))
+          (Ascend.Isa.Encoding.compression_ratio instrs);
+        Ok ()))
+
+let disasm_cmd =
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Disassemble the generated program of one fused layer.")
+    Term.(const disasm $ model_arg $ core_arg $ batch_arg $ layer_arg)
+
+(* --- streams ------------------------------------------------------ *)
+
+let cores_arg =
+  Arg.(value & opt int 2 & info [ "cores" ] ~docv:"N" ~doc:"SoC core count.")
+
+let streams build config batch cores =
+  exit_of
+    (match
+       Ascend.Compiler.Graph_engine.plan config (build ~batch)
+     with
+    | Error _ as e -> e
+    | Ok p ->
+      Format.printf "%a@." Ascend.Compiler.Graph_engine.pp p;
+      Format.printf
+        "serial %d cycles; makespan on %d cores: %d cycles (%.2fx speedup)@."
+        (Ascend.Compiler.Graph_engine.serial_cycles p)
+        cores
+        (Ascend.Compiler.Graph_engine.makespan p ~cores)
+        (float_of_int (Ascend.Compiler.Graph_engine.serial_cycles p)
+        /. float_of_int (Ascend.Compiler.Graph_engine.makespan p ~cores));
+      Ok ())
+
+let streams_cmd =
+  Cmd.v
+    (Cmd.info "streams"
+       ~doc:"Decompose a model into streams (the §5.1 graph engine) and \
+             schedule them across cores.")
+    Term.(const streams $ model_arg $ core_arg $ batch_arg $ cores_arg)
+
+(* --- list --------------------------------------------------------- *)
+
+let list_all () =
+  Format.printf "models:@.";
+  List.iter (fun (name, _) -> Format.printf "  %s@." name) models;
+  Format.printf "cores:@.";
+  List.iter
+    (fun (name, c) -> Format.printf "  %-9s %a@." name Config.pp c)
+    cores;
+  0
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List available models and core versions.")
+    Term.(const list_all $ const ())
+
+let () =
+  let info =
+    Cmd.info "ascend_cli" ~version:Ascend.version
+      ~doc:"Ascend architectural simulator command-line interface."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ simulate_cmd; profile_cmd; disasm_cmd; streams_cmd; list_cmd ]))

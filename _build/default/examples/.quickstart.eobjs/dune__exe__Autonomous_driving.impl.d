@@ -1,0 +1,1 @@
+examples/autonomous_driving.ml: Ascend Format List

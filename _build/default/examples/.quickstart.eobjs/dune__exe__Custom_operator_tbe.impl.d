@@ -1,0 +1,1 @@
+examples/custom_operator_tbe.ml: Ascend Format List Printf

@@ -1,0 +1,1 @@
+examples/datacenter_training.ml: Ascend Format List Printf

@@ -1,0 +1,1 @@
+examples/mobile_inference.ml: Ascend Format List Printf

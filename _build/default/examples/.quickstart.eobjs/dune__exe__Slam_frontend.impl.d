@@ -1,0 +1,1 @@
+examples/slam_frontend.ml: Array Ascend Format Kmeans List Printf Quaternion Simplex Slam_pipeline Sort Stereo String

@@ -1,0 +1,1 @@
+examples/slam_frontend.mli:

@@ -1,0 +1,1 @@
+examples/train_tiny.ml: Array Ascend Float Format List

@@ -1,0 +1,84 @@
+(* Autonomous-driving service on the Ascend 610 model (paper §3.3): a
+   perception stack of several DNNs running every frame behind the DVPP,
+   with MPAM/QoS protecting its memory bandwidth from background traffic,
+   and the safety CPUs on their own ASIL-D ring.
+
+     dune exec examples/autonomous_driving.exe *)
+
+module Auto = Ascend.Soc.Automotive_soc
+module Dvpp = Ascend.Soc.Dvpp
+module Table = Ascend.Util.Table
+
+let models () =
+  [
+    (* (name, network, per-frame deadline) — a 20 Hz perception stack *)
+    ("lane-detector", Ascend.Nn.Resnet.v1_5_18 (), 0.05);
+    ("object-segmenter", Ascend.Nn.Mobilenet.v2 (), 0.05);
+    ("sign-classifier", Ascend.Nn.Gesture.build (), 0.05);
+  ]
+
+let () =
+  let soc = Auto.ascend610 in
+  Format.printf "SoC: %s — %.0f TOPS int8 / %.0f TOPS int4, TDP %.0f W@."
+    soc.Auto.soc_name
+    (Auto.peak_tops soc ~precision:Ascend.Arch.Precision.Int8)
+    (Auto.peak_tops soc ~precision:Ascend.Arch.Precision.Int4)
+    soc.Auto.tdp_w;
+  Format.printf
+    "DVPP front end: %d decode channels, 1080p frame in %.1f ms; safety ring \
+     worst-case %.0f ns@.@."
+    soc.Auto.dvpp.Dvpp.decode_channels
+    (Dvpp.frame_latency_s soc.Auto.dvpp ~width:1920 ~height:1080 *. 1e3)
+    (Auto.worst_case_cpu_latency_ns soc);
+
+  let backgrounds = [ 0.; 40e9; 90e9 ] in
+  List.iter
+    (fun bg ->
+      Format.printf "--- background traffic: %.0f GB/s ---@." (bg /. 1e9);
+      List.iter
+        (fun with_mpam ->
+          match Auto.run_service ~with_mpam soc ~models:(models ()) ~background_demand:bg with
+          | Error e -> Format.printf "error: %s@." e
+          | Ok results ->
+            let t =
+              Table.create
+                ~title:(if with_mpam then "with MPAM partitioning" else "no partitioning (fair share)")
+                ~header:[ "model"; "compute (ms)"; "memory (ms)"; "dvpp (ms)";
+                          "end-to-end (ms)"; "deadline"; "met" ]
+                ()
+            in
+            List.iter
+              (fun (r : Auto.service_result) ->
+                Table.add_row t
+                  [
+                    r.Auto.model_name;
+                    Table.cell_float (r.Auto.compute_s *. 1e3);
+                    Table.cell_float (r.Auto.memory_s *. 1e3);
+                    Table.cell_float (r.Auto.dvpp_s *. 1e3);
+                    Table.cell_float (r.Auto.end_to_end_s *. 1e3);
+                    Table.cell_float (r.Auto.deadline_s *. 1e3);
+                    (if r.Auto.met_deadline then "yes" else "NO");
+                  ])
+              results;
+            Table.print t)
+        [ true; false ];
+      Format.printf "@.")
+    backgrounds;
+
+  (* the multi-level scheduler of §5.2: all three apps share the SoC's
+     cores at block granularity *)
+  let core = soc.Auto.core in
+  let streams =
+    List.filter_map
+      (fun (name, g, _) ->
+        match Ascend.Compiler.Engine.run_inference core g with
+        | Error _ -> None
+        | Ok r ->
+          Some
+            (Ascend.Runtime.Scheduler.app ~name
+               [ Ascend.Runtime.Scheduler.stream_of_network r ~blocks_per_task:2 ]))
+      (models ())
+  in
+  let schedule = Ascend.Runtime.Scheduler.run ~cores:soc.Auto.cores streams in
+  Format.printf "block-level schedule across %d cores: %a@." soc.Auto.cores
+    Ascend.Runtime.Scheduler.pp schedule

@@ -1,0 +1,82 @@
+(* Datacenter training on Ascend 910 (paper §3.1, §4.2): ResNet-50
+   training on one chip (32 Ascend-Max cores + LLC + HBM + mesh NoC),
+   then scaled out over HCCS/PCI-E servers and the fat-tree cluster with
+   hierarchical all-reduce — up to the 2048-chip, 512-PFLOPS flagship.
+
+     dune exec examples/datacenter_training.exe *)
+
+module Soc = Ascend.Soc.Training_soc
+module Cluster = Ascend.Cluster.Training
+module Server = Ascend.Cluster.Server
+module Table = Ascend.Util.Table
+
+let () =
+  let soc = Soc.ascend910 in
+  Format.printf
+    "Chip: %s — %d cores, %.0f TFLOPS fp16 peak, compute die ~%.0f mm2@.@."
+    soc.Soc.soc_name soc.Soc.cores
+    (Soc.peak_flops soc ~precision:Ascend.Arch.Precision.Fp16 /. 1e12)
+    (Soc.compute_die_area_mm2 soc);
+
+  (* one-chip training step *)
+  let build ~batch = Ascend.Nn.Resnet.v1_5 ~batch () in
+  let chip =
+    match Soc.run ~training:true soc ~build ~batch:32 with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  Format.printf "one chip, global batch 32: %a@.@." Soc.pp_result chip;
+
+  (* server-level all-reduce (8 chips, HCCS + PCI-E) *)
+  let params = Ascend.Nn.Graph.total_params (build ~batch:1) in
+  let grad_bytes = 2. *. float_of_int params in
+  Format.printf
+    "gradient buffer: %.1f MB; intra-server all-reduce: %.2f ms@.@."
+    (grad_bytes /. 1e6)
+    (Server.intra_server_allreduce_seconds Server.ascend910_server
+       ~bytes:grad_bytes
+    *. 1e3);
+
+  (* cluster scaling sweep *)
+  let t =
+    Table.create ~title:"Data-parallel scaling (ResNet-50, batch 32/chip)"
+      ~header:[ "chips"; "servers"; "step (ms)"; "allreduce (ms)";
+                "images/s"; "scaling eff." ]
+      ()
+  in
+  let steps =
+    List.map
+      (fun chips ->
+        let cluster = Cluster.cluster_of_chips ~chips in
+        let step = Cluster.train_step cluster ~chip_result:chip ~param_bytes:grad_bytes in
+        Table.add_row t
+          [
+            string_of_int chips;
+            string_of_int cluster.Cluster.servers;
+            Table.cell_float (step.Cluster.step_seconds *. 1e3);
+            Table.cell_float (step.Cluster.allreduce_seconds *. 1e3);
+            Table.cell_float ~decimals:0 step.Cluster.images_per_second;
+            Printf.sprintf "%.0f%%" (100. *. step.Cluster.scaling_efficiency);
+          ];
+        (chips, cluster, step))
+      [ 8; 64; 256; 1024; 2048 ]
+  in
+  Table.print t;
+  Format.printf "@.";
+
+  (* the paper's MLPerf-style claim: ImageNet epochs on 256 chips *)
+  (match List.find_opt (fun (c, _, _) -> c = 256) steps with
+  | Some (_, cluster, step) ->
+    let ttt epochs =
+      Cluster.time_to_train_seconds cluster ~step ~samples_per_epoch:1_281_167
+        ~epochs
+    in
+    Format.printf
+      "256 chips: one ImageNet epoch in %.1f s; 44-epoch MLPerf-style run in \
+       %.0f s (paper: <83 s with their full-stack tuning)@."
+      (ttt 1.) (ttt 44.)
+  | None -> ());
+
+  let flagship = Cluster.ascend_cluster_2048 in
+  Format.printf "@.%s: %.0f PFLOPS fp16 peak@." flagship.Cluster.cluster_name
+    (Cluster.peak_fp16_flops flagship /. 1e15)

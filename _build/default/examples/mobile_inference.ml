@@ -1,0 +1,81 @@
+(* Mobile AI on the Kirin 990-5G model (paper §3.2): MobileNet-V2 camera
+   inference on an Ascend-Lite big core across DVFS points, with the
+   structured-sparsity path, and the always-on gesture network inside the
+   Ascend-Tiny core's 300 mW envelope.
+
+     dune exec examples/mobile_inference.exe *)
+
+module Mobile = Ascend.Soc.Mobile_soc
+module Table = Ascend.Util.Table
+
+let () =
+  let soc = Mobile.kirin990 in
+  Format.printf "SoC: %s — %.2f peak int8 TOPS, NPU area %.1f mm2@.@."
+    soc.Mobile.soc_name (Mobile.peak_tops soc) (Mobile.npu_area_mm2 soc);
+
+  (* camera-pipeline inference across DVFS points *)
+  let g = Ascend.Nn.Mobilenet.v2 () in
+  let t =
+    Table.create ~title:"MobileNetV2 batch-1 on one Ascend-Lite core"
+      ~header:[ "DVFS point"; "freq (GHz)"; "latency (ms)"; "power (W)";
+                "energy/inf (mJ)"; "TOPS/W" ]
+      ()
+  in
+  List.iter
+    (fun (p : Mobile.dvfs_point) ->
+      match Mobile.run_big ~point:p.Mobile.point_name soc g with
+      | Error e -> Format.printf "%s: %s@." p.Mobile.point_name e
+      | Ok r ->
+        Table.add_row t
+          [
+            p.Mobile.point_name;
+            Table.cell_float ~decimals:2 p.Mobile.frequency_ghz;
+            Table.cell_float (r.Mobile.latency_s *. 1e3);
+            Table.cell_float r.Mobile.average_power_w;
+            Table.cell_float (r.Mobile.energy_per_inference_j *. 1e3);
+            Table.cell_float r.Mobile.tops_per_watt;
+          ])
+    soc.Mobile.dvfs;
+  Table.print t;
+  Format.printf "@.";
+
+  (* structured sparsity: the decompression path of §2.2/§3.2 *)
+  let t2 =
+    Table.create ~title:"Weight sparsity (MTE decompression) at nominal DVFS"
+      ~header:[ "weights kept"; "latency (ms)"; "energy/inf (mJ)" ]
+      ()
+  in
+  List.iter
+    (fun ratio ->
+      let sparsity = if ratio >= 1. then None else Some ratio in
+      match Mobile.run_big ?sparsity soc g with
+      | Error e -> Format.printf "sparsity %.2f: %s@." ratio e
+      | Ok r ->
+        Table.add_row t2
+          [
+            Printf.sprintf "%.0f%%" (100. *. ratio);
+            Table.cell_float (r.Mobile.latency_s *. 1e3);
+            Table.cell_float (r.Mobile.energy_per_inference_j *. 1e3);
+          ])
+    [ 1.0; 0.75; 0.5; 0.25 ];
+  Table.print t2;
+  Format.printf "@.";
+
+  (* the little core: always-on gesture inference *)
+  let gesture = Ascend.Nn.Gesture.build () in
+  (match Mobile.run_little soc gesture with
+  | Error e -> Format.printf "gesture: %s@." e
+  | Ok r ->
+    Format.printf
+      "Always-on gesture net on Ascend-Tiny: %.2f ms/frame at %.0f mW (%s the \
+       300 mW envelope)@."
+      (r.Mobile.latency_s *. 1e3)
+      (r.Mobile.average_power_w *. 1e3)
+      (if r.Mobile.average_power_w <= 0.3 then "inside" else "OUTSIDE"));
+
+  (* the §3.2 batch-1 utilisation argument for the 4x16x16 cube *)
+  Format.printf
+    "@.Batch-1 cube utilisation on an m=4 GEMM fragment: Lite (4x16x16) %.0f%%, \
+     Max (16x16x16) %.0f%%@."
+    (100. *. Mobile.batch1_cube_utilization Ascend.Arch.Config.lite ~m:4 ~k:256 ~n:256)
+    (100. *. Mobile.batch1_cube_utilization Ascend.Arch.Config.max ~m:4 ~k:256 ~n:256)

@@ -1,0 +1,1 @@
+lib/arch/config.ml: Ascend_util Format List Precision Printf Stdlib

@@ -1,0 +1,1 @@
+lib/arch/precision.ml: Format Stdlib

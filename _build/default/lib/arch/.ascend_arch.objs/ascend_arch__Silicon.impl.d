@@ -1,0 +1,1 @@
+lib/arch/silicon.ml: Ascend_util Config Precision Printf

@@ -1,0 +1,1 @@
+lib/arch/silicon.mli: Config Precision

@@ -1,0 +1,180 @@
+type unit_report = {
+  unit_name : string;
+  perf_flops : float;
+  power_w : float option;
+  area_mm2 : float;
+  perf_per_watt : float option;
+  perf_per_area : float;
+}
+
+let giga = Ascend_util.Units.giga
+let tera = Ascend_util.Units.tera
+
+(* 7 nm energy constants, solved from the measured vector and cube rows of
+   Table 3 (see the interface documentation for the derivation). *)
+let e_mac_pj_7nm = 0.50695
+let e_fetch_pj_per_byte_7nm = 0.51447
+
+(* 7 nm area constants calibrated to Table 3's area column. *)
+let a_scalar_mm2 = 0.04
+let a_vector_lane_mm2 = 0.005
+let a_vector_fixed_mm2 = 0.06
+let a_cube_mac_mm2 = 0.0006
+let a_cube_fixed_mm2 = 0.1124
+let sram_mm2_per_mib_7nm = 0.45
+
+let int8_mac_energy_scale = 0.35
+
+let pj = 1e-12
+
+let report ~unit_name ~perf_flops ~power_w ~area_mm2 =
+  {
+    unit_name;
+    perf_flops;
+    power_w;
+    area_mm2;
+    perf_per_watt =
+      (match power_w with Some w when w > 0. -> Some (perf_flops /. tera /. w) | _ -> None);
+    perf_per_area = perf_flops /. tera /. area_mm2;
+  }
+
+let scalar_unit =
+  report ~unit_name:"Scalar" ~perf_flops:(2. *. giga) ~power_w:None
+    ~area_mm2:a_scalar_mm2
+
+let vector_lanes ~width_bytes = width_bytes / 2 (* fp16 lanes *)
+
+let vector_power_w ~width_bytes ~frequency_ghz =
+  let lanes = float_of_int (vector_lanes ~width_bytes) in
+  (* per cycle: one MAC per lane plus two source reads and one destination
+     write of [width_bytes] each *)
+  let pj_per_cycle =
+    (lanes *. e_mac_pj_7nm) +. (3. *. float_of_int width_bytes *. e_fetch_pj_per_byte_7nm)
+  in
+  pj_per_cycle *. pj *. frequency_ghz *. giga
+
+let vector_unit ~width_bytes ~frequency_ghz =
+  let lanes = vector_lanes ~width_bytes in
+  report
+    ~unit_name:(Printf.sprintf "Vector %dB" width_bytes)
+    ~perf_flops:(float_of_int (2 * lanes) *. frequency_ghz *. giga)
+    ~power_w:(Some (vector_power_w ~width_bytes ~frequency_ghz))
+    ~area_mm2:(a_vector_fixed_mm2 +. (float_of_int lanes *. a_vector_lane_mm2))
+
+let cube_surface_bytes ?(precision = Precision.Fp16) (d : Config.cube_dims) =
+  let src = Precision.size_bytes precision in
+  let acc = Precision.size_bytes (Precision.accumulator precision) in
+  (float_of_int (d.m * d.k) *. src)
+  +. (float_of_int (d.k * d.n) *. src)
+  +. (float_of_int (d.m * d.n) *. acc)
+
+let cube_mac_energy_pj ~precision =
+  match precision with
+  | Precision.Int8 | Precision.Int4 -> e_mac_pj_7nm *. int8_mac_energy_scale
+  | Precision.Fp32 -> 2. *. e_mac_pj_7nm
+  | Precision.Fp16 | Precision.Int32 -> e_mac_pj_7nm
+
+let cube_energy_per_cycle_pj ?(precision = Precision.Fp16) (d : Config.cube_dims) =
+  let macs = float_of_int (d.m * d.k * d.n) in
+  (macs *. cube_mac_energy_pj ~precision)
+  +. (cube_surface_bytes ~precision d *. e_fetch_pj_per_byte_7nm)
+
+let cube_power_w ?(precision = Precision.Fp16) dims ~frequency_ghz =
+  cube_energy_per_cycle_pj ~precision dims *. pj *. frequency_ghz *. giga
+
+let cube_energy_per_tile_j ?(precision = Precision.Fp16) dims =
+  cube_energy_per_cycle_pj ~precision dims *. pj
+
+(* one fp16 lane processes 2 bytes per cycle: MAC energy amortised over the
+   element plus three operand-buffer touches per element *)
+let vector_energy_per_byte_j =
+  ((e_mac_pj_7nm /. 2.) +. (3. *. e_fetch_pj_per_byte_7nm)) *. pj
+
+let cube_area_mm2 (d : Config.cube_dims) =
+  a_cube_fixed_mm2 +. (float_of_int (d.m * d.k * d.n) *. a_cube_mac_mm2)
+
+let cube_unit ?(precision = Precision.Fp16) (d : Config.cube_dims) ~frequency_ghz =
+  let macs = d.m * d.k * d.n in
+  report
+    ~unit_name:(Printf.sprintf "Cube %dx%dx%d" d.m d.k d.n)
+    ~perf_flops:(float_of_int (2 * macs) *. frequency_ghz *. giga)
+    ~power_w:(Some (cube_power_w ~precision d ~frequency_ghz))
+    ~area_mm2:(cube_area_mm2 d)
+
+let table3 =
+  [
+    scalar_unit;
+    vector_unit ~width_bytes:256 ~frequency_ghz:1.0;
+    cube_unit { m = 16; k = 16; n = 16 } ~frequency_ghz:1.0;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: cube dimension trade-off at 12 nm.                        *)
+
+type cube_design_point = {
+  dims : Config.cube_dims;
+  quantity : int;
+  frequency_ghz : float;
+  area_mm2 : float;
+  fp16_flops : float;
+  gflops_per_mm2 : float;
+}
+
+(* 12 nm area constants, solved from the paper's two measured points
+   (8x 4x4x4 = 5.2 mm2; 1x 16x16x16 = 13.2 mm2) with a 0.3 mm2 per-cube
+   control overhead. *)
+let a12_mac_mm2 = 2.376e-3
+let a12_surface_mm2 = 4.125e-3
+let a12_fixed_mm2 = 0.3
+
+let cube_design_point ~(dims : Config.cube_dims) ~quantity ~frequency_ghz =
+  let macs = dims.m * dims.k * dims.n in
+  let surface = (dims.m * dims.k) + (dims.k * dims.n) + (dims.m * dims.n) in
+  let area_one =
+    (float_of_int macs *. a12_mac_mm2)
+    +. (float_of_int surface *. a12_surface_mm2)
+    +. a12_fixed_mm2
+  in
+  let area_mm2 = float_of_int quantity *. area_one in
+  let fp16_flops =
+    float_of_int (2 * macs * quantity) *. frequency_ghz *. giga
+  in
+  { dims; quantity; frequency_ghz; area_mm2; fp16_flops;
+    gflops_per_mm2 = fp16_flops /. giga /. area_mm2 }
+
+let table4 =
+  [
+    (* V100-class SM: 8 tensor cores of 4x4x4 at boost clock *)
+    cube_design_point ~dims:{ m = 4; k = 4; n = 4 } ~quantity:8 ~frequency_ghz:1.66;
+    cube_design_point ~dims:{ m = 16; k = 16; n = 16 } ~quantity:1
+      ~frequency_ghz:0.9766;
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let core_area_mm2 (c : Config.t) =
+  let b = c.buffers in
+  let sram_bytes = b.l0a_bytes + b.l0b_bytes + b.l0c_bytes + b.l1_bytes + b.ub_bytes in
+  let sram_mib = float_of_int sram_bytes /. float_of_int Ascend_util.Units.mib in
+  let units =
+    a_scalar_mm2
+    +. (vector_unit ~width_bytes:c.vector_width_bytes ~frequency_ghz:c.frequency_ghz)
+         .area_mm2
+    +. cube_area_mm2 c.cube
+  in
+  (* 15% wiring / MTE / control overhead on top of units and SRAM macros *)
+  1.15 *. (units +. (sram_mib *. sram_mm2_per_mib_7nm))
+
+let core_power_w (c : Config.t) ~cube_utilization ~vector_utilization =
+  let cube_peak =
+    cube_power_w ~precision:c.native_precision c.cube ~frequency_ghz:c.frequency_ghz
+  in
+  let vector_peak =
+    vector_power_w ~width_bytes:c.vector_width_bytes ~frequency_ghz:c.frequency_ghz
+  in
+  let scalar = 0.02 in
+  let clamp u = Ascend_util.Stats.clamp ~lo:0. ~hi:1. u in
+  (cube_peak *. clamp cube_utilization)
+  +. (vector_peak *. clamp vector_utilization)
+  +. scalar
+  +. (0.1 *. (cube_peak +. vector_peak))

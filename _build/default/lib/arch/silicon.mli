@@ -1,0 +1,82 @@
+(** Analytical area and energy model for the three computing-unit types,
+    calibrated against the paper's silicon measurements (Tables 3 and 4).
+
+    Energy model: a unit consuming [macs] MAC operations and fetching
+    [bytes] operand bytes from local SRAM per cycle dissipates
+    [macs * e_mac + bytes * e_fetch] joules per cycle.  The cube reuses
+    each operand 16 times (paper §2.1), so it fetches only the tile
+    surfaces (m*k + k*n inputs + m*n outputs) while performing m*k*n MACs
+    — this asymmetry is the whole reason the cube wins Table 3 by an
+    order of magnitude, and the model encodes exactly that mechanism.
+
+    Calibration (7 nm): solving the two linear equations given by the
+    measured vector (256 GFLOPS, 0.46 W) and cube (8 TFLOPS, 3.13 W) rows
+    yields e_mac = 0.507 pJ/MAC and e_fetch = 0.514 pJ/byte. *)
+
+type unit_report = {
+  unit_name : string;
+  perf_flops : float;
+  power_w : float option;  (** [None] where the paper reports "/" *)
+  area_mm2 : float;
+  perf_per_watt : float option;   (** TFLOPS/W *)
+  perf_per_area : float;          (** TFLOPS/mm2 *)
+}
+
+val e_mac_pj_7nm : float
+val e_fetch_pj_per_byte_7nm : float
+
+val scalar_unit : unit_report
+val vector_unit : width_bytes:int -> frequency_ghz:float -> unit_report
+
+val cube_unit :
+  ?precision:Precision.t -> Config.cube_dims -> frequency_ghz:float -> unit_report
+(** [precision] defaults to fp16; int8 MACs cost ~0.35x the fp16 MAC
+    energy and the operand surfaces shrink with the element size. *)
+
+val table3 : unit_report list
+(** The paper's Table 3 rows: scalar, vector 256 B, cube 16x16x16 at 1 GHz. *)
+
+val vector_power_w : width_bytes:int -> frequency_ghz:float -> float
+
+val cube_power_w :
+  ?precision:Precision.t -> Config.cube_dims -> frequency_ghz:float -> float
+
+val cube_energy_per_tile_j : ?precision:Precision.t -> Config.cube_dims -> float
+(** Energy of one cube instruction tile (all MACs + surface fetches). *)
+
+val vector_energy_per_byte_j : float
+(** Energy per byte processed by the vector unit (lane MAC + fetch). *)
+
+(** {2 Cube dimension trade-off (Table 4, 12 nm)} *)
+
+type cube_design_point = {
+  dims : Config.cube_dims;
+  quantity : int;
+  frequency_ghz : float;
+  area_mm2 : float;
+  fp16_flops : float;
+  gflops_per_mm2 : float;
+}
+
+val cube_design_point :
+  dims:Config.cube_dims -> quantity:int -> frequency_ghz:float -> cube_design_point
+(** Area model at 12 nm: each cube costs
+    [macs * a_mac + surface_elements * a_port + a_fixed], where the
+    surface term models the operand registers / distribution network that
+    dominate small cubes (the SIMT tensor-core overhead of the paper's
+    4x4x4 comparison point). *)
+
+val table4 : cube_design_point list
+(** The paper's two design points: 8x (4x4x4) at 1.66 GHz (V100-class SM)
+    and 1x (16x16x16) at 0.98 GHz. *)
+
+val core_area_mm2 : Config.t -> float
+(** Whole-core 7 nm area: computing units + SRAM macro area for the
+    paper-listed buffers (used by the SoC-level PPA tables). *)
+
+val sram_mm2_per_mib_7nm : float
+
+val core_power_w :
+  Config.t -> cube_utilization:float -> vector_utilization:float -> float
+(** Dynamic power of one core given average utilisation of each unit,
+    plus a 10% leakage/clocking floor of the peak. *)

@@ -1,0 +1,1 @@
+lib/baselines/cpu.ml: Ascend_nn Ascend_util Float List

@@ -1,0 +1,1 @@
+lib/baselines/cpu.mli: Ascend_nn

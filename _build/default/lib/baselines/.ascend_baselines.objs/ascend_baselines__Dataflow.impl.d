@@ -1,0 +1,1 @@
+lib/baselines/dataflow.ml: Ascend_nn List

@@ -1,0 +1,1 @@
+lib/baselines/dataflow.mli: Ascend_nn

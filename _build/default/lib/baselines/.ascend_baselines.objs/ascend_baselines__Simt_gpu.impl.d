@@ -1,0 +1,1 @@
+lib/baselines/simt_gpu.ml: Ascend_nn Ascend_util Float List

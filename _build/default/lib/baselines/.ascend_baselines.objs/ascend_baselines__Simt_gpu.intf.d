@@ -1,0 +1,1 @@
+lib/baselines/simt_gpu.mli: Ascend_nn

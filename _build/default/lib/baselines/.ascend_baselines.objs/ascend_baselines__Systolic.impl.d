@@ -1,0 +1,1 @@
+lib/baselines/systolic.ml: Ascend_nn Ascend_util Float List

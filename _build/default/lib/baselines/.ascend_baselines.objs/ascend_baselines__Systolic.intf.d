@@ -1,0 +1,1 @@
+lib/baselines/systolic.mli: Ascend_nn

@@ -1,0 +1,32 @@
+type t = {
+  name : string;
+  cores : int;
+  frequency_ghz : float;
+  flops_per_core_per_cycle : int;
+  dnn_efficiency : float;
+  dram_bytes_per_s : float;
+  power_w : float;
+}
+
+let xeon_8180 =
+  { name = "Xeon 8180"; cores = 28; frequency_ghz = 2.5;
+    flops_per_core_per_cycle = 21; (* ~1.5 TFLOPS at AVX-512 clocks *)
+    dnn_efficiency = 0.4; dram_bytes_per_s = 128e9; power_w = 205. }
+
+let peak_flops t =
+  float_of_int (t.cores * t.flops_per_core_per_cycle)
+  *. t.frequency_ghz *. Ascend_util.Units.giga
+
+let layer_seconds t ~flops ~bytes =
+  let compute = flops /. (peak_flops t *. t.dnn_efficiency) in
+  let memory = float_of_int bytes /. t.dram_bytes_per_s in
+  Float.max compute memory
+
+let network_seconds t layers =
+  List.fold_left
+    (fun acc (w : Ascend_nn.Workload.t) ->
+      acc
+      +. layer_seconds t
+           ~flops:(Ascend_nn.Workload.total_flops w)
+           ~bytes:(w.input_bytes + w.weight_bytes + w.output_bytes))
+    0. layers

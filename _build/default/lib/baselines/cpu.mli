@@ -1,0 +1,21 @@
+(** Server-CPU roofline (Intel Xeon 8180-class; paper Table 7): AVX-512
+    FMA peak with a realistic DNN sustained efficiency, behind a DDR4
+    bandwidth roofline. *)
+
+type t = {
+  name : string;
+  cores : int;
+  frequency_ghz : float;
+  flops_per_core_per_cycle : int;
+  dnn_efficiency : float;
+  dram_bytes_per_s : float;
+  power_w : float;
+}
+
+val xeon_8180 : t
+(** 28 cores at 2.5 GHz; the paper quotes 1.5 TFLOPS peak (fp32 with
+    sustained AVX-512 clocks), 128 GB/s DDR4, 205 W. *)
+
+val peak_flops : t -> float
+val layer_seconds : t -> flops:float -> bytes:int -> float
+val network_seconds : t -> Ascend_nn.Workload.t list -> float

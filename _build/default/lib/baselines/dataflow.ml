@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  peak_flops : float;
+  streaming_efficiency : float;
+  reconfiguration_s : float;
+  power_w : float;
+}
+
+let generic_dataflow =
+  { name = "dataflow fabric"; peak_flops = 100e12; streaming_efficiency = 0.85;
+    reconfiguration_s = 50e-6; power_w = 150. }
+
+let layer_flops (w : Ascend_nn.Workload.t) = Ascend_nn.Workload.total_flops w
+
+let batch_seconds t ~layers ~batch =
+  if batch <= 0 then invalid_arg "Dataflow.batch_seconds: non-positive batch";
+  List.fold_left
+    (fun acc w ->
+      let stream =
+        float_of_int batch *. layer_flops w
+        /. (t.peak_flops *. t.streaming_efficiency)
+      in
+      acc +. t.reconfiguration_s +. stream)
+    0. layers
+
+let single_sample_latency_s t ~layers = batch_seconds t ~layers ~batch:1
+
+let training_supported _ = false
+
+let utilization t ~layers ~batch =
+  let total =
+    float_of_int batch
+    *. List.fold_left (fun acc w -> acc +. layer_flops w) 0. layers
+  in
+  let time = batch_seconds t ~layers ~batch in
+  if time <= 0. then 0. else total /. time /. t.peak_flops

@@ -1,0 +1,37 @@
+(** Dataflow-architecture model (paper §7.1: "Dataflow architecture ...
+    can achieve high throughput for specific tasks.  However, dataflow
+    architectures are incapable of performing main stream synchronous
+    training ... and can incur low computing utilization and large
+    output delay" in latency-bound scenarios).
+
+    Model: the fabric is spatially configured per layer; a configured
+    layer streams at near-peak throughput, but every layer switch costs a
+    reconfiguration, so single-sample latency (mobile/automotive) is
+    dominated by [layers x reconfiguration] while large-batch throughput
+    is excellent.  Synchronous training is rejected outright. *)
+
+type t = {
+  name : string;
+  peak_flops : float;
+  streaming_efficiency : float;   (** sustained/peak once configured *)
+  reconfiguration_s : float;      (** per layer-switch *)
+  power_w : float;
+}
+
+val generic_dataflow : t
+(** A 100-TFLOPS fabric with 50 us reconfiguration. *)
+
+val batch_seconds :
+  t -> layers:Ascend_nn.Workload.t list -> batch:int -> float
+(** One pass over [batch] samples: per layer, reconfigure once then
+    stream the whole batch. *)
+
+val single_sample_latency_s : t -> layers:Ascend_nn.Workload.t list -> float
+(** [batch_seconds ~batch:1] — the mobile/automotive latency the paper
+    says dataflow machines lose on. *)
+
+val training_supported : t -> bool
+(** Always [false] (the §7.1 claim). *)
+
+val utilization : t -> layers:Ascend_nn.Workload.t list -> batch:int -> float
+(** Achieved FLOPS over peak for the batch run. *)

@@ -1,0 +1,68 @@
+type t = {
+  name : string;
+  sms : int;
+  tensor_cores_per_sm : int;
+  tensor_core_dims : int * int * int;
+  frequency_ghz : float;
+  tensor_efficiency : float;
+  simt_flops : float;
+  hbm_bytes_per_s : float;
+  power_w : float;
+  area_mm2 : float;
+}
+
+let v100 =
+  {
+    name = "V100";
+    sms = 80;
+    tensor_cores_per_sm = 8;
+    tensor_core_dims = (4, 4, 4);
+    frequency_ghz = 1.53;
+    tensor_efficiency = 0.62;
+    simt_flops = 15.7e12;
+    hbm_bytes_per_s = 900e9;
+    power_w = 300.;
+    area_mm2 = 815.;
+  }
+
+let peak_tensor_flops t =
+  let dm, dk, dn = t.tensor_core_dims in
+  float_of_int (2 * dm * dk * dn * t.tensor_cores_per_sm * t.sms)
+  *. t.frequency_ghz *. Ascend_util.Units.giga
+
+let div_up = Ascend_util.Stats.divide_round_up
+
+let gemm_seconds t ~m ~k ~n =
+  let dm, dk, dn = t.tensor_core_dims in
+  (* tile quantisation: padded problem *)
+  let mp = div_up m dm * dm and kp = div_up k dk * dk and np = div_up n dn * dn in
+  let padded_macs = float_of_int mp *. float_of_int kp *. float_of_int np in
+  (* occupancy: a GEMM smaller than one wave of thread blocks cannot fill
+     all SMs; one block covers a 64x64 output tile *)
+  let blocks = div_up mp 64 * div_up np 64 in
+  let occupancy =
+    Float.min 1. (float_of_int blocks /. float_of_int t.sms)
+  in
+  let effective =
+    peak_tensor_flops t /. 2. *. t.tensor_efficiency *. occupancy
+  in
+  padded_macs /. effective
+
+let layer_seconds t ~gemms ~vector_elems ~bytes =
+  let gemm_s =
+    List.fold_left
+      (fun acc (g : Ascend_nn.Workload.gemm) ->
+        acc +. (float_of_int g.count *. gemm_seconds t ~m:g.m ~k:g.k ~n:g.n))
+      0. gemms
+  in
+  let vector_s = vector_elems /. t.simt_flops in
+  let memory_s = float_of_int bytes /. t.hbm_bytes_per_s in
+  Float.max (gemm_s +. vector_s) memory_s
+
+let network_seconds t layers =
+  List.fold_left
+    (fun acc (w : Ascend_nn.Workload.t) ->
+      acc
+      +. layer_seconds t ~gemms:w.gemms ~vector_elems:w.vector_elems
+           ~bytes:(w.input_bytes + w.weight_bytes + w.output_bytes))
+    0. layers

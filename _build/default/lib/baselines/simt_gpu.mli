@@ -1,0 +1,39 @@
+(** SIMT GPU with small tensor cores (V100-class; paper §6.1/§7.1).
+
+    GEMMs run on the tensor cores with a tile-quantisation utilisation
+    factor (the 4x4x4 granularity wastes little, but warp scheduling and
+    the register-file path bound achieved efficiency — the paper's
+    "opportunities of data reuse are limited by inherent schemes and the
+    small size of Tensor cores" appears as [tensor_efficiency]).
+    Elementwise work runs on the CUDA cores; every layer also sits behind
+    the HBM roofline. *)
+
+type t = {
+  name : string;
+  sms : int;
+  tensor_cores_per_sm : int;
+  tensor_core_dims : int * int * int;
+  frequency_ghz : float;
+  tensor_efficiency : float;   (** sustained/peak on large GEMMs *)
+  simt_flops : float;          (** CUDA-core fp32 peak *)
+  hbm_bytes_per_s : float;
+  power_w : float;
+  area_mm2 : float;
+}
+
+val v100 : t
+(** 80 SMs x 8 TCs x 4x4x4 at 1.53 GHz = 125 TFLOPS peak, ~62%
+    sustained GEMM efficiency (calibrated against the public ResNet-50
+    mixed-precision training number), 900 GB/s HBM2, 300 W, 815 mm2. *)
+
+val peak_tensor_flops : t -> float
+
+val gemm_seconds : t -> m:int -> k:int -> n:int -> float
+(** Tile quantisation to the tensor-core dims, SM occupancy for small
+    GEMMs, then the efficiency factor. *)
+
+val layer_seconds :
+  t -> gemms:Ascend_nn.Workload.gemm list -> vector_elems:float ->
+  bytes:int -> float
+
+val network_seconds : t -> Ascend_nn.Workload.t list -> float

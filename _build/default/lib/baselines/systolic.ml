@@ -1,0 +1,69 @@
+type t = {
+  name : string;
+  rows : int;
+  cols : int;
+  arrays : int;
+  frequency_ghz : float;
+  sustained_efficiency : float;
+  vector_bytes_per_cycle : int;
+  hbm_bytes_per_s : float;
+  power_w : float;
+}
+
+let tpu_v3 =
+  { name = "TPUv3"; rows = 128; cols = 128; arrays = 4; frequency_ghz = 0.82;
+    sustained_efficiency = 0.62;
+    vector_bytes_per_cycle = 2048; hbm_bytes_per_s = 1.2e12; power_w = 250. }
+
+let fsd_like =
+  { name = "FSD-like"; rows = 96; cols = 96; arrays = 2; frequency_ghz = 2.0;
+    sustained_efficiency = 0.62;
+    vector_bytes_per_cycle = 512; hbm_bytes_per_s = 64e9; power_w = 100. }
+
+let peak_flops t =
+  float_of_int (2 * t.rows * t.cols * t.arrays)
+  *. t.frequency_ghz *. Ascend_util.Units.giga
+
+let div_up = Ascend_util.Stats.divide_round_up
+
+let gemm_cycles t ~m ~k ~n =
+  let k_tiles = div_up k t.rows and n_tiles = div_up n t.cols in
+  let per_tile = t.rows + m + t.rows + t.cols in
+  (* weight load + activation stream + fill/drain per weight tile; tiles
+     spread across the parallel arrays *)
+  div_up (k_tiles * n_tiles) t.arrays * per_tile
+
+let gemm_utilization t ~m ~k ~n =
+  let macs = float_of_int m *. float_of_int k *. float_of_int n in
+  let cycles = float_of_int (gemm_cycles t ~m ~k ~n) in
+  let peak_per_cycle = float_of_int (t.rows * t.cols * t.arrays) in
+  Ascend_util.Stats.clamp ~lo:0. ~hi:1. (macs /. (cycles *. peak_per_cycle))
+
+let layer_seconds t ~gemms ~vector_elems ~bytes =
+  let cycle_s = 1. /. (t.frequency_ghz *. Ascend_util.Units.giga) in
+  let gemm_cyc =
+    List.fold_left
+      (fun acc (g : Ascend_nn.Workload.gemm) ->
+        acc + (g.count * gemm_cycles t ~m:g.m ~k:g.k ~n:g.n))
+      0 gemms
+  in
+  (* a vector layer interrupts the pipeline: one full drain *)
+  let drain = if vector_elems > 0. then t.rows + t.cols else 0 in
+  let vector_cyc =
+    int_of_float
+      (ceil (vector_elems *. 2. /. float_of_int t.vector_bytes_per_cycle))
+  in
+  let compute_s =
+    float_of_int (gemm_cyc + drain + vector_cyc)
+    *. cycle_s /. t.sustained_efficiency
+  in
+  let memory_s = float_of_int bytes /. t.hbm_bytes_per_s in
+  Float.max compute_s memory_s
+
+let network_seconds t layers =
+  List.fold_left
+    (fun acc (w : Ascend_nn.Workload.t) ->
+      acc
+      +. layer_seconds t ~gemms:w.gemms ~vector_elems:w.vector_elems
+           ~bytes:(w.input_bytes + w.weight_bytes + w.output_bytes))
+    0. layers

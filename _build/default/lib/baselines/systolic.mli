@@ -1,0 +1,46 @@
+(** Weight-stationary systolic array model (TPU-class; paper §6.1/§7.1).
+
+    The mechanism the paper criticises is explicit here: every weight
+    tile costs an array-load plus fill/drain latency of [rows + cols]
+    cycles, so small matrices (mobile batch-1 inference) waste most of
+    the pipeline, and normalisation layers between GEMMs force a drain
+    ("systolic array's pipeline is easily interrupted by the
+    Normalization layer" — modelled as a per-vector-layer drain). *)
+
+type t = {
+  name : string;
+  rows : int;
+  cols : int;
+  arrays : int;            (** parallel MXUs *)
+  frequency_ghz : float;
+  sustained_efficiency : float;
+      (** sustained/ideal on real workloads: control, XLA padding,
+          pipeline refills between layers — calibrated against public
+          MLPerf TPUv3 ResNet-50 throughput *)
+  vector_bytes_per_cycle : int;  (** the VPU beside the array *)
+  hbm_bytes_per_s : float;
+  power_w : float;
+}
+
+val tpu_v3 : t
+(** 4x 128x128 MXUs at 0.82 GHz ~ 106 TFLOPS bf16, 1.2 TB/s HBM. *)
+
+val fsd_like : t
+(** Tesla-FSD-like: 2x 96x96 int8 arrays at 2 GHz ~ 73 TOPS. *)
+
+val peak_flops : t -> float
+
+val gemm_cycles : t -> m:int -> k:int -> n:int -> int
+(** Weight-stationary schedule: per (k,n) weight tile, load [rows]
+    cycles, stream m activations, drain [rows + cols]. *)
+
+val gemm_utilization : t -> m:int -> k:int -> n:int -> float
+(** Achieved / peak MACs for one GEMM. *)
+
+val layer_seconds :
+  t -> gemms:Ascend_nn.Workload.gemm list -> vector_elems:float ->
+  bytes:int -> float
+(** One layer: GEMMs on the array (each vector layer interposes a drain),
+    vector work on the VPU, all behind the HBM roofline. *)
+
+val network_seconds : t -> Ascend_nn.Workload.t list -> float

@@ -1,0 +1,1 @@
+lib/cluster/collective.ml: Ascend_noc Server

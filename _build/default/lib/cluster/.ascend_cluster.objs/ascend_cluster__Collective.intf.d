@@ -1,0 +1,1 @@
+lib/cluster/collective.mli: Ascend_noc Server

@@ -1,0 +1,1 @@
+lib/cluster/server.ml: Ascend_arch Ascend_soc

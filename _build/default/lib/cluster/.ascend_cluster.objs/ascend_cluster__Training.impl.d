@@ -1,0 +1,1 @@
+lib/cluster/training.ml: Ascend_noc Ascend_soc Ascend_util Collective Float Printf Server

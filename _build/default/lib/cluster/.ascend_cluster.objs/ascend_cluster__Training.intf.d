@@ -1,0 +1,1 @@
+lib/cluster/training.mli: Ascend_noc Ascend_soc Server

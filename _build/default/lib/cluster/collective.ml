@@ -1,0 +1,48 @@
+let ring_allreduce_seconds ~bytes ~nodes ~bandwidth ?(latency_s = 5e-6) () =
+  if bytes < 0. then invalid_arg "Collective: negative bytes";
+  if nodes <= 1 then 0.
+  else
+    let n = float_of_int nodes in
+    (2. *. (n -. 1.) /. n *. bytes /. bandwidth)
+    +. (2. *. (n -. 1.) *. latency_s)
+
+let rec ceil_log2 n = if n <= 1 then 0 else 1 + ceil_log2 ((n + 1) / 2)
+
+let halving_doubling_seconds ~bytes ~nodes ~bandwidth ?(latency_s = 5e-6) () =
+  if bytes < 0. then invalid_arg "Collective: negative bytes";
+  if nodes <= 1 then 0.
+  else begin
+    let n = float_of_int nodes in
+    let steps = 2 * ceil_log2 nodes in
+    let power_of_two = nodes land (nodes - 1) = 0 in
+    let fold_penalty =
+      if power_of_two then 0. else (bytes /. bandwidth) +. latency_s
+    in
+    (2. *. (n -. 1.) /. n *. bytes /. bandwidth)
+    +. (float_of_int steps *. latency_s)
+    +. fold_penalty
+  end
+
+let best_allreduce_seconds ~bytes ~nodes ~bandwidth ?latency_s () =
+  let ring = ring_allreduce_seconds ~bytes ~nodes ~bandwidth ?latency_s () in
+  let hd = halving_doubling_seconds ~bytes ~nodes ~bandwidth ?latency_s () in
+  if hd < ring then (hd, "halving-doubling") else (ring, "ring")
+
+let hierarchical_allreduce_seconds ~server ~network ~servers ~bytes =
+  if servers <= 0 then invalid_arg "Collective: no servers";
+  (* phase 1: reduce within each server (chips -> one representative) *)
+  let intra = Server.intra_server_allreduce_seconds server ~bytes in
+  (* phase 2: the faster collective across server representatives *)
+  let nic = Ascend_noc.Fat_tree.server_bandwidth network in
+  let inter, _algorithm =
+    best_allreduce_seconds ~bytes ~nodes:servers ~bandwidth:nic
+      ~latency_s:(Ascend_noc.Fat_tree.latency_us network ~src:0
+                    ~dst:(max 0 (servers - 1))
+                  *. 1e-6)
+      ()
+  in
+  intra +. inter
+
+let allreduce_efficiency ~seconds ~bytes ~bandwidth =
+  if seconds <= 0. || bandwidth <= 0. then 0.
+  else 2. *. bytes /. seconds /. bandwidth

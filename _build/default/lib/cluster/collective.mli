@@ -1,0 +1,34 @@
+(** Collective-communication cost models for gradient synchronisation.
+
+    Ring all-reduce moves [2(n-1)/n] times the buffer over the slowest
+    link; the hierarchical variant reduces inside each server first
+    (HCCS), rings across servers on the fat-tree, then broadcasts back —
+    the standard scheme for the paper's server/cluster topology. *)
+
+val ring_allreduce_seconds :
+  bytes:float -> nodes:int -> bandwidth:float -> ?latency_s:float -> unit ->
+  float
+(** [latency_s] per step (default 5 us); 2(n-1) steps. *)
+
+val halving_doubling_seconds :
+  bytes:float -> nodes:int -> bandwidth:float -> ?latency_s:float -> unit ->
+  float
+(** Recursive halving/doubling: the same 2(n-1)/n bandwidth term but only
+    2*ceil(log2 n) latency steps — wins on small messages and large node
+    counts.  Non-power-of-two node counts pay one extra fold step. *)
+
+val best_allreduce_seconds :
+  bytes:float -> nodes:int -> bandwidth:float -> ?latency_s:float -> unit ->
+  float * string
+(** The faster of ring and halving/doubling, with its name — what a real
+    collective library's algorithm picker does. *)
+
+val hierarchical_allreduce_seconds :
+  server:Server.t -> network:Ascend_noc.Fat_tree.t -> servers:int ->
+  bytes:float -> float
+(** Gradient buffer of [bytes] per chip, [servers] servers of
+    [server.chips] chips each. *)
+
+val allreduce_efficiency :
+  seconds:float -> bytes:float -> bandwidth:float -> float
+(** Achieved algorithm bandwidth over the nominal link bandwidth. *)

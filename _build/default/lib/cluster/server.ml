@@ -1,0 +1,46 @@
+type t = {
+  server_name : string;
+  chips : int;
+  groups : int;
+  hccs_bytes_per_s : float;
+  pcie_bytes_per_s : float;
+}
+
+let ascend910_server =
+  { server_name = "Ascend 910 server"; chips = 8; groups = 2;
+    hccs_bytes_per_s = 30e9; pcie_bytes_per_s = 32e9 }
+
+let chips_per_group t = t.chips / t.groups
+
+let check t i =
+  if i < 0 || i >= t.chips then invalid_arg "Server: chip index out of range"
+
+let same_group t a b =
+  check t a;
+  check t b;
+  a / chips_per_group t = b / chips_per_group t
+
+let link_bandwidth t ~src ~dst =
+  if same_group t src dst then t.hccs_bytes_per_s else t.pcie_bytes_per_s
+
+let ring_allreduce_seconds ~bytes ~nodes ~bandwidth =
+  if nodes <= 1 then 0.
+  else
+    let n = float_of_int nodes in
+    2. *. (n -. 1.) /. n *. bytes /. bandwidth
+
+let intra_server_allreduce_seconds t ~bytes =
+  if bytes < 0. then invalid_arg "Server: negative bytes";
+  let g = chips_per_group t in
+  (* phase 1+3: ring inside each group over HCCS *)
+  let intra = ring_allreduce_seconds ~bytes ~nodes:g ~bandwidth:t.hccs_bytes_per_s in
+  (* phase 2: the two groups exchange partial sums over PCI-E *)
+  let inter =
+    if t.groups <= 1 then 0. else 2. *. bytes /. t.pcie_bytes_per_s
+  in
+  intra +. inter
+
+let peak_fp16_flops t =
+  float_of_int t.chips
+  *. Ascend_soc.Training_soc.peak_flops Ascend_soc.Training_soc.ascend910
+       ~precision:Ascend_arch.Precision.Fp16

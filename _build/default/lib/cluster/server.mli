@@ -1,0 +1,27 @@
+(** The Ascend 910 server (paper §4.2 / Figure 15): eight chips as two
+    groups of four on one board; HCCS cache-coherent links inside a
+    group (30 GB/s), PCI-E between the groups (32 GB/s). *)
+
+type t = {
+  server_name : string;
+  chips : int;
+  groups : int;
+  hccs_bytes_per_s : float;      (** per-link intra-group *)
+  pcie_bytes_per_s : float;      (** inter-group bus *)
+}
+
+val ascend910_server : t
+
+val chips_per_group : t -> int
+
+val same_group : t -> int -> int -> bool
+(** Chip indices in [0, chips). *)
+
+val link_bandwidth : t -> src:int -> dst:int -> float
+(** HCCS within a group, PCI-E across. *)
+
+val intra_server_allreduce_seconds : t -> bytes:float -> float
+(** Hierarchical: ring reduce-scatter/all-gather inside each group over
+    HCCS, then a group-pair exchange over PCI-E. *)
+
+val peak_fp16_flops : t -> float

@@ -1,0 +1,74 @@
+type t = {
+  cluster_name : string;
+  server : Server.t;
+  network : Ascend_noc.Fat_tree.t;
+  servers : int;
+  overlap : float;
+}
+
+let ascend_cluster_2048 =
+  {
+    cluster_name = "Ascend 910 cluster (2048 chips)";
+    server = Server.ascend910_server;
+    network = Ascend_noc.Fat_tree.ascend_cluster;
+    servers = 256;
+    overlap = 0.7;
+  }
+
+let cluster_of_chips ~chips =
+  if chips <= 0 then invalid_arg "Training.cluster_of_chips: no chips";
+  let per_server = Server.ascend910_server.chips in
+  let servers = Ascend_util.Stats.divide_round_up chips per_server in
+  {
+    cluster_name = Printf.sprintf "Ascend 910 cluster (%d chips)" chips;
+    server = Server.ascend910_server;
+    network = Ascend_noc.Fat_tree.create ~servers ();
+    servers;
+    overlap = 0.7;
+  }
+
+let total_chips t = t.servers * t.server.chips
+
+let peak_fp16_flops t =
+  float_of_int t.servers *. Server.peak_fp16_flops t.server
+
+type step = {
+  chip_step_seconds : float;
+  allreduce_seconds : float;
+  step_seconds : float;
+  global_batch : int;
+  images_per_second : float;
+  scaling_efficiency : float;
+}
+
+let train_step t ~(chip_result : Ascend_soc.Training_soc.result) ~param_bytes =
+  let chip_step_seconds = chip_result.step_seconds in
+  let allreduce_seconds =
+    if t.servers = 1 then
+      Server.intra_server_allreduce_seconds t.server ~bytes:param_bytes
+    else
+      Collective.hierarchical_allreduce_seconds ~server:t.server
+        ~network:t.network ~servers:t.servers ~bytes:param_bytes
+  in
+  let exposed = Float.max 0. (1. -. t.overlap) *. allreduce_seconds in
+  let hidden = t.overlap *. allreduce_seconds in
+  (* the hidden part only truly hides if backward compute covers it *)
+  let step_seconds =
+    Float.max chip_step_seconds (0.6 *. chip_step_seconds +. hidden) +. exposed
+  in
+  let global_batch = chip_result.batch * total_chips t in
+  let images_per_second = float_of_int global_batch /. step_seconds in
+  let ideal =
+    float_of_int global_batch /. chip_step_seconds
+  in
+  {
+    chip_step_seconds;
+    allreduce_seconds;
+    step_seconds;
+    global_batch;
+    images_per_second;
+    scaling_efficiency = (if ideal <= 0. then 0. else images_per_second /. ideal);
+  }
+
+let time_to_train_seconds _t ~step ~samples_per_epoch ~epochs =
+  float_of_int samples_per_epoch *. epochs /. step.images_per_second

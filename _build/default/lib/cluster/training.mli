@@ -1,0 +1,40 @@
+(** Data-parallel distributed training on the Ascend 910 cluster
+    (paper §4.2 and the MLPerf result in §8): per-chip compute from the
+    SoC simulation, gradient all-reduce from the collective model,
+    compute/communication overlap, and time-to-train estimation. *)
+
+type t = {
+  cluster_name : string;
+  server : Server.t;
+  network : Ascend_noc.Fat_tree.t;
+  servers : int;
+  overlap : float;
+      (** fraction of all-reduce hidden under backward compute (0..1) *)
+}
+
+val ascend_cluster_2048 : t
+(** 256 servers x 8 chips = 2048 chips, 512 PFLOPS fp16. *)
+
+val cluster_of_chips : chips:int -> t
+(** Smallest whole-server cluster holding [chips] chips (e.g. the
+    256-chip MLPerf entry = 32 servers). *)
+
+val total_chips : t -> int
+val peak_fp16_flops : t -> float
+
+type step = {
+  chip_step_seconds : float;     (** fwd+bwd on one chip *)
+  allreduce_seconds : float;
+  step_seconds : float;          (** with overlap applied *)
+  global_batch : int;
+  images_per_second : float;
+  scaling_efficiency : float;    (** vs perfect linear scaling *)
+}
+
+val train_step :
+  t -> chip_result:Ascend_soc.Training_soc.result -> param_bytes:float -> step
+
+val time_to_train_seconds :
+  t -> step:step -> samples_per_epoch:int -> epochs:float -> float
+(** e.g. ImageNet: 1.281167 M images, ~44 epochs to 75.9% with the
+    MLPerf v0.7 recipe. *)

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Ascend_arch Ascend_isa Ascend_nn Ascend_util Float Fusion List Printf Tiling

@@ -1,0 +1,1 @@
+lib/compiler/codegen.mli: Ascend_arch Ascend_isa Ascend_nn Fusion

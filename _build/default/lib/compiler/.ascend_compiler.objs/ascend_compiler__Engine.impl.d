@@ -1,0 +1,1 @@
+lib/compiler/engine.ml: Ascend_arch Ascend_core_sim Ascend_isa Ascend_nn Ascend_util Codegen Format Fusion List Printf String

@@ -1,0 +1,1 @@
+lib/compiler/engine.mli: Ascend_arch Ascend_core_sim Ascend_isa Ascend_nn Codegen Format Fusion

@@ -1,0 +1,1 @@
+lib/compiler/fusion.ml: Ascend_arch Ascend_nn Ascend_tensor Format List

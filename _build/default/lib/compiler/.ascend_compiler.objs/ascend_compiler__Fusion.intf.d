@@ -1,0 +1,1 @@
+lib/compiler/fusion.mli: Ascend_arch Ascend_nn Format

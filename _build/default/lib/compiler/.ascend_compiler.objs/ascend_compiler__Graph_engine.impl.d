@@ -1,0 +1,1 @@
+lib/compiler/graph_engine.ml: Array Ascend_core_sim Ascend_nn Engine Format Fusion Hashtbl List Printf String

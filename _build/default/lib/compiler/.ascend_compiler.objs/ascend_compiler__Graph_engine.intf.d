@@ -1,0 +1,1 @@
+lib/compiler/graph_engine.mli: Ascend_arch Ascend_nn Format

@@ -1,0 +1,1 @@
+lib/compiler/memory_planner.ml: Ascend_nn Ascend_tensor List Printf

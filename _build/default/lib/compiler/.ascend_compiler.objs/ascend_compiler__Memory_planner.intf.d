@@ -1,0 +1,1 @@
+lib/compiler/memory_planner.mli: Ascend_nn

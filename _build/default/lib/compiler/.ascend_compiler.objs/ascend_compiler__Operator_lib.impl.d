@@ -1,0 +1,1 @@
+lib/compiler/operator_lib.ml: Ascend_arch Ascend_core_sim Ascend_isa Ascend_util List Printf

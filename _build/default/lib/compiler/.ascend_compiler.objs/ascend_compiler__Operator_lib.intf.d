@@ -1,0 +1,1 @@
+lib/compiler/operator_lib.mli: Ascend_arch Ascend_core_sim Ascend_isa

@@ -1,0 +1,1 @@
+lib/compiler/tiling.ml: Ascend_arch Ascend_core_sim Ascend_util Float Format List

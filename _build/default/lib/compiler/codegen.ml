@@ -1,0 +1,331 @@
+module Config = Ascend_arch.Config
+module Precision = Ascend_arch.Precision
+module I = Ascend_isa.Instruction
+module Buffer_id = Ascend_isa.Buffer_id
+module Pipe = Ascend_isa.Pipe
+module Program = Ascend_isa.Program
+
+type sync_mode = Flags | Coarse_barriers
+
+type options = {
+  weight_sparsity : float option;
+  double_buffer : bool;
+  naive_tiling : bool;
+  sync_mode : sync_mode;
+}
+
+let default_options =
+  { weight_sparsity = None; double_buffer = true; naive_tiling = false;
+    sync_mode = Flags }
+
+let select_tiling ~options config ~precision ~expansion ~m ~k ~n =
+  if options.naive_tiling then Tiling.naive config ~precision ~m ~k ~n ()
+  else Tiling.choose config ~precision ~img2col_expansion:expansion ~m ~k ~n ()
+
+(* flag id assignments for the GEMM loop *)
+let f_a_panel = 0 (* MTE2 -> MTE1: A panel staged in L1 *)
+let f_b_data = 1 (* MTE2 -> MTE1: B data staged in L1 *)
+let f_l0_data = 2 (* MTE1 -> Cube: tile pair in L0A/L0B *)
+let f_l0_free = 3 (* Cube -> MTE1: L0 slot consumed *)
+let f_drain = 4 (* Cube -> Vector: L0C tile complete *)
+let f_l0c_free = 5 (* Vector -> Cube: L0C slot drained *)
+let f_store = 6 (* Vector -> MTE3: UB tile ready *)
+let f_ub_free = 7 (* MTE3 -> Vector: UB slot stored *)
+
+let gemm_tile_flags =
+  (f_a_panel, f_b_data, f_l0_data, f_l0_free, f_drain, f_l0c_free, f_store,
+   f_ub_free)
+
+type builder = {
+  mutable rev : I.t list;
+  mutable peaks : (Buffer_id.t * int) list;
+  mode : sync_mode;
+}
+
+let builder ?(mode = Flags) () = { rev = []; peaks = []; mode }
+let emit b i = b.rev <- i :: b.rev
+
+(* under coarse-barrier synchronisation (the ablation of Figure 3's
+   decoupled flags), every dependency point becomes a full-pipe barrier:
+   sets vanish and waits drain the whole core *)
+let barrier b =
+  match b.rev with
+  | I.Barrier :: _ -> () (* collapse adjacent barriers *)
+  | _ -> emit b I.Barrier
+
+let peak b buf bytes =
+  let cur =
+    match List.assoc_opt buf b.peaks with Some v -> v | None -> 0
+  in
+  b.peaks <- (buf, max cur bytes) :: List.remove_assoc buf b.peaks
+
+let set b ~from_pipe ~to_pipe flag =
+  match b.mode with
+  | Flags -> emit b (I.Set_flag { from_pipe; to_pipe; flag })
+  | Coarse_barriers -> ()
+
+let wait b ~from_pipe ~to_pipe flag =
+  match b.mode with
+  | Flags -> emit b (I.Wait_flag { from_pipe; to_pipe; flag })
+  | Coarse_barriers -> barrier b
+
+let bytes_of ~elems ~size = int_of_float (ceil (float_of_int elems *. size))
+
+let div_up = Ascend_util.Stats.divide_round_up
+
+(* ------------------------------------------------------------------ *)
+(* Cube-anchored group: tiled GEMM nest.                               *)
+
+let emit_gemm b (config : Config.t) ~options ~precision ~expansion
+    ~post_bytes_per_tile (g : Ascend_nn.Workload.gemm) =
+  let src = Precision.size_bytes precision in
+  let acc = Precision.size_bytes (Precision.accumulator precision) in
+  let tiling =
+    select_tiling ~options config ~precision ~expansion ~m:g.m ~k:g.k ~n:g.n
+  in
+  (* clamp mt so a compact A panel (mt x K) double-buffers in half of L1 *)
+  let dims = Config.cube_dims_at config ~precision in
+  let panel_budget = config.buffers.l1_bytes / 4 in
+  let mt =
+    let per_row = float_of_int g.k *. src /. expansion in
+    let cap = int_of_float (float_of_int panel_budget /. Float.max 1e-9 per_row) in
+    let cap = max dims.m (cap / dims.m * dims.m) in
+    min tiling.mt cap
+  in
+  let kt = tiling.kt and nt = tiling.nt in
+  let m_tiles = div_up g.m mt in
+  let k_tiles = div_up g.k kt in
+  let n_tiles = div_up g.n nt in
+  let b_total = bytes_of ~elems:(g.k * g.n) ~size:src in
+  let b_resident = b_total <= config.buffers.l1_bytes / 4 in
+  let sparsity = options.weight_sparsity in
+  let b_transform =
+    match sparsity with
+    | Some ratio -> I.Decompress { ratio }
+    | None -> I.Plain
+  in
+  let b_ext_bytes bytes =
+    match sparsity with
+    | Some ratio -> int_of_float (float_of_int bytes *. ratio)
+    | None -> bytes
+  in
+  (* static buffer footprints *)
+  let a_panel_bytes mt_a =
+    bytes_of ~elems:(mt_a * g.k) ~size:src
+    |> fun x -> int_of_float (float_of_int x /. expansion)
+  in
+  (* an A panel (mt x K, compact) stages in L1 when it fits the budget;
+     with a huge K (e.g. dW GEMMs of the backward pass) the panel is
+     streamed per k-tile instead, like a non-resident B *)
+  let a_resident = a_panel_bytes mt <= panel_budget in
+  let a_chunk_bytes mt_a kt_a =
+    int_of_float (float_of_int (bytes_of ~elems:(mt_a * kt_a) ~size:src) /. expansion)
+  in
+  peak b Buffer_id.L0a (2 * bytes_of ~elems:(mt * kt) ~size:src);
+  peak b Buffer_id.L0b (2 * bytes_of ~elems:(kt * nt) ~size:src);
+  peak b Buffer_id.L0c (2 * bytes_of ~elems:(mt * nt) ~size:acc);
+  peak b Buffer_id.Ub (2 * bytes_of ~elems:(mt * nt) ~size:acc);
+  peak b Buffer_id.L1
+    ((if a_resident then 2 * a_panel_bytes mt else 2 * a_chunk_bytes mt kt)
+    + (if b_resident then b_total else 2 * bytes_of ~elems:(kt * nt) ~size:src));
+  (* double buffering keeps two tiles in flight; disabling it (the
+     ablation knob) serialises on a single slot *)
+  let depth = if options.double_buffer then 2 else 1 in
+  for _instance = 1 to g.count do
+    if b_resident then begin
+      emit b
+        (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1
+           ~bytes:(b_ext_bytes b_total) ());
+      set b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_b_data
+    end;
+    let waited_b = ref false in
+    let tile_index = ref 0 (* k-level tile pairs, for L0A/L0B recycling *) in
+    let out_tile_index = ref 0 (* (m,n) output tiles, for L0C/UB recycling *) in
+    for mi = 0 to m_tiles - 1 do
+      let mt_a = min mt (g.m - (mi * mt)) in
+      (* stage the A panel for this m-tile when it fits *)
+      if a_resident then begin
+        emit b
+          (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1
+             ~bytes:(a_panel_bytes mt_a) ());
+        set b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_a_panel
+      end;
+      let waited_a = ref false in
+      for ni = 0 to n_tiles - 1 do
+        let nt_a = min nt (g.n - (ni * nt)) in
+        for ki = 0 to k_tiles - 1 do
+          let kt_a = min kt (g.k - (ki * kt)) in
+          (* L0 slot backpressure *)
+          if !tile_index >= depth then
+            wait b ~from_pipe:Pipe.Cube ~to_pipe:Pipe.Mte1 f_l0_free;
+          if a_resident then begin
+            if not !waited_a then begin
+              wait b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_a_panel;
+              waited_a := true
+            end
+          end
+          else begin
+            emit b
+              (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1
+                 ~bytes:(a_chunk_bytes mt_a kt_a) ());
+            set b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_a_panel;
+            wait b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_a_panel
+          end;
+          emit b
+            (I.mte_move ~src:Buffer_id.L1 ~dst:Buffer_id.L0a
+               ~transform:(I.Img2col { expansion })
+               ~bytes:(bytes_of ~elems:(mt_a * kt_a) ~size:src)
+               ());
+          if b_resident then begin
+            if not !waited_b then begin
+              wait b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_b_data;
+              waited_b := true
+            end
+          end
+          else begin
+            emit b
+              (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1
+                 ~bytes:(b_ext_bytes (bytes_of ~elems:(kt_a * nt_a) ~size:src))
+                 ());
+            set b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_b_data;
+            wait b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_b_data
+          end;
+          emit b
+            (I.mte_move ~src:Buffer_id.L1 ~dst:Buffer_id.L0b
+               ~transform:b_transform
+               ~bytes:(bytes_of ~elems:(kt_a * nt_a) ~size:src)
+               ());
+          set b ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Cube f_l0_data;
+          (* cube side *)
+          wait b ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Cube f_l0_data;
+          if ki = 0 && !out_tile_index >= depth then
+            wait b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Cube f_l0c_free;
+          emit b
+            (I.Cube_matmul
+               { m = mt_a; k = kt_a; n = nt_a; precision; accumulate = ki > 0 });
+          set b ~from_pipe:Pipe.Cube ~to_pipe:Pipe.Mte1 f_l0_free;
+          incr tile_index
+        done;
+        (* drain the finished (mi, ni) tile through the vector unit *)
+        set b ~from_pipe:Pipe.Cube ~to_pipe:Pipe.Vector f_drain;
+        wait b ~from_pipe:Pipe.Cube ~to_pipe:Pipe.Vector f_drain;
+        if !out_tile_index >= depth then
+          wait b ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector f_ub_free;
+        let out_acc_bytes = bytes_of ~elems:(mt_a * nt_a) ~size:acc in
+        emit b
+          (I.mte_move ~src:Buffer_id.L0c ~dst:Buffer_id.Ub ~bytes:out_acc_bytes
+             ());
+        if post_bytes_per_tile > 0 then
+          emit b
+            (I.Vector_op
+               {
+                 op_name = "post";
+                 bytes = post_bytes_per_tile;
+                 reads_ub = true;
+                 writes_ub = true;
+               });
+        set b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Cube f_l0c_free;
+        set b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte3 f_store;
+        (* store side, downcast back to source precision *)
+        wait b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte3 f_store;
+        emit b
+          (I.mte_move ~src:Buffer_id.Ub ~dst:Buffer_id.External
+             ~bytes:(bytes_of ~elems:(mt_a * nt_a) ~size:src)
+             ());
+        set b ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector f_ub_free;
+        incr out_tile_index
+      done
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Vector-only group: streamed load -> vector -> store pipeline.       *)
+
+let f_in_data = 0 (* MTE2 -> Vector *)
+let f_in_free = 1 (* Vector -> MTE2 *)
+let f_out_data = 2 (* Vector -> MTE3 *)
+let f_out_free = 3 (* MTE3 -> Vector *)
+
+let emit_vector_stream b (config : Config.t) ~options ~precision ~vector_bytes
+    ~input_bytes ~output_bytes =
+  let chunk = max 1 (config.buffers.ub_bytes / 4) in
+  let n_chunks = max 1 (div_up (max vector_bytes 1) chunk) in
+  let share total i =
+    (* split [total] across chunks, remainder on the first *)
+    let base = total / n_chunks in
+    if i = 0 then total - (base * (n_chunks - 1)) else base
+  in
+  peak b Buffer_id.Ub (min config.buffers.ub_bytes (4 * chunk));
+  ignore precision;
+  let depth = if options.double_buffer then 2 else 1 in
+  for i = 0 to n_chunks - 1 do
+    let in_b = share input_bytes i in
+    let work_b = share vector_bytes i in
+    let out_b = share output_bytes i in
+    if i >= depth then
+      wait b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte2 f_in_free;
+    if in_b > 0 then
+      emit b
+        (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.Ub ~bytes:in_b ());
+    set b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Vector f_in_data;
+    wait b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Vector f_in_data;
+    if i >= depth then
+      wait b ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector f_out_free;
+    if work_b > 0 then
+      emit b
+        (I.Vector_op
+           { op_name = "vec"; bytes = work_b; reads_ub = true; writes_ub = true });
+    set b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte2 f_in_free;
+    set b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte3 f_out_data;
+    wait b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte3 f_out_data;
+    if out_b > 0 then
+      emit b
+        (I.mte_move ~src:Buffer_id.Ub ~dst:Buffer_id.External ~bytes:out_b ());
+    set b ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector f_out_free
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let group_program ?(options = default_options) (config : Config.t)
+    (group : Fusion.t) =
+  if not (Config.supports config group.precision) then
+    invalid_arg
+      (Printf.sprintf "Codegen.group_program: %s unsupported on %s"
+         (Precision.name group.precision)
+         config.name);
+  let b = builder ~mode:options.sync_mode () in
+  (* scalar control prologue *)
+  emit b (I.Scalar_op { cycles = 4 });
+  let src = Precision.size_bytes group.precision in
+  (match group.kind with
+  | Fusion.Cube_anchored ->
+    let total_out_tiles =
+      List.fold_left
+        (fun acc (g : Ascend_nn.Workload.gemm) ->
+          let tiling =
+            select_tiling ~options config ~precision:group.precision
+              ~expansion:group.img2col_expansion ~m:g.m ~k:g.k ~n:g.n
+          in
+          acc + (g.count * tiling.m_tiles * tiling.n_tiles))
+        0 group.gemms
+    in
+    let total_post_bytes =
+      int_of_float (ceil (group.vector_elems *. src))
+    in
+    let post_bytes_per_tile =
+      if total_out_tiles = 0 then 0 else total_post_bytes / total_out_tiles
+    in
+    List.iter
+      (fun g ->
+        emit_gemm b config ~options ~precision:group.precision
+          ~expansion:group.img2col_expansion ~post_bytes_per_tile g)
+      group.gemms
+  | Fusion.Vector_only ->
+    emit_vector_stream b config ~options ~precision:group.precision
+      ~vector_bytes:(int_of_float (ceil (group.vector_elems *. src)))
+      ~input_bytes:group.input_bytes ~output_bytes:group.output_bytes);
+  Program.make ~name:group.tag ~buffer_peak:b.peaks (List.rev b.rev)
+
+let graph_programs ?options config graph =
+  let groups = Fusion.partition graph in
+  List.map (fun g -> (g, group_program ?options config g)) groups

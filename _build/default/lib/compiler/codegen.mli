@@ -1,0 +1,60 @@
+(** Code generation: lower a fused group to an Ascend core program.
+
+    Cube-anchored groups become the canonical tiled GEMM loop nest
+    [for m-tile, for n-tile, for k-tile] with:
+    - A panels (mt x K, stored compact, expanded by img2col on the MTE1
+      path) staged into L1 once per m-tile;
+    - B either resident in L1 (when it fits a quarter of L1) or streamed
+      as k-tile chunks;
+    - double buffering throughout, expressed with the explicit
+      [Set_flag]/[Wait_flag] pairs of paper Figure 3: MTE1->Cube data
+      flags, Cube->MTE1 free flags, Cube->Vector drain flags,
+      Vector->MTE3 store flags and the reverse free flags;
+    - the group's vector post-ops (bias/norm/activation) spread across
+      output tiles.
+
+    Vector-only groups (depthwise convolutions, standalone
+    normalisations) become a streamed [load -> vector -> store] pipeline
+    through the unified buffer.
+
+    The generated programs pass {!Ascend_isa.Program.validate} and are
+    deadlock-free by construction (tested by property tests). *)
+
+type sync_mode =
+  | Flags
+      (** the paper's Figure 3: decoupled pipes with explicit
+          [Set_flag]/[Wait_flag] pairs *)
+  | Coarse_barriers
+      (** the ablation: every dependency point becomes a full-core
+          barrier — correct but serialising, quantifying what the
+          fine-grained flags buy *)
+
+type options = {
+  weight_sparsity : float option;
+      (** compressed/uncompressed weight ratio in (0,1]; enables the MTE
+          decompression path (paper §2.2 / §3.2 structured sparsity) *)
+  double_buffer : bool;
+      (** default true; false serialises tile j after tile j-1's
+          consumption — the ablation knob for the double-buffering
+          design choice *)
+  naive_tiling : bool;
+      (** default false; true bypasses the auto-tiling search and emits
+          single-cube-instruction tiles — the auto-tiling ablation *)
+  sync_mode : sync_mode;  (** default [Flags] *)
+}
+
+val default_options : options
+
+val gemm_tile_flags : int * int * int * int * int * int * int * int
+(** The eight flag ids used by the GEMM loop, for tests and disassembly:
+    (a_panel, b_data, l0_data, l0_free, drain, l0c_free, store, ub_free). *)
+
+val group_program :
+  ?options:options -> Ascend_arch.Config.t -> Fusion.t ->
+  Ascend_isa.Program.t
+(** Raises [Invalid_argument] if the group's precision is unsupported on
+    the configuration. *)
+
+val graph_programs :
+  ?options:options -> Ascend_arch.Config.t -> Ascend_nn.Graph.t ->
+  (Fusion.t * Ascend_isa.Program.t) list

@@ -1,0 +1,34 @@
+(** Liveness-based activation memory planning for the external (device
+    memory / LLC) footprint of a graph: each node's output lives from its
+    definition to its last consumer; buffers are packed greedily by
+    first-fit offset assignment.  The resulting footprint feeds the LLC
+    capacity experiment of paper §4.1. *)
+
+type allocation = {
+  node_id : int;
+  node_name : string;
+  offset : int;
+  size_bytes : int;
+  first_use : int;   (** defining node id *)
+  last_use : int;    (** last consumer id (or itself for outputs) *)
+}
+
+type plan = {
+  allocations : allocation list;
+  peak_bytes : int;     (** activation high-water mark *)
+  weight_bytes : int;   (** parameters are resident for the whole run *)
+}
+
+val plan : Ascend_nn.Graph.t -> plan
+
+val validate : plan -> (unit, string) result
+(** No two live-range-overlapping allocations may overlap in address
+    space (the property tests drive random graphs through this). *)
+
+val total_activation_bytes : Ascend_nn.Graph.t -> int
+(** Sum of every node's output footprint — what a training pass keeps
+    resident for the backward computation (no rematerialisation). *)
+
+val working_set_by_node : Ascend_nn.Graph.t -> (int * int) list
+(** Per node: bytes that must be resident while it runs (inputs + output
+    + its weights) — the per-layer LLC working set. *)

@@ -1,0 +1,183 @@
+module Config = Ascend_arch.Config
+module Precision = Ascend_arch.Precision
+module I = Ascend_isa.Instruction
+module Buffer_id = Ascend_isa.Buffer_id
+module Pipe = Ascend_isa.Pipe
+module Program = Ascend_isa.Program
+
+type kernel = {
+  kernel_name : string;
+  generate : Config.t -> Program.t;
+}
+
+let f_in = 0 (* MTE2 -> Vector *)
+let f_in_free = 1 (* Vector -> MTE2 *)
+let f_out = 2 (* Vector -> MTE3 *)
+let f_out_free = 3 (* MTE3 -> Vector *)
+
+let div_up = Ascend_util.Stats.divide_round_up
+
+(* row-granular streamed kernel: [passes] vector sweeps per chunk of
+   whole rows resident in a quarter of the UB *)
+let row_kernel ~name ~rows ~cols ~dtype ~passes =
+  if rows <= 0 || cols <= 0 then invalid_arg (name ^ ": empty matrix");
+  let generate (config : Config.t) =
+    let row_bytes =
+      int_of_float (ceil (float_of_int cols *. Precision.size_bytes dtype))
+    in
+    let budget = config.buffers.ub_bytes / 4 in
+    if row_bytes > budget then
+      invalid_arg
+        (Printf.sprintf "%s: a %d-byte row exceeds the UB budget %d" name
+           row_bytes budget);
+    let rows_per_chunk = max 1 (budget / row_bytes) in
+    let chunks = div_up rows rows_per_chunk in
+    let instrs = ref [] in
+    let emit i = instrs := i :: !instrs in
+    emit (I.Scalar_op { cycles = 4 });
+    for c = 0 to chunks - 1 do
+      let rows_here = min rows_per_chunk (rows - (c * rows_per_chunk)) in
+      let bytes = rows_here * row_bytes in
+      if c >= 2 then
+        emit (I.Wait_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte2; flag = f_in_free });
+      emit (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.Ub ~bytes ());
+      emit (I.Set_flag { from_pipe = Pipe.Mte2; to_pipe = Pipe.Vector; flag = f_in });
+      emit (I.Wait_flag { from_pipe = Pipe.Mte2; to_pipe = Pipe.Vector; flag = f_in });
+      if c >= 2 then
+        emit (I.Wait_flag { from_pipe = Pipe.Mte3; to_pipe = Pipe.Vector; flag = f_out_free });
+      List.iter
+        (fun pass_name ->
+          emit
+            (I.Vector_op
+               { op_name = pass_name; bytes; reads_ub = true; writes_ub = true }))
+        passes;
+      emit (I.Set_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte2; flag = f_in_free });
+      emit (I.Set_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte3; flag = f_out });
+      emit (I.Wait_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte3; flag = f_out });
+      emit (I.mte_move ~src:Buffer_id.Ub ~dst:Buffer_id.External ~bytes ());
+      emit (I.Set_flag { from_pipe = Pipe.Mte3; to_pipe = Pipe.Vector; flag = f_out_free })
+    done;
+    Program.make ~name
+      ~buffer_peak:[ (Buffer_id.Ub, min config.buffers.ub_bytes (4 * budget)) ]
+      (List.rev !instrs)
+  in
+  { kernel_name = name; generate }
+
+let softmax ~rows ~cols ?(dtype = Precision.Fp16) () =
+  row_kernel
+    ~name:(Printf.sprintf "softmax_%dx%d" rows cols)
+    ~rows ~cols ~dtype
+    ~passes:[ "rowmax"; "sub_exp"; "rowsum"; "divide" ]
+
+let layer_norm ~rows ~cols ?(dtype = Precision.Fp16) () =
+  row_kernel
+    ~name:(Printf.sprintf "layernorm_%dx%d" rows cols)
+    ~rows ~cols ~dtype
+    ~passes:[ "mean"; "center"; "variance"; "rsqrt_scale"; "affine" ]
+
+let transpose ~rows ~cols ?(dtype = Precision.Fp16) () =
+  if rows <= 0 || cols <= 0 then invalid_arg "transpose: empty matrix";
+  let name = Printf.sprintf "transpose_%dx%d" rows cols in
+  let generate (config : Config.t) =
+    let total =
+      int_of_float (ceil (float_of_int (rows * cols) *. Precision.size_bytes dtype))
+    in
+    (* tile so the transposed block double-buffers in L0A *)
+    let tile_bytes = config.buffers.l0a_bytes / 2 in
+    let tiles = max 1 (div_up total tile_bytes) in
+    let chunk = div_up total tiles in
+    let instrs = ref [] in
+    let emit i = instrs := i :: !instrs in
+    emit (I.Scalar_op { cycles = 4 });
+    for t = 0 to tiles - 1 do
+      let bytes = min chunk (total - (t * chunk)) in
+      emit (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1 ~bytes ());
+      emit (I.Set_flag { from_pipe = Pipe.Mte2; to_pipe = Pipe.Mte1; flag = f_in });
+      emit (I.Wait_flag { from_pipe = Pipe.Mte2; to_pipe = Pipe.Mte1; flag = f_in });
+      (* the MTE trans module reorders the block on the L1 -> L0A path *)
+      emit
+        (I.mte_move ~src:Buffer_id.L1 ~dst:Buffer_id.L0a
+           ~transform:I.Transpose ~bytes ());
+      emit (I.Set_flag { from_pipe = Pipe.Mte1; to_pipe = Pipe.Vector; flag = f_out });
+      emit (I.Wait_flag { from_pipe = Pipe.Mte1; to_pipe = Pipe.Vector; flag = f_out });
+      (* drain through UB *)
+      emit
+        (I.Vector_op
+           { op_name = "copy"; bytes; reads_ub = false; writes_ub = true });
+      emit (I.Set_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte3; flag = f_out_free });
+      emit (I.Wait_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte3; flag = f_out_free });
+      emit (I.mte_move ~src:Buffer_id.Ub ~dst:Buffer_id.External ~bytes ())
+    done;
+    Program.make ~name
+      ~buffer_peak:
+        [ (Buffer_id.L1, min config.buffers.l1_bytes (2 * chunk));
+          (Buffer_id.L0a, min config.buffers.l0a_bytes (2 * chunk));
+          (Buffer_id.Ub, min config.buffers.ub_bytes (2 * chunk)) ]
+      (List.rev !instrs)
+  in
+  { kernel_name = name; generate }
+
+let requantize ~elems ~from_dtype ~to_dtype () =
+  if elems <= 0 then invalid_arg "requantize: no elements";
+  let name =
+    Printf.sprintf "requantize_%s_to_%s_%d" (Precision.name from_dtype)
+      (Precision.name to_dtype) elems
+  in
+  let generate (config : Config.t) =
+    let in_total =
+      int_of_float (ceil (float_of_int elems *. Precision.size_bytes from_dtype))
+    in
+    let out_total =
+      int_of_float (ceil (float_of_int elems *. Precision.size_bytes to_dtype))
+    in
+    let budget = config.buffers.ub_bytes / 4 in
+    let chunks = max 1 (div_up (in_total + out_total) budget) in
+    let share total i =
+      let base = total / chunks in
+      if i = 0 then total - (base * (chunks - 1)) else base
+    in
+    let instrs = ref [] in
+    let emit i = instrs := i :: !instrs in
+    emit (I.Scalar_op { cycles = 4 });
+    for c = 0 to chunks - 1 do
+      if c >= 2 then
+        emit (I.Wait_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte2; flag = f_in_free });
+      emit
+        (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.Ub
+           ~bytes:(share in_total c) ());
+      emit (I.Set_flag { from_pipe = Pipe.Mte2; to_pipe = Pipe.Vector; flag = f_in });
+      emit (I.Wait_flag { from_pipe = Pipe.Mte2; to_pipe = Pipe.Vector; flag = f_in });
+      (* one fused conversion pass over the wider of the two sides *)
+      emit
+        (I.Vector_op
+           { op_name = "requant";
+             bytes = max (share in_total c) (share out_total c);
+             reads_ub = true; writes_ub = true });
+      emit (I.Set_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte2; flag = f_in_free });
+      emit (I.Set_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte3; flag = f_out });
+      emit (I.Wait_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte3; flag = f_out });
+      emit
+        (I.mte_move ~src:Buffer_id.Ub ~dst:Buffer_id.External
+           ~bytes:(share out_total c) ())
+    done;
+    Program.make ~name
+      ~buffer_peak:[ (Buffer_id.Ub, min config.buffers.ub_bytes budget) ]
+      (List.rev !instrs)
+  in
+  { kernel_name = name; generate }
+
+let registry () =
+  [
+    ("softmax", fun () -> softmax ~rows:512 ~cols:512 ());
+    ("layer_norm", fun () -> layer_norm ~rows:512 ~cols:1024 ());
+    ("transpose", fun () -> transpose ~rows:1024 ~cols:1024 ());
+    ( "requantize",
+      fun () ->
+        requantize ~elems:65536 ~from_dtype:Precision.Int32
+          ~to_dtype:Precision.Int8 () );
+  ]
+
+let simulate config kernel =
+  match kernel.generate config with
+  | exception Invalid_argument msg -> Error msg
+  | program -> Ascend_core_sim.Simulator.run config program

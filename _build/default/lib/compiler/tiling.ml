@@ -1,0 +1,135 @@
+module Config = Ascend_arch.Config
+module Precision = Ascend_arch.Precision
+
+type t = {
+  mt : int;
+  kt : int;
+  nt : int;
+  m_tiles : int;
+  k_tiles : int;
+  n_tiles : int;
+  estimated_cycles : int;
+}
+
+let div_up = Ascend_util.Stats.divide_round_up
+
+let sizes ~precision =
+  let src = Precision.size_bytes precision in
+  let acc = Precision.size_bytes (Precision.accumulator precision) in
+  (src, acc)
+
+let legal (config : Config.t) ~precision ~mt ~kt ~nt =
+  let src, acc = sizes ~precision in
+  let fits used cap = 2. *. used <= float_of_int cap in
+  fits (float_of_int (mt * kt) *. src) config.buffers.l0a_bytes
+  && fits (float_of_int (kt * nt) *. src) config.buffers.l0b_bytes
+  && fits (float_of_int (mt * nt) *. acc) config.buffers.l0c_bytes
+  (* the drained tile must also double-buffer in the unified buffer *)
+  && fits (float_of_int (mt * nt) *. acc) config.buffers.ub_bytes
+
+let cost (config : Config.t) ~precision ~img2col_expansion ~m ~k ~n ~mt ~kt ~nt =
+  let src, acc = sizes ~precision in
+  let m_tiles = div_up m mt and k_tiles = div_up k kt and n_tiles = div_up n nt in
+  let tiles = m_tiles * k_tiles * n_tiles in
+  let tile_cycles =
+    Config.cube_tile_cycles config ~precision ~m:mt ~k:kt ~n:nt ()
+  in
+  let cube = tiles * (tile_cycles + Ascend_core_sim.Latency.cube_issue_overhead) in
+  (* MTE1: per cube tile, one A move (im2col-compressed read, full write)
+     and one B move *)
+  let a_tile_bytes = float_of_int (mt * kt) *. src in
+  let b_tile_bytes = float_of_int (kt * nt) *. src in
+  let a_port = float_of_int config.bandwidth.l1_to_l0a in
+  let b_port = float_of_int config.bandwidth.l1_to_l0b in
+  let a_move = Float.max a_tile_bytes (a_tile_bytes /. img2col_expansion) /. a_port in
+  let b_move = b_tile_bytes /. b_port in
+  let mte1 =
+    tiles
+    * (int_of_float (ceil (a_move +. b_move))
+      + (2 * Ascend_core_sim.Latency.mte_issue_overhead))
+  in
+  (* MTE2: unique A bytes once, B panel per m tile (weights re-streamed
+     unless the whole B fits in half of L1) *)
+  let ext_bpc =
+    let bpc = Config.llc_bytes_per_cycle config in
+    if bpc > 0. then bpc else 16.
+  in
+  let a_unique = float_of_int (m * k) *. src /. img2col_expansion in
+  let b_total = float_of_int (k * n) *. src in
+  let b_resident = b_total <= float_of_int config.buffers.l1_bytes /. 2. in
+  let b_stream = if b_resident then b_total else b_total *. float_of_int m_tiles in
+  let mte2 = int_of_float (ceil ((a_unique +. b_stream) /. ext_bpc)) in
+  (* vector drain of L0C tiles through the UB port *)
+  let out_bytes = float_of_int (m * n) *. acc in
+  let vector =
+    int_of_float (ceil (out_bytes /. float_of_int config.bandwidth.ub_port))
+  in
+  max (max cube mte1) (max mte2 vector)
+
+let candidate_multiples = [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let choose config ~precision ?(img2col_expansion = 1.) ~m ~k ~n () =
+  let dims = Config.cube_dims_at config ~precision in
+  let candidates base limit =
+    (* tile sizes: cube-dim multiples, clipped at the problem size *)
+    let cs =
+      List.filter_map
+        (fun mult ->
+          let v = base * mult in
+          if v < limit + base then Some (min v (div_up limit base * base))
+          else None)
+        candidate_multiples
+    in
+    List.sort_uniq compare cs
+  in
+  let best = ref None in
+  List.iter
+    (fun mt ->
+      List.iter
+        (fun kt ->
+          List.iter
+            (fun nt ->
+              if legal config ~precision ~mt ~kt ~nt then begin
+                let c =
+                  cost config ~precision ~img2col_expansion ~m ~k ~n ~mt ~kt ~nt
+                in
+                match !best with
+                | Some (bc, bmt, bkt, bnt)
+                  when bc < c
+                       || (bc = c && bmt * bkt * bnt >= mt * kt * nt) ->
+                  ignore (bmt, bkt, bnt)
+                | _ -> best := Some (c, mt, kt, nt)
+              end)
+            (candidates dims.n n))
+        (candidates dims.k k))
+    (candidates dims.m m);
+  match !best with
+  | None -> invalid_arg "Tiling.choose: no legal tiling"
+  | Some (c, mt, kt, nt) ->
+    {
+      mt;
+      kt;
+      nt;
+      m_tiles = div_up m mt;
+      k_tiles = div_up k kt;
+      n_tiles = div_up n nt;
+      estimated_cycles = c;
+    }
+
+let naive config ~precision ~m ~k ~n () =
+  let dims = Config.cube_dims_at config ~precision in
+  {
+    mt = dims.m;
+    kt = dims.k;
+    nt = dims.n;
+    m_tiles = div_up m dims.m;
+    k_tiles = div_up k dims.k;
+    n_tiles = div_up n dims.n;
+    estimated_cycles =
+      cost config ~precision ~img2col_expansion:1. ~m ~k ~n ~mt:dims.m
+        ~kt:dims.k ~nt:dims.n;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "tile %dx%dx%d (%dx%dx%d tiles, est %d cyc)" t.mt t.kt
+    t.nt t.m_tiles t.k_tiles t.n_tiles t.estimated_cycles

@@ -1,0 +1,46 @@
+(** Auto-tiling: choose GEMM tile sizes for a core configuration.
+
+    The paper's "Auto Tiling" searches the legitimate mapping space with
+    reinforcement learning (§5.1); we search the same space exhaustively
+    with an analytical cost model (DESIGN.md substitution).  The space is
+    legal tile triples (mt, kt, nt) — multiples of the effective cube
+    dimensions, double-buffered in L0A/L0B/L0C — scored by the
+    bottleneck-pipe cycle estimate. *)
+
+type t = {
+  mt : int;
+  kt : int;
+  nt : int;
+  m_tiles : int;
+  k_tiles : int;
+  n_tiles : int;
+  estimated_cycles : int;
+}
+
+val legal :
+  Ascend_arch.Config.t -> precision:Ascend_arch.Precision.t ->
+  mt:int -> kt:int -> nt:int -> bool
+(** Double-buffered tiles fit in L0A/L0B/L0C. *)
+
+val choose :
+  Ascend_arch.Config.t -> precision:Ascend_arch.Precision.t ->
+  ?img2col_expansion:float -> m:int -> k:int -> n:int -> unit -> t
+(** Best legal tiling for an m x k x n GEMM.  Raises [Invalid_argument]
+    when no tile fits (cannot happen for the shipped configurations since
+    a single cube tile always fits). *)
+
+val cost :
+  Ascend_arch.Config.t -> precision:Ascend_arch.Precision.t ->
+  img2col_expansion:float -> m:int -> k:int -> n:int ->
+  mt:int -> kt:int -> nt:int -> int
+(** The analytical bottleneck estimate used by the search: max of cube,
+    MTE1, MTE2 pipe totals plus per-instruction overheads. *)
+
+val naive :
+  Ascend_arch.Config.t -> precision:Ascend_arch.Precision.t ->
+  m:int -> k:int -> n:int -> unit -> t
+(** The no-search baseline for the auto-tiling ablation: single-cube-
+    instruction tiles (one (Cm,Ck,Cn) tile per instruction) — always
+    legal, maximally fine-grained, maximal per-instruction overhead. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+(** Public façade of the Ascend architectural simulator.
+
+    The stack, bottom-up (each alias re-exports one library):
+
+    - {!Util} — fp16 codec, PRNG, statistics, fairness, tables;
+    - {!Arch} — core configurations (paper Table 5) and the calibrated
+      silicon area/energy model (Tables 3-4);
+    - {!Tensor} — shapes, layouts (NC1HWC0/FracZ), reference operators,
+      quantisation;
+    - {!Nn} — the layer IR, graph builder, workload profiler and model
+      zoo (ResNet-50, MobileNet-V2, BERT, GestureNet, VGG-16);
+    - {!Isa} — pipes, buffers, instructions, programs;
+    - {!Memory} — LLC, DRAM/HBM, MPAM/QoS, the memory-wall arithmetic;
+    - {!Core_sim} — the event-driven single-core simulator;
+    - {!Compiler} — fusion, auto-tiling, code generation, memory
+      planning, the compile-and-simulate engine;
+    - {!Tbe} — the TBE elementwise DSL and kernel lowering;
+    - {!Noc} — mesh (flow and cycle level), ring, fat-tree;
+    - {!Soc} — Ascend 910 / Kirin 990 / Ascend 610 integrations;
+    - {!Cluster} — servers, collectives, distributed training;
+    - {!Baselines} — systolic array, SIMT GPU, CPU comparators;
+    - {!Runtime} — the app/stream/task/block scheduler;
+    - {!Vector_core} — the §3.3 SLAM extensions (quaternion, sort,
+      stereo, clustering, linear programming).
+
+    Quickstart:
+    {[
+      let graph = Ascend.Nn.Resnet.v1_5 ~batch:1 () in
+      match Ascend.Compiler.Engine.run_inference Ascend.Arch.Config.max graph with
+      | Ok r -> Format.printf "%a" Ascend.Compiler.Engine.pp_layer_table r
+      | Error e -> prerr_endline e
+    ]} *)
+
+let version = "1.0.0"
+
+module Util = Ascend_util
+module Arch = Ascend_arch
+module Tensor = Ascend_tensor
+module Nn = Ascend_nn
+module Isa = Ascend_isa
+module Memory = Ascend_memory
+module Core_sim = Ascend_core_sim
+module Compiler = Ascend_compiler
+module Tbe = Ascend_tbe
+module Noc = Ascend_noc
+module Soc = Ascend_soc
+module Cluster = Ascend_cluster
+module Baselines = Ascend_baselines
+module Runtime = Ascend_runtime
+module Vector_core = Ascend_vector_core
+
+(** Compile a graph and simulate inference on a named core version. *)
+let simulate ?(core = Arch.Config.Max) graph =
+  Compiler.Engine.run_inference (Arch.Config.of_version core) graph

@@ -1,0 +1,1 @@
+lib/core_sim/latency.ml: Ascend_arch Ascend_isa Ascend_util Printf

@@ -1,0 +1,1 @@
+lib/core_sim/latency.mli: Ascend_arch Ascend_isa

@@ -1,0 +1,1 @@
+lib/core_sim/simulator.ml: Array Ascend_arch Ascend_isa Ascend_util Format Hashtbl Latency List Printf Queue String

@@ -1,0 +1,1 @@
+lib/core_sim/simulator.mli: Ascend_arch Ascend_isa Format

@@ -1,0 +1,1 @@
+lib/core_sim/timeline.ml: Array Ascend_isa Ascend_util Buffer List Printf Simulator String

@@ -1,0 +1,1 @@
+lib/core_sim/timeline.mli: Simulator

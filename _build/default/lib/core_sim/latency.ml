@@ -1,0 +1,53 @@
+module Config = Ascend_arch.Config
+module Buffer_id = Ascend_isa.Buffer_id
+module Instruction = Ascend_isa.Instruction
+
+let cube_issue_overhead = 2
+let vector_issue_overhead = 8
+let mte_issue_overhead = 4
+
+(* a Tiny-class core without an LLC talks to a narrow DDR port *)
+let no_llc_external_bytes_per_cycle = 16.
+
+let cube_matmul config ~m ~k ~n ~precision =
+  cube_issue_overhead + Config.cube_tile_cycles config ~precision ~m ~k ~n ()
+
+let vector_op (config : Config.t) ~bytes =
+  vector_issue_overhead
+  + Ascend_util.Stats.divide_round_up bytes config.vector_width_bytes
+
+let port_bytes_per_cycle (config : Config.t) ~src ~dst =
+  let external_bpc =
+    let bpc = Config.llc_bytes_per_cycle config in
+    if bpc > 0. then bpc else no_llc_external_bytes_per_cycle
+  in
+  match (src, dst) with
+  | Buffer_id.External, Buffer_id.L1 -> external_bpc
+  | Buffer_id.External, Buffer_id.Ub -> external_bpc
+  | Buffer_id.Ub, Buffer_id.External -> external_bpc
+  | Buffer_id.L1, Buffer_id.L0a -> float_of_int config.bandwidth.l1_to_l0a
+  | Buffer_id.L1, Buffer_id.L0b -> float_of_int config.bandwidth.l1_to_l0b
+  | Buffer_id.L1, Buffer_id.Ub -> float_of_int config.bandwidth.ub_port
+  | Buffer_id.L0c, Buffer_id.Ub -> float_of_int config.bandwidth.ub_port
+  | Buffer_id.Ub, Buffer_id.L1 -> float_of_int config.bandwidth.ub_port
+  | _, _ ->
+    invalid_arg
+      (Printf.sprintf "Latency.port_bytes_per_cycle: illegal move %s -> %s"
+         (Buffer_id.name src) (Buffer_id.name dst))
+
+let mte_move config ~src ~dst ~bytes =
+  let bpc = port_bytes_per_cycle config ~src ~dst in
+  mte_issue_overhead + int_of_float (ceil (float_of_int bytes /. bpc))
+
+let instruction config = function
+  | Instruction.Cube_matmul { m; k; n; precision; _ } ->
+    cube_matmul config ~m ~k ~n ~precision
+  | Instruction.Vector_op { bytes; _ } -> vector_op config ~bytes
+  | Instruction.Mte_move { src; dst; bytes; _ } as instr ->
+    (* the port is busy for the larger side of the transfer (img2col can
+       read more than it writes when subsampling, and vice versa) *)
+    let bytes = max bytes (Instruction.source_bytes instr) in
+    mte_move config ~src ~dst ~bytes
+  | Instruction.Scalar_op { cycles } -> max 1 cycles
+  | Instruction.Set_flag _ | Instruction.Wait_flag _ -> 1
+  | Instruction.Barrier -> invalid_arg "Latency.instruction: barrier"

@@ -1,0 +1,30 @@
+(** Instruction timing model of one Ascend core.
+
+    All latencies are in core clock cycles of the configured frequency.
+    Fixed issue overheads model instruction decode and port turnaround;
+    transfer times are [bytes / port-width] with the port selected by the
+    (src, dst) buffer pair per the Table 5 bus widths. *)
+
+val cube_issue_overhead : int
+val vector_issue_overhead : int
+val mte_issue_overhead : int
+
+val cube_matmul :
+  Ascend_arch.Config.t -> m:int -> k:int -> n:int ->
+  precision:Ascend_arch.Precision.t -> int
+
+val vector_op : Ascend_arch.Config.t -> bytes:int -> int
+
+val mte_move :
+  Ascend_arch.Config.t -> src:Ascend_isa.Buffer_id.t ->
+  dst:Ascend_isa.Buffer_id.t -> bytes:int -> int
+(** Raises [Invalid_argument] on an illegal pair or when the pair needs
+    the LLC but the core has none (Tiny external moves fall back to a
+    DDR-port constant of 16 B/cycle). *)
+
+val port_bytes_per_cycle :
+  Ascend_arch.Config.t -> src:Ascend_isa.Buffer_id.t ->
+  dst:Ascend_isa.Buffer_id.t -> float
+
+val instruction : Ascend_arch.Config.t -> Ascend_isa.Instruction.t -> int
+(** Latency of any non-barrier instruction (barrier raises). *)

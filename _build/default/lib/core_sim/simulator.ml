@@ -1,0 +1,346 @@
+module Config = Ascend_arch.Config
+module Silicon = Ascend_arch.Silicon
+module Pipe = Ascend_isa.Pipe
+module Buffer_id = Ascend_isa.Buffer_id
+module Instruction = Ascend_isa.Instruction
+module Program = Ascend_isa.Program
+
+type pipe_stats = { busy_cycles : int; instruction_count : int }
+
+type buffer_traffic = { read_bytes : int; written_bytes : int }
+
+type trace_entry = {
+  index : int;
+  pipe : Pipe.t;
+  start_cycle : int;
+  end_cycle : int;
+  instr : Instruction.t;
+}
+
+type report = {
+  total_cycles : int;
+  pipes : pipe_stats array;
+  traffic : buffer_traffic array;
+  energy_j : float;
+  cube_macs_executed : int;
+  trace : trace_entry list;
+}
+
+(* external accesses (LLC/HBM behind the BIU) cost far more than local
+   SRAM; 15 pJ/B is an LLC-hit-dominated average at 7 nm *)
+let external_energy_pj_per_byte = 15.0
+
+type item = Instr of int * Instruction.t | Bar of int
+
+type sim_state = {
+  config : Config.t;
+  queues : item Queue.t array;
+  pipe_time : int array;
+  (* flag semaphores: completion times of executed sets awaiting a wait *)
+  sems : (Pipe.t * Pipe.t * int, int Queue.t) Hashtbl.t;
+  (* barrier id -> (arrival count, max arrival time) *)
+  barriers : (int, int * int) Hashtbl.t;
+  blocked_on_barrier : int option array;
+  busy : int array;
+  count : int array;
+  read_bytes : int array;
+  written_bytes : int array;
+  mutable energy_pj : float;
+  mutable macs : int;
+  mutable trace_rev : trace_entry list;
+  keep_trace : bool;
+}
+
+let sem_queue st key =
+  match Hashtbl.find_opt st.sems key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace st.sems key q;
+    q
+
+let account_traffic st instr =
+  let add_read buf bytes =
+    let i = Buffer_id.index buf in
+    st.read_bytes.(i) <- st.read_bytes.(i) + bytes
+  in
+  let add_write buf bytes =
+    let i = Buffer_id.index buf in
+    st.written_bytes.(i) <- st.written_bytes.(i) + bytes
+  in
+  match instr with
+  | Instruction.Mte_move { src; dst; bytes; _ } ->
+    add_read src (Instruction.source_bytes instr);
+    add_write dst bytes
+  | Instruction.Vector_op { bytes; reads_ub; writes_ub; _ } ->
+    if reads_ub then add_read Buffer_id.Ub bytes;
+    if writes_ub then add_write Buffer_id.Ub bytes
+  | Instruction.Cube_matmul { m; k; n; precision; accumulate } ->
+    let src = Ascend_arch.Precision.size_bytes precision in
+    let acc =
+      Ascend_arch.Precision.size_bytes (Ascend_arch.Precision.accumulator precision)
+    in
+    add_read Buffer_id.L0a (int_of_float (float_of_int (m * k) *. src));
+    add_read Buffer_id.L0b (int_of_float (float_of_int (k * n) *. src));
+    let out = int_of_float (float_of_int (m * n) *. acc) in
+    add_write Buffer_id.L0c out;
+    if accumulate then add_read Buffer_id.L0c out
+  | Instruction.Scalar_op _ | Instruction.Set_flag _ | Instruction.Wait_flag _
+  | Instruction.Barrier ->
+    ()
+
+let account_energy st instr =
+  let pj =
+    match instr with
+    | Instruction.Cube_matmul { m; k; n; precision; _ } ->
+      st.macs <- st.macs + (m * k * n);
+      Silicon.cube_energy_per_tile_j ~precision { Config.m; k; n } *. 1e12
+    | Instruction.Vector_op { bytes; _ } ->
+      Silicon.vector_energy_per_byte_j *. float_of_int bytes *. 1e12
+    | Instruction.Mte_move { src; dst; bytes; _ } ->
+      let src_bytes = float_of_int (Instruction.source_bytes instr) in
+      let on_chip b = not (Buffer_id.equal b Buffer_id.External) in
+      let side b n =
+        if on_chip b then n *. Silicon.e_fetch_pj_per_byte_7nm
+        else n *. external_energy_pj_per_byte
+      in
+      side src src_bytes +. side dst (float_of_int bytes)
+    | Instruction.Scalar_op { cycles } -> 5. *. float_of_int cycles
+    | Instruction.Set_flag _ | Instruction.Wait_flag _ -> 1.
+    | Instruction.Barrier -> 0.
+  in
+  st.energy_pj <- st.energy_pj +. pj
+
+let push_trace st ~index ~pipe ~start_cycle ~end_cycle instr =
+  if st.keep_trace then
+    st.trace_rev <-
+      { index; pipe; start_cycle; end_cycle; instr } :: st.trace_rev
+
+(* Execute the head of a pipe if possible.  Returns true on progress. *)
+let try_advance st pipe_idx =
+  match st.blocked_on_barrier.(pipe_idx) with
+  | Some _ -> false
+  | None -> (
+    let q = st.queues.(pipe_idx) in
+    if Queue.is_empty q then false
+    else
+      match Queue.peek q with
+      | Bar id ->
+        ignore (Queue.pop q);
+        let count, latest =
+          match Hashtbl.find_opt st.barriers id with
+          | Some v -> v
+          | None -> (0, 0)
+        in
+        Hashtbl.replace st.barriers id
+          (count + 1, max latest st.pipe_time.(pipe_idx));
+        st.blocked_on_barrier.(pipe_idx) <- Some id;
+        true
+      | Instr (index, instr) -> (
+        let finish_normal () =
+          ignore (Queue.pop q);
+          let start = max st.pipe_time.(pipe_idx) index in
+          let lat = Latency.instruction st.config instr in
+          let finish = start + lat in
+          st.pipe_time.(pipe_idx) <- finish;
+          st.busy.(pipe_idx) <- st.busy.(pipe_idx) + lat;
+          st.count.(pipe_idx) <- st.count.(pipe_idx) + 1;
+          account_traffic st instr;
+          account_energy st instr;
+          (match instr with
+          | Instruction.Set_flag { from_pipe; to_pipe; flag } ->
+            Queue.push finish (sem_queue st (from_pipe, to_pipe, flag))
+          | _ -> ());
+          (match Instruction.pipe_of instr with
+          | Some p ->
+            push_trace st ~index ~pipe:p ~start_cycle:start ~end_cycle:finish
+              instr
+          | None -> ());
+          true
+        in
+        match instr with
+        | Instruction.Wait_flag { from_pipe; to_pipe; flag } ->
+          let sem = sem_queue st (from_pipe, to_pipe, flag) in
+          if Queue.is_empty sem then false
+          else begin
+            ignore (Queue.pop q);
+            let set_time = Queue.pop sem in
+            let start = max (max st.pipe_time.(pipe_idx) index) set_time in
+            let finish = start + 1 in
+            st.pipe_time.(pipe_idx) <- finish;
+            st.busy.(pipe_idx) <- st.busy.(pipe_idx) + 1;
+            st.count.(pipe_idx) <- st.count.(pipe_idx) + 1;
+            push_trace st ~index ~pipe:to_pipe ~start_cycle:start
+              ~end_cycle:finish instr;
+            true
+          end
+        | _ -> finish_normal ()))
+
+let release_barriers st =
+  (* a barrier opens when all pipes have arrived *)
+  let released = ref false in
+  Hashtbl.iter
+    (fun id (count, latest) ->
+      if count = Pipe.count then begin
+        Array.iteri
+          (fun i b ->
+            match b with
+            | Some bid when bid = id ->
+              st.blocked_on_barrier.(i) <- None;
+              st.pipe_time.(i) <- max st.pipe_time.(i) latest
+            | _ -> ())
+          st.blocked_on_barrier;
+        Hashtbl.remove st.barriers id;
+        released := true
+      end)
+    st.barriers;
+  !released
+
+let describe_deadlock st =
+  let parts = ref [] in
+  Array.iteri
+    (fun i q ->
+      if not (Queue.is_empty q) then
+        let head =
+          match Queue.peek q with
+          | Bar id -> Printf.sprintf "barrier %d" id
+          | Instr (idx, instr) ->
+            Format.asprintf "#%d %a" idx Instruction.pp instr
+        in
+        parts :=
+          Printf.sprintf "%s stuck at %s"
+            (Pipe.name (List.nth Pipe.all i))
+            head
+          :: !parts)
+    st.queues;
+  String.concat "; " (List.rev !parts)
+
+let run ?(trace = false) ?(validate = true) config (program : Program.t) =
+  match
+    if validate then Program.validate config program else Ok ()
+  with
+  | Error e -> Error (Printf.sprintf "validation: %s" e)
+  | Ok () ->
+    let st =
+      {
+        config;
+        queues = Array.init Pipe.count (fun _ -> Queue.create ());
+        pipe_time = Array.make Pipe.count 0;
+        sems = Hashtbl.create 32;
+        barriers = Hashtbl.create 8;
+        blocked_on_barrier = Array.make Pipe.count None;
+        busy = Array.make Pipe.count 0;
+        count = Array.make Pipe.count 0;
+        read_bytes = Array.make Buffer_id.count 0;
+        written_bytes = Array.make Buffer_id.count 0;
+        energy_pj = 0.;
+        macs = 0;
+        trace_rev = [];
+        keep_trace = trace;
+      }
+    in
+    (* distribute instructions to pipe queues in program order *)
+    let barrier_id = ref 0 in
+    List.iteri
+      (fun index instr ->
+        match instr with
+        | Instruction.Barrier ->
+          let id = !barrier_id in
+          incr barrier_id;
+          Array.iter (fun q -> Queue.push (Bar id) q) st.queues
+        | _ -> (
+          match Instruction.pipe_of instr with
+          | Some p -> Queue.push (Instr (index, instr)) st.queues.(Pipe.index p)
+          | None -> invalid_arg "Simulator.run: unmapped instruction"))
+      program.instructions;
+    (* main scheduling loop *)
+    let rec loop () =
+      let progress = ref false in
+      for i = 0 to Pipe.count - 1 do
+        (* drain each pipe as far as it can go this pass *)
+        while try_advance st i do
+          progress := true
+        done
+      done;
+      if release_barriers st then progress := true;
+      let done_ =
+        Array.for_all Queue.is_empty st.queues
+        && Array.for_all (fun b -> b = None) st.blocked_on_barrier
+      in
+      if done_ then Ok ()
+      else if !progress then loop ()
+      else Error (Printf.sprintf "deadlock: %s" (describe_deadlock st))
+    in
+    (match loop () with
+    | Error e -> Error e
+    | Ok () ->
+      let total_cycles = Array.fold_left max 0 st.pipe_time in
+      Ok
+        {
+          total_cycles;
+          pipes =
+            Array.init Pipe.count (fun i ->
+                { busy_cycles = st.busy.(i); instruction_count = st.count.(i) });
+          traffic =
+            Array.init Buffer_id.count (fun i ->
+                {
+                  read_bytes = st.read_bytes.(i);
+                  written_bytes = st.written_bytes.(i);
+                });
+          energy_j = st.energy_pj *. 1e-12;
+          cube_macs_executed = st.macs;
+          trace = List.rev st.trace_rev;
+        })
+
+let pipe_stats r p = r.pipes.(Pipe.index p)
+let traffic r b = r.traffic.(Buffer_id.index b)
+
+let utilization r p =
+  if r.total_cycles = 0 then 0.
+  else float_of_int (pipe_stats r p).busy_cycles /. float_of_int r.total_cycles
+
+let seconds (config : Config.t) r =
+  Ascend_util.Units.seconds_of_cycles ~cycles:r.total_cycles
+    ~frequency_ghz:config.frequency_ghz
+
+let average_power_w config r =
+  let t = seconds config r in
+  let leakage =
+    0.1
+    *. (Silicon.cube_power_w ~precision:config.Config.native_precision
+          config.Config.cube ~frequency_ghz:config.Config.frequency_ghz
+       +. Silicon.vector_power_w ~width_bytes:config.Config.vector_width_bytes
+            ~frequency_ghz:config.Config.frequency_ghz)
+  in
+  if t <= 0. then leakage else (r.energy_j /. t) +. leakage
+
+let l1_read_bits_per_cycle r =
+  if r.total_cycles = 0 then 0.
+  else
+    float_of_int ((traffic r Buffer_id.L1).read_bytes * 8)
+    /. float_of_int r.total_cycles
+
+let l1_write_bits_per_cycle r =
+  if r.total_cycles = 0 then 0.
+  else
+    float_of_int ((traffic r Buffer_id.L1).written_bytes * 8)
+    /. float_of_int r.total_cycles
+
+let pp_report ppf r =
+  Format.fprintf ppf "cycles: %d, energy: %.3f mJ, MACs: %d@." r.total_cycles
+    (r.energy_j *. 1e3) r.cube_macs_executed;
+  List.iter
+    (fun p ->
+      let s = pipe_stats r p in
+      if s.instruction_count > 0 then
+        Format.fprintf ppf "  %-5s %6d instr, busy %8d cyc (%.1f%%)@."
+          (Pipe.name p) s.instruction_count s.busy_cycles
+          (100. *. utilization r p))
+    Pipe.all;
+  List.iter
+    (fun b ->
+      let t = traffic r b in
+      if t.read_bytes > 0 || t.written_bytes > 0 then
+        Format.fprintf ppf "  %-4s read %10d B, written %10d B@."
+          (Buffer_id.name b) t.read_bytes t.written_bytes)
+    Buffer_id.all

@@ -1,0 +1,46 @@
+module Pipe = Ascend_isa.Pipe
+
+let render ?(width = 72) (r : Simulator.report) =
+  if r.Simulator.trace = [] then
+    "(no trace recorded: run the simulator with ~trace:true)\n"
+  else begin
+    let total = max 1 r.Simulator.total_cycles in
+    let col cycle = min (width - 1) (cycle * width / total) in
+    let rows =
+      Array.make Pipe.count (Array.make 0 ' ')
+    in
+    Array.iteri (fun i _ -> rows.(i) <- Array.make width '.') rows;
+    List.iter
+      (fun (e : Simulator.trace_entry) ->
+        let row = rows.(Pipe.index e.Simulator.pipe) in
+        let c0 = col e.Simulator.start_cycle in
+        let c1 = col (max e.Simulator.start_cycle (e.Simulator.end_cycle - 1)) in
+        for c = c0 to c1 do
+          row.(c) <- (if row.(c) = '#' || row.(c) = '%' then '%' else '#')
+        done)
+      r.Simulator.trace;
+    let buf = Buffer.create ((width + 10) * Pipe.count) in
+    Buffer.add_string buf
+      (Printf.sprintf "cycles 0..%d (one column ~ %d cycles)\n" total
+         (Ascend_util.Stats.divide_round_up total width));
+    List.iter
+      (fun p ->
+        Buffer.add_string buf (Printf.sprintf "%-5s " (Pipe.name p));
+        Array.iter (Buffer.add_char buf) rows.(Pipe.index p);
+        Buffer.add_char buf '\n')
+      Pipe.all;
+    Buffer.contents buf
+  end
+
+let utilization_bars (r : Simulator.report) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      let u = Simulator.utilization r p in
+      let filled = int_of_float (u *. 40.) in
+      Buffer.add_string buf
+        (Printf.sprintf "%-5s %5.1f%% |%s%s|\n" (Pipe.name p) (100. *. u)
+           (String.make filled '=')
+           (String.make (40 - filled) ' ')))
+    Pipe.all;
+  Buffer.contents buf

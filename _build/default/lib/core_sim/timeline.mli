@@ -1,0 +1,14 @@
+(** ASCII Gantt rendering of a simulator trace: one row per pipe, time on
+    the horizontal axis — paper Figure 3 regenerated from an actual run.
+
+    Requires the report to have been produced with [~trace:true]. *)
+
+val render : ?width:int -> Simulator.report -> string
+(** [width] is the chart width in characters (default 72).  Busy spans
+    print as ['#'] (['%'] where distinct instructions merge into one
+    column), idle as ['.'].  Returns a note instead of a chart when the
+    trace is empty. *)
+
+val utilization_bars : Simulator.report -> string
+(** One bar per pipe: name, percentage, and a 40-char bar — a compact
+    per-pipe utilisation summary. *)

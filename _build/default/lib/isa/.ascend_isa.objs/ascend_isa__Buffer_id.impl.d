@@ -1,0 +1,1 @@
+lib/isa/buffer_id.ml: Ascend_arch Format Pipe

@@ -1,0 +1,1 @@
+lib/isa/buffer_id.mli: Ascend_arch Format Pipe

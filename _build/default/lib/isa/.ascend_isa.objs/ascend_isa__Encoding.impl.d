@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Ascend_arch Buffer Buffer_id Bytes Char Hashtbl Instruction Int32 List Pipe Printf String

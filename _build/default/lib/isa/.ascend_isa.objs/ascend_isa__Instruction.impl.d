@@ -1,0 +1,1 @@
+lib/isa/instruction.ml: Ascend_arch Buffer_id Format Pipe Printf

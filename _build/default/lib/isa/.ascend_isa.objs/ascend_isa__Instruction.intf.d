@@ -1,0 +1,1 @@
+lib/isa/instruction.mli: Ascend_arch Buffer_id Format Pipe

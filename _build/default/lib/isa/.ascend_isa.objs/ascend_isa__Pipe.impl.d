@@ -1,0 +1,1 @@
+lib/isa/pipe.ml: Format Stdlib

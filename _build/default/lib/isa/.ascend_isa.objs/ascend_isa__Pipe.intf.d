@@ -1,0 +1,1 @@
+lib/isa/pipe.mli: Format

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Ascend_arch Buffer_id Format Hashtbl Instruction List Pipe Printf

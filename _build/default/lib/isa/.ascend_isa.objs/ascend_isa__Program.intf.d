@@ -1,0 +1,1 @@
+lib/isa/program.mli: Ascend_arch Buffer_id Format Instruction Pipe

@@ -1,0 +1,44 @@
+type t = L0a | L0b | L0c | L1 | Ub | External
+
+let all = [ L0a; L0b; L0c; L1; Ub; External ]
+
+let name = function
+  | L0a -> "L0A"
+  | L0b -> "L0B"
+  | L0c -> "L0C"
+  | L1 -> "L1"
+  | Ub -> "UB"
+  | External -> "EXT"
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+let equal (a : t) b = a = b
+
+let index = function
+  | L0a -> 0
+  | L0b -> 1
+  | L0c -> 2
+  | L1 -> 3
+  | Ub -> 4
+  | External -> 5
+
+let count = 6
+
+let capacity_bytes (c : Ascend_arch.Config.t) = function
+  | L0a -> Some c.buffers.l0a_bytes
+  | L0b -> Some c.buffers.l0b_bytes
+  | L0c -> Some c.buffers.l0c_bytes
+  | L1 -> Some c.buffers.l1_bytes
+  | Ub -> Some c.buffers.ub_bytes
+  | External -> None
+
+let legal_move ~src ~dst =
+  match (src, dst) with
+  | External, L1 -> Some Pipe.Mte2
+  | External, Ub -> Some Pipe.Mte2
+  | L1, L0a -> Some Pipe.Mte1
+  | L1, L0b -> Some Pipe.Mte1
+  | L1, Ub -> Some Pipe.Mte1
+  | L0c, Ub -> Some Pipe.Vector
+  | Ub, External -> Some Pipe.Mte3
+  | Ub, L1 -> Some Pipe.Mte3
+  | _, _ -> None

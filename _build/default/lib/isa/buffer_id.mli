@@ -1,0 +1,22 @@
+(** On-chip buffer identities of the Ascend core memory hierarchy
+    (paper §2.2): the three cube-dedicated L0 buffers, the L1 staging
+    buffer, the unified buffer, and the external world behind the BIU. *)
+
+type t = L0a | L0b | L0c | L1 | Ub | External
+
+val all : t list
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val index : t -> int
+val count : int
+
+val capacity_bytes : Ascend_arch.Config.t -> t -> int option
+(** [None] for [External]. *)
+
+val legal_move : src:t -> dst:t -> Pipe.t option
+(** Which MTE pipe serves a transfer, if it is architecturally legal:
+    External->L1 on MTE2, L1->L0A/L0B on MTE1, L0C->UB on Vector (the
+    vector unit drains cube results, §2.2, so it is not an MTE move),
+    UB->External on MTE3, External->UB on MTE2.  Illegal pairs return
+    [None]. *)

@@ -1,0 +1,341 @@
+let word_size = 16
+
+(* opcodes *)
+let op_cube = 1
+let op_vector = 2
+let op_mte = 3
+let op_scalar = 4
+let op_set = 5
+let op_wait = 6
+let op_barrier = 7
+
+let precision_code = function
+  | Ascend_arch.Precision.Fp32 -> 0
+  | Ascend_arch.Precision.Fp16 -> 1
+  | Ascend_arch.Precision.Int32 -> 2
+  | Ascend_arch.Precision.Int8 -> 3
+  | Ascend_arch.Precision.Int4 -> 4
+
+let precision_of_code = function
+  | 0 -> Ok Ascend_arch.Precision.Fp32
+  | 1 -> Ok Ascend_arch.Precision.Fp16
+  | 2 -> Ok Ascend_arch.Precision.Int32
+  | 3 -> Ok Ascend_arch.Precision.Int8
+  | 4 -> Ok Ascend_arch.Precision.Int4
+  | c -> Error (Printf.sprintf "bad precision code %d" c)
+
+let buffer_code b = Buffer_id.index b
+
+let buffer_of_code c =
+  match List.find_opt (fun b -> Buffer_id.index b = c) Buffer_id.all with
+  | Some b -> Ok b
+  | None -> Error (Printf.sprintf "bad buffer code %d" c)
+
+let pipe_code p = Pipe.index p
+
+let pipe_of_code c =
+  match List.find_opt (fun p -> Pipe.index p = c) Pipe.all with
+  | Some p -> Ok p
+  | None -> Error (Printf.sprintf "bad pipe code %d" c)
+
+let transform_code = function
+  | Instruction.Plain -> (0, 0.)
+  | Instruction.Img2col { expansion } -> (1, expansion)
+  | Instruction.Transpose -> (2, 0.)
+  | Instruction.Decompress { ratio } -> (3, ratio)
+
+let transform_of_code code param =
+  match code with
+  | 0 -> Ok Instruction.Plain
+  | 1 -> Ok (Instruction.Img2col { expansion = param })
+  | 2 -> Ok Instruction.Transpose
+  | 3 -> Ok (Instruction.Decompress { ratio = param })
+  | c -> Error (Printf.sprintf "bad transform code %d" c)
+
+let set_u16 b off v =
+  Bytes.set_uint8 b off (v land 0xff);
+  Bytes.set_uint8 b (off + 1) ((v lsr 8) land 0xff)
+
+let get_u16 b off = Bytes.get_uint8 b off lor (Bytes.get_uint8 b (off + 1) lsl 8)
+
+let set_u32 b off v =
+  for i = 0 to 3 do
+    Bytes.set_uint8 b (off + i) ((v lsr (8 * i)) land 0xff)
+  done
+
+let get_u32 b off =
+  let acc = ref 0 in
+  for i = 3 downto 0 do
+    acc := (!acc lsl 8) lor Bytes.get_uint8 b (off + i)
+  done;
+  !acc
+
+let set_f32 b off v = set_u32 b off (Int32.to_int (Int32.bits_of_float v) land 0xffffffff)
+let get_f32 b off = Int32.float_of_bits (Int32.of_int (get_u32 b off))
+
+(* op names fit 8 bytes, zero-padded (longer names are truncated) *)
+let set_name b off name =
+  for i = 0 to 7 do
+    Bytes.set_uint8 b (off + i)
+      (if i < String.length name then Char.code name.[i] else 0)
+  done
+
+let get_name b off =
+  let buf = Buffer.create 8 in
+  (try
+     for i = 0 to 7 do
+       let c = Bytes.get_uint8 b (off + i) in
+       if c = 0 then raise Exit;
+       Buffer.add_char buf (Char.chr c)
+     done
+   with Exit -> ());
+  Buffer.contents buf
+
+let encode_one instr =
+  let b = Bytes.make word_size '\000' in
+  (match instr with
+  | Instruction.Cube_matmul { m; k; n; precision; accumulate } ->
+    Bytes.set_uint8 b 0 op_cube;
+    set_u16 b 1 m;
+    set_u16 b 3 k;
+    set_u16 b 5 n;
+    Bytes.set_uint8 b 7 (precision_code precision);
+    Bytes.set_uint8 b 8 (if accumulate then 1 else 0)
+  | Instruction.Vector_op { op_name; bytes; reads_ub; writes_ub } ->
+    Bytes.set_uint8 b 0 op_vector;
+    set_u32 b 1 bytes;
+    Bytes.set_uint8 b 5
+      ((if reads_ub then 1 else 0) lor if writes_ub then 2 else 0);
+    set_name b 6 op_name
+  | Instruction.Mte_move { src; dst; bytes; transform } ->
+    Bytes.set_uint8 b 0 op_mte;
+    Bytes.set_uint8 b 1 (buffer_code src);
+    Bytes.set_uint8 b 2 (buffer_code dst);
+    set_u32 b 3 bytes;
+    let code, param = transform_code transform in
+    Bytes.set_uint8 b 7 code;
+    set_f32 b 8 param
+  | Instruction.Scalar_op { cycles } ->
+    Bytes.set_uint8 b 0 op_scalar;
+    set_u32 b 1 cycles
+  | Instruction.Set_flag { from_pipe; to_pipe; flag } ->
+    Bytes.set_uint8 b 0 op_set;
+    Bytes.set_uint8 b 1 (pipe_code from_pipe);
+    Bytes.set_uint8 b 2 (pipe_code to_pipe);
+    Bytes.set_uint8 b 3 flag
+  | Instruction.Wait_flag { from_pipe; to_pipe; flag } ->
+    Bytes.set_uint8 b 0 op_wait;
+    Bytes.set_uint8 b 1 (pipe_code from_pipe);
+    Bytes.set_uint8 b 2 (pipe_code to_pipe);
+    Bytes.set_uint8 b 3 flag
+  | Instruction.Barrier -> Bytes.set_uint8 b 0 op_barrier);
+  b
+
+let encode instrs =
+  let words = List.map encode_one instrs in
+  Bytes.concat Bytes.empty words
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let decode_one b off =
+  let opcode = Bytes.get_uint8 b off in
+  if opcode = op_cube then
+    let* precision = precision_of_code (Bytes.get_uint8 b (off + 7)) in
+    Ok
+      (Instruction.Cube_matmul
+         {
+           m = get_u16 b (off + 1);
+           k = get_u16 b (off + 3);
+           n = get_u16 b (off + 5);
+           precision;
+           accumulate = Bytes.get_uint8 b (off + 8) = 1;
+         })
+  else if opcode = op_vector then
+    let flags = Bytes.get_uint8 b (off + 5) in
+    Ok
+      (Instruction.Vector_op
+         {
+           op_name = get_name b (off + 6);
+           bytes = get_u32 b (off + 1);
+           reads_ub = flags land 1 = 1;
+           writes_ub = flags land 2 = 2;
+         })
+  else if opcode = op_mte then
+    let* src = buffer_of_code (Bytes.get_uint8 b (off + 1)) in
+    let* dst = buffer_of_code (Bytes.get_uint8 b (off + 2)) in
+    let* transform =
+      transform_of_code (Bytes.get_uint8 b (off + 7)) (get_f32 b (off + 8))
+    in
+    Ok (Instruction.Mte_move { src; dst; bytes = get_u32 b (off + 3); transform })
+  else if opcode = op_scalar then
+    Ok (Instruction.Scalar_op { cycles = get_u32 b (off + 1) })
+  else if opcode = op_set || opcode = op_wait then
+    let* from_pipe = pipe_of_code (Bytes.get_uint8 b (off + 1)) in
+    let* to_pipe = pipe_of_code (Bytes.get_uint8 b (off + 2)) in
+    let flag = Bytes.get_uint8 b (off + 3) in
+    if opcode = op_set then Ok (Instruction.Set_flag { from_pipe; to_pipe; flag })
+    else Ok (Instruction.Wait_flag { from_pipe; to_pipe; flag })
+  else if opcode = op_barrier then Ok Instruction.Barrier
+  else Error (Printf.sprintf "bad opcode %d at offset %d" opcode off)
+
+let decode b =
+  let len = Bytes.length b in
+  if len mod word_size <> 0 then
+    Error "decode: length is not a multiple of the word size"
+  else begin
+    let rec go off acc =
+      if off >= len then Ok (List.rev acc)
+      else
+        match decode_one b off with
+        | Ok i -> go (off + word_size) (i :: acc)
+        | Error _ as e -> e
+    in
+    go 0 []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Compression: delta against the last word of the same opcode, plus   *)
+(* run-length of exact consecutive repeats.                            *)
+
+let tok_raw = 0xF0
+let tok_same = 0xF1
+let tok_delta = 0xF2
+let tok_run = 0xF3
+
+let word_at b i = Bytes.sub b (i * word_size) word_size
+
+let compress raw =
+  if Bytes.length raw mod word_size <> 0 then
+    invalid_arg "Encoding.compress: not a whole number of words";
+  let n = Bytes.length raw / word_size in
+  let out = Buffer.create (Bytes.length raw / 4) in
+  let last : (int, Bytes.t) Hashtbl.t = Hashtbl.create 8 in
+  let prev = ref None in
+  let run = ref 0 in
+  let flush_run () =
+    if !run > 0 then begin
+      Buffer.add_uint8 out tok_run;
+      Buffer.add_uint16_le out !run;
+      run := 0
+    end
+  in
+  for i = 0 to n - 1 do
+    let w = word_at raw i in
+    (match !prev with
+    | Some p when Bytes.equal p w && !run < 0xffff -> incr run
+    | _ ->
+      flush_run ();
+      let opcode = Bytes.get_uint8 w 0 in
+      (match Hashtbl.find_opt last opcode with
+      | Some lw when Bytes.equal lw w ->
+        Buffer.add_uint8 out tok_same;
+        Buffer.add_uint8 out opcode
+      | Some lw ->
+        (* bitmask of differing bytes, then just those bytes *)
+        let mask = ref 0 in
+        for j = 0 to word_size - 1 do
+          if Bytes.get lw j <> Bytes.get w j then mask := !mask lor (1 lsl j)
+        done;
+        Buffer.add_uint8 out tok_delta;
+        Buffer.add_uint8 out opcode;
+        Buffer.add_uint16_le out !mask;
+        for j = 0 to word_size - 1 do
+          if !mask land (1 lsl j) <> 0 then
+            Buffer.add_char out (Bytes.get w j)
+        done
+      | None ->
+        Buffer.add_uint8 out tok_raw;
+        Buffer.add_bytes out w);
+      Hashtbl.replace last opcode w;
+      prev := Some w)
+  done;
+  flush_run ();
+  Buffer.to_bytes out
+
+let decompress packed =
+  let out = Buffer.create (Bytes.length packed * 4) in
+  let last : (int, Bytes.t) Hashtbl.t = Hashtbl.create 8 in
+  let prev = ref None in
+  let len = Bytes.length packed in
+  let rec go pos =
+    if pos >= len then Ok (Buffer.to_bytes out)
+    else
+      let tok = Bytes.get_uint8 packed pos in
+      if tok = tok_raw then
+        if pos + 1 + word_size > len then Error "decompress: truncated raw"
+        else begin
+          let w = Bytes.sub packed (pos + 1) word_size in
+          Buffer.add_bytes out w;
+          Hashtbl.replace last (Bytes.get_uint8 w 0) w;
+          prev := Some w;
+          go (pos + 1 + word_size)
+        end
+      else if tok = tok_same then
+        if pos + 2 > len then Error "decompress: truncated same"
+        else begin
+          let opcode = Bytes.get_uint8 packed (pos + 1) in
+          match Hashtbl.find_opt last opcode with
+          | None -> Error "decompress: SAME with no history"
+          | Some w ->
+            Buffer.add_bytes out w;
+            prev := Some w;
+            go (pos + 2)
+        end
+      else if tok = tok_delta then
+        if pos + 4 > len then Error "decompress: truncated delta header"
+        else begin
+          let opcode = Bytes.get_uint8 packed (pos + 1) in
+          let mask = Bytes.get_uint16_le packed (pos + 2) in
+          match Hashtbl.find_opt last opcode with
+          | None -> Error "decompress: DELTA with no history"
+          | Some lw ->
+            let w = Bytes.copy lw in
+            let src = ref (pos + 4) in
+            (try
+               for j = 0 to word_size - 1 do
+                 if mask land (1 lsl j) <> 0 then begin
+                   if !src >= len then raise Exit;
+                   Bytes.set w j (Bytes.get packed !src);
+                   incr src
+                 end
+               done;
+               Buffer.add_bytes out w;
+               Hashtbl.replace last opcode w;
+               prev := Some w;
+               go !src
+             with Exit -> Error "decompress: truncated delta payload")
+        end
+      else if tok = tok_run then
+        if pos + 3 > len then Error "decompress: truncated run"
+        else begin
+          match !prev with
+          | None -> Error "decompress: RUN with no previous word"
+          | Some w ->
+            let count = Bytes.get_uint16_le packed (pos + 1) in
+            for _ = 1 to count do
+              Buffer.add_bytes out w
+            done;
+            go (pos + 3)
+        end
+      else Error (Printf.sprintf "decompress: bad token %d" tok)
+  in
+  go 0
+
+let compression_ratio instrs =
+  match instrs with
+  | [] -> 1.
+  | _ ->
+    let raw = encode instrs in
+    let packed = compress raw in
+    float_of_int (Bytes.length packed) /. float_of_int (Bytes.length raw)
+
+let fetch_bandwidth_bytes_per_cycle ~instructions_per_cycle ~compressed instrs =
+  match instrs with
+  | [] -> 0.
+  | _ ->
+    let raw = encode instrs in
+    let bytes =
+      if compressed then Bytes.length (compress raw) else Bytes.length raw
+    in
+    let cycles = float_of_int (List.length instrs) /. instructions_per_cycle in
+    float_of_int bytes /. cycles

@@ -1,0 +1,34 @@
+(** Binary instruction encoding and the instruction-compression scheme of
+    paper §3.2 ("The instruction compression technique is used in the
+    Ascend-Lite core to reduce the bandwidth pressure on the NoC").
+
+    Encoding: a fixed 16-byte word per instruction (opcode, operands,
+    byte counts).  Compression exploits the streams' regularity — tiled
+    loops repeat near-identical instructions — with two passes:
+
+    + delta encoding against the previous instruction of the same opcode
+      (identical instructions collapse to 2 bytes);
+    + run-length encoding of repeated words.
+
+    [decode (encode p)] is the identity on instruction lists, and the
+    compressed form round-trips too (property-tested). *)
+
+val encode : Instruction.t list -> Bytes.t
+(** Fixed-width binary form, 16 bytes per instruction. *)
+
+val decode : Bytes.t -> (Instruction.t list, string) result
+(** Inverse of {!encode}; [Error] on malformed input. *)
+
+val compress : Bytes.t -> Bytes.t
+(** Delta + RLE over 16-byte words. *)
+
+val decompress : Bytes.t -> (Bytes.t, string) result
+
+val compression_ratio : Instruction.t list -> float
+(** compressed size / raw size, in (0, 1]. *)
+
+val fetch_bandwidth_bytes_per_cycle :
+  instructions_per_cycle:float -> compressed:bool ->
+  Instruction.t list -> float
+(** Average instruction-fetch traffic the core pulls over the NoC —
+    the §3.2 bandwidth-pressure metric. *)

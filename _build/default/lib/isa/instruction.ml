@@ -1,0 +1,89 @@
+type mte_transform =
+  | Plain
+  | Img2col of { expansion : float }
+  | Transpose
+  | Decompress of { ratio : float }
+
+type t =
+  | Cube_matmul of {
+      m : int;
+      k : int;
+      n : int;
+      precision : Ascend_arch.Precision.t;
+      accumulate : bool;
+    }
+  | Vector_op of {
+      op_name : string;
+      bytes : int;
+      reads_ub : bool;
+      writes_ub : bool;
+    }
+  | Mte_move of {
+      src : Buffer_id.t;
+      dst : Buffer_id.t;
+      bytes : int;
+      transform : mte_transform;
+    }
+  | Scalar_op of { cycles : int }
+  | Set_flag of { from_pipe : Pipe.t; to_pipe : Pipe.t; flag : int }
+  | Wait_flag of { from_pipe : Pipe.t; to_pipe : Pipe.t; flag : int }
+  | Barrier
+
+let pipe_of = function
+  | Cube_matmul _ -> Some Pipe.Cube
+  | Vector_op _ -> Some Pipe.Vector
+  | Scalar_op _ -> Some Pipe.Scalar
+  | Set_flag { from_pipe; _ } -> Some from_pipe
+  | Wait_flag { to_pipe; _ } -> Some to_pipe
+  | Mte_move { src; dst; _ } -> Buffer_id.legal_move ~src ~dst
+  | Barrier -> None
+
+let mte_move ~src ~dst ?(transform = Plain) ~bytes () =
+  if bytes < 0 then invalid_arg "Instruction.mte_move: negative bytes";
+  (match transform with
+  | Img2col { expansion } when expansion <= 0. ->
+    invalid_arg "Instruction.mte_move: img2col expansion <= 0"
+  | Decompress { ratio } when ratio <= 0. || ratio > 1. ->
+    invalid_arg "Instruction.mte_move: decompress ratio out of (0,1]"
+  | Plain | Img2col _ | Transpose | Decompress _ -> ());
+  match Buffer_id.legal_move ~src ~dst with
+  | Some _ -> Mte_move { src; dst; bytes; transform }
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Instruction.mte_move: illegal move %s -> %s"
+         (Buffer_id.name src) (Buffer_id.name dst))
+
+let source_bytes = function
+  | Mte_move { bytes; transform; _ } -> (
+    match transform with
+    | Plain | Transpose -> bytes
+    | Img2col { expansion } -> int_of_float (float_of_int bytes /. expansion)
+    | Decompress { ratio } -> int_of_float (float_of_int bytes *. ratio))
+  | Cube_matmul _ | Vector_op _ | Scalar_op _ | Set_flag _ | Wait_flag _
+  | Barrier ->
+    0
+
+let transform_name = function
+  | Plain -> ""
+  | Img2col { expansion } -> Printf.sprintf " img2col(x%.1f)" expansion
+  | Transpose -> " trans"
+  | Decompress { ratio } -> Printf.sprintf " decomp(%.2f)" ratio
+
+let pp ppf = function
+  | Cube_matmul { m; k; n; precision; accumulate } ->
+    Format.fprintf ppf "M    matmul %dx%dx%d %s%s" m k n
+      (Ascend_arch.Precision.name precision)
+      (if accumulate then " +=" else "")
+  | Vector_op { op_name; bytes; _ } ->
+    Format.fprintf ppf "V    %s %dB" op_name bytes
+  | Mte_move { src; dst; bytes; transform } ->
+    Format.fprintf ppf "MTE  %s->%s %dB%s" (Buffer_id.name src)
+      (Buffer_id.name dst) bytes (transform_name transform)
+  | Scalar_op { cycles } -> Format.fprintf ppf "S    scalar %dcyc" cycles
+  | Set_flag { from_pipe; to_pipe; flag } ->
+    Format.fprintf ppf "SET  %s->%s #%d" (Pipe.name from_pipe)
+      (Pipe.name to_pipe) flag
+  | Wait_flag { from_pipe; to_pipe; flag } ->
+    Format.fprintf ppf "WAIT %s->%s #%d" (Pipe.name from_pipe)
+      (Pipe.name to_pipe) flag
+  | Barrier -> Format.fprintf ppf "BARRIER"

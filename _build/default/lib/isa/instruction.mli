@@ -1,0 +1,59 @@
+(** The Ascend core instruction vocabulary at the granularity the
+    simulator models: one instruction = one tile-level operation on an
+    execution pipe, plus the explicit cross-pipe synchronisation of
+    paper Figure 3. *)
+
+type mte_transform =
+  | Plain
+  | Img2col of { expansion : float }
+      (** convolution-to-GEMM expansion (paper §2.2): the move writes
+          [bytes] but reads [bytes / expansion] unique source bytes (each
+          input element appears in up to kh*kw matrix columns; strided
+          1x1 convolutions subsample, giving expansion < 1) *)
+  | Transpose      (** the MTE [trans] module *)
+  | Decompress of { ratio : float }
+      (** zero-value decompression; [ratio] is compressed/uncompressed
+          in (0, 1] — the move reads [bytes *. ratio] source bytes *)
+
+type t =
+  | Cube_matmul of {
+      m : int;
+      k : int;
+      n : int;
+      precision : Ascend_arch.Precision.t;
+      accumulate : bool;
+          (** accumulate into existing L0C contents (k-loop continuation) *)
+    }
+  | Vector_op of {
+      op_name : string;
+      bytes : int;       (** bytes processed at the vector width *)
+      reads_ub : bool;
+      writes_ub : bool;
+    }
+  | Mte_move of {
+      src : Buffer_id.t;
+      dst : Buffer_id.t;
+      bytes : int;       (** bytes written to [dst] *)
+      transform : mte_transform;
+    }
+  | Scalar_op of { cycles : int }
+  | Set_flag of { from_pipe : Pipe.t; to_pipe : Pipe.t; flag : int }
+  | Wait_flag of { from_pipe : Pipe.t; to_pipe : Pipe.t; flag : int }
+  | Barrier
+      (** full-core barrier: every pipe drains before any pipe proceeds *)
+
+val pipe_of : t -> Pipe.t option
+(** The pipe an instruction executes on ([Set_flag] executes on its
+    [from_pipe]; [Wait_flag] blocks its [to_pipe]; [Barrier] -> [None]). *)
+
+val mte_move : src:Buffer_id.t -> dst:Buffer_id.t -> ?transform:mte_transform ->
+  bytes:int -> unit -> t
+(** Raises [Invalid_argument] if the src/dst pair is not architecturally
+    legal or bytes is negative. *)
+
+val source_bytes : t -> int
+(** Bytes read from the source of an [Mte_move] (differs from [bytes]
+    under [Img2col] expansion and [Decompress]); 0 for other forms. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line disassembly. *)

@@ -1,0 +1,26 @@
+type t = Scalar | Vector | Cube | Mte1 | Mte2 | Mte3
+
+let all = [ Scalar; Vector; Cube; Mte1; Mte2; Mte3 ]
+
+let name = function
+  | Scalar -> "S"
+  | Vector -> "V"
+  | Cube -> "M"
+  | Mte1 -> "MTE1"
+  | Mte2 -> "MTE2"
+  | Mte3 -> "MTE3"
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+
+let index = function
+  | Scalar -> 0
+  | Vector -> 1
+  | Cube -> 2
+  | Mte1 -> 3
+  | Mte2 -> 4
+  | Mte3 -> 5
+
+let count = 6

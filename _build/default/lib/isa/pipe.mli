@@ -1,0 +1,20 @@
+(** Execution pipes of an Ascend core (paper Figure 1 / Figure 3).
+
+    The PSQ dispatches instructions to per-pipe queues that run in
+    parallel; explicit flags synchronise across pipes.  The three MTE
+    pipes mirror the DaVinci split of the memory-transfer engine:
+    [Mte2] loads external memory into L1, [Mte1] feeds L0A/L0B from L1
+    (applying img2col / transpose / decompression), [Mte3] drains the
+    unified buffer back out. *)
+
+type t = Scalar | Vector | Cube | Mte1 | Mte2 | Mte3
+
+val all : t list
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val index : t -> int
+(** Stable index in [0, 5] for array-backed per-pipe state. *)
+
+val count : int

@@ -1,0 +1,135 @@
+type t = {
+  program_name : string;
+  instructions : Instruction.t list;
+  buffer_peak : (Buffer_id.t * int) list;
+}
+
+let make ~name ?(buffer_peak = []) instructions =
+  { program_name = name; instructions; buffer_peak }
+
+let length t = List.length t.instructions
+
+let merge_peaks a b =
+  List.fold_left
+    (fun acc (buf, bytes) ->
+      let cur = match List.assoc_opt buf acc with Some v -> v | None -> 0 in
+      (buf, max cur bytes) :: List.remove_assoc buf acc)
+    a b
+
+let concat ~name parts =
+  let instructions =
+    List.concat_map (fun p -> p.instructions @ [ Instruction.Barrier ]) parts
+  in
+  let buffer_peak =
+    List.fold_left (fun acc p -> merge_peaks acc p.buffer_peak) [] parts
+  in
+  { program_name = name; instructions; buffer_peak }
+
+let max_flag = 63
+
+let validate (config : Ascend_arch.Config.t) t =
+  let module I = Instruction in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  (* pipe mapping *)
+  let rec check_pipes i = function
+    | [] -> Ok ()
+    | instr :: rest -> (
+      match instr with
+      | I.Barrier -> check_pipes (i + 1) rest
+      | _ -> (
+        match I.pipe_of instr with
+        | Some _ -> check_pipes (i + 1) rest
+        | None -> err "instruction %d: no pipe (illegal MTE move)" i))
+  in
+  (* flag balance: sets must cover waits per triple over the whole program *)
+  let check_flags () =
+    let tbl : (Pipe.t * Pipe.t * int, int * int) Hashtbl.t = Hashtbl.create 16 in
+    let bump key dset dwait =
+      let s, w =
+        match Hashtbl.find_opt tbl key with Some v -> v | None -> (0, 0)
+      in
+      Hashtbl.replace tbl key (s + dset, w + dwait)
+    in
+    let range_ok = ref (Ok ()) in
+    List.iter
+      (fun instr ->
+        match instr with
+        | I.Set_flag { from_pipe; to_pipe; flag } ->
+          if flag < 0 || flag > max_flag then
+            range_ok := err "flag id %d out of range" flag;
+          bump (from_pipe, to_pipe, flag) 1 0
+        | I.Wait_flag { from_pipe; to_pipe; flag } ->
+          if flag < 0 || flag > max_flag then
+            range_ok := err "flag id %d out of range" flag;
+          bump (from_pipe, to_pipe, flag) 0 1
+        | _ -> ())
+      t.instructions;
+    match !range_ok with
+    | Error _ as e -> e
+    | Ok () ->
+      Hashtbl.fold
+        (fun (f, p, flag) (sets, waits) acc ->
+          match acc with
+          | Error _ as e -> e
+          | Ok () ->
+            if waits > sets then
+              err "flag %s->%s #%d: %d waits but only %d sets" (Pipe.name f)
+                (Pipe.name p) flag waits sets
+            else Ok ())
+        tbl (Ok ())
+  in
+  let check_buffers () =
+    List.fold_left
+      (fun acc (buf, bytes) ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () -> (
+          match Buffer_id.capacity_bytes config buf with
+          | None -> Ok ()
+          | Some cap ->
+            if bytes > cap then
+              err "buffer %s: peak %d B exceeds capacity %d B"
+                (Buffer_id.name buf) bytes cap
+            else Ok ()))
+      (Ok ()) t.buffer_peak
+  in
+  let check_precisions () =
+    List.fold_left
+      (fun acc instr ->
+        match (acc, instr) with
+        | (Error _ as e), _ -> e
+        | Ok (), I.Cube_matmul { precision; _ } ->
+          if Ascend_arch.Config.supports config precision then Ok ()
+          else
+            err "cube precision %s unsupported on %s"
+              (Ascend_arch.Precision.name precision)
+              config.name
+        | Ok (), _ -> Ok ())
+      (Ok ()) t.instructions
+  in
+  match check_pipes 0 t.instructions with
+  | Error _ as e -> e
+  | Ok () -> (
+    match check_flags () with
+    | Error _ as e -> e
+    | Ok () -> (
+      match check_buffers () with
+      | Error _ as e -> e
+      | Ok () -> check_precisions ()))
+
+let stats t =
+  let counts = Array.make Pipe.count 0 in
+  List.iter
+    (fun instr ->
+      match Instruction.pipe_of instr with
+      | Some p -> counts.(Pipe.index p) <- counts.(Pipe.index p) + 1
+      | None -> ())
+    t.instructions;
+  List.map (fun p -> (p, counts.(Pipe.index p))) Pipe.all
+
+let pp ppf t =
+  Format.fprintf ppf "program %s (%d instructions)@." t.program_name
+    (List.length t.instructions);
+  List.iteri
+    (fun i instr -> Format.fprintf ppf "%5d  %a@." i Instruction.pp instr)
+    t.instructions

@@ -1,0 +1,36 @@
+(** A compiled program for one Ascend core: an ordered instruction list
+    (PSQ order) with the static buffer footprint the code generator
+    reserved in each on-chip buffer. *)
+
+type t = {
+  program_name : string;
+  instructions : Instruction.t list;
+  buffer_peak : (Buffer_id.t * int) list;
+      (** peak resident bytes per buffer, computed at code generation *)
+}
+
+val make :
+  name:string -> ?buffer_peak:(Buffer_id.t * int) list ->
+  Instruction.t list -> t
+
+val length : t -> int
+
+val concat : name:string -> t list -> t
+(** Sequential composition separated by barriers; buffer peaks take the
+    per-part maximum (parts run after one another). *)
+
+val validate : Ascend_arch.Config.t -> t -> (unit, string) result
+(** Static checks:
+    - every instruction maps to a pipe (or is a barrier);
+    - every [Wait_flag] has a matching earlier-or-equal count of
+      [Set_flag]s on the same (from, to, flag) triple by end of program
+      (no flag can remain forever unsatisfied);
+    - flag ids are within the hardware's range (0..63 per pipe pair);
+    - declared buffer peaks fit the configuration's capacities;
+    - cube instructions only use precisions this core supports. *)
+
+val stats : t -> (Pipe.t * int) list
+(** Instruction count per pipe. *)
+
+val pp : Format.formatter -> t -> unit
+(** Full disassembly. *)

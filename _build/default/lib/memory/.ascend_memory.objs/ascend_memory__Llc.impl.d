@@ -1,0 +1,1 @@
+lib/memory/llc.ml: Array Ascend_util

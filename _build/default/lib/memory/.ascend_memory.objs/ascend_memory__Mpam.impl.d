@@ -1,0 +1,1 @@
+lib/memory/mpam.ml: Array Ascend_util Float List Printf

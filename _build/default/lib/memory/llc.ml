@@ -1,0 +1,99 @@
+type stats = { hits : int; misses : int; evictions : int }
+
+type t = {
+  line_bytes : int;
+  ways : int;
+  set_count : int;
+  (* sets.(s) is an array of (tag, last_used); tag = -1 means invalid *)
+  tags : int array array;
+  stamps : int array array;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(line_bytes = 128) ?(ways = 16) ~capacity_bytes () =
+  if line_bytes <= 0 || ways <= 0 || capacity_bytes <= 0 then
+    invalid_arg "Llc.create: non-positive parameter";
+  let set_count = max 1 (capacity_bytes / (line_bytes * ways)) in
+  {
+    line_bytes;
+    ways;
+    set_count;
+    tags = Array.init set_count (fun _ -> Array.make ways (-1));
+    stamps = Array.init set_count (fun _ -> Array.make ways 0);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity_bytes t = t.line_bytes * t.ways * t.set_count
+let line_bytes t = t.line_bytes
+let sets t = t.set_count
+
+let access t ~addr ~write =
+  ignore write;
+  if addr < 0 then invalid_arg "Llc.access: negative address";
+  t.clock <- t.clock + 1;
+  let line = addr / t.line_bytes in
+  let set = line mod t.set_count in
+  let tag = line / t.set_count in
+  let tags = t.tags.(set) and stamps = t.stamps.(set) in
+  let rec find i =
+    if i >= t.ways then None
+    else if tags.(i) = tag then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    stamps.(i) <- t.clock;
+    t.hits <- t.hits + 1;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* choose an invalid way, else LRU *)
+    let victim = ref 0 in
+    let found_invalid = ref false in
+    for i = 0 to t.ways - 1 do
+      if (not !found_invalid) && tags.(i) = -1 then begin
+        victim := i;
+        found_invalid := true
+      end
+      else if (not !found_invalid) && stamps.(i) < stamps.(!victim) then
+        victim := i
+    done;
+    if not !found_invalid then t.evictions <- t.evictions + 1;
+    tags.(!victim) <- tag;
+    stamps.(!victim) <- t.clock;
+    false
+
+let access_range t ~addr ~bytes ~write =
+  if bytes < 0 then invalid_arg "Llc.access_range: negative size";
+  let first = addr / t.line_bytes in
+  let last = (addr + max 0 (bytes - 1)) / t.line_bytes in
+  let hits = ref 0 and misses = ref 0 in
+  for line = first to last do
+    if access t ~addr:(line * t.line_bytes) ~write then incr hits
+    else incr misses
+  done;
+  (!hits, !misses)
+
+let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total
+
+let hit_fraction ~capacity_bytes ~working_set_bytes =
+  if working_set_bytes <= 0 then 1.
+  else if capacity_bytes <= 0 then 0.
+  else
+    Ascend_util.Stats.clamp ~lo:0. ~hi:1.
+      (float_of_int capacity_bytes /. float_of_int working_set_bytes)

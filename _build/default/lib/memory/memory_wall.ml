@@ -1,0 +1,32 @@
+type rung = {
+  level : string;
+  bandwidth_bytes_per_s : float;
+  ratio_to_cube : float;
+}
+
+let cube_demand_bytes_per_s ~peak_flops = peak_flops *. 8.
+
+let tb = 1e12
+let gb = 1e9
+
+let table6 ~peak_flops =
+  let demand = cube_demand_bytes_per_s ~peak_flops in
+  let rung level bandwidth_bytes_per_s =
+    { level; bandwidth_bytes_per_s; ratio_to_cube = bandwidth_bytes_per_s /. demand }
+  in
+  [
+    rung "Cube Engine" demand;
+    (* L0 matches the cube demand exactly; each level below relies on a
+       ~10x reuse factor (paper: "we attempted to reduce the memory
+       bandwidth by 10 times in each lower layer") *)
+    rung "L0 Memory" demand;
+    rung "L1 Memory" (demand /. 10.);
+    rung "LLC Memory" (demand /. 100.);
+    rung "HBM Memory" (1. *. tb);
+    rung "Intra AI Server (8 chips)" (50. *. gb);
+    rung "Inter AI Server" (10. *. gb);
+  ]
+
+let required_reuse_factor ~upper ~lower =
+  if lower.bandwidth_bytes_per_s <= 0. then infinity
+  else upper.bandwidth_bytes_per_s /. lower.bandwidth_bytes_per_s

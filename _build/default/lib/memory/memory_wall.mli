@@ -1,0 +1,22 @@
+(** The memory-wall arithmetic of paper §4.1 / Table 6: the bandwidth a
+    256-TFLOPS cube engine would need with no data reuse, and the ladder
+    of ~10x reductions each memory level must deliver through reuse. *)
+
+type rung = {
+  level : string;
+  bandwidth_bytes_per_s : float;
+  ratio_to_cube : float;  (** level bandwidth / cube demand *)
+}
+
+val cube_demand_bytes_per_s : peak_flops:float -> float
+(** 8 bytes of operand traffic per FLOP without reuse: two fp16 sources
+    and an fp32 accumulator read+write per MAC (2 FLOPs). *)
+
+val table6 : peak_flops:float -> rung list
+(** The seven rungs of Table 6 for a chip of the given peak (256 TFLOPS
+    for Ascend 910): cube engine, L0, L1, LLC, HBM, intra-server,
+    inter-server. *)
+
+val required_reuse_factor : upper:rung -> lower:rung -> float
+(** How many times each byte must be reused between two adjacent levels
+    for the lower level's bandwidth to suffice. *)

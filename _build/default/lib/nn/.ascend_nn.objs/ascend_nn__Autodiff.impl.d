@@ -1,0 +1,1 @@
+lib/nn/autodiff.ml: Array Ascend_arch Ascend_tensor Eval Float Graph Hashtbl List Op

@@ -1,0 +1,1 @@
+lib/nn/bert.ml: Ascend_arch Ascend_tensor Graph Op Printf

@@ -1,0 +1,1 @@
+lib/nn/bert.mli: Ascend_arch Graph

@@ -1,0 +1,1 @@
+lib/nn/eval.ml: Array Ascend_tensor Ascend_util Float Graph Hashtbl List Op Printf

@@ -1,0 +1,1 @@
+lib/nn/eval.mli: Ascend_tensor Graph

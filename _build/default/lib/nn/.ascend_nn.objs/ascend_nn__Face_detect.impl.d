@@ -1,0 +1,1 @@
+lib/nn/face_detect.ml: Ascend_arch Ascend_tensor Graph Op

@@ -1,0 +1,1 @@
+lib/nn/face_detect.mli: Graph

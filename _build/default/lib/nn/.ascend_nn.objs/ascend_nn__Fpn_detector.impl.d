@@ -1,0 +1,1 @@
+lib/nn/fpn_detector.ml: Ascend_arch Ascend_tensor Graph List

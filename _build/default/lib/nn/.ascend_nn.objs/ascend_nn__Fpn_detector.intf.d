@@ -1,0 +1,1 @@
+lib/nn/fpn_detector.mli: Ascend_arch Graph

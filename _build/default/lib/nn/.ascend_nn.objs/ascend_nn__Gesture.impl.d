@@ -1,0 +1,1 @@
+lib/nn/gesture.ml: Ascend_arch Ascend_tensor Graph

@@ -1,0 +1,1 @@
+lib/nn/gesture.mli: Graph

@@ -1,0 +1,1 @@
+lib/nn/graph.ml: Ascend_arch Ascend_tensor Format List Op Printf String

@@ -1,0 +1,1 @@
+lib/nn/graph.mli: Ascend_arch Ascend_tensor Format Op

@@ -1,0 +1,1 @@
+lib/nn/mobilenet.ml: Ascend_arch Ascend_tensor Graph List Printf

@@ -1,0 +1,1 @@
+lib/nn/mobilenet.mli: Ascend_arch Graph

@@ -1,0 +1,1 @@
+lib/nn/op.ml: Ascend_tensor Format List Printf String

@@ -1,0 +1,1 @@
+lib/nn/op.mli: Ascend_tensor Format

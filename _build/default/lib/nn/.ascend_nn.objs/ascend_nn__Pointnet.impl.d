@@ -1,0 +1,1 @@
+lib/nn/pointnet.ml: Ascend_arch Ascend_tensor Graph

@@ -1,0 +1,1 @@
+lib/nn/pointnet.mli: Ascend_arch Graph

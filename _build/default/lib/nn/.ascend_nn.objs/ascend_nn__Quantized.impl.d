@@ -1,0 +1,1 @@
+lib/nn/quantized.ml: Ascend_arch Ascend_tensor Eval Float Graph List

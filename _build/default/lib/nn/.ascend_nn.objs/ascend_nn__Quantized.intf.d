@@ -1,0 +1,1 @@
+lib/nn/quantized.mli: Ascend_arch Ascend_tensor Eval Graph

@@ -1,0 +1,1 @@
+lib/nn/resnet.ml: Ascend_arch Ascend_tensor Graph Printf

@@ -1,0 +1,1 @@
+lib/nn/resnet.mli: Ascend_arch Graph

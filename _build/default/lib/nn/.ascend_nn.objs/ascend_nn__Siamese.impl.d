@@ -1,0 +1,1 @@
+lib/nn/siamese.ml: Ascend_arch Ascend_tensor Graph List

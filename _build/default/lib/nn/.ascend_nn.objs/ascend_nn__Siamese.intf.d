@@ -1,0 +1,1 @@
+lib/nn/siamese.mli: Ascend_arch Graph

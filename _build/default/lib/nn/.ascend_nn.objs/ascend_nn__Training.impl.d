@@ -1,0 +1,1 @@
+lib/nn/training.ml: Ascend_tensor Graph List Op Workload

@@ -1,0 +1,1 @@
+lib/nn/training.mli: Graph Workload

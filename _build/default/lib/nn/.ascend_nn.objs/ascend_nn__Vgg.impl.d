@@ -1,0 +1,1 @@
+lib/nn/vgg.ml: Ascend_arch Ascend_tensor Graph Printf

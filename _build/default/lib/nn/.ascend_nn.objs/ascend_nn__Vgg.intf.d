@@ -1,0 +1,1 @@
+lib/nn/vgg.mli: Ascend_arch Graph

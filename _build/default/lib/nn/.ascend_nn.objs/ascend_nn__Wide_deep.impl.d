@@ -1,0 +1,1 @@
+lib/nn/wide_deep.ml: Ascend_arch Ascend_tensor Graph List Op Printf

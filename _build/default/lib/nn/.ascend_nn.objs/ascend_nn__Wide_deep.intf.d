@@ -1,0 +1,1 @@
+lib/nn/wide_deep.mli: Ascend_arch Graph

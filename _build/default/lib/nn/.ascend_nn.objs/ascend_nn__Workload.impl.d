@@ -1,0 +1,1 @@
+lib/nn/workload.ml: Ascend_arch Ascend_tensor Ascend_util Format Graph List Op

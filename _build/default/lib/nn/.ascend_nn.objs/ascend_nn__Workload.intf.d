@@ -1,0 +1,1 @@
+lib/nn/workload.mli: Format Graph

@@ -1,0 +1,429 @@
+module Shape = Ascend_tensor.Shape
+module Tensor = Ascend_tensor.Tensor
+
+type gradients = {
+  input_grads : (string * Tensor.t) list;
+  param_grads : (string * Tensor.t) list;
+}
+
+let zeros_like t = Tensor.create ~dtype:Ascend_arch.Precision.Fp32 (Tensor.shape t)
+
+(* batched matmul with optional transposes; operands are (.., r, c) *)
+let bmm ?(ta = false) ?(tb = false) a b =
+  let da = Shape.to_list (Tensor.shape a) in
+  let db = Shape.to_list (Tensor.shape b) in
+  let rev_a = List.rev da and rev_b = List.rev db in
+  let a_cols = List.hd rev_a and a_rows = List.hd (List.tl rev_a) in
+  let b_cols = List.hd rev_b and b_rows = List.hd (List.tl rev_b) in
+  let m = if ta then a_cols else a_rows in
+  let k = if ta then a_rows else a_cols in
+  let k' = if tb then b_cols else b_rows in
+  let n = if tb then b_rows else b_cols in
+  if k <> k' then invalid_arg "Autodiff.bmm: inner dimensions differ";
+  let batch = List.fold_left ( * ) 1 da / (a_rows * a_cols) in
+  let batch_dims = List.rev (List.tl (List.tl rev_a)) in
+  let out = Tensor.create (Shape.of_list (batch_dims @ [ m; n ])) in
+  let ad = Tensor.data a and bd = Tensor.data b and od = Tensor.data out in
+  let a_sz = a_rows * a_cols and b_sz = b_rows * b_cols in
+  for bi = 0 to batch - 1 do
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0. in
+        for p = 0 to k - 1 do
+          let av =
+            if ta then ad.((bi * a_sz) + (p * a_cols) + i)
+            else ad.((bi * a_sz) + (i * a_cols) + p)
+          in
+          let bv =
+            if tb then bd.((bi * b_sz) + (j * b_cols) + p)
+            else bd.((bi * b_sz) + (p * b_cols) + j)
+          in
+          acc := !acc +. (av *. bv)
+        done;
+        od.((bi * m * n) + (i * n) + j) <- !acc
+      done
+    done
+  done;
+  out
+
+let nchw t =
+  match Shape.to_list (Tensor.shape t) with
+  | [ n; c; h; w ] -> (n, c, h, w)
+  | _ -> invalid_arg "Autodiff: expected NCHW"
+
+let backward g params ~inputs ?loss_grad () =
+  let values_list = Eval.run_all g params ~inputs in
+  let values : (int, Tensor.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (id, t) -> Hashtbl.replace values id t) values_list;
+  let value id = Hashtbl.find values id in
+  let grads : (int, Tensor.t) Hashtbl.t = Hashtbl.create 64 in
+  let accumulate id gt =
+    match Hashtbl.find_opt grads id with
+    | Some existing -> Hashtbl.replace grads id (Tensor.add existing gt)
+    | None -> Hashtbl.replace grads id gt
+  in
+  let param_grads : (string, Tensor.t) Hashtbl.t = Hashtbl.create 16 in
+  let accumulate_param name gt =
+    match Hashtbl.find_opt param_grads name with
+    | Some existing -> Hashtbl.replace param_grads name (Tensor.add existing gt)
+    | None -> Hashtbl.replace param_grads name gt
+  in
+  let output =
+    match Graph.outputs g with
+    | [ o ] -> o
+    | [] -> invalid_arg "Autodiff.backward: graph has no output"
+    | _ -> invalid_arg "Autodiff.backward: multiple outputs unsupported"
+  in
+  let seed =
+    match loss_grad with
+    | Some t ->
+      if not (Shape.equal (Tensor.shape t) output.Graph.out_shape) then
+        invalid_arg "Autodiff.backward: loss_grad shape mismatch";
+      t
+    | None -> Tensor.full output.Graph.out_shape 1.
+  in
+  Hashtbl.replace grads output.Graph.id seed;
+  let param_of (n : Graph.node) =
+    match Eval.find_param params n.Graph.node_name with
+    | Some t -> t
+    | None ->
+      invalid_arg ("Autodiff.backward: missing parameter " ^ n.Graph.node_name)
+  in
+  let backprop (n : Graph.node) dy =
+    let x_id i = List.nth n.Graph.inputs i in
+    let x i = value (x_id i) in
+    match n.Graph.op with
+    | Op.Input -> ()
+    | Op.Output -> accumulate (x_id 0) dy
+    | Op.Reshape _ ->
+      accumulate (x_id 0) (Tensor.reshape dy (Tensor.shape (x 0)))
+    | Op.Transpose_last_two -> accumulate (x_id 0) (Tensor.transpose dy)
+    | Op.Add ->
+      accumulate (x_id 0) dy;
+      accumulate (x_id 1) dy
+    | Op.Mul ->
+      accumulate (x_id 0) (Tensor.mul dy (x 1));
+      accumulate (x_id 1) (Tensor.mul dy (x 0))
+    | Op.Activation act ->
+      let xin = x 0 in
+      let dx =
+        match act with
+        | Op.Relu -> Tensor.map2 (fun d v -> if v > 0. then d else 0.) dy xin
+        | Op.Relu6 ->
+          Tensor.map2 (fun d v -> if v > 0. && v < 6. then d else 0.) dy xin
+        | Op.Sigmoid ->
+          Tensor.map2
+            (fun d v ->
+              let s = 1. /. (1. +. exp (-.v)) in
+              d *. s *. (1. -. s))
+            dy xin
+        | Op.Tanh ->
+          Tensor.map2
+            (fun d v ->
+              let t = Float.tanh v in
+              d *. (1. -. (t *. t)))
+            dy xin
+        | Op.Gelu ->
+          Tensor.map2
+            (fun d v ->
+              let c = 0.7978845608 and a = 0.044715 in
+              let u = c *. (v +. (a *. v *. v *. v)) in
+              let t = Float.tanh u in
+              let du = c *. (1. +. (3. *. a *. v *. v)) in
+              d *. ((0.5 *. (1. +. t)) +. (0.5 *. v *. (1. -. (t *. t)) *. du)))
+            dy xin
+      in
+      accumulate (x_id 0) dx
+    | Op.Linear _ ->
+      let xin = x 0 in
+      let w = param_of n in
+      let infe = Shape.dim (Tensor.shape w) 0 in
+      let outf = Shape.dim (Tensor.shape w) 1 in
+      let batch = Tensor.numel xin / infe in
+      let x2 = Tensor.reshape xin (Shape.matrix batch infe) in
+      let dy2 = Tensor.reshape dy (Shape.matrix batch outf) in
+      accumulate_param n.Graph.node_name (bmm ~ta:true x2 dy2);
+      accumulate (x_id 0)
+        (Tensor.reshape (bmm ~tb:true dy2 w) (Tensor.shape xin))
+    | Op.Matmul { transpose_b } ->
+      let a = x 0 and b = x 1 in
+      if transpose_b then begin
+        (* y = a b^T: da = dy b; db = dy^T a *)
+        accumulate (x_id 0) (bmm dy b);
+        accumulate (x_id 1) (bmm ~ta:true dy a)
+      end
+      else begin
+        (* y = a b: da = dy b^T; db = a^T dy *)
+        accumulate (x_id 0) (bmm ~tb:true dy b);
+        accumulate (x_id 1) (bmm ~ta:true a dy)
+      end
+    | Op.Conv2d { kh; kw; stride; padding; groups; cout } ->
+      let xin = x 0 in
+      let w = param_of n in
+      let nb, cin, h, wd = nchw xin in
+      let _, _, oh, ow = nchw dy in
+      let cing = cin / groups and coutg = cout / groups in
+      let dx = zeros_like xin and dw = zeros_like w in
+      for ni = 0 to nb - 1 do
+        for co = 0 to cout - 1 do
+          let gidx = co / coutg in
+          for ohi = 0 to oh - 1 do
+            for owi = 0 to ow - 1 do
+              let d = Tensor.get dy [| ni; co; ohi; owi |] in
+              if d <> 0. then
+                for ci = 0 to cing - 1 do
+                  let cx = (gidx * cing) + ci in
+                  for khi = 0 to kh - 1 do
+                    let hi = (ohi * stride) + khi - padding in
+                    if hi >= 0 && hi < h then
+                      for kwi = 0 to kw - 1 do
+                        let wi = (owi * stride) + kwi - padding in
+                        if wi >= 0 && wi < wd then begin
+                          let xv = Tensor.get xin [| ni; cx; hi; wi |] in
+                          let wv = Tensor.get w [| co; ci; khi; kwi |] in
+                          Tensor.set dx [| ni; cx; hi; wi |]
+                            (Tensor.get dx [| ni; cx; hi; wi |] +. (d *. wv));
+                          Tensor.set dw [| co; ci; khi; kwi |]
+                            (Tensor.get dw [| co; ci; khi; kwi |] +. (d *. xv))
+                        end
+                      done
+                  done
+                done
+            done
+          done
+        done
+      done;
+      accumulate_param n.Graph.node_name dw;
+      accumulate (x_id 0) dx
+    | Op.Pool { kind; kernel; stride } ->
+      let xin = x 0 in
+      let nb, c, h, w = nchw xin in
+      ignore (h, w);
+      let _, _, oh, ow = nchw dy in
+      let dx = zeros_like xin in
+      for ni = 0 to nb - 1 do
+        for ci = 0 to c - 1 do
+          for ohi = 0 to oh - 1 do
+            for owi = 0 to ow - 1 do
+              let d = Tensor.get dy [| ni; ci; ohi; owi |] in
+              (match kind with
+              | Op.Avg_pool ->
+                let share = d /. float_of_int (kernel * kernel) in
+                for khi = 0 to kernel - 1 do
+                  for kwi = 0 to kernel - 1 do
+                    let hi = (ohi * stride) + khi
+                    and wi = (owi * stride) + kwi in
+                    Tensor.set dx [| ni; ci; hi; wi |]
+                      (Tensor.get dx [| ni; ci; hi; wi |] +. share)
+                  done
+                done
+              | Op.Max_pool ->
+                (* route to the arg-max of the window *)
+                let best = ref neg_infinity and bh = ref 0 and bw = ref 0 in
+                for khi = 0 to kernel - 1 do
+                  for kwi = 0 to kernel - 1 do
+                    let hi = (ohi * stride) + khi
+                    and wi = (owi * stride) + kwi in
+                    let v = Tensor.get xin [| ni; ci; hi; wi |] in
+                    if v > !best then begin
+                      best := v;
+                      bh := hi;
+                      bw := wi
+                    end
+                  done
+                done;
+                Tensor.set dx [| ni; ci; !bh; !bw |]
+                  (Tensor.get dx [| ni; ci; !bh; !bw |] +. d))
+            done
+          done
+        done
+      done;
+      accumulate (x_id 0) dx
+    | Op.Global_avg_pool ->
+      let xin = x 0 in
+      let nb, c, h, w = nchw xin in
+      let dx = zeros_like xin in
+      let scale = 1. /. float_of_int (h * w) in
+      for ni = 0 to nb - 1 do
+        for ci = 0 to c - 1 do
+          let d = Tensor.get dy [| ni; ci |] *. scale in
+          for hi = 0 to h - 1 do
+            for wi = 0 to w - 1 do
+              Tensor.set dx [| ni; ci; hi; wi |] d
+            done
+          done
+        done
+      done;
+      accumulate (x_id 0) dx
+    | Op.Softmax ->
+      (* dx = s * (dy - sum(dy * s)) per row *)
+      let s = value n.Graph.id in
+      let dims = Shape.to_list (Tensor.shape s) in
+      let cols = List.hd (List.rev dims) in
+      let rows = Tensor.numel s / cols in
+      let dx = zeros_like s in
+      let sd = Tensor.data s and dyd = Tensor.data dy and dxd = Tensor.data dx in
+      for r = 0 to rows - 1 do
+        let base = r * cols in
+        let dot = ref 0. in
+        for j = 0 to cols - 1 do
+          dot := !dot +. (dyd.(base + j) *. sd.(base + j))
+        done;
+        for j = 0 to cols - 1 do
+          dxd.(base + j) <- sd.(base + j) *. (dyd.(base + j) -. !dot)
+        done
+      done;
+      accumulate (x_id 0) dx
+    | Op.Layer_norm ->
+      let xin = x 0 in
+      let y = value n.Graph.id in
+      let dims = Shape.to_list (Tensor.shape xin) in
+      let cols = List.hd (List.rev dims) in
+      let rows = Tensor.numel xin / cols in
+      let eps = 1e-5 in
+      let dx = zeros_like xin in
+      let xd = Tensor.data xin and yd = Tensor.data y in
+      let dyd = Tensor.data dy and dxd = Tensor.data dx in
+      let fcols = float_of_int cols in
+      for r = 0 to rows - 1 do
+        let base = r * cols in
+        let mean = ref 0. in
+        for j = 0 to cols - 1 do
+          mean := !mean +. xd.(base + j)
+        done;
+        let mean = !mean /. fcols in
+        let var = ref 0. in
+        for j = 0 to cols - 1 do
+          let d = xd.(base + j) -. mean in
+          var := !var +. (d *. d)
+        done;
+        let inv = 1. /. sqrt ((!var /. fcols) +. eps) in
+        let mean_dy = ref 0. and mean_dyy = ref 0. in
+        for j = 0 to cols - 1 do
+          mean_dy := !mean_dy +. dyd.(base + j);
+          mean_dyy := !mean_dyy +. (dyd.(base + j) *. yd.(base + j))
+        done;
+        let mean_dy = !mean_dy /. fcols and mean_dyy = !mean_dyy /. fcols in
+        for j = 0 to cols - 1 do
+          dxd.(base + j) <-
+            inv
+            *. (dyd.(base + j) -. mean_dy -. (yd.(base + j) *. mean_dyy))
+        done
+      done;
+      accumulate (x_id 0) dx
+    | Op.Batch_norm ->
+      (* inference form: y = (x - mu)/sigma * gamma + beta with frozen
+         mu/sigma; gradients to x, gamma, beta *)
+      let xin = x 0 in
+      let w = param_of n in
+      let nb, c, h, wd = nchw xin in
+      let eps = 1e-5 in
+      let row r i = Tensor.get w [| r; i |] in
+      let dwp = zeros_like w in
+      let dx = zeros_like xin in
+      for ci = 0 to c - 1 do
+        let mu = row 0 ci in
+        let sigma = sqrt (Float.abs (row 1 ci) +. eps) in
+        let gamma = row 2 ci in
+        let dgamma = ref 0. and dbeta = ref 0. in
+        for ni = 0 to nb - 1 do
+          for hi = 0 to h - 1 do
+            for wi = 0 to wd - 1 do
+              let d = Tensor.get dy [| ni; ci; hi; wi |] in
+              let xv = Tensor.get xin [| ni; ci; hi; wi |] in
+              Tensor.set dx [| ni; ci; hi; wi |] (d *. gamma /. sigma);
+              dgamma := !dgamma +. (d *. (xv -. mu) /. sigma);
+              dbeta := !dbeta +. d
+            done
+          done
+        done;
+        Tensor.set dwp [| 2; ci |] !dgamma;
+        Tensor.set dwp [| 3; ci |] !dbeta
+      done;
+      accumulate_param n.Graph.node_name dwp;
+      accumulate (x_id 0) dx
+    | Op.Upsample { factor } ->
+      (* gradient of nearest upsample: sum each f x f output block back
+         into its source pixel *)
+      let dx = zeros_like (x 0) in
+      Tensor.iteri
+        (fun idx v ->
+          let src =
+            [| idx.(0); idx.(1); idx.(2) / factor; idx.(3) / factor |]
+          in
+          Tensor.set dx src (Tensor.get dx src +. v))
+        dy;
+      accumulate (x_id 0) dx
+    | Op.Concat { axis } ->
+      let offset = ref 0 in
+      List.iter
+        (fun input ->
+          let xt = value input in
+          let d = Shape.dim (Tensor.shape xt) axis in
+          let slice =
+            Tensor.init ~dtype:Ascend_arch.Precision.Fp32 (Tensor.shape xt)
+              (fun idx ->
+                let idx' = Array.copy idx in
+                idx'.(axis) <- idx'.(axis) + !offset;
+                Tensor.get dy idx')
+          in
+          offset := !offset + d;
+          accumulate input slice)
+        n.Graph.inputs
+    | Op.Embedding { vocab_size; hidden } ->
+      let ids = x 0 in
+      let dtab =
+        Tensor.create ~dtype:Ascend_arch.Precision.Fp32
+          (Shape.matrix vocab_size hidden)
+      in
+      let idd = Tensor.data ids in
+      let dyd = Tensor.data dy and dtd = Tensor.data dtab in
+      Array.iteri
+        (fun i idv ->
+          let id = max 0 (min (vocab_size - 1) (int_of_float idv)) in
+          for j = 0 to hidden - 1 do
+            dtd.((id * hidden) + j) <-
+              dtd.((id * hidden) + j) +. dyd.((i * hidden) + j)
+          done)
+        idd;
+      accumulate_param n.Graph.node_name dtab
+  in
+  (* reverse topological order = reverse declaration order *)
+  List.iter
+    (fun (n : Graph.node) ->
+      match Hashtbl.find_opt grads n.Graph.id with
+      | Some dy -> backprop n dy
+      | None -> ())
+    (List.rev (Graph.nodes g));
+  let input_grads =
+    List.filter_map
+      (fun (n : Graph.node) ->
+        match n.Graph.op with
+        | Op.Input -> (
+          match Hashtbl.find_opt grads n.Graph.id with
+          | Some gt -> Some (n.Graph.node_name, gt)
+          | None -> None)
+        | _ -> None)
+      (Graph.nodes g)
+  in
+  {
+    input_grads;
+    param_grads = Hashtbl.fold (fun k v acc -> (k, v) :: acc) param_grads [];
+  }
+
+let loss g params ~inputs =
+  match Eval.run g params ~inputs with
+  | [ (_, t) ] -> Tensor.fold ( +. ) 0. t
+  | _ -> invalid_arg "Autodiff.loss: expected one output"
+
+let numeric_param_grad g params ~inputs ~param ~index ?(eps = 1e-4) () =
+  match Eval.find_param params param with
+  | None -> invalid_arg ("Autodiff.numeric_param_grad: no parameter " ^ param)
+  | Some t ->
+    let original = Tensor.get_flat t index in
+    Tensor.set_flat t index (original +. eps);
+    let up = loss g params ~inputs in
+    Tensor.set_flat t index (original -. eps);
+    let down = loss g params ~inputs in
+    Tensor.set_flat t index original;
+    (up -. down) /. (2. *. eps)

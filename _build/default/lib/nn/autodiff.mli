@@ -1,0 +1,40 @@
+(** Reverse-mode automatic differentiation over the layer IR.
+
+    This is the numeric ground truth behind the workload-level backward
+    model in {!Training}: gradients computed here are validated against
+    finite differences by property tests, and the GEMM structure of each
+    op's gradient (dX = dY.W^T, dW = X^T.dY) is exactly what
+    {!Training.backward_of_node} charges to the cube.
+
+    Supported: every operator the zoo uses.  Batch_norm differentiates
+    in its inference form (frozen statistics): gradients flow to gamma /
+    beta and through the normalisation, not to the running moments. *)
+
+type gradients = {
+  input_grads : (string * Ascend_tensor.Tensor.t) list;
+      (** by input-node name *)
+  param_grads : (string * Ascend_tensor.Tensor.t) list;
+      (** by parameter (node) name; same shapes as the parameters *)
+}
+
+val backward :
+  Graph.t -> Eval.params ->
+  inputs:(string * Ascend_tensor.Tensor.t) list ->
+  ?loss_grad:Ascend_tensor.Tensor.t ->
+  unit -> gradients
+(** Forward-evaluate, then backpropagate from the (single) output node.
+    [loss_grad] defaults to all-ones (i.e. the loss is the sum of the
+    output entries).  Raises [Invalid_argument] on shape mismatch, a
+    missing input, or a graph with no output. *)
+
+val loss :
+  Graph.t -> Eval.params ->
+  inputs:(string * Ascend_tensor.Tensor.t) list -> float
+(** Sum of the output tensor — the scalar the default [backward]
+    differentiates; used by the finite-difference tests. *)
+
+val numeric_param_grad :
+  Graph.t -> Eval.params ->
+  inputs:(string * Ascend_tensor.Tensor.t) list ->
+  param:string -> index:int -> ?eps:float -> unit -> float
+(** Central finite difference of {!loss} w.r.t. one parameter entry. *)

@@ -1,0 +1,75 @@
+module Shape = Ascend_tensor.Shape
+
+type config = {
+  layers : int;
+  hidden : int;
+  heads : int;
+  intermediate : int;
+  vocab_size : int;
+  max_position : int;
+}
+
+let base_config =
+  { layers = 12; hidden = 768; heads = 12; intermediate = 3072;
+    vocab_size = 30522; max_position = 512 }
+
+let large_config =
+  { layers = 24; hidden = 1024; heads = 16; intermediate = 4096;
+    vocab_size = 30522; max_position = 512 }
+
+let encoder_block g ~cfg ~batch ~seq ~tag x =
+  let { hidden; heads; intermediate; _ } = cfg in
+  let d = hidden / heads in
+  let tokens = batch * seq in
+  let q = Graph.linear g ~name:(tag ^ ".q") ~out_features:hidden x in
+  let k = Graph.linear g ~name:(tag ^ ".k") ~out_features:hidden x in
+  let v = Graph.linear g ~name:(tag ^ ".v") ~out_features:hidden x in
+  let split nm n = Graph.reshape g ~name:(tag ^ nm) [ batch * heads; seq; d ] n in
+  let qh = split ".q.split" q in
+  let kh = split ".k.split" k in
+  let vh = split ".v.split" v in
+  let scores =
+    Graph.matmul g ~name:(tag ^ ".scores") ~transpose_b:true qh kh
+  in
+  let probs = Graph.softmax g ~name:(tag ^ ".probs") scores in
+  let ctx = Graph.matmul g ~name:(tag ^ ".context") probs vh in
+  let merged = Graph.reshape g ~name:(tag ^ ".merge") [ tokens; hidden ] ctx in
+  let attn_out = Graph.linear g ~name:(tag ^ ".attn.out") ~out_features:hidden merged in
+  let res1 = Graph.add g ~name:(tag ^ ".attn.residual") attn_out x in
+  let ln1 = Graph.layer_norm g ~name:(tag ^ ".attn.ln") res1 in
+  let ffn1 = Graph.linear g ~name:(tag ^ ".ffn.1") ~out_features:intermediate ln1 in
+  let act = Graph.gelu g ~name:(tag ^ ".ffn.gelu") ffn1 in
+  let ffn2 = Graph.linear g ~name:(tag ^ ".ffn.2") ~out_features:hidden act in
+  let res2 = Graph.add g ~name:(tag ^ ".ffn.residual") ffn2 ln1 in
+  Graph.layer_norm g ~name:(tag ^ ".ffn.ln") res2
+
+let build ?(batch = 1) ?(seq_len = 128) ?(dtype = Ascend_arch.Precision.Fp16)
+    cfg =
+  if cfg.hidden mod cfg.heads <> 0 then
+    invalid_arg "Bert.build: hidden not divisible by heads";
+  if seq_len > cfg.max_position then
+    invalid_arg "Bert.build: seq_len exceeds max_position";
+  let g = Graph.create ~name:"bert" ~dtype in
+  let ids = Graph.input g ~name:"input_ids" (Shape.matrix batch seq_len) in
+  let emb =
+    Graph.embedding g ~name:"embeddings" ~vocab_size:cfg.vocab_size
+      ~hidden:cfg.hidden ids
+  in
+  let emb_ln = Graph.layer_norm g ~name:"embeddings.ln" emb in
+  let x =
+    Graph.reshape g ~name:"tokens" [ batch * seq_len; cfg.hidden ] emb_ln
+  in
+  let x = ref x in
+  for layer = 0 to cfg.layers - 1 do
+    x :=
+      encoder_block g ~cfg ~batch ~seq:seq_len
+        ~tag:(Printf.sprintf "layer%d" layer)
+        !x
+  done;
+  let pooled = Graph.linear g ~name:"pooler" ~out_features:cfg.hidden !x in
+  let tanh = Graph.activation g ~name:"pooler.tanh" Op.Tanh pooled in
+  ignore (Graph.output g ~name:"encoded" tanh);
+  g
+
+let large ?batch ?seq_len ?dtype () = build ?batch ?seq_len ?dtype large_config
+let base ?batch ?seq_len ?dtype () = build ?batch ?seq_len ?dtype base_config

@@ -1,0 +1,34 @@
+(** BERT encoder stacks (the paper's Table 7 / Figures 4, 5, 9 workload).
+
+    Attention is expressed with explicit batched Matmul nodes so the
+    profiler sees the b*heads GEMMs of s x d x s; [Reshape] nodes in this
+    IR are element-order reinterpretations (head split/merge), which is
+    exact for workload purposes. *)
+
+type config = {
+  layers : int;
+  hidden : int;
+  heads : int;
+  intermediate : int;
+  vocab_size : int;
+  max_position : int;
+}
+
+val base_config : config
+(** 12 layers, hidden 768, 12 heads. *)
+
+val large_config : config
+(** 24 layers, hidden 1024, 16 heads — "BertLarge" of Table 7. *)
+
+val build :
+  ?batch:int -> ?seq_len:int -> ?dtype:Ascend_arch.Precision.t ->
+  config -> Graph.t
+(** Default batch 1, seq_len 128, fp16. *)
+
+val large :
+  ?batch:int -> ?seq_len:int -> ?dtype:Ascend_arch.Precision.t -> unit ->
+  Graph.t
+
+val base :
+  ?batch:int -> ?seq_len:int -> ?dtype:Ascend_arch.Precision.t -> unit ->
+  Graph.t

@@ -1,0 +1,19 @@
+module Shape = Ascend_tensor.Shape
+
+let conv_relu g ?stride ?padding ~cout ~k ~tag x =
+  let c = Graph.conv2d g ~name:(tag ^ ".conv") ?stride ?padding ~cout ~k x in
+  Graph.relu g ~name:(tag ^ ".relu") c
+
+let build ?(batch = 1) () =
+  let g = Graph.create ~name:"swing_face_detect" ~dtype:Ascend_arch.Precision.Int8 in
+  let x = Graph.input g ~name:"frame" (Shape.nchw ~n:batch ~c:1 ~h:64 ~w:64) in
+  let x = conv_relu g ~padding:1 ~cout:8 ~k:3 ~tag:"stem" x in
+  let x = conv_relu g ~stride:2 ~padding:1 ~cout:16 ~k:3 ~tag:"down1" x in
+  let x = conv_relu g ~padding:1 ~cout:16 ~k:3 ~tag:"body1" x in
+  let x = conv_relu g ~stride:2 ~padding:1 ~cout:32 ~k:3 ~tag:"down2" x in
+  let x = conv_relu g ~padding:1 ~cout:32 ~k:3 ~tag:"body2" x in
+  (* anchor-free head: 1 face-score channel + 4 box offsets per cell *)
+  let head = Graph.conv2d g ~name:"head.conv" ~cout:5 ~k:1 x in
+  let score = Graph.activation g ~name:"head.sigmoid" Op.Sigmoid head in
+  ignore (Graph.output g ~name:"detections" score);
+  g

@@ -1,0 +1,7 @@
+(** "Swing Face Detection" (paper Table 1: the Ascend-Tiny always-on
+    workload next to gesture inference): a representative int8 anchor-
+    free face detector over a 64x64 grayscale frame producing a face
+    score/box map — topology is not published, so this is a small
+    fully-convolutional stand-in sized for the Tiny core's buffers. *)
+
+val build : ?batch:int -> unit -> Graph.t

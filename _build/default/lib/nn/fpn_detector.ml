@@ -1,0 +1,81 @@
+module Shape = Ascend_tensor.Shape
+
+let pyramid_channels = 256
+
+let conv_bn_relu g ?stride ?padding ~cout ~k ~tag x =
+  let c = Graph.conv2d g ~name:(tag ^ ".conv") ?stride ?padding ~cout ~k x in
+  let b = Graph.batch_norm g ~name:(tag ^ ".bn") c in
+  Graph.relu g ~name:(tag ^ ".relu") b
+
+let basic_block g ~tag ~cout ~stride ~project x =
+  let a = conv_bn_relu g ~stride ~padding:1 ~cout ~k:3 ~tag:(tag ^ ".a") x in
+  let b = Graph.conv2d g ~name:(tag ^ ".b.conv") ~padding:1 ~cout ~k:3 a in
+  let b = Graph.batch_norm g ~name:(tag ^ ".b.bn") b in
+  let shortcut =
+    if project then
+      Graph.batch_norm g
+        ~name:(tag ^ ".down.bn")
+        (Graph.conv2d g ~name:(tag ^ ".down.conv") ~stride ~cout ~k:1 x)
+    else x
+  in
+  Graph.relu g ~name:(tag ^ ".out") (Graph.add g ~name:(tag ^ ".add") b shortcut)
+
+let build ?(batch = 1) ?(dtype = Ascend_arch.Precision.Fp16) () =
+  let g = Graph.create ~name:"fpn_detector" ~dtype in
+  let x = Graph.input g ~name:"image" (Shape.nchw ~n:batch ~c:3 ~h:512 ~w:512) in
+  (* backbone: ResNet-18 topology with taps after each stage *)
+  let x = conv_bn_relu g ~stride:2 ~padding:3 ~cout:64 ~k:7 ~tag:"stem" x in
+  (* 2x2 pool keeps every pyramid level a power of two so the top-down
+     upsample+add shapes line up *)
+  let x = Graph.max_pool g ~name:"stem.pool" ~kernel:2 ~stride:2 x in
+  let stage tag cout stride x =
+    let x = basic_block g ~tag:(tag ^ ".0") ~cout ~stride ~project:true x in
+    basic_block g ~tag:(tag ^ ".1") ~cout ~stride:1 ~project:false x
+  in
+  let c2 = stage "layer1" 64 1 x in
+  let c3 = stage "layer2" 128 2 c2 in
+  let c4 = stage "layer3" 256 2 c3 in
+  let c5 = stage "layer4" 512 2 c4 in
+  (* FPN: lateral 1x1s, top-down upsample+add, 3x3 smoothing *)
+  let lateral tag c = Graph.conv2d g ~name:(tag ^ ".lateral") ~cout:pyramid_channels ~k:1 c in
+  let p5 = lateral "p5" c5 in
+  let top_down tag upper lateral_feat =
+    let up = Graph.upsample g ~name:(tag ^ ".upsample") ~factor:2 upper in
+    Graph.add g ~name:(tag ^ ".merge") up lateral_feat
+  in
+  let p4 = top_down "p4" p5 (lateral "p4" c4) in
+  let p3 = top_down "p3" p4 (lateral "p3" c3) in
+  let p2 = top_down "p2" p3 (lateral "p2" c2) in
+  let smooth tag p =
+    Graph.conv2d g ~name:(tag ^ ".smooth") ~padding:1 ~cout:pyramid_channels ~k:3 p
+  in
+  let pyramid = [ ("p2", smooth "p2" p2); ("p3", smooth "p3" p3);
+                  ("p4", smooth "p4" p4); ("p5", smooth "p5" p5) ] in
+  (* shared RPN head per level: 3x3 conv + 1x1 objectness (3 anchors) and
+     1x1 box regression (12 channels), flattened and concatenated *)
+  let rpn_outputs =
+    List.concat_map
+      (fun (tag, p) ->
+        let h = conv_bn_relu g ~padding:1 ~cout:pyramid_channels ~k:3
+            ~tag:("rpn." ^ tag) p
+        in
+        let obj = Graph.conv2d g ~name:("rpn." ^ tag ^ ".obj") ~cout:3 ~k:1 h in
+        let box = Graph.conv2d g ~name:("rpn." ^ tag ^ ".box") ~cout:12 ~k:1 h in
+        let flat node =
+          let shape = (Graph.find g node).Graph.out_shape in
+          Graph.reshape g [ batch; Shape.numel shape / batch ] node
+        in
+        [ flat obj; flat box ])
+      pyramid
+  in
+  let proposals = Graph.concat g ~name:"rpn.proposals" ~axis:1 rpn_outputs in
+  (* RoI-head stand-in: the pooled classification branch *)
+  let pooled =
+    Graph.global_avg_pool g ~name:"roi.pool" (List.assoc "p2" pyramid)
+  in
+  let cls = Graph.linear g ~name:"roi.cls" ~out_features:81 pooled in
+  let cls = Graph.softmax g ~name:"roi.prob" cls in
+  let cls_flat = Graph.reshape g [ batch; 81 ] cls in
+  let out = Graph.concat g ~name:"detections" ~axis:1 [ proposals; cls_flat ] in
+  ignore (Graph.output g ~name:"outputs" out);
+  g

@@ -1,0 +1,13 @@
+(** Two-stage detector backbone+neck+RPN in the Mask-RCNN family (paper
+    Table 1: "MaskRCNN Series" are Ascend / Ascend 910 workloads): a
+    ResNet-18 backbone tapped at four scales, an FPN top-down pathway
+    (lateral 1x1 convolutions + nearest upsample + add + smoothing 3x3),
+    and a shared RPN head emitting objectness/box maps per pyramid
+    level.  The RoI heads are represented by a pooled classification
+    branch (the dominant compute is the backbone + FPN + RPN). *)
+
+val build :
+  ?batch:int -> ?dtype:Ascend_arch.Precision.t -> unit -> Graph.t
+(** 512x512x3 input; P2..P5 pyramid with 256 channels. *)
+
+val pyramid_channels : int

@@ -1,0 +1,22 @@
+module Shape = Ascend_tensor.Shape
+
+let conv_relu g ?stride ?padding ~cout ~k ~tag x =
+  let c = Graph.conv2d g ~name:(tag ^ ".conv") ?stride ?padding ~cout ~k x in
+  Graph.relu g ~name:(tag ^ ".relu") c
+
+let build ?(batch = 1) () =
+  let g = Graph.create ~name:"gesture_net" ~dtype:Ascend_arch.Precision.Int8 in
+  let x = Graph.input g ~name:"frame" (Shape.nchw ~n:batch ~c:1 ~h:96 ~w:96) in
+  let x = conv_relu g ~stride:2 ~padding:1 ~cout:16 ~k:3 ~tag:"conv1" x in
+  let x = conv_relu g ~padding:1 ~cout:32 ~k:3 ~tag:"conv2" x in
+  let x = Graph.max_pool g ~name:"pool1" ~kernel:2 ~stride:2 x in
+  let x = conv_relu g ~padding:1 ~cout:64 ~k:3 ~tag:"conv3" x in
+  let x = Graph.max_pool g ~name:"pool2" ~kernel:2 ~stride:2 x in
+  let x = conv_relu g ~padding:1 ~cout:128 ~k:3 ~tag:"conv4" x in
+  let x = conv_relu g ~padding:1 ~cout:128 ~k:3 ~tag:"conv5" x in
+  let x = Graph.global_avg_pool g ~name:"gap" x in
+  (* classification by raw logits; the argmax runs on the scalar unit,
+     keeping every profiled layer cube-anchored as in Figure 8 *)
+  let x = Graph.linear g ~name:"fc" ~out_features:10 x in
+  ignore (Graph.output g ~name:"gesture" x);
+  g

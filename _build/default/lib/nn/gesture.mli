@@ -1,0 +1,9 @@
+(** Gesture-inference CNN for the Ascend-Tiny scenario (paper §2.4,
+    Figure 8): an int8 always-on network for mobile wake-up and
+    human-computer interaction.  Huawei does not publish the topology, so
+    this is a representative small CNN of regular (cube-friendly)
+    convolutions over a 96x96 grayscale frame — every layer's
+    cube/vector ratio stays above 1, matching Figure 8. *)
+
+val build : ?batch:int -> unit -> Graph.t
+(** int8 graph, 10 gesture classes. *)

@@ -1,0 +1,56 @@
+module Shape = Ascend_tensor.Shape
+
+let round_channels ~width_mult c =
+  (* round to a multiple of 8, never dropping more than 10% *)
+  let v = float_of_int c *. width_mult in
+  let rounded = max 8 (int_of_float ((v +. 4.) /. 8.) * 8) in
+  if float_of_int rounded < 0.9 *. v then rounded + 8 else rounded
+
+let conv_bn g ?stride ?padding ?groups ~cout ~k ~tag ~act x =
+  let c = Graph.conv2d g ~name:(tag ^ ".conv") ?stride ?padding ?groups ~cout ~k x in
+  let b = Graph.batch_norm g ~name:(tag ^ ".bn") c in
+  if act then Graph.relu6 g ~name:(tag ^ ".relu6") b else b
+
+let inverted_residual g ~tag ~cin ~cout ~stride ~expand x =
+  let cmid = cin * expand in
+  let h =
+    if expand = 1 then x
+    else conv_bn g ~cout:cmid ~k:1 ~tag:(tag ^ ".expand") ~act:true x
+  in
+  let h =
+    conv_bn g ~stride ~padding:1 ~groups:cmid ~cout:cmid ~k:3
+      ~tag:(tag ^ ".dw") ~act:true h
+  in
+  let h = conv_bn g ~cout ~k:1 ~tag:(tag ^ ".project") ~act:false h in
+  if stride = 1 && cin = cout then Graph.add g ~name:(tag ^ ".add") h x else h
+
+(* (expand, cout, repeats, stride) per the MobileNetV2 paper, Table 2 *)
+let blocks_spec =
+  [ (1, 16, 1, 1); (6, 24, 2, 2); (6, 32, 3, 2); (6, 64, 4, 2);
+    (6, 96, 3, 1); (6, 160, 3, 2); (6, 320, 1, 1) ]
+
+let v2 ?(batch = 1) ?(width_mult = 1.0) ?(dtype = Ascend_arch.Precision.Fp16) () =
+  let g = Graph.create ~name:"mobilenet_v2" ~dtype in
+  let rc = round_channels ~width_mult in
+  let x = Graph.input g ~name:"image" (Shape.nchw ~n:batch ~c:3 ~h:224 ~w:224) in
+  let c_stem = rc 32 in
+  let x = conv_bn g ~stride:2 ~padding:1 ~cout:c_stem ~k:3 ~tag:"stem" ~act:true x in
+  let cin = ref c_stem in
+  let x = ref x in
+  List.iteri
+    (fun stage_i (expand, cout, repeats, stride) ->
+      let cout = rc cout in
+      for rep = 0 to repeats - 1 do
+        let tag = Printf.sprintf "block%d.%d" stage_i rep in
+        let s = if rep = 0 then stride else 1 in
+        x := inverted_residual g ~tag ~cin:!cin ~cout ~stride:s ~expand !x;
+        cin := cout
+      done)
+    blocks_spec;
+  let c_head = max 1280 (rc 1280) in
+  let x = conv_bn g ~cout:c_head ~k:1 ~tag:"head" ~act:true !x in
+  let x = Graph.global_avg_pool g ~name:"gap" x in
+  let x = Graph.linear g ~name:"classifier" ~out_features:1000 x in
+  let x = Graph.softmax g ~name:"prob" x in
+  ignore (Graph.output g ~name:"logits" x);
+  g

@@ -1,0 +1,9 @@
+(** MobileNet-V2 (Howard et al. [31]; the paper's Table 8 / Figure 6
+    workload).  Inverted-residual blocks: 1x1 expand, 3x3 depthwise (which
+    executes on the vector unit — the source of MobileNet's low
+    cube/vector ratio), 1x1 project. *)
+
+val v2 :
+  ?batch:int -> ?width_mult:float -> ?dtype:Ascend_arch.Precision.t -> unit ->
+  Graph.t
+(** 224x224x3 input, 1000-class head.  Default batch 1, width 1.0, fp16. *)

@@ -1,0 +1,182 @@
+module Shape = Ascend_tensor.Shape
+
+type pool_kind = Max_pool | Avg_pool
+
+type activation = Relu | Relu6 | Gelu | Sigmoid | Tanh
+
+type t =
+  | Input
+  | Conv2d of {
+      cout : int;
+      kh : int;
+      kw : int;
+      stride : int;
+      padding : int;
+      groups : int;
+    }
+  | Linear of { out_features : int }
+  | Matmul of { transpose_b : bool }
+  | Pool of { kind : pool_kind; kernel : int; stride : int }
+  | Global_avg_pool
+  | Activation of activation
+  | Batch_norm
+  | Layer_norm
+  | Softmax
+  | Add
+  | Mul
+  | Concat of { axis : int }
+  | Embedding of { vocab_size : int; hidden : int }
+  | Upsample of { factor : int }
+  | Reshape of int list
+  | Transpose_last_two
+  | Output
+
+let activation_name = function
+  | Relu -> "relu"
+  | Relu6 -> "relu6"
+  | Gelu -> "gelu"
+  | Sigmoid -> "sigmoid"
+  | Tanh -> "tanh"
+
+let name = function
+  | Input -> "input"
+  | Conv2d { kh; kw; groups; _ } ->
+    if groups > 1 then Printf.sprintf "dwconv%dx%d" kh kw
+    else Printf.sprintf "conv%dx%d" kh kw
+  | Linear _ -> "linear"
+  | Matmul _ -> "matmul"
+  | Pool { kind = Max_pool; _ } -> "maxpool"
+  | Pool { kind = Avg_pool; _ } -> "avgpool"
+  | Global_avg_pool -> "gap"
+  | Activation a -> activation_name a
+  | Batch_norm -> "batchnorm"
+  | Layer_norm -> "layernorm"
+  | Softmax -> "softmax"
+  | Add -> "add"
+  | Mul -> "mul"
+  | Concat _ -> "concat"
+  | Embedding _ -> "embedding"
+  | Upsample { factor } -> Printf.sprintf "upsample%dx" factor
+  | Reshape _ -> "reshape"
+  | Transpose_last_two -> "transpose"
+  | Output -> "output"
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let fail op msg shapes =
+  invalid_arg
+    (Printf.sprintf "Op.infer_shape: %s: %s (inputs: %s)" (name op) msg
+       (String.concat ", " (List.map Shape.to_string shapes)))
+
+let infer_shape op inputs =
+  match (op, List.map Shape.to_list inputs) with
+  | Input, [ dims ] -> Shape.of_list dims
+  | Conv2d { cout; kh; kw; stride; padding; groups }, [ [ n; cin; h; w ] ] ->
+    if cin mod groups <> 0 || cout mod groups <> 0 then
+      fail op "channels not divisible by groups" inputs;
+    let oh, ow =
+      Ascend_tensor.Ops.conv_output_hw ~h ~w ~kh ~kw ~stride ~padding
+    in
+    Shape.nchw ~n ~c:cout ~h:oh ~w:ow
+  | Linear { out_features }, [ dims ] when dims <> [] ->
+    let rev = List.rev dims in
+    Shape.of_list (List.rev (out_features :: List.tl rev))
+  | Matmul { transpose_b }, [ a; b ] ->
+    let ra = List.length a and rb = List.length b in
+    if ra < 2 || rb < 2 then fail op "rank < 2" inputs;
+    let rev_a = List.rev a and rev_b = List.rev b in
+    let ka = List.hd rev_a and m = List.hd (List.tl rev_a) in
+    let last_b = List.hd rev_b and pre_b = List.hd (List.tl rev_b) in
+    let kb, n = if transpose_b then (last_b, pre_b) else (pre_b, last_b) in
+    if ka <> kb then fail op "inner dimensions differ" inputs;
+    let batch_a = List.rev (List.tl (List.tl rev_a)) in
+    let batch_b = List.rev (List.tl (List.tl rev_b)) in
+    if batch_a <> batch_b then fail op "batch dimensions differ" inputs;
+    Shape.of_list (batch_a @ [ m; n ])
+  | Pool { kernel; stride; _ }, [ [ n; c; h; w ] ] ->
+    let oh, ow =
+      Ascend_tensor.Ops.conv_output_hw ~h ~w ~kh:kernel ~kw:kernel ~stride
+        ~padding:0
+    in
+    Shape.nchw ~n ~c ~h:oh ~w:ow
+  | Global_avg_pool, [ [ n; c; _h; _w ] ] -> Shape.matrix n c
+  | (Activation _ | Batch_norm | Layer_norm | Softmax | Output), [ dims ] ->
+    Shape.of_list dims
+  | (Add | Mul), [ a; b ] ->
+    if a <> b then fail op "operand shapes differ" inputs;
+    Shape.of_list a
+  | Concat { axis }, (first :: _ :: _ as all) ->
+    let rank = List.length first in
+    if axis < 0 || axis >= rank then fail op "axis out of range" inputs;
+    let sum = ref 0 in
+    List.iter
+      (fun dims ->
+        if List.length dims <> rank then fail op "rank mismatch" inputs;
+        List.iteri
+          (fun i d ->
+            if i = axis then sum := !sum + d
+            else if d <> List.nth first i then fail op "dim mismatch" inputs)
+          dims)
+      all;
+    Shape.of_list (List.mapi (fun i d -> if i = axis then !sum else d) first)
+  | Embedding { hidden; _ }, [ dims ] -> Shape.of_list (dims @ [ hidden ])
+  | Upsample { factor }, [ [ n; c; h; w ] ] ->
+    if factor < 1 then fail op "factor < 1" inputs;
+    Shape.nchw ~n ~c ~h:(h * factor) ~w:(w * factor)
+  | Reshape target, [ dims ] ->
+    let n = List.fold_left ( * ) 1 dims in
+    let n' = List.fold_left ( * ) 1 target in
+    if n <> n' then fail op "element count mismatch" inputs;
+    Shape.of_list target
+  | Transpose_last_two, [ dims ] when List.length dims >= 2 ->
+    let rev = List.rev dims in
+    (match rev with
+    | a :: b :: rest -> Shape.of_list (List.rev (b :: a :: rest))
+    | _ -> fail op "rank < 2" inputs)
+  | _, _ -> fail op "wrong number or rank of inputs" inputs
+
+let arity = function
+  | Matmul _ | Add | Mul | Concat _ -> 2
+  | Input | Conv2d _ | Linear _ | Pool _ | Global_avg_pool | Activation _
+  | Batch_norm | Layer_norm | Softmax | Embedding _ | Upsample _ | Reshape _
+  | Transpose_last_two | Output ->
+    1
+
+let weight_shape op ~input =
+  match (op, Shape.to_list input) with
+  | Conv2d { cout; kh; kw; groups; _ }, [ _n; cin; _h; _w ] ->
+    Some (Shape.of_list [ cout; cin / groups; kh; kw ])
+  | Linear { out_features }, dims when dims <> [] ->
+    let in_features = List.hd (List.rev dims) in
+    Some (Shape.matrix in_features out_features)
+  | Embedding { vocab_size; hidden }, _ -> Some (Shape.matrix vocab_size hidden)
+  | Batch_norm, [ _; c; _; _ ] -> Some (Shape.matrix 4 c)
+      (* mean, var, gamma, beta rows *)
+  | _, _ -> None
+
+let is_cube_op = function
+  | Conv2d { groups; cout; _ } -> groups = 1 || groups < cout
+      (* grouped but not depthwise convs still map to per-group GEMMs *)
+  | Linear _ | Matmul _ -> true
+  | Input | Pool _ | Global_avg_pool | Activation _ | Batch_norm | Layer_norm
+  | Softmax | Add | Mul | Concat _ | Embedding _ | Upsample _ | Reshape _
+  | Transpose_last_two | Output ->
+    false
+
+let vector_passes = function
+  | Activation Relu -> 1.
+  | Activation Relu6 -> 1.
+  | Activation (Sigmoid | Tanh) -> 4.
+  | Activation Gelu -> 6.
+  | Batch_norm -> 2.
+  | Layer_norm -> 5.
+  | Softmax -> 4.
+  | Add | Mul -> 1.
+  | Concat _ -> 1.
+  | Global_avg_pool -> 1.
+  | Pool { kernel; _ } -> float_of_int (kernel * kernel)
+  | Embedding _ -> 1.
+  | Upsample _ -> 1.
+  | Reshape _ | Transpose_last_two -> 1.
+  | Input | Output -> 0.
+  | Conv2d _ | Linear _ | Matmul _ -> 0.

@@ -1,0 +1,66 @@
+(** Operator vocabulary of the layer IR, with shape inference.
+
+    Operators map onto the Ascend execution units per the paper's Table 2:
+    convolution / FC / matmul run on the cube; normalisation, activation,
+    format transfer, pooling and elementwise arithmetic run on the vector
+    unit; control stays on the scalar unit.  Depthwise convolution has no
+    profitable cube mapping (k = 1 per channel) and executes on the vector
+    unit — the reason MobileNet is vector-hungry in Figure 6. *)
+
+type pool_kind = Max_pool | Avg_pool
+
+type activation = Relu | Relu6 | Gelu | Sigmoid | Tanh
+
+type t =
+  | Input
+  | Conv2d of {
+      cout : int;
+      kh : int;
+      kw : int;
+      stride : int;
+      padding : int;
+      groups : int;
+    }
+  | Linear of { out_features : int }
+  | Matmul of { transpose_b : bool }
+      (** two-input GEMM on the trailing two dims; leading dims must agree
+          and are treated as batch. *)
+  | Pool of { kind : pool_kind; kernel : int; stride : int }
+  | Global_avg_pool
+  | Activation of activation
+  | Batch_norm  (** inference-folded scale + shift *)
+  | Layer_norm
+  | Softmax     (** over the last dimension *)
+  | Add
+  | Mul
+  | Concat of { axis : int }
+  | Embedding of { vocab_size : int; hidden : int }
+  | Upsample of { factor : int }
+      (** nearest-neighbour spatial upsample of an NCHW tensor — the FPN
+          top-down pathway; executes on the vector unit as a format
+          transfer *)
+  | Reshape of int list
+  | Transpose_last_two
+  | Output
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+val infer_shape : t -> Ascend_tensor.Shape.t list -> Ascend_tensor.Shape.t
+(** Output shape from input shapes.  Raises [Invalid_argument] with a
+    descriptive message when the operator/shape combination is illegal. *)
+
+val arity : t -> int
+(** Expected number of inputs (2 for Matmul/Add/Mul, 1 otherwise; Concat
+    accepts >= 2 and reports 2). *)
+
+val weight_shape : t -> input:Ascend_tensor.Shape.t -> Ascend_tensor.Shape.t option
+(** Shape of the learned parameter tensor, if the op has one. *)
+
+val is_cube_op : t -> bool
+(** True when the op's bulk compute maps to the cube unit (depthwise
+    convolutions return false). *)
+
+val vector_passes : t -> float
+(** Average number of read-modify-write passes the vector unit makes over
+    the output elements (e.g. softmax makes ~4: max, exp-sub, sum, div). *)

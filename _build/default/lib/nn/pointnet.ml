@@ -1,0 +1,29 @@
+module Shape = Ascend_tensor.Shape
+
+let build ?(batch = 1) ?(points = 1024) ?(classes = 40)
+    ?(dtype = Ascend_arch.Precision.Fp16) () =
+  if points <= 0 || classes <= 0 then invalid_arg "Pointnet.build: bad sizes";
+  let g = Graph.create ~name:"pointnet" ~dtype in
+  (* a point cloud as an Nx1 feature map with 3 input channels (x,y,z) *)
+  let x =
+    Graph.input g ~name:"points" (Shape.nchw ~n:batch ~c:3 ~h:points ~w:1)
+  in
+  let shared_mlp tag cout x =
+    let c = Graph.conv2d g ~name:(tag ^ ".conv") ~cout ~k:1 x in
+    let b = Graph.batch_norm g ~name:(tag ^ ".bn") c in
+    Graph.relu g ~name:(tag ^ ".relu") b
+  in
+  let x = shared_mlp "mlp1" 64 x in
+  let x = shared_mlp "mlp2" 64 x in
+  let x = shared_mlp "mlp3" 128 x in
+  let x = shared_mlp "mlp4" 1024 x in
+  (* symmetric aggregation over points *)
+  let x = Graph.global_avg_pool g ~name:"aggregate" x in
+  let x = Graph.linear g ~name:"fc1" ~out_features:512 x in
+  let x = Graph.relu g ~name:"fc1.relu" x in
+  let x = Graph.linear g ~name:"fc2" ~out_features:256 x in
+  let x = Graph.relu g ~name:"fc2.relu" x in
+  let x = Graph.linear g ~name:"head" ~out_features:classes x in
+  let x = Graph.softmax g ~name:"prob" x in
+  ignore (Graph.output g ~name:"class" x);
+  g

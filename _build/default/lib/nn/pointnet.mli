@@ -1,0 +1,11 @@
+(** PointNet-style point-cloud classifier (paper Table 1: the "Pointsnet
+    Series" are Ascend-core workloads for autonomous driving / smart
+    city).  The shared per-point MLP is expressed as 1x1 convolutions
+    over an [N x 1] "image" of points — exactly the GEMM the cube runs —
+    followed by a global pool (the symmetric aggregation function) and an
+    FC head. *)
+
+val build :
+  ?batch:int -> ?points:int -> ?classes:int ->
+  ?dtype:Ascend_arch.Precision.t -> unit -> Graph.t
+(** Defaults: 1024 points, 40 classes (ModelNet40-like), fp16. *)

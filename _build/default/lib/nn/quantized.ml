@@ -1,0 +1,71 @@
+module Tensor = Ascend_tensor.Tensor
+module Quantize = Ascend_tensor.Quantize
+module Precision = Ascend_arch.Precision
+
+type report = {
+  dtype : Precision.t;
+  parameters_quantized : int;
+  mean_abs_error : float;
+  max_abs_error : float;
+  output_snr_db : float;
+}
+
+let quantize_params ~dtype g params =
+  if not (Precision.is_integer dtype) then
+    invalid_arg "Quantized.quantize_params: integer dtype required";
+  let fresh = Eval.random_params ~seed:0 g in
+  (* replace every parameter of the fresh set with the round-tripped
+     original (random_params gives us a params value of the right keys) *)
+  List.iter
+    (fun (n : Graph.node) ->
+      match Eval.find_param params n.Graph.node_name with
+      | None -> ()
+      | Some w ->
+        let p = Quantize.calibrate ~dtype w in
+        let q = Quantize.round_trip p w in
+        (match Eval.find_param fresh n.Graph.node_name with
+        | Some slot ->
+          for i = 0 to Tensor.numel slot - 1 do
+            Tensor.set_flat slot i (Tensor.get_flat q i)
+          done
+        | None -> ()))
+    (Graph.nodes g);
+  fresh
+
+let compare_outputs g params ~inputs ~dtype =
+  let qparams = quantize_params ~dtype g params in
+  let run p =
+    match Eval.run g p ~inputs with
+    | [ (_, t) ] -> t
+    | _ -> invalid_arg "Quantized.compare_outputs: expected one output"
+  in
+  let reference = run params in
+  let quantized = run qparams in
+  let n = Tensor.numel reference in
+  let abs_err = ref 0. and max_err = ref 0. in
+  let signal = ref 0. and noise = ref 0. in
+  for i = 0 to n - 1 do
+    let r = Tensor.get_flat reference i and q = Tensor.get_flat quantized i in
+    let e = Float.abs (r -. q) in
+    abs_err := !abs_err +. e;
+    max_err := Float.max !max_err e;
+    signal := !signal +. (r *. r);
+    noise := !noise +. ((r -. q) *. (r -. q))
+  done;
+  let count =
+    List.fold_left
+      (fun acc (node : Graph.node) ->
+        match Eval.find_param params node.Graph.node_name with
+        | Some w -> acc + Tensor.numel w
+        | None -> acc)
+      0 (Graph.nodes g)
+  in
+  {
+    dtype;
+    parameters_quantized = count;
+    mean_abs_error = !abs_err /. float_of_int n;
+    max_abs_error = !max_err;
+    output_snr_db =
+      (if !noise <= 0. then infinity
+       else 10. *. log10 (!signal /. !noise));
+  }

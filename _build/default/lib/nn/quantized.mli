@@ -1,0 +1,33 @@
+(** Post-training quantisation of a graph's parameters — the numeric
+    side of the automotive low-precision trade (paper §3.3: "the
+    precision of inference computing for each DNN model can be reduced
+    as a trade-off between model accuracy and calculating time /
+    energy").
+
+    Weights are quantised per tensor (symmetric affine) to int8 or int4
+    and dequantised back, so the forward pass runs through exactly the
+    values the integer datapath would produce for the weights;
+    activations stay in higher precision (the common weight-only PTQ
+    setting). *)
+
+type report = {
+  dtype : Ascend_arch.Precision.t;
+  parameters_quantized : int;
+  mean_abs_error : float;      (** over the output tensor vs fp32 *)
+  max_abs_error : float;
+  output_snr_db : float;       (** signal-to-quantisation-noise ratio *)
+}
+
+val quantize_params :
+  dtype:Ascend_arch.Precision.t -> Graph.t -> Eval.params -> Eval.params
+(** A fresh parameter set with every weight passed through
+    quantise/dequantise at [dtype].  Batch-norm statistics and embedding
+    tables are quantised too.  Raises [Invalid_argument] on a float
+    [dtype]. *)
+
+val compare_outputs :
+  Graph.t -> Eval.params ->
+  inputs:(string * Ascend_tensor.Tensor.t) list ->
+  dtype:Ascend_arch.Precision.t -> report
+(** Run the graph with original and quantised parameters on the same
+    inputs and measure the output degradation. *)

@@ -1,0 +1,77 @@
+module Shape = Ascend_tensor.Shape
+
+(* conv + folded batch-norm + relu, the fusion unit the compiler works on *)
+let conv_bn_relu g ?(relu = true) ?stride ?padding ~cout ~k ~tag x =
+  let c = Graph.conv2d g ~name:(tag ^ ".conv") ?stride ?padding ~cout ~k x in
+  let b = Graph.batch_norm g ~name:(tag ^ ".bn") c in
+  if relu then Graph.relu g ~name:(tag ^ ".relu") b else b
+
+(* v1.5 bottleneck: 1x1 reduce, 3x3 (carries the stride), 1x1 expand *)
+let bottleneck g ~tag ~cmid ~cout ~stride ~project x =
+  let a = conv_bn_relu g ~cout:cmid ~k:1 ~tag:(tag ^ ".a") x in
+  let b = conv_bn_relu g ~stride ~padding:1 ~cout:cmid ~k:3 ~tag:(tag ^ ".b") a in
+  let c = conv_bn_relu g ~relu:false ~cout ~k:1 ~tag:(tag ^ ".c") b in
+  let shortcut =
+    if project then
+      conv_bn_relu g ~relu:false ~stride ~cout ~k:1 ~tag:(tag ^ ".down") x
+    else x
+  in
+  let s = Graph.add g ~name:(tag ^ ".add") c shortcut in
+  Graph.relu g ~name:(tag ^ ".out") s
+
+let stage g ~tag ~blocks ~cmid ~cout ~stride x =
+  let x = ref (bottleneck g ~tag:(tag ^ ".0") ~cmid ~cout ~stride ~project:true x) in
+  for i = 1 to blocks - 1 do
+    x :=
+      bottleneck g
+        ~tag:(Printf.sprintf "%s.%d" tag i)
+        ~cmid ~cout ~stride:1 ~project:false !x
+  done;
+  !x
+
+let v1_5 ?(batch = 1) ?(dtype = Ascend_arch.Precision.Fp16) () =
+  let g = Graph.create ~name:"resnet50_v1.5" ~dtype in
+  let x = Graph.input g ~name:"image" (Shape.nchw ~n:batch ~c:3 ~h:224 ~w:224) in
+  let x = conv_bn_relu g ~stride:2 ~padding:3 ~cout:64 ~k:7 ~tag:"stem" x in
+  let x = Graph.max_pool g ~name:"stem.pool" ~kernel:3 ~stride:2 x in
+  (* 3x3 maxpool stride 2 on 112 -> 55 without padding; the reference uses
+     padding 1 -> 56, shapes stay consistent either way for profiling *)
+  let x = stage g ~tag:"layer1" ~blocks:3 ~cmid:64 ~cout:256 ~stride:1 x in
+  let x = stage g ~tag:"layer2" ~blocks:4 ~cmid:128 ~cout:512 ~stride:2 x in
+  let x = stage g ~tag:"layer3" ~blocks:6 ~cmid:256 ~cout:1024 ~stride:2 x in
+  let x = stage g ~tag:"layer4" ~blocks:3 ~cmid:512 ~cout:2048 ~stride:2 x in
+  let x = Graph.global_avg_pool g ~name:"gap" x in
+  let x = Graph.linear g ~name:"fc" ~out_features:1000 x in
+  let x = Graph.softmax g ~name:"prob" x in
+  ignore (Graph.output g ~name:"logits" x);
+  g
+
+let basic_block g ~tag ~cout ~stride ~project x =
+  let a = conv_bn_relu g ~stride ~padding:1 ~cout ~k:3 ~tag:(tag ^ ".a") x in
+  let b = conv_bn_relu g ~relu:false ~padding:1 ~cout ~k:3 ~tag:(tag ^ ".b") a in
+  let shortcut =
+    if project then
+      conv_bn_relu g ~relu:false ~stride ~cout ~k:1 ~tag:(tag ^ ".down") x
+    else x
+  in
+  let s = Graph.add g ~name:(tag ^ ".add") b shortcut in
+  Graph.relu g ~name:(tag ^ ".out") s
+
+let v1_5_18 ?(batch = 1) ?(dtype = Ascend_arch.Precision.Fp16) () =
+  let g = Graph.create ~name:"resnet18" ~dtype in
+  let x = Graph.input g ~name:"image" (Shape.nchw ~n:batch ~c:3 ~h:224 ~w:224) in
+  let x = conv_bn_relu g ~stride:2 ~padding:3 ~cout:64 ~k:7 ~tag:"stem" x in
+  let x = Graph.max_pool g ~name:"stem.pool" ~kernel:3 ~stride:2 x in
+  let block tag cout stride project x = basic_block g ~tag ~cout ~stride ~project x in
+  let x = block "layer1.0" 64 1 false x in
+  let x = block "layer1.1" 64 1 false x in
+  let x = block "layer2.0" 128 2 true x in
+  let x = block "layer2.1" 128 1 false x in
+  let x = block "layer3.0" 256 2 true x in
+  let x = block "layer3.1" 256 1 false x in
+  let x = block "layer4.0" 512 2 true x in
+  let x = block "layer4.1" 512 1 false x in
+  let x = Graph.global_avg_pool g ~name:"gap" x in
+  let x = Graph.linear g ~name:"fc" ~out_features:1000 x in
+  ignore (Graph.output g ~name:"logits" x);
+  g

@@ -1,0 +1,11 @@
+(** ResNet-50 v1.5 (He et al. [30]; the paper's Table 7 / Figure 7
+    workload).  v1.5 places the stride-2 convolution on the 3x3 of each
+    downsampling bottleneck, matching the NVIDIA reference the paper
+    benchmarks against. *)
+
+val v1_5 :
+  ?batch:int -> ?dtype:Ascend_arch.Precision.t -> unit -> Graph.t
+(** 224x224x3 input, 1000-class head.  Default batch 1, fp16. *)
+
+val v1_5_18 : ?batch:int -> ?dtype:Ascend_arch.Precision.t -> unit -> Graph.t
+(** ResNet-18 (basic blocks) — a smaller stand-in used by tests. *)

@@ -1,0 +1,47 @@
+module Shape = Ascend_tensor.Shape
+
+let tower_channels = [ 96; 256; 384; 384; 256 ]
+
+(* AlexNet-ish SiamFC backbone: five conv stages, two early maxpools *)
+let tower g ~tag x =
+  let conv ?stride ?padding ~cout ~k name x =
+    let c = Graph.conv2d g ~name:(tag ^ "." ^ name) ?stride ?padding ~cout ~k x in
+    let b = Graph.batch_norm g ~name:(tag ^ "." ^ name ^ ".bn") c in
+    Graph.relu g ~name:(tag ^ "." ^ name ^ ".relu") b
+  in
+  let x = conv ~stride:2 ~cout:(List.nth tower_channels 0) ~k:11 "conv1" x in
+  let x = Graph.max_pool g ~name:(tag ^ ".pool1") ~kernel:3 ~stride:2 x in
+  let x = conv ~cout:(List.nth tower_channels 1) ~k:5 "conv2" x in
+  let x = Graph.max_pool g ~name:(tag ^ ".pool2") ~kernel:3 ~stride:2 x in
+  let x = conv ~padding:1 ~cout:(List.nth tower_channels 2) ~k:3 "conv3" x in
+  let x = conv ~padding:1 ~cout:(List.nth tower_channels 3) ~k:3 "conv4" x in
+  Graph.conv2d g ~name:(tag ^ ".conv5") ~cout:(List.nth tower_channels 4) ~k:3 x
+
+let build ?(batch = 1) ?(dtype = Ascend_arch.Precision.Fp16) () =
+  let g = Graph.create ~name:"siamese_tracker" ~dtype in
+  let exemplar =
+    Graph.input g ~name:"exemplar" (Shape.nchw ~n:batch ~c:3 ~h:127 ~w:127)
+  in
+  let search =
+    Graph.input g ~name:"search" (Shape.nchw ~n:batch ~c:3 ~h:255 ~w:255)
+  in
+  let ze = tower g ~tag:"exemplar_tower" exemplar in
+  let zs = tower g ~tag:"search_tower" search in
+  (* cross-correlation as a GEMM: exemplar features (c x he*we) against
+     search features (c x hs*ws) -> response (he*we) x (hs*ws) *)
+  let feat_dims node =
+    match Shape.to_list (Graph.find g node).out_shape with
+    | [ n; c; h; w ] -> (n, c, h, w)
+    | _ -> invalid_arg "Siamese.build: tower output not NCHW"
+  in
+  let n, c, he, we = feat_dims ze in
+  let _, _, hs, ws = feat_dims zs in
+  let qe =
+    Graph.reshape g ~name:"exemplar.flat" [ n * c; he * we ] ze
+  in
+  let qe = Graph.transpose_last_two g ~name:"exemplar.T" qe in
+  let qs = Graph.reshape g ~name:"search.flat" [ n * c; hs * ws ] zs in
+  let resp = Graph.matmul g ~name:"xcorr" qe qs in
+  let score = Graph.softmax g ~name:"response" resp in
+  ignore (Graph.output g ~name:"score_map" score);
+  g

@@ -1,0 +1,13 @@
+(** Siamese tracking network (paper Table 1: "Siamese Tracking" is an
+    Ascend-core workload): a SiamFC-style tracker — two weight-shared
+    convolutional towers over the exemplar and the search window, joined
+    by a cross-correlation expressed as a Matmul.  The two towers are
+    independent until the join, so the §5.1 graph engine maps them to
+    parallel streams. *)
+
+val build :
+  ?batch:int -> ?dtype:Ascend_arch.Precision.t -> unit -> Graph.t
+(** Exemplar 127x127x3, search window 255x255x3, AlexNet-ish backbone. *)
+
+val tower_channels : int list
+(** Backbone channel progression, exposed for tests. *)

@@ -1,0 +1,69 @@
+module Shape = Ascend_tensor.Shape
+
+let optimizer_vector_elems_per_param = 3.0
+
+let param_elems g (n : Graph.node) =
+  match n.inputs with
+  | [ x ] -> (
+    match Op.weight_shape n.op ~input:(Graph.find g x).out_shape with
+    | Some s -> Shape.numel s
+    | None -> 0)
+  | _ -> 0
+
+(* backward of a GEMM (count,m,k,n): dX is (m,n,k), dW is (k,m,n) *)
+let backward_gemms (gs : Workload.gemm list) : Workload.gemm list =
+  List.concat_map
+    (fun ({ count; m; k; n } : Workload.gemm) ->
+      [ ({ count; m; k = n; n = k } : Workload.gemm);
+        { count; m = k; k = m; n } ])
+    gs
+
+let backward_of_node g (n : Graph.node) =
+  let fwd = Workload.of_node g n in
+  let update_elems =
+    optimizer_vector_elems_per_param *. float_of_int (param_elems g n)
+  in
+  let out_elems = float_of_int (Shape.numel n.out_shape) in
+  match n.op with
+  | Op.Conv2d _ | Op.Linear _ | Op.Matmul _ ->
+    if Op.is_cube_op n.op then
+      {
+        fwd with
+        cube_macs = 2 * fwd.cube_macs;
+        gemms = backward_gemms fwd.gemms;
+        vector_elems = update_elems;
+      }
+    else
+      (* depthwise: gradient w.r.t. input and weights, both on vector *)
+      { fwd with vector_elems = (2. *. fwd.vector_elems) +. update_elems }
+  | Op.Activation (Op.Relu | Op.Relu6) ->
+    { fwd with cube_macs = 0; gemms = []; vector_elems = out_elems }
+  | Op.Activation (Op.Sigmoid | Op.Tanh) ->
+    { fwd with cube_macs = 0; gemms = []; vector_elems = 2. *. out_elems }
+  | Op.Activation Op.Gelu ->
+    { fwd with cube_macs = 0; gemms = []; vector_elems = 7. *. out_elems }
+  | Op.Batch_norm ->
+    (* training batch-norm backward: reductions over the batch plus two
+       normalisation passes *)
+    { fwd with gemms = []; vector_elems = (6. *. out_elems) +. update_elems }
+  | Op.Layer_norm ->
+    { fwd with gemms = []; vector_elems = 8. *. out_elems }
+  | Op.Softmax -> { fwd with gemms = []; vector_elems = 3. *. out_elems }
+  | Op.Pool _ | Op.Global_avg_pool | Op.Upsample _ ->
+    { fwd with gemms = []; vector_elems = out_elems }
+  | Op.Add | Op.Mul | Op.Concat _ ->
+    { fwd with gemms = []; vector_elems = out_elems }
+  | Op.Embedding _ ->
+    (* scatter-add of gradients into the table rows that were touched *)
+    { fwd with gemms = []; vector_elems = out_elems +. update_elems }
+  | Op.Reshape _ | Op.Transpose_last_two ->
+    { fwd with gemms = []; vector_elems = 0. }
+  | Op.Input | Op.Output -> Workload.zero
+
+let node_training_workload g n =
+  Workload.combine (Workload.of_node g n) (backward_of_node g n)
+
+let graph_training_workload g =
+  List.fold_left
+    (fun acc n -> Workload.combine acc (node_training_workload g n))
+    Workload.zero (Graph.nodes g)

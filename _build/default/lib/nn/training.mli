@@ -1,0 +1,29 @@
+(** Backward-pass workload model for training profiling (Figures 5 and 9,
+    Table 7's training throughput).
+
+    Substitution note (DESIGN.md): rather than full numeric autodiff, the
+    backward pass is modelled at workload level — the standard identities
+    for each operator's gradient cost:
+
+    - GEMM (M,K,N) backward = two GEMMs: dX = dY.W^T (M,N,K) and
+      dW = X^T.dY (K,M,N), i.e. 2x forward MACs on the cube;
+    - depthwise convolutions: 2x forward element-ops on the vector unit;
+    - activations: one mask/derivative pass (more for gelu/tanh);
+    - normalisations: the well-known 2-3x forward vector cost;
+    - plus an SGD update of 3 vector element-ops per learned parameter.
+
+    This reproduces the paper's observation that "during the backward SGD
+    computing, the vector unit is used more frequently" (§3.1) while the
+    cube/vector ratio still stays above 1 for most BERT layers (Fig 5). *)
+
+val backward_of_node : Graph.t -> Graph.node -> Workload.t
+(** Gradient-computation workload attributed to one forward node
+    (including its parameter update). *)
+
+val node_training_workload : Graph.t -> Graph.node -> Workload.t
+(** forward + backward + update for the node. *)
+
+val graph_training_workload : Graph.t -> Workload.t
+
+val optimizer_vector_elems_per_param : float
+(** 3.0 — read grad, momentum update, write weight. *)

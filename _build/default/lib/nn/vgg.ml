@@ -1,0 +1,30 @@
+module Shape = Ascend_tensor.Shape
+
+let conv_relu g ~cout ~tag x =
+  let c = Graph.conv2d g ~name:(tag ^ ".conv") ~padding:1 ~cout ~k:3 x in
+  Graph.relu g ~name:(tag ^ ".relu") c
+
+let v16 ?(batch = 1) ?(dtype = Ascend_arch.Precision.Fp16) () =
+  let g = Graph.create ~name:"vgg16" ~dtype in
+  let x = Graph.input g ~name:"image" (Shape.nchw ~n:batch ~c:3 ~h:224 ~w:224) in
+  let stage x ~tag ~cout ~convs =
+    let x = ref x in
+    for i = 1 to convs do
+      x := conv_relu g ~cout ~tag:(Printf.sprintf "%s.%d" tag i) !x
+    done;
+    Graph.max_pool g ~name:(tag ^ ".pool") ~kernel:2 ~stride:2 !x
+  in
+  let x = stage x ~tag:"stage1" ~cout:64 ~convs:2 in
+  let x = stage x ~tag:"stage2" ~cout:128 ~convs:2 in
+  let x = stage x ~tag:"stage3" ~cout:256 ~convs:3 in
+  let x = stage x ~tag:"stage4" ~cout:512 ~convs:3 in
+  let x = stage x ~tag:"stage5" ~cout:512 ~convs:3 in
+  let x = Graph.reshape g ~name:"flatten" [ batch; 512 * 7 * 7 ] x in
+  let x = Graph.linear g ~name:"fc6" ~out_features:4096 x in
+  let x = Graph.relu g ~name:"fc6.relu" x in
+  let x = Graph.linear g ~name:"fc7" ~out_features:4096 x in
+  let x = Graph.relu g ~name:"fc7.relu" x in
+  let x = Graph.linear g ~name:"fc8" ~out_features:1000 x in
+  let x = Graph.softmax g ~name:"prob" x in
+  ignore (Graph.output g ~name:"logits" x);
+  g

@@ -1,0 +1,4 @@
+(** VGG-16 (the Ascend-Mini typical workload of Table 1): a deep stack of
+    3x3 convolutions with large FC head — heavily cube-biased. *)
+
+val v16 : ?batch:int -> ?dtype:Ascend_arch.Precision.t -> unit -> Graph.t

@@ -1,0 +1,54 @@
+module Shape = Ascend_tensor.Shape
+
+type config = {
+  sparse_fields : int;
+  vocab_per_field : int;
+  embedding_dim : int;
+  hidden : int list;
+}
+
+let default_config =
+  { sparse_fields = 26; vocab_per_field = 100_000; embedding_dim = 16;
+    hidden = [ 1024; 512; 256 ] }
+
+let build ?(batch = 1) ?(dtype = Ascend_arch.Precision.Fp16) cfg =
+  if cfg.sparse_fields <= 0 || cfg.embedding_dim <= 0 then
+    invalid_arg "Wide_deep.build: malformed config";
+  let g = Graph.create ~name:"wide_and_deep" ~dtype in
+  let ids =
+    Graph.input g ~name:"feature_ids" (Shape.matrix batch cfg.sparse_fields)
+  in
+  (* deep path: one shared embedding table over all fields, flattened to
+     (batch, fields*dim), then the MLP tower *)
+  let emb =
+    Graph.embedding g ~name:"embeddings"
+      ~vocab_size:(cfg.sparse_fields * cfg.vocab_per_field)
+      ~hidden:cfg.embedding_dim ids
+  in
+  let deep_in =
+    Graph.reshape g ~name:"deep.flat"
+      [ batch; cfg.sparse_fields * cfg.embedding_dim ]
+      emb
+  in
+  let deep =
+    List.fold_left
+      (fun (i, x) width ->
+        let fc =
+          Graph.linear g
+            ~name:(Printf.sprintf "deep.fc%d" i)
+            ~out_features:width x
+        in
+        (i + 1, Graph.relu g ~name:(Printf.sprintf "deep.relu%d" i) fc))
+      (0, deep_in) cfg.hidden
+    |> snd
+  in
+  let deep_logit = Graph.linear g ~name:"deep.logit" ~out_features:1 deep in
+  (* wide path: a linear model over the same embedded features (the
+     cross-feature hashing is folded into the embedding lookup) *)
+  let wide_logit = Graph.linear g ~name:"wide.logit" ~out_features:1 deep_in in
+  let logit = Graph.add g ~name:"sum" deep_logit wide_logit in
+  let prob = Graph.activation g ~name:"sigmoid" Op.Sigmoid logit in
+  ignore (Graph.output g ~name:"ctr" prob);
+  g
+
+let default ?batch () = build ?batch default_config

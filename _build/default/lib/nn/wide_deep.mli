@@ -1,0 +1,20 @@
+(** Wide & Deep recommendation model (paper Table 1: an Ascend-Max
+    training workload): a wide linear path over cross-feature ids plus a
+    deep MLP over concatenated feature embeddings — the sparse-embedding
+    + dense-GEMM mix typical of recommender training. *)
+
+type config = {
+  sparse_fields : int;      (** number of categorical feature fields *)
+  vocab_per_field : int;
+  embedding_dim : int;
+  hidden : int list;        (** deep-tower layer widths *)
+}
+
+val default_config : config
+(** 26 fields x 100k vocab x 16-dim embeddings, 1024-512-256 deep tower
+    (Criteo-like). *)
+
+val build :
+  ?batch:int -> ?dtype:Ascend_arch.Precision.t -> config -> Graph.t
+
+val default : ?batch:int -> unit -> Graph.t

@@ -1,0 +1,112 @@
+module Shape = Ascend_tensor.Shape
+module Precision = Ascend_arch.Precision
+
+type gemm = { count : int; m : int; k : int; n : int }
+
+type t = {
+  cube_macs : int;
+  vector_elems : float;
+  gemms : gemm list;
+  input_bytes : int;
+  weight_bytes : int;
+  output_bytes : int;
+}
+
+let zero =
+  {
+    cube_macs = 0;
+    vector_elems = 0.;
+    gemms = [];
+    input_bytes = 0;
+    weight_bytes = 0;
+    output_bytes = 0;
+  }
+
+let combine a b =
+  {
+    cube_macs = a.cube_macs + b.cube_macs;
+    vector_elems = a.vector_elems +. b.vector_elems;
+    gemms = a.gemms @ b.gemms;
+    input_bytes = a.input_bytes + b.input_bytes;
+    weight_bytes = a.weight_bytes + b.weight_bytes;
+    output_bytes = a.output_bytes + b.output_bytes;
+  }
+
+let gemm_macs { count; m; k; n } = count * m * k * n
+
+let of_node g (node : Graph.node) =
+  let dtype = node.dtype in
+  let in_shapes = List.map (fun i -> (Graph.find g i).out_shape) node.inputs in
+  let input_bytes =
+    Ascend_util.Stats.sum_int
+      (List.map (fun s -> Shape.bytes s ~dtype) in_shapes)
+  in
+  let output_bytes = Shape.bytes node.out_shape ~dtype in
+  let weight_bytes =
+    match in_shapes with
+    | [ s ] -> (
+      match Op.weight_shape node.op ~input:s with
+      | Some ws -> Shape.bytes ws ~dtype
+      | None -> 0)
+    | _ -> 0
+  in
+  let out_elems = float_of_int (Shape.numel node.out_shape) in
+  let base =
+    { zero with input_bytes; weight_bytes; output_bytes }
+  in
+  match (node.op, List.map Shape.to_list in_shapes) with
+  | Op.Conv2d { cout; kh; kw; groups; _ }, [ [ n; cin; _; _ ] ] ->
+    let oh = Shape.dim node.out_shape 2 and ow = Shape.dim node.out_shape 3 in
+    let cin_g = cin / groups and cout_g = cout / groups in
+    let macs_total = n * oh * ow * cout_g * cin_g * kh * kw * groups in
+    if Op.is_cube_op node.op then
+      (* img2col GEMM per group: M = n*oh*ow, K = cin_g*kh*kw, N = cout_g *)
+      {
+        base with
+        cube_macs = macs_total;
+        gemms =
+          [ { count = groups; m = n * oh * ow; k = cin_g * kh * kw; n = cout_g } ];
+      }
+    else
+      (* depthwise: one vector element-op per MAC *)
+      { base with vector_elems = float_of_int macs_total }
+  | Op.Linear { out_features }, [ dims ] ->
+    let in_features = List.hd (List.rev dims) in
+    let batch = List.fold_left ( * ) 1 dims / in_features in
+    let macs = batch * in_features * out_features in
+    {
+      base with
+      cube_macs = macs;
+      gemms = [ { count = 1; m = batch; k = in_features; n = out_features } ];
+    }
+  | Op.Matmul { transpose_b }, [ a; b ] ->
+    let rev_a = List.rev a and rev_b = List.rev b in
+    let k = List.hd rev_a and m = List.hd (List.tl rev_a) in
+    let n =
+      if transpose_b then List.hd (List.tl rev_b) else List.hd rev_b
+    in
+    let batch = List.fold_left ( * ) 1 a / (m * k) in
+    {
+      base with
+      cube_macs = batch * m * k * n;
+      gemms = [ { count = batch; m; k; n } ];
+    }
+  | (Op.Pool _ | Op.Global_avg_pool | Op.Activation _ | Op.Batch_norm
+    | Op.Layer_norm | Op.Softmax | Op.Add | Op.Mul | Op.Concat _
+    | Op.Embedding _ | Op.Upsample _ | Op.Reshape _ | Op.Transpose_last_two), _ ->
+    { base with vector_elems = out_elems *. Op.vector_passes node.op }
+  | (Op.Input | Op.Output), _ -> base
+  | (Op.Conv2d _ | Op.Linear _ | Op.Matmul _), _ ->
+    invalid_arg "Workload.of_node: malformed node inputs"
+
+let of_graph g =
+  List.fold_left (fun acc n -> combine acc (of_node g n)) zero (Graph.nodes g)
+
+let total_flops t = (2. *. float_of_int t.cube_macs) +. t.vector_elems
+
+let pp ppf t =
+  Format.fprintf ppf
+    "cube %.3f GMACs, vector %.3f Gelems, %d GEMMs, in %d B, w %d B, out %d B"
+    (float_of_int t.cube_macs /. 1e9)
+    (t.vector_elems /. 1e9)
+    (List.length t.gemms) t.input_bytes t.weight_bytes t.output_bytes

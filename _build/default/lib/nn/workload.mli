@@ -1,0 +1,34 @@
+(** Per-node workload characterisation: how many MACs land on the cube,
+    how many element operations land on the vector unit, and the data
+    volumes each node moves.  This is the profiling the paper describes in
+    §2.4 ("profile the typical DNN models and compare the computation
+    workloads between the cube unit and the vector unit"). *)
+
+type gemm = { count : int; m : int; k : int; n : int }
+(** [count] identical GEMMs (e.g. one per attention head or per group). *)
+
+type t = {
+  cube_macs : int;          (** MACs executed on the cube unit *)
+  vector_elems : float;     (** element-operations on the vector unit *)
+  gemms : gemm list;        (** the cube work, in GEMM form, for tiling *)
+  input_bytes : int;
+  weight_bytes : int;
+  output_bytes : int;
+}
+
+val zero : t
+val combine : t -> t -> t
+val gemm_macs : gemm -> int
+
+val of_node : Graph.t -> Graph.node -> t
+(** Characterise one node.  Depthwise convolutions are charged to the
+    vector unit (one element-op per MAC); cube ops also charge the vector
+    unit nothing — normalisation / activation nodes carry that cost. *)
+
+val of_graph : Graph.t -> t
+(** Sum over all nodes. *)
+
+val total_flops : t -> float
+(** 2 x cube_macs + vector element ops. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/noc/deflection.ml: Array Ascend_util List Printf Queue

@@ -1,0 +1,1 @@
+lib/noc/fat_tree.mli:

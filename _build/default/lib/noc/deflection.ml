@@ -1,0 +1,178 @@
+type packet = { dst_row : int; dst_col : int; born : int; mutable injected : int }
+
+type t = {
+  rows : int;
+  cols : int;
+  (* packets resident at each node this cycle *)
+  mutable at_node : packet list array;
+  inject_queues : packet Queue.t array;
+  mutable clock : int;
+  mutable seq : int;
+  mutable pending : int;
+  mutable delivered : int;
+  mutable total_latency : int;
+  mutable max_latency : int;
+  mutable deflections : int;
+}
+
+let idx t r c = (r * t.cols) + c
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Deflection.create: empty mesh";
+  {
+    rows;
+    cols;
+    at_node = Array.make (rows * cols) [];
+    inject_queues = Array.init (rows * cols) (fun _ -> Queue.create ());
+    clock = 0;
+    seq = 0;
+    pending = 0;
+    delivered = 0;
+    total_latency = 0;
+    max_latency = 0;
+    deflections = 0;
+  }
+
+let inject t ~src_row ~src_col ~dst_row ~dst_col =
+  if src_row < 0 || src_row >= t.rows || src_col < 0 || src_col >= t.cols
+     || dst_row < 0 || dst_row >= t.rows || dst_col < 0 || dst_col >= t.cols
+  then invalid_arg "Deflection.inject: out of bounds";
+  t.seq <- t.seq + 1;
+  t.pending <- t.pending + 1;
+  Queue.push
+    { dst_row; dst_col; born = t.seq; injected = -1 }
+    t.inject_queues.(idx t src_row src_col)
+
+type port = North | South | East | West
+
+let port_delta = function
+  | North -> (-1, 0)
+  | South -> (1, 0)
+  | East -> (0, 1)
+  | West -> (0, -1)
+
+let step t =
+  let next = Array.make (t.rows * t.cols) [] in
+  for r = 0 to t.rows - 1 do
+    for c = 0 to t.cols - 1 do
+      let here = t.at_node.(idx t r c) in
+      (* deliver *)
+      let arriving, travelling =
+        List.partition (fun p -> p.dst_row = r && p.dst_col = c) here
+      in
+      List.iter
+        (fun p ->
+          let lat = t.clock - p.injected in
+          t.delivered <- t.delivered + 1;
+          t.pending <- t.pending - 1;
+          t.total_latency <- t.total_latency + lat;
+          t.max_latency <- max t.max_latency lat)
+        arriving;
+      (* ports that physically exist at this node *)
+      let ports =
+        List.filter
+          (fun p ->
+            let dr, dc = port_delta p in
+            let r' = r + dr and c' = c + dc in
+            r' >= 0 && r' < t.rows && c' >= 0 && c' < t.cols)
+          [ East; West; North; South ]
+      in
+      let free = ref ports in
+      let take p = free := List.filter (fun q -> q <> p) !free in
+      let preferred pkt =
+        (* XY-productive directions, X first *)
+        let dirs = ref [] in
+        if pkt.dst_row < r then dirs := North :: !dirs;
+        if pkt.dst_row > r then dirs := South :: !dirs;
+        if pkt.dst_col < c then dirs := West :: !dirs;
+        if pkt.dst_col > c then dirs := East :: !dirs;
+        !dirs (* col-productive first because of the cons order *)
+      in
+      let route pkt =
+        let wanted = preferred pkt in
+        let choice =
+          match List.find_opt (fun d -> List.mem d !free) wanted with
+          | Some d -> Some (d, false)
+          | None -> (
+            match !free with d :: _ -> Some (d, true) | [] -> None)
+        in
+        match choice with
+        | None ->
+          (* cannot happen on a mesh (inputs <= outputs), but keep the
+             packet in place rather than losing it *)
+          next.(idx t r c) <- pkt :: next.(idx t r c)
+        | Some (d, deflected) ->
+          if deflected then t.deflections <- t.deflections + 1;
+          take d;
+          let dr, dc = port_delta d in
+          next.(idx t (r + dr) (c + dc)) <- pkt :: next.(idx t (r + dr) (c + dc))
+      in
+      (* oldest-first priority prevents livelock *)
+      let ordered =
+        List.sort (fun a b -> compare a.born b.born) travelling
+      in
+      List.iter route ordered;
+      (* inject if a port is still free *)
+      let q = t.inject_queues.(idx t r c) in
+      if (not (Queue.is_empty q)) && !free <> [] then begin
+        let pkt = Queue.pop q in
+        pkt.injected <- t.clock;
+        if pkt.dst_row = r && pkt.dst_col = c then begin
+          (* degenerate self-send delivers immediately *)
+          t.delivered <- t.delivered + 1;
+          t.pending <- t.pending - 1
+        end
+        else route pkt
+      end
+    done
+  done;
+  t.at_node <- next;
+  t.clock <- t.clock + 1
+
+type stats = {
+  delivered : int;
+  total_latency_cycles : int;
+  max_latency_cycles : int;
+  deflections : int;
+  cycles_run : int;
+}
+
+let run ?(max_cycles = 100_000) t =
+  let rec go () =
+    if t.pending = 0 then
+      Ok
+        {
+          delivered = t.delivered;
+          total_latency_cycles = t.total_latency;
+          max_latency_cycles = t.max_latency;
+          deflections = t.deflections;
+          cycles_run = t.clock;
+        }
+    else if t.clock >= max_cycles then
+      Error
+        (Printf.sprintf "Deflection.run: %d packets undelivered after %d cycles"
+           t.pending t.clock)
+    else begin
+      step t;
+      go ()
+    end
+  in
+  go ()
+
+let average_latency s =
+  if s.delivered = 0 then 0.
+  else float_of_int s.total_latency_cycles /. float_of_int s.delivered
+
+let uniform_random_experiment ~rows ~cols ~packets ~seed =
+  let t = create ~rows ~cols in
+  let rng = Ascend_util.Prng.create ~seed in
+  for _ = 1 to packets do
+    let src_row = Ascend_util.Prng.int rng ~bound:rows in
+    let src_col = Ascend_util.Prng.int rng ~bound:cols in
+    let dst_row = Ascend_util.Prng.int rng ~bound:rows in
+    let dst_col = Ascend_util.Prng.int rng ~bound:cols in
+    inject t ~src_row ~src_col ~dst_row ~dst_col
+  done;
+  match run t with
+  | Ok s -> s
+  | Error e -> failwith e

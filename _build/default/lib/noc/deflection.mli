@@ -1,0 +1,36 @@
+(** Cycle-level bufferless deflection-routed 2D mesh (the paper notes the
+    910 NoC uses "the bufferless architecture ... to reduce the area
+    overhead").
+
+    Single-flit packets; each cycle a router matches its incoming packets
+    to output ports preferring the XY-productive direction; contention is
+    resolved oldest-first and losers are deflected to any free port
+    (never dropped, livelock avoided by age priority).  Injection needs a
+    free cycle slot at the source. *)
+
+type t
+
+type stats = {
+  delivered : int;
+  total_latency_cycles : int;
+  max_latency_cycles : int;
+  deflections : int;
+  cycles_run : int;
+}
+
+val create : rows:int -> cols:int -> t
+
+val inject :
+  t -> src_row:int -> src_col:int -> dst_row:int -> dst_col:int -> unit
+(** Queue a packet for injection at the source node. *)
+
+val run : ?max_cycles:int -> t -> (stats, string) result
+(** Simulate until every packet is delivered; [Error] if [max_cycles]
+    (default 100_000) elapses first. *)
+
+val average_latency : stats -> float
+
+val uniform_random_experiment :
+  rows:int -> cols:int -> packets:int -> seed:int -> stats
+(** Inject [packets] uniform-random src/dst packets (over distinct pairs)
+    and run to completion. *)

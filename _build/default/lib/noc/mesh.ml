@@ -1,0 +1,156 @@
+type t = {
+  mesh_rows : int;
+  mesh_cols : int;
+  link_bandwidth : float;
+  hop_latency_ns : float;
+}
+
+type node = { row : int; col : int }
+
+type flow = { src : node; dst : node; demand : float }
+
+type flow_result = {
+  flow : flow;
+  throughput : float;
+  hops : int;
+  latency_ns : float;
+}
+
+let create ?(link_bandwidth = 256e9) ?(hop_latency_ns = 0.5) ~rows ~cols () =
+  if rows <= 0 || cols <= 0 then invalid_arg "Mesh.create: empty mesh";
+  { mesh_rows = rows; mesh_cols = cols; link_bandwidth; hop_latency_ns }
+
+let ascend910 = create ~rows:6 ~cols:4 ()
+
+let rows t = t.mesh_rows
+let cols t = t.mesh_cols
+let link_bandwidth t = t.link_bandwidth
+
+let node t ~row ~col =
+  if row < 0 || row >= t.mesh_rows || col < 0 || col >= t.mesh_cols then
+    invalid_arg "Mesh.node: out of bounds";
+  { row; col }
+
+let xy_route src dst =
+  (* X first, then Y *)
+  let rec go_x acc col =
+    if col = dst.col then go_y acc src.row
+    else
+      let col' = if dst.col > col then col + 1 else col - 1 in
+      go_x ({ row = src.row; col = col' } :: acc) col'
+  and go_y acc row =
+    if row = dst.row then List.rev acc
+    else
+      let row' = if dst.row > row then row + 1 else row - 1 in
+      go_y ({ row = row'; col = dst.col } :: acc) row'
+  in
+  go_x [ src ] src.col
+
+let hops src dst = abs (src.row - dst.row) + abs (src.col - dst.col)
+
+(* directed link between adjacent nodes, as an orderable key *)
+let link_key a b = ((a.row, a.col), (b.row, b.col))
+
+let links_of_route route =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> link_key a b :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  pairs route
+
+let route_flows t flows =
+  let flows = Array.of_list flows in
+  let n = Array.length flows in
+  let routes = Array.map (fun f -> links_of_route (xy_route f.src f.dst)) flows in
+  (* progressive filling: raise all unfrozen flows' rates together until a
+     link saturates; freeze its flows; repeat *)
+  let rate = Array.make n 0. in
+  let frozen = Array.make n false in
+  let link_load = Hashtbl.create 64 in
+  let load l = match Hashtbl.find_opt link_load l with Some v -> !v | None -> 0. in
+  let active_on l =
+    let c = ref 0 in
+    Array.iteri
+      (fun i r -> if (not frozen.(i)) && List.mem l r then incr c)
+      routes;
+    !c
+  in
+  let all_links = Hashtbl.create 64 in
+  Array.iter
+    (List.iter (fun l ->
+         if not (Hashtbl.mem all_links l) then Hashtbl.replace all_links l ()))
+    routes;
+  let continue_ = ref true in
+  while !continue_ do
+    (* headroom per unfrozen flow: min over its links of
+       (capacity - frozen load)/active flows, and its residual demand *)
+    let step = ref infinity in
+    let any_active = ref false in
+    Array.iteri
+      (fun i r ->
+        if not frozen.(i) then begin
+          any_active := true;
+          let residual = flows.(i).demand -. rate.(i) in
+          step := Float.min !step residual;
+          List.iter
+            (fun l ->
+              let headroom = t.link_bandwidth -. load l in
+              let k = active_on l in
+              if k > 0 then step := Float.min !step (headroom /. float_of_int k))
+            r
+        end)
+      routes;
+    if (not !any_active) || !step = infinity then continue_ := false
+    else begin
+      let step = Float.max 0. !step in
+      (* apply the step *)
+      Array.iteri
+        (fun i r ->
+          if not frozen.(i) then begin
+            rate.(i) <- rate.(i) +. step;
+            List.iter
+              (fun l ->
+                let cell =
+                  match Hashtbl.find_opt link_load l with
+                  | Some v -> v
+                  | None ->
+                    let v = ref 0. in
+                    Hashtbl.replace link_load l v;
+                    v
+                in
+                cell := !cell +. step)
+              r
+          end)
+        routes;
+      (* freeze flows that met demand or sit on a saturated link *)
+      Array.iteri
+        (fun i r ->
+          if not frozen.(i) then
+            if rate.(i) >= flows.(i).demand -. 1e-6 then frozen.(i) <- true
+            else if
+              List.exists (fun l -> load l >= t.link_bandwidth -. 1e-3) r
+            then frozen.(i) <- true)
+        routes;
+      if step <= 1e-9 then continue_ := false
+    end
+  done;
+  Array.to_list
+    (Array.mapi
+       (fun i f ->
+         let h = hops f.src f.dst in
+         {
+           flow = f;
+           throughput = rate.(i);
+           hops = h;
+           latency_ns = float_of_int (h + 1) *. t.hop_latency_ns;
+         })
+       flows)
+
+let bisection_bandwidth t =
+  (* cut between col c/2-1 and c/2: [rows] links each direction *)
+  2. *. float_of_int t.mesh_rows *. t.link_bandwidth
+
+let saturation_injection_rate t ~uniform_random =
+  ignore uniform_random;
+  (* uniform random: the bisection carries half the traffic *)
+  2. *. bisection_bandwidth t

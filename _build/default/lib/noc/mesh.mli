@@ -1,0 +1,54 @@
+(** 2D-mesh network-on-chip, flow level (paper §3.1.1: the Ascend 910
+    compute die uses a 6-row x 4-column mesh with 1024-bit links at
+    2 GHz = 256 GB/s per link, bufferless routers, XY routing, and a
+    global scheduling policy for QoS).
+
+    The flow-level model computes per-flow throughput by progressive
+    filling (max-min fairness over shared links) and per-flow latency
+    from hop counts — adequate for the SoC-scale questions the paper
+    asks of it.  A cycle-accurate bufferless router lives in
+    {!Deflection}. *)
+
+type t
+
+type node = { row : int; col : int }
+
+type flow = { src : node; dst : node; demand : float (** bytes/s *) }
+
+type flow_result = {
+  flow : flow;
+  throughput : float;   (** bytes/s granted *)
+  hops : int;
+  latency_ns : float;   (** unloaded head latency *)
+}
+
+val create :
+  ?link_bandwidth:float -> ?hop_latency_ns:float -> rows:int -> cols:int ->
+  unit -> t
+(** Defaults: 256 GB/s links, 0.5 ns per hop (one 2 GHz router cycle). *)
+
+val ascend910 : t
+(** The paper's 6x4 mesh. *)
+
+val rows : t -> int
+val cols : t -> int
+val node : t -> row:int -> col:int -> node
+(** Bounds-checked. *)
+
+val xy_route : node -> node -> node list
+(** The XY path including both endpoints. *)
+
+val hops : node -> node -> int
+
+val route_flows : t -> flow list -> flow_result list
+(** Progressive-filling max-min allocation over the XY-routed links. *)
+
+val bisection_bandwidth : t -> float
+(** Links crossing the column bisection x link bandwidth (both
+    directions). *)
+
+val link_bandwidth : t -> float
+
+val saturation_injection_rate : t -> uniform_random:bool -> float
+(** Aggregate injection (bytes/s) at which the busiest link saturates
+    under uniform-random traffic — the classic mesh capacity bound. *)

@@ -1,0 +1,96 @@
+type t = { size : int; link_bandwidth : float; hop_latency_ns : float }
+
+let create ?(link_bandwidth = 64e9) ?(hop_latency_ns = 1.0) ~nodes () =
+  if nodes <= 1 then invalid_arg "Ring.create: need at least 2 nodes";
+  { size = nodes; link_bandwidth; hop_latency_ns }
+
+let nodes t = t.size
+
+let check t i =
+  if i < 0 || i >= t.size then invalid_arg "Ring: node out of bounds"
+
+let hops t ~src ~dst =
+  check t src;
+  check t dst;
+  let cw = (dst - src + t.size) mod t.size in
+  min cw (t.size - cw)
+
+let latency_ns t ~src ~dst =
+  float_of_int (hops t ~src ~dst + 1) *. t.hop_latency_ns
+
+let worst_case_latency_ns t =
+  float_of_int ((t.size / 2) + 1) *. t.hop_latency_ns
+
+(* directed links: (node, +1) clockwise, (node, -1) counter-clockwise *)
+let route t ~src ~dst =
+  let cw = (dst - src + t.size) mod t.size in
+  let dir = if cw <= t.size - cw then 1 else -1 in
+  let len = if dir = 1 then cw else t.size - cw in
+  List.init len (fun i ->
+      let from = (src + (dir * i) + t.size) mod t.size in
+      (from, dir))
+
+let throughput t ~flows =
+  let flows = Array.of_list flows in
+  let routes =
+    Array.map (fun (s, d, _) -> route t ~src:s ~dst:d) flows
+  in
+  let rate = Array.make (Array.length flows) 0. in
+  let frozen = Array.make (Array.length flows) false in
+  let load = Hashtbl.create 32 in
+  let get l = match Hashtbl.find_opt load l with Some v -> !v | None -> 0. in
+  let continue_ = ref true in
+  while !continue_ do
+    let step = ref infinity in
+    let active = ref false in
+    Array.iteri
+      (fun i r ->
+        if not frozen.(i) then begin
+          active := true;
+          let _, _, demand = flows.(i) in
+          step := Float.min !step (demand -. rate.(i));
+          List.iter
+            (fun l ->
+              let k =
+                Array.to_list routes
+                |> List.filteri (fun j _ -> not frozen.(j))
+                |> List.filter (List.mem l)
+                |> List.length
+              in
+              if k > 0 then
+                step :=
+                  Float.min !step ((t.link_bandwidth -. get l) /. float_of_int k))
+            r
+        end)
+      routes;
+    if (not !active) || !step = infinity || !step <= 1e-9 then continue_ := false
+    else begin
+      Array.iteri
+        (fun i r ->
+          if not frozen.(i) then begin
+            rate.(i) <- rate.(i) +. !step;
+            List.iter
+              (fun l ->
+                let cell =
+                  match Hashtbl.find_opt load l with
+                  | Some v -> v
+                  | None ->
+                    let v = ref 0. in
+                    Hashtbl.replace load l v;
+                    v
+                in
+                cell := !cell +. !step)
+              r
+          end)
+        routes;
+      Array.iteri
+        (fun i r ->
+          if not frozen.(i) then
+            let _, _, demand = flows.(i) in
+            if rate.(i) >= demand -. 1e-6 then frozen.(i) <- true
+            else if List.exists (fun l -> get l >= t.link_bandwidth -. 1e-3) r
+            then frozen.(i) <- true)
+        routes
+    end
+  done;
+  Array.to_list rate

@@ -1,0 +1,24 @@
+(** Ring NoC (paper §3.3: the automotive SoC isolates its safety-critical
+    CPUs on a separate ASIL-D ring).  Bidirectional ring, shortest-way
+    routing, flow-level bandwidth sharing. *)
+
+type t
+
+val create :
+  ?link_bandwidth:float -> ?hop_latency_ns:float -> nodes:int -> unit -> t
+(** Defaults: 64 GB/s links, 1 ns per hop. *)
+
+val nodes : t -> int
+
+val hops : t -> src:int -> dst:int -> int
+(** Shortest direction. *)
+
+val latency_ns : t -> src:int -> dst:int -> float
+
+val worst_case_latency_ns : t -> float
+(** The bound a safety argument needs: the farthest pair. *)
+
+val throughput :
+  t -> flows:(int * int * float) list -> float list
+(** Max-min throughput per (src, dst, demand) flow with shortest-way
+    routing on directed ring links. *)

@@ -1,0 +1,1 @@
+lib/runtime/scheduler.ml: Array Ascend_compiler Ascend_core_sim Ascend_util Format List Printf

@@ -1,0 +1,61 @@
+(** The multi-level scheduling hierarchy of paper §5.2 / Figure 17:
+    multiple apps run concurrently on one SoC; the graph compiler turns
+    each app into streams of in-order tasks; each task splits into blocks
+    that execute in parallel on different Ascend cores.
+
+    This is a deterministic list scheduler over simulated time: streams
+    progress independently; a task's blocks are placed on the
+    earliest-free cores (never before the stream is ready); the task
+    completes when its last block does. *)
+
+type task = {
+  task_name : string;
+  blocks : int;              (** parallel blocks (programmer-specified) *)
+  cycles_per_block : int;
+}
+
+type stream = { stream_name : string; tasks : task list }
+
+type app = {
+  app_name : string;
+  streams : stream list;
+  priority : int;
+      (** higher runs first when streams compete for a core (the QoS
+          priority of paper §3.3); equal priorities share by readiness *)
+}
+
+val app : ?priority:int -> name:string -> stream list -> app
+(** Default priority 0. *)
+
+type placement = {
+  app : string;
+  stream : string;
+  task : string;
+  block : int;
+  core : int;
+  start_cycle : int;
+  end_cycle : int;
+}
+
+type schedule = {
+  placements : placement list;    (** in placement order *)
+  makespan_cycles : int;
+  core_busy_cycles : int array;
+  tasks_completed : int;
+}
+
+val run : cores:int -> app list -> schedule
+(** Raises [Invalid_argument] on non-positive cores / blocks / cycles. *)
+
+val utilization : schedule -> float
+(** Mean busy fraction across cores over the makespan. *)
+
+val task_of_layer :
+  Ascend_compiler.Engine.layer_result -> blocks:int -> task
+(** Split a simulated layer into [blocks] equal blocks (block-level
+    parallelism across cores). *)
+
+val stream_of_network :
+  Ascend_compiler.Engine.network_result -> blocks_per_task:int -> stream
+
+val pp : Format.formatter -> schedule -> unit

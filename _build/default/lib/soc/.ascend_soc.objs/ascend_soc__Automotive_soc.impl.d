@@ -1,0 +1,1 @@
+lib/soc/automotive_soc.ml: Array Ascend_arch Ascend_compiler Ascend_core_sim Ascend_isa Ascend_memory Ascend_noc Ascend_util Dvpp Float List Printf

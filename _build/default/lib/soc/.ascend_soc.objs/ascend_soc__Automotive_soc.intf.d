@@ -1,0 +1,1 @@
+lib/soc/automotive_soc.mli: Ascend_arch Ascend_memory Ascend_nn Ascend_noc Dvpp

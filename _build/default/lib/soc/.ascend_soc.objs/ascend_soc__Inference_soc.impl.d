@@ -1,0 +1,1 @@
+lib/soc/inference_soc.ml: Ascend_arch Ascend_compiler Ascend_memory Dvpp

@@ -1,0 +1,1 @@
+lib/soc/inference_soc.mli: Ascend_arch Ascend_memory Ascend_nn Dvpp Stdlib

@@ -1,0 +1,1 @@
+lib/soc/llc_trace.ml: Ascend_compiler Ascend_memory Ascend_nn Ascend_tensor Hashtbl List

@@ -1,0 +1,1 @@
+lib/soc/llc_trace.mli: Ascend_nn

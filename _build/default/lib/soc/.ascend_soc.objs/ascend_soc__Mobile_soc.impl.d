@@ -1,0 +1,1 @@
+lib/soc/mobile_soc.ml: Ascend_arch Ascend_compiler Ascend_memory Ascend_util List Printf

@@ -1,0 +1,1 @@
+lib/soc/mobile_soc.mli: Ascend_arch Ascend_compiler Ascend_memory Ascend_nn

@@ -1,0 +1,1 @@
+lib/soc/training_soc.ml: Ascend_arch Ascend_compiler Ascend_core_sim Ascend_isa Ascend_memory Ascend_noc Ascend_util Float Format List

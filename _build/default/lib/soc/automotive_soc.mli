@@ -1,0 +1,46 @@
+(** The autonomous-driving SoC (Ascend 610, paper §3.3): Ascend cores
+    with int4/int8 low-precision inference, a Vector Core for SLAM-class
+    workloads, MPAM + QoS bandwidth partitioning for bounded latency, a
+    DVPP front end, and a separate ASIL-D ring for the safety CPUs. *)
+
+type t = {
+  soc_name : string;
+  core : Ascend_arch.Config.t;
+  cores : int;
+  vector_cores : int;      (** Ascend cores without the cube (§3.3) *)
+  dram : Ascend_memory.Dram.t;
+  dvpp : Dvpp.t;
+  safety_ring : Ascend_noc.Ring.t;
+  mpam_classes : Ascend_memory.Mpam.class_spec list;
+  tdp_w : float;
+}
+
+val ascend610 : t
+
+val peak_tops : t -> precision:Ascend_arch.Precision.t -> float
+
+type service_result = {
+  model_name : string;
+  compute_s : float;        (** core-side time per frame *)
+  memory_s : float;         (** external-traffic time at granted bandwidth *)
+  dvpp_s : float;
+  end_to_end_s : float;
+  granted_bandwidth : float;
+  deadline_s : float;
+  met_deadline : bool;
+}
+
+val run_service :
+  ?with_mpam:bool -> t ->
+  models:(string * Ascend_nn.Graph.t * float) list ->
+  background_demand:float ->
+  (service_result list, string) result
+(** Simulate the perception service: each (name, graph, deadline) model
+    runs on its own core every frame while [background_demand] bytes/s of
+    non-critical traffic (logging, map updates) competes for DRAM.
+    [with_mpam] (default true) applies the SoC's MPAM partitions;
+    without it, bandwidth is shared max-min and latency degrades — the
+    §3.3 experiment. *)
+
+val worst_case_cpu_latency_ns : t -> float
+(** The ASIL-D ring bound. *)

@@ -1,0 +1,36 @@
+type t = {
+  dvpp_name : string;
+  decode_channels : int;
+  decode_fps_per_channel : float;
+  decode_pixels_per_s : float;  (* per-frame decode speed of one channel *)
+  resize_pixels_per_s : float;
+  power_w : float;
+}
+
+let ascend910_dvpp =
+  { dvpp_name = "DVPP-910"; decode_channels = 128;
+    decode_fps_per_channel = 30.; decode_pixels_per_s = 1e9;
+    resize_pixels_per_s = 4e9; power_w = 8. }
+
+let automotive_dvpp =
+  { dvpp_name = "DVPP-610"; decode_channels = 16;
+    decode_fps_per_channel = 30.; decode_pixels_per_s = 1e9;
+    resize_pixels_per_s = 2e9; power_w = 4. }
+
+let decode_latency_s ?(width = 1920) ?(height = 1080) t =
+  float_of_int (width * height) /. t.decode_pixels_per_s
+
+let resize_latency_s t ~width ~height =
+  if width <= 0 || height <= 0 then
+    invalid_arg "Dvpp.resize_latency_s: empty frame";
+  float_of_int (width * height) /. t.resize_pixels_per_s
+
+let frame_latency_s t ~width ~height =
+  decode_latency_s ~width ~height t +. resize_latency_s t ~width ~height
+
+let max_camera_fps t ~cameras =
+  if cameras <= 0 then invalid_arg "Dvpp.max_camera_fps: no cameras";
+  if cameras <= t.decode_channels then t.decode_fps_per_channel
+  else
+    t.decode_fps_per_channel *. float_of_int t.decode_channels
+    /. float_of_int cameras

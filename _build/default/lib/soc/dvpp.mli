@@ -1,0 +1,30 @@
+(** Digital Vision Pre-Processor (paper §3.1.2, §3.3): the fixed-function
+    front end that decodes and resizes camera/video streams so frames
+    arrive at the AI cores already in tensor form.  Modeled as a
+    fixed-throughput pipeline stage. *)
+
+type t = {
+  dvpp_name : string;
+  decode_channels : int;        (** concurrent full-HD decode streams *)
+  decode_fps_per_channel : float;  (** sustained stream rate per channel *)
+  decode_pixels_per_s : float;     (** single-frame decode speed *)
+  resize_pixels_per_s : float;
+  power_w : float;
+}
+
+val ascend910_dvpp : t
+(** 128-channel full-HD decoder. *)
+
+val automotive_dvpp : t
+(** 16 camera channels with resize and 360-degree stitch throughput. *)
+
+val decode_latency_s : ?width:int -> ?height:int -> t -> float
+(** Latency to decode one frame (default 1920x1080). *)
+
+val resize_latency_s : t -> width:int -> height:int -> float
+
+val frame_latency_s : t -> width:int -> height:int -> float
+(** decode + resize for one frame. *)
+
+val max_camera_fps : t -> cameras:int -> float
+(** Sustainable per-camera rate when [cameras] streams share the DVPP. *)

@@ -1,0 +1,52 @@
+module Config = Ascend_arch.Config
+module Engine = Ascend_compiler.Engine
+
+type t = {
+  soc_name : string;
+  core : Config.t;
+  cores : int;
+  dram : Ascend_memory.Dram.t;
+  dvpp : Dvpp.t;
+  tdp_w : float;
+}
+
+let ascend310 =
+  {
+    soc_name = "Ascend 310";
+    core = Config.mini;
+    cores = 2;
+    dram = Ascend_memory.Dram.lpddr4_mobile;
+    dvpp =
+      { Dvpp.ascend910_dvpp with Dvpp.dvpp_name = "DVPP-310";
+        decode_channels = 16; power_w = 1.5 };
+    tdp_w = 8.;
+  }
+
+let peak_tops t ~precision =
+  float_of_int t.cores *. Config.peak_flops t.core ~precision /. 1e12
+
+type result = {
+  latency_s : float;
+  throughput_per_s : float;
+  power_w : float;
+  video_channels : int;
+}
+
+let run t graph =
+  match Engine.run_inference t.core graph with
+  | Error _ as e -> e
+  | Ok r ->
+    let latency_s = Engine.seconds r in
+    let per_core = if latency_s > 0. then 1. /. latency_s else 0. in
+    let throughput = per_core *. float_of_int t.cores in
+    let compute_channels = int_of_float (throughput /. 30.) in
+    let decode_channels = t.dvpp.Dvpp.decode_channels in
+    Ok
+      {
+        latency_s;
+        throughput_per_s = throughput;
+        power_w =
+          (float_of_int t.cores *. Engine.average_power_w r)
+          +. t.dvpp.Dvpp.power_w +. 1.0 (* uncore *);
+        video_channels = min compute_channels decode_channels;
+      }

@@ -1,0 +1,30 @@
+(** The edge-inference SoC (Ascend 310, paper Tables 5 and 10: the 2018
+    part for cloud AI inference and edge boxes): two large Ascend cores
+    with the 310's 96 GB/s-per-core LLC allocation, LPDDR memory, a DVPP
+    for camera/video ingest, and an 8 W envelope. *)
+
+type t = {
+  soc_name : string;
+  core : Ascend_arch.Config.t;
+  cores : int;
+  dram : Ascend_memory.Dram.t;
+  dvpp : Dvpp.t;
+  tdp_w : float;
+}
+
+val ascend310 : t
+
+val peak_tops : t -> precision:Ascend_arch.Precision.t -> float
+
+type result = {
+  latency_s : float;            (** one batch on one core *)
+  throughput_per_s : float;     (** across all cores, batch-parallel *)
+  power_w : float;
+  video_channels : int;
+      (** concurrent 1080p30 streams this model keeps up with *)
+}
+
+val run :
+  t -> Ascend_nn.Graph.t -> (result, string) Stdlib.result
+(** Batch-1 inference replicated across the cores; video_channels is
+    bounded by both compute throughput and the DVPP decode capacity. *)

@@ -1,0 +1,94 @@
+module Graph = Ascend_nn.Graph
+module Op = Ascend_nn.Op
+module Shape = Ascend_tensor.Shape
+module Planner = Ascend_compiler.Memory_planner
+module Llc = Ascend_memory.Llc
+
+type sweep_point = {
+  capacity_bytes : int;
+  hit_rate : float;
+  hits : int;
+  misses : int;
+}
+
+type layout = {
+  weight_base : (int, int * int) Hashtbl.t; (* node id -> (addr, bytes) *)
+  activation_base : int; (* offset of the packed activation region *)
+  plan : Planner.plan;
+  total : int;
+}
+
+let layout_of g =
+  let plan = Planner.plan g in
+  let weight_base = Hashtbl.create 32 in
+  let cursor = ref 0 in
+  List.iter
+    (fun (n : Graph.node) ->
+      match n.Graph.inputs with
+      | [ x ] -> (
+        match Op.weight_shape n.Graph.op ~input:(Graph.find g x).Graph.out_shape with
+        | Some ws ->
+          let bytes = Shape.bytes ws ~dtype:n.Graph.dtype in
+          Hashtbl.replace weight_base n.Graph.id (!cursor, bytes);
+          cursor := !cursor + bytes
+        | None -> ())
+      | _ -> ())
+    (Graph.nodes g);
+  let activation_base = !cursor in
+  {
+    weight_base;
+    activation_base;
+    plan;
+    total = !cursor + plan.Planner.peak_bytes;
+  }
+
+let address_footprint_bytes g = (layout_of g).total
+
+let activation_range layout id =
+  match
+    List.find_opt
+      (fun (a : Planner.allocation) -> a.Planner.node_id = id)
+      layout.plan.Planner.allocations
+  with
+  | Some a ->
+    (layout.activation_base + a.Planner.offset, a.Planner.size_bytes)
+  | None -> (layout.activation_base, 0)
+
+let one_pass cache g layout =
+  List.iter
+    (fun (n : Graph.node) ->
+      (match Hashtbl.find_opt layout.weight_base n.Graph.id with
+      | Some (addr, bytes) when bytes > 0 ->
+        ignore (Llc.access_range cache ~addr ~bytes ~write:false)
+      | _ -> ());
+      List.iter
+        (fun input ->
+          let addr, bytes = activation_range layout input in
+          if bytes > 0 then
+            ignore (Llc.access_range cache ~addr ~bytes ~write:false))
+        n.Graph.inputs;
+      let addr, bytes = activation_range layout n.Graph.id in
+      if bytes > 0 then
+        ignore (Llc.access_range cache ~addr ~bytes ~write:true))
+    (Graph.nodes g)
+
+let sweep ?(line_bytes = 128) ?(passes = 2) g ~capacities =
+  if passes < 1 then invalid_arg "Llc_trace.sweep: need at least one pass";
+  let layout = layout_of g in
+  List.map
+    (fun capacity_bytes ->
+      let cache = Llc.create ~line_bytes ~capacity_bytes () in
+      (* cold pass(es), then measure the steady state *)
+      for _ = 1 to passes - 1 do
+        one_pass cache g layout
+      done;
+      Llc.reset_stats cache;
+      one_pass cache g layout;
+      let stats = Llc.stats cache in
+      {
+        capacity_bytes;
+        hit_rate = Llc.hit_rate cache;
+        hits = stats.Llc.hits;
+        misses = stats.Llc.misses;
+      })
+    capacities

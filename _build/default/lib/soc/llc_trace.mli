@@ -1,0 +1,24 @@
+(** Trace-driven LLC evaluation: drive the set-associative cache model
+    with the actual address stream a compiled network produces —
+    parameters are resident at planner-assigned offsets, activations
+    live in the liveness-packed region — and measure hit rates across
+    capacities.  This grounds the §4.1 capacity experiment in a real
+    cache rather than the analytic working-set fraction. *)
+
+type sweep_point = {
+  capacity_bytes : int;
+  hit_rate : float;
+  hits : int;
+  misses : int;
+}
+
+val address_footprint_bytes : Ascend_nn.Graph.t -> int
+(** Weights + packed activation region. *)
+
+val sweep :
+  ?line_bytes:int -> ?passes:int -> Ascend_nn.Graph.t ->
+  capacities:int list -> sweep_point list
+(** For each capacity, replay [passes] (default 2) full inference passes
+    — per node in topological order: read the weights, read the inputs,
+    write the output — and report the steady hit rate (statistics reset
+    after the cold first pass). *)

@@ -1,0 +1,58 @@
+(** The mobile AI subsystem (Kirin 990-5G, paper §3.2 / Figure 13):
+    two Ascend-Lite cores and one Ascend-Tiny core in a big-little
+    arrangement, with DVFS and the structured-sparsity decompression
+    path.
+
+    Big-little policy: heavyweight vision models (MobileNet / ResNet
+    class) run on a Lite core; the always-on wake-up networks (face /
+    gesture) run on the Tiny core inside its 300 mW envelope. *)
+
+type dvfs_point = {
+  point_name : string;
+  frequency_ghz : float;
+  voltage_v : float;
+}
+
+type t = {
+  soc_name : string;
+  big : Ascend_arch.Config.t;
+  big_count : int;
+  little : Ascend_arch.Config.t;
+  dvfs : dvfs_point list;     (** for the big cores; nominal is 0.75 GHz *)
+  dram : Ascend_memory.Dram.t;
+}
+
+val kirin990 : t
+
+val peak_tops : t -> float
+(** int8 TOPS across all NPU cores — the Table 8 "Peak Performance". *)
+
+val npu_area_mm2 : t -> float
+
+type inference = {
+  point : dvfs_point;
+  core_result : Ascend_compiler.Engine.network_result;
+  latency_s : float;
+  average_power_w : float;
+  energy_per_inference_j : float;
+  tops_per_watt : float;   (** peak int8 TOPS over power at this point *)
+}
+
+val run_big :
+  ?sparsity:float -> ?point:string -> t -> Ascend_nn.Graph.t ->
+  (inference, string) result
+(** Run a batch-1 graph on one Lite core at the named DVFS point
+    (default nominal).  [sparsity] enables weight decompression with the
+    given compressed/uncompressed ratio. *)
+
+val run_little :
+  t -> Ascend_nn.Graph.t -> (inference, string) result
+(** Run an int8 always-on network on the Tiny core. *)
+
+val dvfs_scale : nominal:dvfs_point -> dvfs_point -> float
+(** Dynamic-power ratio f*V^2 / f0*V0^2. *)
+
+val batch1_cube_utilization :
+  Ascend_arch.Config.t -> m:int -> k:int -> n:int -> float
+(** MAC utilisation of one cube instruction on an m-row GEMM fragment —
+    the §3.2 argument for the Lite core's 4x16x16 cube at batch 1. *)

@@ -1,0 +1,49 @@
+(** The DNN-training SoC (Ascend 910, paper §3.1 and Figure 10/12):
+    32 Ascend-Max cores on a 6x4 mesh with an on-die LLC, four HBM
+    stacks (1.2 TB/s), 16 CPU cores and a 128-channel DVPP.
+
+    Execution model: a (training or inference) batch is split data-
+    parallel across the cores at block level; one core is simulated
+    cycle-approximately for its batch slice, then chip-level slowdowns
+    are applied for LLC misses spilling to HBM and for mesh congestion. *)
+
+type t = {
+  soc_name : string;
+  core : Ascend_arch.Config.t;
+  cores : int;
+  llc_bytes : int;
+  llc_bandwidth : float;       (** total bytes/s to LLC (4 TB/s) *)
+  hbm : Ascend_memory.Dram.t;
+  mesh : Ascend_noc.Mesh.t;
+  cpu_cores : int;
+  uncore_power_w : float;
+  io_die_area_mm2 : float;
+}
+
+val ascend910 : t
+val ascend910_llc : llc_bytes:int -> t
+(** Capacity-sweep variant for the §4.1 3D-SRAM experiment. *)
+
+type result = {
+  soc : t;
+  per_core : Ascend_compiler.Engine.network_result;
+  cores_used : int;
+  batch : int;
+  hbm_slowdown : float;
+  noc_slowdown : float;
+  llc_hit_fraction : float;
+  step_seconds : float;
+  chip_power_w : float;
+  throughput_per_s : float;  (** batch items per second *)
+}
+
+val run :
+  ?training:bool -> t -> build:(batch:int -> Ascend_nn.Graph.t) ->
+  batch:int -> (result, string) Stdlib.result
+(** [build] constructs the graph at a given batch size; the SoC splits
+    [batch] evenly across cores (batch must divide; a partial last core
+    is modelled by rounding the per-core batch up). *)
+
+val peak_flops : t -> precision:Ascend_arch.Precision.t -> float
+val compute_die_area_mm2 : t -> float
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/tbe/expr.ml: Array Ascend_tensor Float Format List

@@ -1,0 +1,1 @@
+lib/tbe/expr.mli: Ascend_tensor Format

@@ -1,0 +1,1 @@
+lib/tbe/kernel.ml: Ascend_arch Ascend_compiler Ascend_core_sim Ascend_nn Ascend_tensor Expr Float

@@ -1,0 +1,1 @@
+lib/tbe/kernel.mli: Ascend_arch Ascend_core_sim Ascend_isa Ascend_tensor Expr

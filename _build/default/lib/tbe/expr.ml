@@ -1,0 +1,113 @@
+type t =
+  | Input of int
+  | Const of float
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Max of t * t
+  | Min of t * t
+  | Exp of t
+  | Log of t
+  | Sqrt of t
+  | Tanh of t
+  | Relu of t
+
+let rec arity = function
+  | Input i -> i + 1
+  | Const _ -> 0
+  | Neg e | Exp e | Log e | Sqrt e | Tanh e | Relu e -> arity e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Max (a, b) | Min (a, b)
+    ->
+    max (arity a) (arity b)
+
+let rec eval_scalar t env =
+  match t with
+  | Input i ->
+    if i < 0 || i >= Array.length env then
+      invalid_arg "Expr.eval_scalar: input index out of range";
+    env.(i)
+  | Const v -> v
+  | Neg e -> -.eval_scalar e env
+  | Add (a, b) -> eval_scalar a env +. eval_scalar b env
+  | Sub (a, b) -> eval_scalar a env -. eval_scalar b env
+  | Mul (a, b) -> eval_scalar a env *. eval_scalar b env
+  | Div (a, b) -> eval_scalar a env /. eval_scalar b env
+  | Max (a, b) -> Float.max (eval_scalar a env) (eval_scalar b env)
+  | Min (a, b) -> Float.min (eval_scalar a env) (eval_scalar b env)
+  | Exp e -> exp (eval_scalar e env)
+  | Log e -> log (eval_scalar e env)
+  | Sqrt e -> sqrt (eval_scalar e env)
+  | Tanh e -> Float.tanh (eval_scalar e env)
+  | Relu e -> Float.max 0. (eval_scalar e env)
+
+let eval t inputs =
+  let module Tensor = Ascend_tensor.Tensor in
+  (match inputs with
+  | [] -> invalid_arg "Expr.eval: no inputs"
+  | first :: rest ->
+    List.iter
+      (fun i ->
+        if
+          not
+            (Ascend_tensor.Shape.equal (Tensor.shape i) (Tensor.shape first))
+        then invalid_arg "Expr.eval: input shape mismatch")
+      rest);
+  if arity t > List.length inputs then
+    invalid_arg "Expr.eval: expression references a missing input";
+  let first = List.hd inputs in
+  let module Tensor = Ascend_tensor.Tensor in
+  let n = Tensor.numel first in
+  let datas = Array.of_list (List.map Tensor.data inputs) in
+  let env = Array.make (Array.length datas) 0. in
+  let out = Tensor.create ~dtype:(Tensor.dtype first) (Tensor.shape first) in
+  let o = Tensor.data out in
+  for i = 0 to n - 1 do
+    Array.iteri (fun j d -> env.(j) <- d.(i)) datas;
+    o.(i) <- eval_scalar t env
+  done;
+  out
+
+let rec passes = function
+  | Input _ | Const _ -> 0
+  | Neg e | Exp e | Log e | Sqrt e | Tanh e | Relu e -> 1 + passes e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Max (a, b) | Min (a, b)
+    ->
+    1 + passes a + passes b
+
+let rec pp ppf = function
+  | Input i -> Format.fprintf ppf "x%d" i
+  | Const v -> Format.fprintf ppf "%g" v
+  | Neg e -> Format.fprintf ppf "(- %a)" pp e
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" pp a pp b
+  | Max (a, b) -> Format.fprintf ppf "(max %a %a)" pp a pp b
+  | Min (a, b) -> Format.fprintf ppf "(min %a %a)" pp a pp b
+  | Exp e -> Format.fprintf ppf "(exp %a)" pp e
+  | Log e -> Format.fprintf ppf "(log %a)" pp e
+  | Sqrt e -> Format.fprintf ppf "(sqrt %a)" pp e
+  | Tanh e -> Format.fprintf ppf "(tanh %a)" pp e
+  | Relu e -> Format.fprintf ppf "(relu %a)" pp e
+
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)
+let ( / ) a b = Div (a, b)
+let x0 = Input 0
+let x1 = Input 1
+let c v = Const v
+
+let sigmoid x = Div (Const 1., Add (Const 1., Exp (Neg x)))
+
+let gelu_tanh x =
+  Mul
+    ( Mul (Const 0.5, x),
+      Add
+        ( Const 1.,
+          Tanh
+            (Mul
+               ( Const 0.7978845608,
+                 Add (x, Mul (Const 0.044715, Mul (x, Mul (x, x)))) )) ) )

@@ -1,0 +1,55 @@
+(** TBE (Tensor Boost Engine) DSL — the paper's Level-3 "mathematical
+    programming" model (§5.1): users describe elementwise/reduction
+    computations with no hardware knowledge; the compiler generates the
+    vector-unit task.
+
+    An expression denotes a per-element computation over k input tensors
+    of identical shape.  {!eval} is the reference semantics; {!passes}
+    is the vector-pass cost model the lowering charges. *)
+
+type t =
+  | Input of int          (** index into the input list *)
+  | Const of float
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Max of t * t
+  | Min of t * t
+  | Exp of t
+  | Log of t
+  | Sqrt of t
+  | Tanh of t
+  | Relu of t
+
+val arity : t -> int
+(** 1 + the largest input index referenced (0 for closed terms). *)
+
+val eval_scalar : t -> float array -> float
+(** One element; the array holds the per-input element values.  Raises
+    [Invalid_argument] if an [Input i] exceeds the array. *)
+
+val eval : t -> Ascend_tensor.Tensor.t list -> Ascend_tensor.Tensor.t
+(** Elementwise map over equal-shaped inputs. *)
+
+val passes : t -> int
+(** Vector passes: one per operator node (inputs and constants free). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Convenience constructors} *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val x0 : t
+val x1 : t
+val c : float -> t
+
+val sigmoid : t -> t
+(** 1 / (1 + exp (-x)), built from the primitive nodes. *)
+
+val gelu_tanh : t -> t
+(** The BERT gelu approximation. *)

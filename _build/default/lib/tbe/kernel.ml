@@ -1,0 +1,54 @@
+module Precision = Ascend_arch.Precision
+
+type t = {
+  kernel_name : string;
+  expr : Expr.t;
+  elems : int;
+  dtype : Precision.t;
+}
+
+let make ~name ~expr ~elems ?(dtype = Precision.Fp16) () =
+  if elems <= 0 then invalid_arg "Kernel.make: non-positive element count";
+  { kernel_name = name; expr; elems; dtype }
+
+let workload k =
+  let size = Precision.size_bytes k.dtype in
+  let bytes n = int_of_float (ceil (float_of_int n *. size)) in
+  {
+    Ascend_nn.Workload.zero with
+    vector_elems = float_of_int (k.elems * Expr.passes k.expr);
+    input_bytes = bytes (k.elems * Expr.arity k.expr);
+    output_bytes = bytes k.elems;
+  }
+
+let to_program config k =
+  let group =
+    Ascend_compiler.Fusion.of_workloads ~tag:k.kernel_name ~precision:k.dtype
+      (workload k)
+  in
+  Ascend_compiler.Codegen.group_program config group
+
+let simulate config k =
+  Ascend_core_sim.Simulator.run config (to_program config k)
+
+let estimated_cycles (config : Ascend_arch.Config.t) k =
+  let size = Precision.size_bytes k.dtype in
+  let vector =
+    float_of_int (k.elems * Expr.passes k.expr)
+    *. size
+    /. float_of_int config.vector_width_bytes
+  in
+  let streaming =
+    float_of_int (k.elems * (Expr.arity k.expr + 1))
+    *. size
+    /. Float.max 1. (Ascend_arch.Config.llc_bytes_per_cycle config)
+  in
+  int_of_float (ceil (Float.max vector streaming))
+
+let run k inputs =
+  (match inputs with
+  | [] -> invalid_arg "Kernel.run: no inputs"
+  | first :: _ ->
+    if Ascend_tensor.Tensor.numel first <> k.elems then
+      invalid_arg "Kernel.run: element count mismatch");
+  Expr.eval k.expr inputs

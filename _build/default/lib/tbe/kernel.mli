@@ -1,0 +1,33 @@
+(** Lowering TBE expressions to Ascend core programs — the "instance
+    Tasks generated automatically from the TBE DSL description" of §5.1.
+
+    The kernel streams the element range through the unified buffer:
+    loads of all referenced inputs, [Expr.passes] vector passes per
+    chunk, and a store — the same pipeline shape the hand-written
+    compiler emits for vector-only layers. *)
+
+type t = {
+  kernel_name : string;
+  expr : Expr.t;
+  elems : int;
+  dtype : Ascend_arch.Precision.t;
+}
+
+val make :
+  name:string -> expr:Expr.t -> elems:int ->
+  ?dtype:Ascend_arch.Precision.t -> unit -> t
+(** Default dtype fp16.  Raises [Invalid_argument] on non-positive
+    [elems]. *)
+
+val to_program : Ascend_arch.Config.t -> t -> Ascend_isa.Program.t
+
+val simulate :
+  Ascend_arch.Config.t -> t ->
+  (Ascend_core_sim.Simulator.report, string) result
+
+val estimated_cycles : Ascend_arch.Config.t -> t -> int
+(** Analytical: passes x elems / vector lanes, plus streaming. *)
+
+val run :
+  t -> Ascend_tensor.Tensor.t list -> Ascend_tensor.Tensor.t
+(** Numeric execution via {!Expr.eval} (shape-checked against [elems]). *)

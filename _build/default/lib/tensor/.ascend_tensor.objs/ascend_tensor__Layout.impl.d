@@ -1,0 +1,1 @@
+lib/tensor/layout.ml: Ascend_arch Ascend_util Shape Tensor

@@ -1,0 +1,1 @@
+lib/tensor/ops.ml: Array Ascend_util Float List Printf Shape Tensor

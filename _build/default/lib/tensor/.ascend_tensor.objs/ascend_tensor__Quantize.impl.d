@@ -1,0 +1,1 @@
+lib/tensor/quantize.ml: Array Ascend_arch Ascend_util Float Tensor

@@ -1,0 +1,1 @@
+lib/tensor/quantize.mli: Ascend_arch Tensor

@@ -1,0 +1,1 @@
+lib/tensor/shape.ml: Array Ascend_arch Format List String

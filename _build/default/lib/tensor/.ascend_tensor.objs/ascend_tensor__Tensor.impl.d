@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array Ascend_arch Ascend_util Float Format Shape

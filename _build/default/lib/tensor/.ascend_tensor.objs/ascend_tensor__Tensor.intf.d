@@ -1,0 +1,1 @@
+lib/tensor/tensor.mli: Ascend_arch Ascend_util Format Shape

@@ -1,0 +1,102 @@
+module Precision = Ascend_arch.Precision
+
+let c0 ~dtype = match dtype with Precision.Int8 | Precision.Int4 -> 32 | _ -> 16
+
+let div_up = Ascend_util.Stats.divide_round_up
+
+let nchw_to_nc1hwc0 t =
+  match Shape.to_list (Tensor.shape t) with
+  | [ n; c; h; w ] ->
+    let c0 = c0 ~dtype:(Tensor.dtype t) in
+    let c1 = div_up c c0 in
+    let out =
+      Tensor.create ~dtype:(Tensor.dtype t) (Shape.of_list [ n; c1; h; w; c0 ])
+    in
+    for ni = 0 to n - 1 do
+      for ci = 0 to c - 1 do
+        for hi = 0 to h - 1 do
+          for wi = 0 to w - 1 do
+            let v = Tensor.get t [| ni; ci; hi; wi |] in
+            Tensor.set out [| ni; ci / c0; hi; wi; ci mod c0 |] v
+          done
+        done
+      done
+    done;
+    out
+  | _ -> invalid_arg "Layout.nchw_to_nc1hwc0: expected rank-4 NCHW tensor"
+
+let nc1hwc0_to_nchw ~c t =
+  match Shape.to_list (Tensor.shape t) with
+  | [ n; c1; h; w; c0 ] ->
+    if c > c1 * c0 then invalid_arg "Layout.nc1hwc0_to_nchw: c too large";
+    let out =
+      Tensor.create ~dtype:(Tensor.dtype t) (Shape.nchw ~n ~c ~h ~w)
+    in
+    for ni = 0 to n - 1 do
+      for ci = 0 to c - 1 do
+        for hi = 0 to h - 1 do
+          for wi = 0 to w - 1 do
+            let v = Tensor.get t [| ni; ci / c0; hi; wi; ci mod c0 |] in
+            Tensor.set out [| ni; ci; hi; wi |] v
+          done
+        done
+      done
+    done;
+    out
+  | _ -> invalid_arg "Layout.nc1hwc0_to_nchw: expected rank-5 tensor"
+
+let cout0 = 16
+
+let weights_to_fracz t =
+  match Shape.to_list (Tensor.shape t) with
+  | [ cout; cin; kh; kw ] ->
+    let c0 = c0 ~dtype:(Tensor.dtype t) in
+    let c1 = div_up cin c0 in
+    let cout1 = div_up cout cout0 in
+    let out =
+      Tensor.create ~dtype:(Tensor.dtype t)
+        (Shape.of_list [ c1 * kh * kw; cout1; cout0; c0 ])
+    in
+    for co = 0 to cout - 1 do
+      for ci = 0 to cin - 1 do
+        for khi = 0 to kh - 1 do
+          for kwi = 0 to kw - 1 do
+            let v = Tensor.get t [| co; ci; khi; kwi |] in
+            let block = (((ci / c0) * kh) + khi) * kw + kwi in
+            Tensor.set out [| block; co / cout0; co mod cout0; ci mod c0 |] v
+          done
+        done
+      done
+    done;
+    out
+  | _ -> invalid_arg "Layout.weights_to_fracz: expected rank-4 OIHW tensor"
+
+let fracz_to_weights ~cout ~cin ~kh ~kw t =
+  match Shape.to_list (Tensor.shape t) with
+  | [ blocks; cout1; co0; c0 ] ->
+    if co0 <> cout0 then invalid_arg "Layout.fracz_to_weights: bad cout0";
+    if blocks <> div_up cin c0 * kh * kw then
+      invalid_arg "Layout.fracz_to_weights: block count mismatch";
+    if cout > cout1 * cout0 then
+      invalid_arg "Layout.fracz_to_weights: cout too large";
+    let out =
+      Tensor.create ~dtype:(Tensor.dtype t) (Shape.of_list [ cout; cin; kh; kw ])
+    in
+    for co = 0 to cout - 1 do
+      for ci = 0 to cin - 1 do
+        for khi = 0 to kh - 1 do
+          for kwi = 0 to kw - 1 do
+            let block = (((ci / c0) * kh) + khi) * kw + kwi in
+            let v = Tensor.get t [| block; co / cout0; co mod cout0; ci mod c0 |] in
+            Tensor.set out [| co; ci; khi; kwi |] v
+          done
+        done
+      done
+    done;
+    out
+  | _ -> invalid_arg "Layout.fracz_to_weights: expected rank-4 FracZ tensor"
+
+let padded_channel_bytes ~c ~h ~w ~dtype =
+  let c0 = c0 ~dtype in
+  let padded_c = div_up c c0 * c0 in
+  (padded_c * h * w * Precision.size_bits dtype + 7) / 8

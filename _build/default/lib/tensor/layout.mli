@@ -1,0 +1,32 @@
+(** DaVinci on-chip data layouts.
+
+    The MTE's [trans] and [img2col] modules (paper §2.2) move data between
+    the framework's NCHW layout and the cube-friendly fractal layouts:
+
+    - feature maps: NC1HWC0 — channels split into C1 groups of C0 = cube k
+      dimension (16 for fp16, 32 for int8) so one cube pass reads a
+      contiguous C0 slice;
+    - weights: FracZ — [(C1*KH*KW, Cout1, Cout0, C0)] fractal blocks so a
+      16x16 weight fragment is contiguous for the L0B port. *)
+
+val c0 : dtype:Ascend_arch.Precision.t -> int
+(** The fractal inner-channel size: 32 for int8, 16 otherwise. *)
+
+val nchw_to_nc1hwc0 : Tensor.t -> Tensor.t
+(** Input of shape [n;c;h;w]; output [n; c1; h; w; c0] zero-padded in the
+    channel remainder. *)
+
+val nc1hwc0_to_nchw : c:int -> Tensor.t -> Tensor.t
+(** Inverse, dropping channel padding; [c] is the original channel count. *)
+
+val weights_to_fracz : Tensor.t -> Tensor.t
+(** Input of shape [cout; cin; kh; kw]; output
+    [c1*kh*kw; cout1; cout0; c0] with cout0 = 16, c0 from the dtype. *)
+
+val fracz_to_weights :
+  cout:int -> cin:int -> kh:int -> kw:int -> Tensor.t -> Tensor.t
+
+val padded_channel_bytes :
+  c:int -> h:int -> w:int -> dtype:Ascend_arch.Precision.t -> int
+(** Bytes a [c;h;w] feature map occupies once padded to C0 — what the
+    simulator charges buffers for. *)

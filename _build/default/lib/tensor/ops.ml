@@ -1,0 +1,297 @@
+let matmul_dims a b =
+  match (Shape.to_list (Tensor.shape a), Shape.to_list (Tensor.shape b)) with
+  | [ m; k ], [ k'; n ] when k = k' -> (m, k, n)
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Ops.matmul: incompatible shapes %s and %s"
+         (Shape.to_string (Tensor.shape a))
+         (Shape.to_string (Tensor.shape b)))
+
+let matmul_gen ~round a b =
+  let m, k, n = matmul_dims a b in
+  let da = Tensor.data a and db = Tensor.data b in
+  let out = Tensor.create (Shape.matrix m n) in
+  let dout = Tensor.data out in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0. in
+      for p = 0 to k - 1 do
+        acc := !acc +. (round da.((i * k) + p) *. round db.((p * n) + j))
+      done;
+      dout.((i * n) + j) <- !acc
+    done
+  done;
+  out
+
+let matmul a b = matmul_gen ~round:(fun v -> v) a b
+let matmul_mixed a b = matmul_gen ~round:Ascend_util.Fp16.round_float a b
+
+type conv_params = { stride : int; padding : int; groups : int }
+
+let conv_defaults = { stride = 1; padding = 0; groups = 1 }
+
+let conv_output_hw ~h ~w ~kh ~kw ~stride ~padding =
+  let oh = ((h + (2 * padding) - kh) / stride) + 1 in
+  let ow = ((w + (2 * padding) - kw) / stride) + 1 in
+  if oh <= 0 || ow <= 0 then invalid_arg "Ops.conv_output_hw: empty output";
+  (oh, ow)
+
+let nchw_dims t =
+  match Shape.to_list (Tensor.shape t) with
+  | [ n; c; h; w ] -> (n, c, h, w)
+  | _ -> invalid_arg "Ops: expected rank-4 NCHW tensor"
+
+let conv2d ?(params = conv_defaults) x w =
+  let n, cin, h, wd = nchw_dims x in
+  let cout, cin_g, kh, kw = nchw_dims w in
+  let { stride; padding; groups } = params in
+  if cin mod groups <> 0 || cout mod groups <> 0 then
+    invalid_arg "Ops.conv2d: channels not divisible by groups";
+  if cin_g <> cin / groups then
+    invalid_arg "Ops.conv2d: weight channel mismatch";
+  let oh, ow = conv_output_hw ~h ~w:wd ~kh ~kw ~stride ~padding in
+  let out = Tensor.create (Shape.nchw ~n ~c:cout ~h:oh ~w:ow) in
+  let cout_g = cout / groups in
+  for ni = 0 to n - 1 do
+    for co = 0 to cout - 1 do
+      let g = co / cout_g in
+      for ohi = 0 to oh - 1 do
+        for owi = 0 to ow - 1 do
+          let acc = ref 0. in
+          for ci = 0 to cin_g - 1 do
+            let cin_idx = (g * cin_g) + ci in
+            for khi = 0 to kh - 1 do
+              let hi = (ohi * stride) + khi - padding in
+              if hi >= 0 && hi < h then
+                for kwi = 0 to kw - 1 do
+                  let wi = (owi * stride) + kwi - padding in
+                  if wi >= 0 && wi < wd then
+                    acc :=
+                      !acc
+                      +. Tensor.get x [| ni; cin_idx; hi; wi |]
+                         *. Tensor.get w [| co; ci; khi; kwi |]
+                done
+            done
+          done;
+          Tensor.set out [| ni; co; ohi; owi |] !acc
+        done
+      done
+    done
+  done;
+  out
+
+let img2col ?(params = conv_defaults) x ~kh ~kw =
+  let n, cin, h, wd = nchw_dims x in
+  let { stride; padding; groups } = params in
+  if groups <> 1 then invalid_arg "Ops.img2col: use per-group slices";
+  let oh, ow = conv_output_hw ~h ~w:wd ~kh ~kw ~stride ~padding in
+  let rows = n * oh * ow in
+  let cols = cin * kh * kw in
+  let out = Tensor.create (Shape.matrix rows cols) in
+  let dout = Tensor.data out in
+  let row = ref 0 in
+  for ni = 0 to n - 1 do
+    for ohi = 0 to oh - 1 do
+      for owi = 0 to ow - 1 do
+        let base = !row * cols in
+        let col = ref 0 in
+        for ci = 0 to cin - 1 do
+          for khi = 0 to kh - 1 do
+            let hi = (ohi * stride) + khi - padding in
+            for kwi = 0 to kw - 1 do
+              let wi = (owi * stride) + kwi - padding in
+              let v =
+                if hi >= 0 && hi < h && wi >= 0 && wi < wd then
+                  Tensor.get x [| ni; ci; hi; wi |]
+                else 0.
+              in
+              dout.(base + !col) <- v;
+              incr col
+            done
+          done
+        done;
+        incr row
+      done
+    done
+  done;
+  out
+
+let slice_channels x ~from ~count =
+  let n, _c, h, w = nchw_dims x in
+  Tensor.init (Shape.nchw ~n ~c:count ~h ~w) (fun idx ->
+      Tensor.get x [| idx.(0); from + idx.(1); idx.(2); idx.(3) |])
+
+let conv2d_via_gemm ?(params = conv_defaults) x w =
+  let n, _cin, h, wd = nchw_dims x in
+  let cout, cin_g, kh, kw = nchw_dims w in
+  let { stride; padding; groups } = params in
+  let oh, ow = conv_output_hw ~h ~w:wd ~kh ~kw ~stride ~padding in
+  let out = Tensor.create (Shape.nchw ~n ~c:cout ~h:oh ~w:ow) in
+  let cout_g = cout / groups in
+  let per_group = { stride; padding; groups = 1 } in
+  for g = 0 to groups - 1 do
+    let xg =
+      if groups = 1 then x else slice_channels x ~from:(g * cin_g) ~count:cin_g
+    in
+    let cols = img2col ~params:per_group xg ~kh ~kw in
+    (* weight matrix: (cin_g*kh*kw) x cout_g *)
+    let wmat =
+      Tensor.init (Shape.matrix (cin_g * kh * kw) cout_g) (fun idx ->
+          let col = idx.(0) in
+          let co = idx.(1) in
+          let ci = col / (kh * kw) in
+          let rem = col mod (kh * kw) in
+          Tensor.get w [| (g * cout_g) + co; ci; rem / kw; rem mod kw |])
+    in
+    let prod = matmul cols wmat in
+    (* rows are (n, oh, ow) in row-major order *)
+    for ni = 0 to n - 1 do
+      for ohi = 0 to oh - 1 do
+        for owi = 0 to ow - 1 do
+          let row = ((ni * oh) + ohi) * ow + owi in
+          for co = 0 to cout_g - 1 do
+            Tensor.set out
+              [| ni; (g * cout_g) + co; ohi; owi |]
+              (Tensor.get prod [| row; co |])
+          done
+        done
+      done
+    done
+  done;
+  out
+
+let pool2d ~reduce ~finish x ~kernel ~stride =
+  let n, c, h, w = nchw_dims x in
+  let oh, ow = conv_output_hw ~h ~w ~kh:kernel ~kw:kernel ~stride ~padding:0 in
+  let out = Tensor.create (Shape.nchw ~n ~c ~h:oh ~w:ow) in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      for ohi = 0 to oh - 1 do
+        for owi = 0 to ow - 1 do
+          let acc = ref None in
+          for khi = 0 to kernel - 1 do
+            for kwi = 0 to kernel - 1 do
+              let v =
+                Tensor.get x
+                  [| ni; ci; (ohi * stride) + khi; (owi * stride) + kwi |]
+              in
+              acc := Some (match !acc with None -> v | Some a -> reduce a v)
+            done
+          done;
+          let v = match !acc with Some a -> a | None -> 0. in
+          Tensor.set out [| ni; ci; ohi; owi |] (finish v (kernel * kernel))
+        done
+      done
+    done
+  done;
+  out
+
+let max_pool2d x ~kernel ~stride =
+  pool2d ~reduce:Float.max ~finish:(fun v _ -> v) x ~kernel ~stride
+
+let avg_pool2d x ~kernel ~stride =
+  pool2d ~reduce:( +. ) ~finish:(fun v n -> v /. float_of_int n) x ~kernel ~stride
+
+let global_avg_pool x =
+  let n, c, h, w = nchw_dims x in
+  let out = Tensor.create (Shape.matrix n c) in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      let acc = ref 0. in
+      for hi = 0 to h - 1 do
+        for wi = 0 to w - 1 do
+          acc := !acc +. Tensor.get x [| ni; ci; hi; wi |]
+        done
+      done;
+      Tensor.set out [| ni; ci |] (!acc /. float_of_int (h * w))
+    done
+  done;
+  out
+
+let relu = Tensor.map (fun v -> Float.max 0. v)
+let relu6 = Tensor.map (fun v -> Float.min 6. (Float.max 0. v))
+let sigmoid = Tensor.map (fun v -> 1. /. (1. +. exp (-.v)))
+let tanh_ = Tensor.map Float.tanh
+
+let gelu =
+  (* tanh approximation, as used by BERT *)
+  Tensor.map (fun v ->
+      0.5 *. v
+      *. (1. +. Float.tanh (0.7978845608 *. (v +. (0.044715 *. v *. v *. v)))))
+
+let bias_add x b =
+  let blen = Tensor.numel b in
+  match Shape.to_list (Tensor.shape x) with
+  | [ _n; c; _h; _w ] when c = blen ->
+    Tensor.init ~dtype:(Tensor.dtype x) (Tensor.shape x) (fun idx ->
+        Tensor.get x idx +. Tensor.get_flat b idx.(1))
+  | dims when List.length dims >= 1 && List.nth dims (List.length dims - 1) = blen ->
+    let r = List.length dims in
+    Tensor.init ~dtype:(Tensor.dtype x) (Tensor.shape x) (fun idx ->
+        Tensor.get x idx +. Tensor.get_flat b idx.(r - 1))
+  | _ -> invalid_arg "Ops.bias_add: bias length matches neither dim"
+
+let rows_view t =
+  (* view any tensor as (outer x last-dim) for last-axis reductions *)
+  let dims = Shape.to_list (Tensor.shape t) in
+  match List.rev dims with
+  | [] -> invalid_arg "Ops: scalar has no last axis"
+  | last :: rest -> (List.fold_left ( * ) 1 rest, last)
+
+let softmax t =
+  let rows, cols = rows_view t in
+  let d = Tensor.data t in
+  let out = Tensor.create ~dtype:(Tensor.dtype t) (Tensor.shape t) in
+  let o = Tensor.data out in
+  for r = 0 to rows - 1 do
+    let base = r * cols in
+    let m = ref neg_infinity in
+    for j = 0 to cols - 1 do
+      m := Float.max !m d.(base + j)
+    done;
+    let z = ref 0. in
+    for j = 0 to cols - 1 do
+      let e = exp (d.(base + j) -. !m) in
+      o.(base + j) <- e;
+      z := !z +. e
+    done;
+    for j = 0 to cols - 1 do
+      o.(base + j) <- o.(base + j) /. !z
+    done
+  done;
+  out
+
+let layer_norm ?(eps = 1e-5) t =
+  let rows, cols = rows_view t in
+  let d = Tensor.data t in
+  let out = Tensor.create ~dtype:(Tensor.dtype t) (Tensor.shape t) in
+  let o = Tensor.data out in
+  let fcols = float_of_int cols in
+  for r = 0 to rows - 1 do
+    let base = r * cols in
+    let mean = ref 0. in
+    for j = 0 to cols - 1 do
+      mean := !mean +. d.(base + j)
+    done;
+    let mean = !mean /. fcols in
+    let var = ref 0. in
+    for j = 0 to cols - 1 do
+      let dv = d.(base + j) -. mean in
+      var := !var +. (dv *. dv)
+    done;
+    let inv = 1. /. sqrt ((!var /. fcols) +. eps) in
+    for j = 0 to cols - 1 do
+      o.(base + j) <- (d.(base + j) -. mean) *. inv
+    done
+  done;
+  out
+
+let batch_norm_inference ?(eps = 1e-5) ~mean ~var ~gamma ~beta x =
+  let _n, c, _h, _w = nchw_dims x in
+  if Array.length mean <> c || Array.length var <> c || Array.length gamma <> c
+     || Array.length beta <> c
+  then invalid_arg "Ops.batch_norm_inference: statistics length mismatch";
+  Tensor.init ~dtype:(Tensor.dtype x) (Tensor.shape x) (fun idx ->
+      let ci = idx.(1) in
+      ((Tensor.get x idx -. mean.(ci)) /. sqrt (var.(ci) +. eps) *. gamma.(ci))
+      +. beta.(ci))

@@ -1,0 +1,66 @@
+(** Reference numeric operators.
+
+    These are the golden implementations the compiler's lowering is tested
+    against (e.g. img2col + GEMM must equal direct convolution) and the
+    executor behind the numeric forward evaluation of the model zoo. *)
+
+val matmul : Tensor.t -> Tensor.t -> Tensor.t
+(** [matmul a b] with [a : m x k] and [b : k x n]; fp32 accumulation.
+    Raises [Invalid_argument] on shape mismatch. *)
+
+val matmul_mixed : Tensor.t -> Tensor.t -> Tensor.t
+(** Cube-style mixed precision: sources rounded through fp16 element-wise,
+    products accumulated in fp32 (paper §2.1 / Table 4 note). *)
+
+type conv_params = {
+  stride : int;
+  padding : int;
+  groups : int;  (** [groups = cin] gives a depthwise convolution *)
+}
+
+val conv_defaults : conv_params
+(** stride 1, padding 0, groups 1. *)
+
+val conv2d : ?params:conv_params -> Tensor.t -> Tensor.t -> Tensor.t
+(** [conv2d x w] with [x : n,cin,h,w] and [w : cout,cin/groups,kh,kw].
+    Direct (non-GEMM) reference implementation. *)
+
+val conv_output_hw :
+  h:int -> w:int -> kh:int -> kw:int -> stride:int -> padding:int -> int * int
+
+val img2col :
+  ?params:conv_params -> Tensor.t -> kh:int -> kw:int -> Tensor.t
+(** The MTE img2col transform: [n,cin,h,w] -> matrix
+    [(n*oh*ow) x (cin/groups... ) ]; for grouped convolutions apply per
+    group slice.  With [groups = 1] the result is
+    [(n*oh*ow) x (cin*kh*kw)]. *)
+
+val conv2d_via_gemm : ?params:conv_params -> Tensor.t -> Tensor.t -> Tensor.t
+(** Lowered convolution: img2col then GEMM then reshape — the cube path.
+    Supports [groups = 1] and depthwise ([groups = cin]). *)
+
+val max_pool2d : Tensor.t -> kernel:int -> stride:int -> Tensor.t
+val avg_pool2d : Tensor.t -> kernel:int -> stride:int -> Tensor.t
+val global_avg_pool : Tensor.t -> Tensor.t
+(** [n,c,h,w] -> [n,c]. *)
+
+val relu : Tensor.t -> Tensor.t
+val relu6 : Tensor.t -> Tensor.t
+val sigmoid : Tensor.t -> Tensor.t
+val tanh_ : Tensor.t -> Tensor.t
+val gelu : Tensor.t -> Tensor.t
+
+val bias_add : Tensor.t -> Tensor.t -> Tensor.t
+(** Adds a [c]-vector along dim 1 of an NCHW tensor, or along the last dim
+    of a matrix. *)
+
+val softmax : Tensor.t -> Tensor.t
+(** Along the last dimension, numerically stabilised. *)
+
+val layer_norm : ?eps:float -> Tensor.t -> Tensor.t
+(** Normalise along the last dimension (gamma = 1, beta = 0). *)
+
+val batch_norm_inference :
+  ?eps:float -> mean:float array -> var:float array -> gamma:float array ->
+  beta:float array -> Tensor.t -> Tensor.t
+(** Per-channel normalisation of an NCHW tensor with frozen statistics. *)

@@ -1,0 +1,64 @@
+module Precision = Ascend_arch.Precision
+
+type params = { scale : float; zero_point : int; dtype : Precision.t }
+
+let qmin = function
+  | Precision.Int8 -> -128
+  | Precision.Int4 -> -8
+  | Precision.Int32 -> min_int / 2
+  | Precision.Fp16 | Precision.Fp32 ->
+    invalid_arg "Quantize.qmin: float dtype"
+
+let qmax = function
+  | Precision.Int8 -> 127
+  | Precision.Int4 -> 7
+  | Precision.Int32 -> max_int / 2
+  | Precision.Fp16 | Precision.Fp32 ->
+    invalid_arg "Quantize.qmax: float dtype"
+
+let calibrate ?(symmetric = true) ~dtype t =
+  let lo = Tensor.fold Float.min infinity t in
+  let hi = Tensor.fold Float.max neg_infinity t in
+  let lo = Float.min lo 0. and hi = Float.max hi 0. in
+  let qlo = float_of_int (qmin dtype) and qhi = float_of_int (qmax dtype) in
+  if symmetric then
+    let bound = Float.max (Float.abs lo) (Float.abs hi) in
+    let scale = if bound = 0. then 1. else bound /. qhi in
+    { scale; zero_point = 0; dtype }
+  else
+    let range = hi -. lo in
+    let scale = if range = 0. then 1. else range /. (qhi -. qlo) in
+    let zp = int_of_float (Float.round (qlo -. (lo /. scale))) in
+    { scale; zero_point = max (qmin dtype) (min (qmax dtype) zp); dtype }
+
+let quantize p t =
+  let qlo = float_of_int (qmin p.dtype) and qhi = float_of_int (qmax p.dtype) in
+  let quantized =
+    Tensor.map
+      (fun v ->
+        let q = Float.round (v /. p.scale) +. float_of_int p.zero_point in
+        Ascend_util.Stats.clamp ~lo:qlo ~hi:qhi q)
+      t
+  in
+  Tensor.cast quantized p.dtype
+
+let dequantize p t =
+  Tensor.cast
+    (Tensor.map (fun q -> (q -. float_of_int p.zero_point) *. p.scale) t)
+    Precision.Fp32
+
+let round_trip p t = dequantize p (quantize p t)
+
+let max_round_trip_error p t =
+  let rt = round_trip p t in
+  let qlo = float_of_int (qmin p.dtype) and qhi = float_of_int (qmax p.dtype) in
+  let lo = (qlo -. float_of_int p.zero_point) *. p.scale in
+  let hi = (qhi -. float_of_int p.zero_point) *. p.scale in
+  let err = ref 0. in
+  let da = Tensor.data t and db = Tensor.data rt in
+  Array.iteri
+    (fun i v ->
+      if v >= lo && v <= hi then
+        err := Float.max !err (Float.abs (v -. db.(i))))
+    da;
+  !err

@@ -1,0 +1,29 @@
+(** Affine quantisation — the vector unit's quantise / dequantise
+    conversions among int32, fp16 and int8 (paper §2.2), plus int4 for the
+    automotive low-precision inference mode (§3.3). *)
+
+type params = {
+  scale : float;   (** positive *)
+  zero_point : int;
+  dtype : Ascend_arch.Precision.t;  (** Int8 or Int4 *)
+}
+
+val qmin : Ascend_arch.Precision.t -> int
+val qmax : Ascend_arch.Precision.t -> int
+
+val calibrate :
+  ?symmetric:bool -> dtype:Ascend_arch.Precision.t -> Tensor.t -> params
+(** Min/max calibration.  [symmetric] (default true, matching weight
+    quantisation practice) forces [zero_point = 0]. *)
+
+val quantize : params -> Tensor.t -> Tensor.t
+(** Output dtype is [params.dtype]; values are the quantised integers. *)
+
+val dequantize : params -> Tensor.t -> Tensor.t
+(** Back to fp32 values. *)
+
+val round_trip : params -> Tensor.t -> Tensor.t
+(** [dequantize p (quantize p t)]. *)
+
+val max_round_trip_error : params -> Tensor.t -> float
+(** Largest |x - roundtrip x| over in-range entries; bounded by scale/2. *)

@@ -1,0 +1,57 @@
+type t = int array
+
+let of_list dims =
+  List.iter
+    (fun d -> if d < 0 then invalid_arg "Shape.of_list: negative dimension")
+    dims;
+  Array.of_list dims
+
+let to_list = Array.to_list
+let dims t = Array.copy t
+let rank = Array.length
+
+let dim t i =
+  let n = Array.length t in
+  let i = if i < 0 then n + i else i in
+  if i < 0 || i >= n then invalid_arg "Shape.dim: index out of range";
+  t.(i)
+
+let numel t = Array.fold_left ( * ) 1 t
+
+let equal (a : t) b = a = b
+
+let to_string t =
+  "[" ^ String.concat "x" (List.map string_of_int (Array.to_list t)) ^ "]"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let scalar = [||]
+let vector n = of_list [ n ]
+let matrix m n = of_list [ m; n ]
+let nchw ~n ~c ~h ~w = of_list [ n; c; h; w ]
+
+let concat a b = Array.append a b
+
+let bytes t ~dtype =
+  let bits = numel t * Ascend_arch.Precision.size_bits dtype in
+  (bits + 7) / 8
+
+let strides t =
+  let n = Array.length t in
+  let s = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    s.(i) <- s.(i + 1) * t.(i + 1)
+  done;
+  s
+
+let ravel_index t idx =
+  let n = Array.length t in
+  if Array.length idx <> n then invalid_arg "Shape.ravel_index: rank mismatch";
+  let s = strides t in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    if idx.(i) < 0 || idx.(i) >= t.(i) then
+      invalid_arg "Shape.ravel_index: index out of bounds";
+    acc := !acc + (idx.(i) * s.(i))
+  done;
+  !acc

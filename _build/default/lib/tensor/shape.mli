@@ -1,0 +1,34 @@
+(** Tensor shapes as immutable dimension lists (row-major order). *)
+
+type t
+
+val of_list : int list -> t
+(** Raises [Invalid_argument] on negative dimensions. *)
+
+val to_list : t -> int list
+val dims : t -> int array
+val rank : t -> int
+val dim : t -> int -> int
+(** [dim t i] supports negative indices from the end. *)
+
+val numel : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val scalar : t
+val vector : int -> t
+val matrix : int -> int -> t
+val nchw : n:int -> c:int -> h:int -> w:int -> t
+
+val concat : t -> t -> t
+(** Dimension-list concatenation. *)
+
+val bytes : t -> dtype:Ascend_arch.Precision.t -> int
+(** Storage footprint, rounded up for sub-byte dtypes. *)
+
+val strides : t -> int array
+(** Row-major element strides. *)
+
+val ravel_index : t -> int array -> int
+(** Flatten a multi-index; bounds-checked. *)

@@ -1,0 +1,147 @@
+module Precision = Ascend_arch.Precision
+
+type t = { shape : Shape.t; dtype : Precision.t; data : float array }
+
+let create ?(dtype = Precision.Fp32) shape =
+  { shape; dtype; data = Array.make (Shape.numel shape) 0. }
+
+let round_value dtype v =
+  match dtype with
+  | Precision.Fp32 -> v
+  | Precision.Fp16 -> Ascend_util.Fp16.round_float v
+  | Precision.Int32 -> Float.of_int (Float.to_int (Float.round v))
+  | Precision.Int8 ->
+    Ascend_util.Stats.clamp ~lo:(-128.) ~hi:127. (Float.round v)
+  | Precision.Int4 -> Ascend_util.Stats.clamp ~lo:(-8.) ~hi:7. (Float.round v)
+
+let of_array ?(dtype = Precision.Fp32) shape data =
+  if Array.length data <> Shape.numel shape then
+    invalid_arg "Tensor.of_array: length mismatch";
+  { shape; dtype; data }
+
+let init ?(dtype = Precision.Fp32) shape f =
+  let n = Shape.numel shape in
+  let rank = Shape.rank shape in
+  let dims = Shape.dims shape in
+  let idx = Array.make rank 0 in
+  let data = Array.make n 0. in
+  for flat = 0 to n - 1 do
+    data.(flat) <- round_value dtype (f idx);
+    (* advance the multi-index, row-major *)
+    let rec bump i =
+      if i >= 0 then begin
+        idx.(i) <- idx.(i) + 1;
+        if idx.(i) = dims.(i) then begin
+          idx.(i) <- 0;
+          bump (i - 1)
+        end
+      end
+    in
+    bump (rank - 1)
+  done;
+  { shape; dtype; data }
+
+let full ?(dtype = Precision.Fp32) shape v =
+  { shape; dtype; data = Array.make (Shape.numel shape) (round_value dtype v) }
+
+let random ?(dtype = Precision.Fp32) rng shape =
+  let data =
+    Array.init (Shape.numel shape) (fun _ ->
+        round_value dtype (Ascend_util.Prng.gaussian rng ~mu:0. ~sigma:1.))
+  in
+  { shape; dtype; data }
+
+let shape t = t.shape
+let dtype t = t.dtype
+let numel t = Array.length t.data
+let bytes t = Shape.bytes t.shape ~dtype:t.dtype
+
+let get t idx = t.data.(Shape.ravel_index t.shape idx)
+let set t idx v = t.data.(Shape.ravel_index t.shape idx) <- v
+let get_flat t i = t.data.(i)
+let set_flat t i v = t.data.(i) <- v
+let data t = t.data
+
+let copy t = { t with data = Array.copy t.data }
+
+let reshape t shape =
+  if Shape.numel shape <> numel t then
+    invalid_arg "Tensor.reshape: element count mismatch";
+  { t with shape }
+
+let cast t dtype =
+  { t with dtype; data = Array.map (round_value dtype) t.data }
+
+let map f t = { t with data = Array.map f t.data }
+
+let map2 f a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Tensor.map2: shape mismatch";
+  { a with data = Array.map2 f a.data b.data }
+
+let iteri f t =
+  let rank = Shape.rank t.shape in
+  let dims = Shape.dims t.shape in
+  let idx = Array.make rank 0 in
+  Array.iteri
+    (fun _flat v ->
+      f idx v;
+      let rec bump i =
+        if i >= 0 then begin
+          idx.(i) <- idx.(i) + 1;
+          if idx.(i) = dims.(i) then begin
+            idx.(i) <- 0;
+            bump (i - 1)
+          end
+        end
+      in
+      bump (rank - 1))
+    t.data
+
+let fold f init t = Array.fold_left f init t.data
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let mul = map2 ( *. )
+let scale s t = map (fun v -> s *. v) t
+
+let max_abs_diff a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Tensor.max_abs_diff: shape mismatch";
+  let acc = ref 0. in
+  Array.iteri (fun i v -> acc := Float.max !acc (Float.abs (v -. b.data.(i)))) a.data;
+  !acc
+
+let equal_approx ?(tol = 1e-9) a b =
+  Shape.equal a.shape b.shape && max_abs_diff a b <= tol
+
+let transpose t =
+  let r = Shape.rank t.shape in
+  if r < 2 then invalid_arg "Tensor.transpose: rank < 2";
+  let dims = Shape.dims t.shape in
+  let tmp = dims.(r - 1) in
+  dims.(r - 1) <- dims.(r - 2);
+  dims.(r - 2) <- tmp;
+  let out_shape = Shape.of_list (Array.to_list dims) in
+  let out = create ~dtype:t.dtype out_shape in
+  iteri
+    (fun idx v ->
+      let idx' = Array.copy idx in
+      let tmp = idx'.(r - 1) in
+      idx'.(r - 1) <- idx'.(r - 2);
+      idx'.(r - 2) <- tmp;
+      set out idx' v)
+    t;
+  out
+
+let pp ppf t =
+  let n = numel t in
+  let preview = min n 6 in
+  Format.fprintf ppf "tensor %a %s [" Shape.pp t.shape
+    (Precision.name t.dtype);
+  for i = 0 to preview - 1 do
+    if i > 0 then Format.pp_print_string ppf ", ";
+    Format.fprintf ppf "%g" t.data.(i)
+  done;
+  if n > preview then Format.pp_print_string ppf ", ...";
+  Format.pp_print_string ppf "]"

@@ -1,0 +1,63 @@
+(** Dense tensors over [float array] storage.
+
+    Values are held in double precision regardless of [dtype]; the dtype
+    governs the storage footprint the simulator accounts for and the
+    rounding applied by {!cast} (so the numeric executor reproduces the
+    fp16-source / fp32-accumulate behaviour of the cube datapath). *)
+
+type t
+
+val create : ?dtype:Ascend_arch.Precision.t -> Shape.t -> t
+(** Zero-filled; default dtype fp32. *)
+
+val init : ?dtype:Ascend_arch.Precision.t -> Shape.t -> (int array -> float) -> t
+
+val of_array : ?dtype:Ascend_arch.Precision.t -> Shape.t -> float array -> t
+(** Shares the array; raises [Invalid_argument] on length mismatch. *)
+
+val full : ?dtype:Ascend_arch.Precision.t -> Shape.t -> float -> t
+
+val random :
+  ?dtype:Ascend_arch.Precision.t -> Ascend_util.Prng.t -> Shape.t -> t
+(** Gaussian(0, 1) entries, rounded through [dtype]. *)
+
+val shape : t -> Shape.t
+val dtype : t -> Ascend_arch.Precision.t
+val numel : t -> int
+val bytes : t -> int
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+val get_flat : t -> int -> float
+val set_flat : t -> int -> float -> unit
+val data : t -> float array
+(** The underlying storage (shared, not copied). *)
+
+val copy : t -> t
+val reshape : t -> Shape.t -> t
+(** Shares storage; raises [Invalid_argument] if element counts differ. *)
+
+val cast : t -> Ascend_arch.Precision.t -> t
+(** Copy with values rounded/clamped to the target precision: fp16 via the
+    IEEE codec, int8/int4 by round-and-saturate, fp32/int32 unchanged. *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Raises [Invalid_argument] on shape mismatch. *)
+
+val iteri : (int array -> float -> unit) -> t -> unit
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+
+val max_abs_diff : t -> t -> float
+val equal_approx : ?tol:float -> t -> t -> bool
+
+val transpose : t -> t
+(** Swap the last two dimensions (rank >= 2). *)
+
+val pp : Format.formatter -> t -> unit
+(** Shape + dtype + a few leading entries (not the full contents). *)

@@ -1,0 +1,1 @@
+lib/util/fp16.mli:

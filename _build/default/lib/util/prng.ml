@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9e3779b97f4a7c15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix64 seed }
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: non-positive bound";
+  (* rejection-free for our purposes: modulo bias is negligible for the
+     bounds used in workload generation (far below 2^32).  Keep 62 bits so
+     the value fits OCaml's native int without wrapping negative. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod bound
+
+let float t ~bound =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  v /. 9007199254740992. *. bound (* 2^53 *)
+
+let uniform t ~lo ~hi = lo +. float t ~bound:(hi -. lo)
+
+let gaussian t ~mu ~sigma =
+  let rec u () =
+    let x = float t ~bound:1. in
+    if x > 0. then x else u ()
+  in
+  let u1 = u () and u2 = float t ~bound:1. in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,29 @@
+(** Deterministic splittable PRNG (SplitMix64) so workload generation,
+    weight initialisation and traffic patterns are reproducible across
+    runs without threading global [Random] state through the stack. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** An independent stream; the parent continues unaffected. *)
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound).  Raises [Invalid_argument] on [bound <= 0]. *)
+
+val float : t -> bound:float -> float
+(** Uniform in [0, bound). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box-Muller. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)

@@ -1,0 +1,55 @@
+let sum = List.fold_left ( +. ) 0.
+let sum_int = List.fold_left ( + ) 0
+
+let mean = function
+  | [] -> 0.
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.
+  | xs ->
+    let logs = List.map log xs in
+    exp (mean logs)
+
+let stddev = function
+  | [] -> 0.
+  | xs ->
+    let m = mean xs in
+    let sq = List.map (fun x -> (x -. m) ** 2.) xs in
+    sqrt (mean sq)
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | xs ->
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    if n = 1 then arr.(0)
+    else
+      let rank = p /. 100. *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty list"
+  | x :: xs -> List.fold_left Float.min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty list"
+  | x :: xs -> List.fold_left Float.max x xs
+
+let ratio num den =
+  if den = 0. then if num = 0. then 0. else infinity else num /. den
+
+let clamp ~lo ~hi x = Float.max lo (Float.min hi x)
+
+let divide_round_up a b =
+  if b <= 0 then invalid_arg "Stats.divide_round_up: non-positive divisor";
+  if a < 0 then invalid_arg "Stats.divide_round_up: negative dividend";
+  (a + b - 1) / b
+
+let round_up_to ~multiple n =
+  if multiple <= 0 then invalid_arg "Stats.round_up_to: non-positive multiple";
+  divide_round_up n multiple * multiple

@@ -1,0 +1,34 @@
+(** Small descriptive-statistics helpers used by the benchmark harness and
+    simulator reports. *)
+
+val mean : float list -> float
+(** Mean of a non-empty list; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], linear interpolation between
+    order statistics.  Raises [Invalid_argument] on the empty list. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val ratio : float -> float -> float
+(** [ratio num den] is [num /. den], infinity when [den = 0] and [num > 0],
+    and 0 when both are 0. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+
+val sum : float list -> float
+val sum_int : int list -> int
+
+val divide_round_up : int -> int -> int
+(** Ceiling division on non-negative integers.  Raises [Invalid_argument]
+    on a non-positive divisor. *)
+
+val round_up_to : multiple:int -> int -> int
+(** Round up to the nearest positive multiple. *)

@@ -1,0 +1,1 @@
+lib/vector_core/kmeans.mli: Ascend_arch

@@ -1,0 +1,1 @@
+lib/vector_core/quaternion.ml: Ascend_arch Ascend_core_sim Ascend_util Float

@@ -1,0 +1,1 @@
+lib/vector_core/quaternion.mli: Ascend_arch

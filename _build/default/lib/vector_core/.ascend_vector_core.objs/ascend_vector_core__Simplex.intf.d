@@ -1,0 +1,1 @@
+lib/vector_core/simplex.mli: Ascend_arch

@@ -1,0 +1,1 @@
+lib/vector_core/slam_pipeline.ml: Ascend_arch Ascend_util Format Kmeans Quaternion Simplex Sort Stereo

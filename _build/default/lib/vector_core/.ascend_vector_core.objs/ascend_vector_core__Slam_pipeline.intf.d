@@ -1,0 +1,1 @@
+lib/vector_core/slam_pipeline.mli: Ascend_arch Format

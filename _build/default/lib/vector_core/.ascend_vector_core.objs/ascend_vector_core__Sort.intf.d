@@ -1,0 +1,1 @@
+lib/vector_core/sort.mli: Ascend_arch

@@ -1,0 +1,1 @@
+lib/vector_core/stereo.ml: Array Ascend_arch Ascend_core_sim Ascend_util Float

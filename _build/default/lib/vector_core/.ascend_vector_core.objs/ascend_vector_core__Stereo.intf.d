@@ -1,0 +1,1 @@
+lib/vector_core/stereo.mli: Ascend_arch

@@ -1,0 +1,125 @@
+type result = {
+  centroids : float array array;
+  assignment : int array;
+  iterations : int;
+  inertia : float;
+}
+
+let sq_dist a b =
+  let acc = ref 0. in
+  Array.iteri (fun i v -> let d = v -. b.(i) in acc := !acc +. (d *. d)) a;
+  !acc
+
+let nearest centroids p =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun i c ->
+      let d = sq_dist p c in
+      if d < !best_d then begin
+        best_d := d;
+        best := i
+      end)
+    centroids;
+  (!best, !best_d)
+
+let fit ?(max_iterations = 100) ?(seed = 1) ~points ~k () =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kmeans.fit: no points";
+  let dim = Array.length points.(0) in
+  Array.iter
+    (fun p ->
+      if Array.length p <> dim then
+        invalid_arg "Kmeans.fit: inconsistent dimensions")
+    points;
+  if k < 1 || k > n then invalid_arg "Kmeans.fit: k out of range";
+  let rng = Ascend_util.Prng.create ~seed in
+  (* farthest-point initialisation (deterministic k-means++ flavour):
+     a random first centre, then repeatedly the point farthest from the
+     chosen set — robust against two seeds landing in one cluster *)
+  let first = Ascend_util.Prng.int rng ~bound:n in
+  let chosen = ref [ points.(first) ] in
+  for _ = 2 to k do
+    let far = ref 0 and far_d = ref neg_infinity in
+    Array.iteri
+      (fun i p ->
+        let d =
+          List.fold_left (fun acc c -> Float.min acc (sq_dist p c)) infinity
+            !chosen
+        in
+        if d > !far_d then begin
+          far_d := d;
+          far := i
+        end)
+      points;
+    chosen := points.(!far) :: !chosen
+  done;
+  let centroids = Array.of_list (List.map Array.copy !chosen) in
+  let assignment = Array.make n (-1) in
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed && !iterations < max_iterations do
+    incr iterations;
+    changed := false;
+    (* assignment step *)
+    Array.iteri
+      (fun i p ->
+        let c, _ = nearest centroids p in
+        if assignment.(i) <> c then begin
+          assignment.(i) <- c;
+          changed := true
+        end)
+      points;
+    (* update step *)
+    let sums = Array.init k (fun _ -> Array.make dim 0.) in
+    let counts = Array.make k 0 in
+    Array.iteri
+      (fun i p ->
+        let c = assignment.(i) in
+        counts.(c) <- counts.(c) + 1;
+        Array.iteri (fun j v -> sums.(c).(j) <- sums.(c).(j) +. v) p)
+      points;
+    Array.iteri
+      (fun c count ->
+        if count > 0 then
+          centroids.(c) <-
+            Array.map (fun s -> s /. float_of_int count) sums.(c)
+        else begin
+          (* re-seed an empty cluster from the farthest point *)
+          let far = ref 0 and far_d = ref neg_infinity in
+          Array.iteri
+            (fun i p ->
+              let _, d = nearest centroids p in
+              if d > !far_d then begin
+                far_d := d;
+                far := i
+              end)
+            points;
+          centroids.(c) <- Array.copy points.(!far);
+          changed := true
+        end)
+      counts
+  done;
+  let inertia =
+    Array.fold_left
+      (fun acc p ->
+        let _, d = nearest centroids p in
+        acc +. d)
+      0. points
+  in
+  { centroids; assignment; iterations = !iterations; inertia }
+
+let inertia ~points r =
+  Array.fold_left
+    (fun acc p ->
+      let _, d = nearest r.centroids p in
+      acc +. d)
+    0. points
+
+let iteration_cycles (config : Ascend_arch.Config.t) ~points ~k ~dim =
+  if points < 0 || k < 0 || dim < 0 then
+    invalid_arg "Kmeans.iteration_cycles: negative size";
+  let lanes = config.vector_width_bytes / 2 in
+  let assign = 3 * points * k * dim in
+  let update = points * dim in
+  Ascend_util.Stats.divide_round_up (assign + update) lanes
+  + Ascend_core_sim.Latency.vector_issue_overhead

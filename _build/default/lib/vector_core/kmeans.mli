@@ -1,0 +1,26 @@
+(** Clustering on the Vector Core (paper §3.3) — Lloyd's k-means over
+    low-dimensional point sets (map-construction landmark grouping). *)
+
+type result = {
+  centroids : float array array;   (** k x dim *)
+  assignment : int array;          (** per point *)
+  iterations : int;
+  inertia : float;                 (** sum of squared distances *)
+}
+
+val fit :
+  ?max_iterations:int -> ?seed:int -> points:float array array -> k:int ->
+  unit -> result
+(** Raises [Invalid_argument] on an empty point set, inconsistent
+    dimensions, or k outside [1, #points].  Initialisation: distinct
+    random points (deterministic in [seed]); iterates to assignment
+    fixpoint or [max_iterations] (default 100).  Empty clusters re-seed
+    from the farthest point. *)
+
+val inertia : points:float array array -> result -> float
+
+val iteration_cycles :
+  Ascend_arch.Config.t -> points:int -> k:int -> dim:int -> int
+(** One Lloyd iteration on the vector lanes: 3 element-ops per
+    point-centroid-dimension (diff, square, accumulate) plus the
+    centroid update sweep. *)

@@ -1,0 +1,88 @@
+type t = { w : float; x : float; y : float; z : float }
+
+let identity = { w = 1.; x = 0.; y = 0.; z = 0. }
+let make ~w ~x ~y ~z = { w; x; y; z }
+
+let of_axis_angle ~axis:(ax, ay, az) ~angle =
+  let len = sqrt ((ax *. ax) +. (ay *. ay) +. (az *. az)) in
+  if len <= 0. then invalid_arg "Quaternion.of_axis_angle: zero axis";
+  let s = sin (angle /. 2.) /. len in
+  { w = cos (angle /. 2.); x = ax *. s; y = ay *. s; z = az *. s }
+
+let mul a b =
+  {
+    w = (a.w *. b.w) -. (a.x *. b.x) -. (a.y *. b.y) -. (a.z *. b.z);
+    x = (a.w *. b.x) +. (a.x *. b.w) +. (a.y *. b.z) -. (a.z *. b.y);
+    y = (a.w *. b.y) -. (a.x *. b.z) +. (a.y *. b.w) +. (a.z *. b.x);
+    z = (a.w *. b.z) +. (a.x *. b.y) -. (a.y *. b.x) +. (a.z *. b.w);
+  }
+
+let conjugate q = { q with x = -.q.x; y = -.q.y; z = -.q.z }
+
+let norm q = sqrt ((q.w *. q.w) +. (q.x *. q.x) +. (q.y *. q.y) +. (q.z *. q.z))
+
+let normalize q =
+  let n = norm q in
+  if n <= 0. then invalid_arg "Quaternion.normalize: zero quaternion";
+  { w = q.w /. n; x = q.x /. n; y = q.y /. n; z = q.z /. n }
+
+let rotate q (vx, vy, vz) =
+  let v = { w = 0.; x = vx; y = vy; z = vz } in
+  let r = mul (mul q v) (conjugate q) in
+  (r.x, r.y, r.z)
+
+let dot a b = (a.w *. b.w) +. (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+
+let scale s q = { w = s *. q.w; x = s *. q.x; y = s *. q.y; z = s *. q.z }
+
+let add a b = { w = a.w +. b.w; x = a.x +. b.x; y = a.y +. b.y; z = a.z +. b.z }
+
+let slerp a b t =
+  let t = Ascend_util.Stats.clamp ~lo:0. ~hi:1. t in
+  (* take the short arc *)
+  let b, d =
+    let d = dot a b in
+    if d < 0. then (scale (-1.) b, -.d) else (b, d)
+  in
+  if d > 0.9995 then normalize (add (scale (1. -. t) a) (scale t b))
+  else
+    let theta = acos (Ascend_util.Stats.clamp ~lo:(-1.) ~hi:1. d) in
+    let s = sin theta in
+    add
+      (scale (sin ((1. -. t) *. theta) /. s) a)
+      (scale (sin (t *. theta) /. s) b)
+
+let to_rotation_matrix q =
+  let { w; x; y; z } = q in
+  [|
+    [| 1. -. (2. *. ((y *. y) +. (z *. z)));
+       2. *. ((x *. y) -. (w *. z));
+       2. *. ((x *. z) +. (w *. y)) |];
+    [| 2. *. ((x *. y) +. (w *. z));
+       1. -. (2. *. ((x *. x) +. (z *. z)));
+       2. *. ((y *. z) -. (w *. x)) |];
+    [| 2. *. ((x *. z) -. (w *. y));
+       2. *. ((y *. z) +. (w *. x));
+       1. -. (2. *. ((x *. x) +. (y *. y))) |];
+  |]
+
+let approx_equal ?(tol = 1e-9) a b =
+  let close a b =
+    Float.abs (a.w -. b.w) <= tol
+    && Float.abs (a.x -. b.x) <= tol
+    && Float.abs (a.y -. b.y) <= tol
+    && Float.abs (a.z -. b.z) <= tol
+  in
+  close a b || close a (scale (-1.) b)
+
+let batched_mul_cycles (config : Ascend_arch.Config.t) ~count =
+  if count < 0 then invalid_arg "Quaternion.batched_mul_cycles: negative count";
+  (* 16 multiplies + 12 adds per product = 28 element-ops on fp16 lanes *)
+  let lanes = config.vector_width_bytes / 2 in
+  let compute = Ascend_util.Stats.divide_round_up (28 * count) lanes in
+  (* stream 2 inputs + 1 output of 8 bytes each through the UB port *)
+  let stream =
+    Ascend_util.Stats.divide_round_up (3 * 8 * count)
+      config.bandwidth.ub_port
+  in
+  max compute stream + Ascend_core_sim.Latency.vector_issue_overhead

@@ -1,0 +1,40 @@
+(** Quaternion algebra — the "general matrix calculation (quaternion)"
+    micro-architecture extension of the automotive Vector Core
+    (paper §3.3), used by SLAM pose arithmetic.
+
+    Pure reference implementation plus a vector-unit cycle-cost model for
+    batched operation. *)
+
+type t = { w : float; x : float; y : float; z : float }
+
+val identity : t
+val make : w:float -> x:float -> y:float -> z:float -> t
+
+val of_axis_angle : axis:float * float * float -> angle:float -> t
+(** Unit rotation quaternion; the axis is normalised internally.  Raises
+    [Invalid_argument] on a zero axis. *)
+
+val mul : t -> t -> t
+(** Hamilton product. *)
+
+val conjugate : t -> t
+val norm : t -> float
+val normalize : t -> t
+(** Raises [Invalid_argument] on the zero quaternion. *)
+
+val rotate : t -> float * float * float -> float * float * float
+(** Rotate a 3-vector by a unit quaternion: q v q-conjugate. *)
+
+val slerp : t -> t -> float -> t
+(** Spherical linear interpolation, [t] in [0,1]; takes the short arc. *)
+
+val to_rotation_matrix : t -> float array array
+(** 3x3 row-major rotation matrix of a unit quaternion. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Up to sign (q and -q encode the same rotation). *)
+
+val batched_mul_cycles : Ascend_arch.Config.t -> count:int -> int
+(** Vector-unit cycles for [count] Hamilton products: 16 multiplies and
+    12 adds per product, at the core's fp16 lane width, plus operand
+    streaming through the unified buffer. *)

@@ -1,0 +1,100 @@
+type solution =
+  | Optimal of { objective : float; x : float array }
+  | Unbounded
+
+let epsilon = 1e-9
+
+let solve ~c ~a ~b =
+  let m = Array.length a in
+  let n = Array.length c in
+  if Array.length b <> m then Error "Simplex.solve: |b| <> rows of A"
+  else if Array.exists (fun row -> Array.length row <> n) a then
+    Error "Simplex.solve: ragged A"
+  else if Array.exists (fun v -> v < 0.) b then
+    Error "Simplex.solve: negative b (slack basis infeasible)"
+  else begin
+    (* tableau: m rows of [A | I | b], objective row [-c | 0 | 0] *)
+    let width = n + m + 1 in
+    let t =
+      Array.init (m + 1) (fun i ->
+          if i < m then
+            Array.init width (fun j ->
+                if j < n then a.(i).(j)
+                else if j < n + m then if j - n = i then 1. else 0.
+                else b.(i))
+          else
+            Array.init width (fun j -> if j < n then -.c.(j) else 0.))
+    in
+    let basis = Array.init m (fun i -> n + i) in
+    let rec iterate guard =
+      if guard <= 0 then Error "Simplex.solve: iteration guard exceeded"
+      else begin
+        (* entering variable: Bland's rule, first negative reduced cost *)
+        let entering = ref (-1) in
+        (try
+           for j = 0 to n + m - 1 do
+             if t.(m).(j) < -.epsilon then begin
+               entering := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !entering < 0 then begin
+          (* optimal: read off the solution *)
+          let x = Array.make n 0. in
+          Array.iteri
+            (fun i bv -> if bv < n then x.(bv) <- t.(i).(width - 1))
+            basis;
+          Ok (Optimal { objective = t.(m).(width - 1); x })
+        end
+        else begin
+          let j = !entering in
+          (* leaving variable: minimum ratio, ties by smallest basis index *)
+          let leaving = ref (-1) and best = ref infinity in
+          for i = 0 to m - 1 do
+            if t.(i).(j) > epsilon then begin
+              let ratio = t.(i).(width - 1) /. t.(i).(j) in
+              if
+                ratio < !best -. epsilon
+                || (Float.abs (ratio -. !best) <= epsilon
+                   && (!leaving < 0 || basis.(i) < basis.(!leaving)))
+              then begin
+                best := ratio;
+                leaving := i
+              end
+            end
+          done;
+          if !leaving < 0 then Ok Unbounded
+          else begin
+            let r = !leaving in
+            let pivot = t.(r).(j) in
+            for col = 0 to width - 1 do
+              t.(r).(col) <- t.(r).(col) /. pivot
+            done;
+            for row = 0 to m do
+              if row <> r && Float.abs t.(row).(j) > 0. then begin
+                let f = t.(row).(j) in
+                for col = 0 to width - 1 do
+                  t.(row).(col) <- t.(row).(col) -. (f *. t.(r).(col))
+                done
+              end
+            done;
+            basis.(r) <- j;
+            iterate (guard - 1)
+          end
+        end
+      end
+    in
+    iterate 10_000
+  end
+
+let tableau_cycles (config : Ascend_arch.Config.t) ~constraints ~variables
+    ~pivots =
+  if constraints < 0 || variables < 0 || pivots < 0 then
+    invalid_arg "Simplex.tableau_cycles: negative size";
+  let lanes = config.vector_width_bytes / 2 in
+  let width = variables + constraints + 1 in
+  (* per pivot: normalise one row + eliminate m rows, 2 ops per cell *)
+  let ops = pivots * 2 * (constraints + 1) * width in
+  Ascend_util.Stats.divide_round_up (max 1 ops) lanes
+  + Ascend_core_sim.Latency.vector_issue_overhead

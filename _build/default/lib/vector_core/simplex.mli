@@ -1,0 +1,24 @@
+(** Linear programming on the Vector Core (paper §3.3 lists "linear
+    programming specified instructions" among the SLAM-era extensions —
+    e.g. for trajectory feasibility checks).
+
+    A dense-tableau primal simplex for problems in standard form:
+
+      maximise    c . x
+      subject to  A x <= b,  x >= 0,  b >= 0
+
+    Bland's rule (smallest index) guarantees termination. *)
+
+type solution =
+  | Optimal of { objective : float; x : float array }
+  | Unbounded
+
+val solve :
+  c:float array -> a:float array array -> b:float array ->
+  (solution, string) result
+(** [Error] on dimension mismatch or a negative entry of [b] (the
+    all-slack basis must be feasible). *)
+
+val tableau_cycles :
+  Ascend_arch.Config.t -> constraints:int -> variables:int -> pivots:int -> int
+(** Each pivot is a full tableau sweep on the vector lanes. *)

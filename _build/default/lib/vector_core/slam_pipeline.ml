@@ -1,0 +1,59 @@
+module Config = Ascend_arch.Config
+
+let vector_core_config =
+  {
+    Config.standard with
+    Config.name = "Vector Core";
+    cube = { Config.m = 1; k = 1; n = 1 };
+  }
+
+type frame_profile = {
+  stereo_cycles : int;
+  feature_sort_cycles : int;
+  pose_update_cycles : int;
+  clustering_cycles : int;
+  lp_check_cycles : int;
+  total_cycles : int;
+  frame_seconds : float;
+  sustainable_fps : float;
+}
+
+let profile_frame ?(config = vector_core_config) ~width ~height ~features
+    ~landmarks () =
+  let stereo_cycles =
+    Stereo.disparity_cycles config ~width ~height ~window:5 ~max_disparity:16
+  in
+  let feature_sort_cycles = Sort.top_k_cycles config ~n:features ~k:256 in
+  let pose_update_cycles = Quaternion.batched_mul_cycles config ~count:64 in
+  let clustering_cycles =
+    Kmeans.iteration_cycles config ~points:landmarks ~k:32 ~dim:3
+  in
+  let lp_check_cycles =
+    Simplex.tableau_cycles config ~constraints:8 ~variables:6 ~pivots:3
+  in
+  let total_cycles =
+    stereo_cycles + feature_sort_cycles + pose_update_cycles
+    + clustering_cycles + lp_check_cycles
+  in
+  let frame_seconds =
+    Ascend_util.Units.seconds_of_cycles ~cycles:total_cycles
+      ~frequency_ghz:config.Config.frequency_ghz
+  in
+  {
+    stereo_cycles;
+    feature_sort_cycles;
+    pose_update_cycles;
+    clustering_cycles;
+    lp_check_cycles;
+    total_cycles;
+    frame_seconds;
+    sustainable_fps = (if frame_seconds > 0. then 1. /. frame_seconds else 0.);
+  }
+
+let pp ppf p =
+  Format.fprintf ppf
+    "SLAM frame: stereo %d + sort %d + pose %d + cluster %d + LP %d = %d \
+     cycles (%a, %.0f fps sustainable)"
+    p.stereo_cycles p.feature_sort_cycles p.pose_update_cycles
+    p.clustering_cycles p.lp_check_cycles p.total_cycles
+    Ascend_util.Units.pp_seconds p.frame_seconds p.sustainable_fps

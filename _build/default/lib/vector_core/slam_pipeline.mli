@@ -1,0 +1,31 @@
+(** The SLAM task mix of paper §3.3 ("localization and map construction")
+    composed from the Vector Core primitives, with a per-frame cycle
+    budget check on the cube-less Vector Core configuration. *)
+
+val vector_core_config : Ascend_arch.Config.t
+(** "Ascend core without cube": the Standard core with its cube removed
+    (1x1x1 placeholder so no cube work can be scheduled) — all compute
+    lands on the 256 B vector unit. *)
+
+type frame_profile = {
+  stereo_cycles : int;
+  feature_sort_cycles : int;
+  pose_update_cycles : int;
+  clustering_cycles : int;
+  lp_check_cycles : int;
+  total_cycles : int;
+  frame_seconds : float;
+  sustainable_fps : float;
+}
+
+val profile_frame :
+  ?config:Ascend_arch.Config.t ->
+  width:int -> height:int -> features:int -> landmarks:int -> unit ->
+  frame_profile
+(** One SLAM frame: stereo disparity on a [width x height] pair
+    (window 5, 16 disparities), top-256 feature selection from
+    [features] responses, 64 batched quaternion pose compositions,
+    one k-means iteration over [landmarks] 3-D landmarks (k = 32), and
+    an 8-constraint / 6-variable LP feasibility check (3 pivots). *)
+
+val pp : Format.formatter -> frame_profile -> unit

@@ -1,0 +1,59 @@
+let rec ceil_log2 n = if n <= 1 then 0 else 1 + ceil_log2 ((n + 1) / 2)
+
+let bitonic_passes n =
+  let k = ceil_log2 n in
+  k * (k + 1) / 2
+
+(* classic bitonic network over a physically padded power-of-two array;
+   the +inf padding sorts to the tail, so the first n slots come back
+   sorted.  (Virtual padding is NOT sound: descending sub-sequences of
+   the network would need to move the padding.) *)
+let bitonic_sort a =
+  let n = Array.length a in
+  if n > 1 then begin
+    let size = 1 lsl ceil_log2 n in
+    let buf = Array.make size infinity in
+    Array.blit a 0 buf 0 n;
+    let compare_exchange i j up =
+      let x = buf.(i) and y = buf.(j) in
+      if (up && x > y) || ((not up) && x < y) then begin
+        buf.(i) <- y;
+        buf.(j) <- x
+      end
+    in
+    let k = ref 2 in
+    while !k <= size do
+      let j = ref (!k / 2) in
+      while !j > 0 do
+        for i = 0 to size - 1 do
+          let partner = i lxor !j in
+          if partner > i then begin
+            let up = i land !k = 0 in
+            compare_exchange i partner up
+          end
+        done;
+        j := !j / 2
+      done;
+      k := !k * 2
+    done;
+    Array.blit buf 0 a 0 n
+  end
+
+let sort_cycles (config : Ascend_arch.Config.t) ~n =
+  if n < 0 then invalid_arg "Sort.sort_cycles: negative n";
+  let lanes = config.vector_width_bytes / 2 in
+  let per_pass = Ascend_util.Stats.divide_round_up (max 1 n) lanes in
+  (bitonic_passes n * per_pass) + Ascend_core_sim.Latency.vector_issue_overhead
+
+let top_k a ~k =
+  if k < 0 then invalid_arg "Sort.top_k: negative k";
+  let sorted = Array.copy a in
+  Array.sort (fun x y -> compare y x) sorted;
+  Array.sub sorted 0 (min k (Array.length sorted))
+
+let top_k_cycles (config : Ascend_arch.Config.t) ~n ~k =
+  if n < 0 || k < 0 then invalid_arg "Sort.top_k_cycles: negative size";
+  let lanes = config.vector_width_bytes / 2 in
+  let sweep = Ascend_util.Stats.divide_round_up (max 1 n) lanes in
+  let heap = k * max 1 (ceil_log2 (max 2 k)) in
+  sweep + heap + Ascend_core_sim.Latency.vector_issue_overhead

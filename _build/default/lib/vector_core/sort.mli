@@ -1,0 +1,28 @@
+(** Sorting on the vector unit — one of the §3.3 Vector Core instruction
+    extensions (used by SLAM feature selection, NMS in detection
+    post-processing, ...).
+
+    The hardware primitive modelled here is a vector bitonic merge sort:
+    log2(n)*(log2(n)+1)/2 compare-exchange passes over the data, each a
+    full vector sweep. *)
+
+val bitonic_sort : float array -> unit
+(** In-place ascending sort via the bitonic network (the array is padded
+    virtually to a power of two).  Reference implementation of exactly
+    the passes the cycle model charges. *)
+
+val bitonic_passes : int -> int
+(** Number of compare-exchange passes for n elements:
+    k(k+1)/2 with k = ceil(log2 n); 0 for n <= 1. *)
+
+val sort_cycles : Ascend_arch.Config.t -> n:int -> int
+(** Vector-unit cycles to sort n fp16 keys. *)
+
+val top_k : float array -> k:int -> float array
+(** Largest k values in descending order (k-selection, the NMS
+    building block).  Raises [Invalid_argument] if [k < 0]; caps at the
+    array length. *)
+
+val top_k_cycles : Ascend_arch.Config.t -> n:int -> k:int -> int
+(** A single scored sweep keeping a k-heap: n element-ops plus k log k
+    ordering work. *)

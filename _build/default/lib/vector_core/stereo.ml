@@ -1,0 +1,63 @@
+type image = { width : int; height : int; pixels : float array }
+
+let image_of_fn ~width ~height f =
+  if width <= 0 || height <= 0 then invalid_arg "Stereo: empty image";
+  {
+    width;
+    height;
+    pixels =
+      Array.init (width * height) (fun i -> f ~x:(i mod width) ~y:(i / width));
+  }
+
+let get img ~x ~y =
+  let x = max 0 (min (img.width - 1) x) in
+  let y = max 0 (min (img.height - 1) y) in
+  img.pixels.((y * img.width) + x)
+
+let shift_scene img ~disparity =
+  image_of_fn ~width:img.width ~height:img.height (fun ~x ~y ->
+      get img ~x:(x + disparity) ~y)
+
+let sad ~left ~right ~x ~y ~window ~d =
+  let half = window / 2 in
+  let acc = ref 0. in
+  for dy = -half to half do
+    for dx = -half to half do
+      let l = get left ~x:(x + dx) ~y:(y + dy) in
+      let r = get right ~x:(x + dx - d) ~y:(y + dy) in
+      acc := !acc +. Float.abs (l -. r)
+    done
+  done;
+  !acc
+
+let disparity_map ?(window = 5) ?(max_disparity = 16) ~left ~right () =
+  if left.width <> right.width || left.height <> right.height then
+    invalid_arg "Stereo.disparity_map: image size mismatch";
+  if window < 1 || window mod 2 = 0 then
+    invalid_arg "Stereo.disparity_map: window must be odd and positive";
+  if max_disparity < 0 then
+    invalid_arg "Stereo.disparity_map: negative disparity range";
+  Array.init (left.width * left.height) (fun i ->
+      let x = i mod left.width and y = i / left.width in
+      (* the right image is the scene shifted left: a pixel at x in the
+         left view appears at x - d in the right view *)
+      let best = ref 0 and best_cost = ref infinity in
+      for d = 0 to max_disparity do
+        let c = sad ~left ~right ~x ~y ~window ~d in
+        if c < !best_cost then begin
+          best_cost := c;
+          best := d
+        end
+      done;
+      !best)
+
+let sad_ops ~width ~height ~window ~max_disparity =
+  3 * width * height * window * window * (max_disparity + 1)
+
+let disparity_cycles (config : Ascend_arch.Config.t) ~width ~height ~window
+    ~max_disparity =
+  let lanes = config.vector_width_bytes / 2 in
+  Ascend_util.Stats.divide_round_up
+    (sad_ops ~width ~height ~window ~max_disparity)
+    lanes
+  + Ascend_core_sim.Latency.vector_issue_overhead

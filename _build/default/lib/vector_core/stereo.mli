@@ -1,0 +1,31 @@
+(** Stereo vision on the Vector Core (paper §3.3): block-matching
+    disparity estimation — the localisation front end of the SLAM stack.
+
+    Reference implementation: sum-of-absolute-differences over a square
+    window, winner-take-all over the disparity range, computed per pixel
+    of the left image.  The cycle model charges the same arithmetic to
+    the vector lanes. *)
+
+type image = { width : int; height : int; pixels : float array }
+
+val image_of_fn : width:int -> height:int -> (x:int -> y:int -> float) -> image
+
+val shift_scene : image -> disparity:int -> image
+(** Synthetic right view: the scene shifted left by [disparity] pixels
+    (edge pixels clamp) — ground truth for tests. *)
+
+val disparity_map :
+  ?window:int -> ?max_disparity:int -> left:image -> right:image -> unit ->
+  int array
+(** Per-pixel disparity (row-major, same size as the inputs); window
+    default 5 (odd, >= 1), max_disparity default 16.  Raises
+    [Invalid_argument] on size mismatch or bad parameters. *)
+
+val sad_ops : width:int -> height:int -> window:int -> max_disparity:int -> int
+(** Element operations the computation performs (3 per pixel-window-tap:
+    diff, abs, accumulate). *)
+
+val disparity_cycles :
+  Ascend_arch.Config.t -> width:int -> height:int -> window:int ->
+  max_disparity:int -> int
+(** Vector-unit cycles at the core's fp16 lane width. *)

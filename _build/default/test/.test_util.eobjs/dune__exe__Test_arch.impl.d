@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Ascend Config Float Precision QCheck QCheck_alcotest Silicon

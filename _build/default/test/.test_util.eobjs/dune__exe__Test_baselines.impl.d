@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Ascend Cpu Dataflow List QCheck QCheck_alcotest Simt_gpu Systolic

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Ascend Collective Float List QCheck QCheck_alcotest Server Training

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Ascend Codegen Engine Fusion Graph_engine List Memory_planner Operator_lib Printf QCheck QCheck_alcotest Tiling

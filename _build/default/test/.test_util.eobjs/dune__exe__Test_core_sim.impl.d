@@ -1,0 +1,1 @@
+test/test_core_sim.ml: Alcotest Ascend Buffer_id Instruction Latency List Pipe Program QCheck QCheck_alcotest Simulator String Timeline

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Ascend Buffer_id Bytes Encoding Format Instruction List Pipe Printf Program QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Ascend Dram Float Gen List Llc Memory_wall Mpam QCheck QCheck_alcotest

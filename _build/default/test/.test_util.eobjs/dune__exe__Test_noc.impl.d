@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest Ascend Deflection Fat_tree List Mesh QCheck QCheck_alcotest Ring

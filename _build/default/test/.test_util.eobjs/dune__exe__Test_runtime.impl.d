@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Ascend Hashtbl List Printf QCheck QCheck_alcotest Scheduler

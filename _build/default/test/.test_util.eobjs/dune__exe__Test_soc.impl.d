@@ -1,0 +1,1 @@
+test/test_soc.ml: Alcotest Ascend Automotive_soc Dvpp Float Inference_soc List Llc_trace Mobile_soc Printf Training_soc

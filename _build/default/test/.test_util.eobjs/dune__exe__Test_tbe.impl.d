@@ -1,0 +1,1 @@
+test/test_tbe.ml: Alcotest Array Ascend Expr Float Format Kernel List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Ascend Float Layout List Ops QCheck QCheck_alcotest Quantize Shape Tensor

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascend Fairness Float Format Fp16 Gen List Prng QCheck QCheck_alcotest Stats String Table Units

@@ -1,0 +1,1 @@
+test/test_vector_core.ml: Alcotest Array Ascend Float Gen Kmeans List Printf QCheck QCheck_alcotest Quaternion Simplex Slam_pipeline Sort Stereo

@@ -1,0 +1,189 @@
+open Ascend.Arch
+
+let within ~tol expected actual =
+  Float.abs (actual -. expected) <= tol *. Float.abs expected
+
+let check_within name ~tol expected actual =
+  if not (within ~tol expected actual) then
+    Alcotest.failf "%s: expected ~%g, got %g" name expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Config: the Table 5 design points                                   *)
+
+let test_table5_cube_perf () =
+  let fpc c = Config.flops_per_cycle c ~precision:c.Config.native_precision in
+  Alcotest.(check int) "Max 8192 FLOPS/cycle" 8192 (fpc Config.max);
+  Alcotest.(check int) "Ascend 8192" 8192 (fpc Config.standard);
+  Alcotest.(check int) "Mini 8192" 8192 (fpc Config.mini);
+  Alcotest.(check int) "Lite 2048" 2048 (fpc Config.lite);
+  Alcotest.(check int) "Tiny 1024 int8" 1024 (fpc Config.tiny)
+
+let test_table5_vector_width () =
+  Alcotest.(check int) "Max 256B" 256 Config.max.Config.vector_width_bytes;
+  Alcotest.(check int) "Lite 128B" 128 Config.lite.Config.vector_width_bytes;
+  Alcotest.(check int) "Tiny 32B" 32 Config.tiny.Config.vector_width_bytes
+
+let test_table5_bandwidths () =
+  (* 4 TB/s A, 2 TB/s B and UB at 1 GHz *)
+  Alcotest.(check int) "Max A port" 4096 Config.max.Config.bandwidth.l1_to_l0a;
+  Alcotest.(check int) "Max B port" 2048 Config.max.Config.bandwidth.l1_to_l0b;
+  Alcotest.(check int) "Max UB port" 2048 Config.max.Config.bandwidth.ub_port;
+  (* 768 GB/s at 0.75 GHz = 1024 B/cycle *)
+  Alcotest.(check int) "Lite A port" 1024 Config.lite.Config.bandwidth.l1_to_l0a;
+  (* LLC bandwidth per core, Table 5 last column *)
+  (match Config.max.Config.bandwidth.llc_gb_s with
+  | Some v -> check_within "910 LLC/core" ~tol:1e-9 94. v
+  | None -> Alcotest.fail "Max must have an LLC");
+  (match Config.tiny.Config.bandwidth.llc_gb_s with
+  | None -> ()
+  | Some _ -> Alcotest.fail "Tiny has no LLC")
+
+let test_peak_flops () =
+  check_within "Max 8.192 TFLOPS fp16" ~tol:1e-6 8.192e12
+    (Config.peak_flops Config.max ~precision:Precision.Fp16);
+  check_within "Lite 1.536 TFLOPS fp16" ~tol:1e-6 1.536e12
+    (Config.peak_flops Config.lite ~precision:Precision.Fp16);
+  check_within "Tiny 768 GOPS int8" ~tol:1e-6 0.768e12
+    (Config.peak_flops Config.tiny ~precision:Precision.Int8);
+  check_within "Max int8 doubles" ~tol:1e-6 16.384e12
+    (Config.peak_flops Config.max ~precision:Precision.Int8);
+  (* int4 only on the automotive part *)
+  check_within "Standard int4 quadruples" ~tol:1e-6 32.768e12
+    (Config.peak_flops Config.standard ~precision:Precision.Int4);
+  check_within "Max int4 unsupported" ~tol:1e-9 0.
+    (Config.peak_flops Config.max ~precision:Precision.Int4)
+
+let test_cube_dims_at () =
+  let d = Config.cube_dims_at Config.max ~precision:Precision.Int8 in
+  (* 16x16x16 fp16 extends to 16x32x16 at int8 (paper §2.1) *)
+  Alcotest.(check int) "int8 k doubles" 32 d.Config.k;
+  Alcotest.(check int) "m unchanged" 16 d.Config.m;
+  let d4 = Config.cube_dims_at Config.standard ~precision:Precision.Int4 in
+  Alcotest.(check int) "int4 k quadruples" 64 d4.Config.k;
+  Alcotest.check_raises "fp16 on Tiny rejected"
+    (Invalid_argument "Config.cube_dims_at: fp16 unsupported on Ascend-Tiny")
+    (fun () -> ignore (Config.cube_dims_at Config.tiny ~precision:Precision.Fp16))
+
+let test_cube_tile_cycles () =
+  Alcotest.(check int) "one tile"
+    1
+    (Config.cube_tile_cycles Config.max ~m:16 ~k:16 ~n:16 ());
+  Alcotest.(check int) "partial tiles round up"
+    8
+    (Config.cube_tile_cycles Config.max ~m:17 ~k:17 ~n:17 ());
+  Alcotest.(check int) "Lite m granularity 4"
+    2
+    (Config.cube_tile_cycles Config.lite ~m:8 ~k:16 ~n:16 ())
+
+let test_precision () =
+  Alcotest.(check int) "int4 bits" 4 (Precision.size_bits Precision.Int4);
+  Alcotest.(check bool) "int4 half byte" true
+    (Precision.size_bytes Precision.Int4 = 0.5);
+  Alcotest.(check bool) "fp16 accumulates fp32" true
+    (Precision.equal (Precision.accumulator Precision.Fp16) Precision.Fp32);
+  Alcotest.(check bool) "int8 accumulates int32" true
+    (Precision.equal (Precision.accumulator Precision.Int8) Precision.Int32)
+
+(* ------------------------------------------------------------------ *)
+(* Silicon: Tables 3 and 4                                             *)
+
+let test_table3_vector () =
+  let v = Silicon.vector_unit ~width_bytes:256 ~frequency_ghz:1.0 in
+  check_within "vector 256 GFLOPS" ~tol:1e-6 256e9 v.Silicon.perf_flops;
+  (match v.Silicon.power_w with
+  | Some w -> check_within "vector 0.46 W" ~tol:0.01 0.46 w
+  | None -> Alcotest.fail "vector has power");
+  check_within "vector 0.70 mm2" ~tol:0.01 0.70 v.Silicon.area_mm2;
+  (match v.Silicon.perf_per_watt with
+  | Some p -> check_within "0.56 TFLOPS/W" ~tol:0.02 0.556 p
+  | None -> Alcotest.fail "vector perf/W");
+  check_within "0.36 TFLOPS/mm2" ~tol:0.02 0.366 v.Silicon.perf_per_area
+
+let test_table3_cube () =
+  let c = Silicon.cube_unit { Config.m = 16; k = 16; n = 16 } ~frequency_ghz:1.0 in
+  (* the paper rounds 8192 GFLOPS to "8T" *)
+  check_within "cube 8.192 TFLOPS" ~tol:1e-6 8.192e12 c.Silicon.perf_flops;
+  (match c.Silicon.power_w with
+  | Some w -> check_within "cube 3.13 W" ~tol:0.01 3.13 w
+  | None -> Alcotest.fail "cube has power");
+  check_within "cube 2.57 mm2" ~tol:0.01 2.57 c.Silicon.area_mm2;
+  (match c.Silicon.perf_per_watt with
+  | Some p -> check_within "2.56 TFLOPS/W" ~tol:0.03 2.56 p
+  | None -> Alcotest.fail "cube perf/W");
+  check_within "3.11 TFLOPS/mm2" ~tol:0.03 3.11 c.Silicon.perf_per_area
+
+let test_table3_order_of_magnitude () =
+  (* the paper's headline: the cube improves both perf/W and perf/mm2 by
+     about an order of magnitude over the vector unit *)
+  let v = Silicon.vector_unit ~width_bytes:256 ~frequency_ghz:1.0 in
+  let c = Silicon.cube_unit { Config.m = 16; k = 16; n = 16 } ~frequency_ghz:1.0 in
+  let ppw r = match r.Silicon.perf_per_watt with Some x -> x | None -> 0. in
+  Alcotest.(check bool) "perf/W gain > 4x" true (ppw c /. ppw v > 4.);
+  Alcotest.(check bool) "perf/mm2 gain > 8x" true
+    (c.Silicon.perf_per_area /. v.Silicon.perf_per_area > 8.)
+
+let test_table4 () =
+  match Silicon.table4 with
+  | [ small; big ] ->
+    check_within "8x 4x4x4 area 5.2" ~tol:0.02 5.2 small.Silicon.area_mm2;
+    check_within "8x 4x4x4 perf 1.7T" ~tol:0.02 1.7e12 small.Silicon.fp16_flops;
+    check_within "16^3 area 13.2" ~tol:0.02 13.2 big.Silicon.area_mm2;
+    check_within "16^3 perf 8T" ~tol:0.02 8e12 big.Silicon.fp16_flops;
+    check_within "330 GFLOPS/mm2" ~tol:0.05 330. small.Silicon.gflops_per_mm2;
+    check_within "600 GFLOPS/mm2" ~tol:0.05 600. big.Silicon.gflops_per_mm2;
+    (* the paper's conclusion: 4.7x perf for 2.5x area *)
+    check_within "4.7x throughput" ~tol:0.05 4.7
+      (big.Silicon.fp16_flops /. small.Silicon.fp16_flops);
+    check_within "2.5x area" ~tol:0.05 2.54
+      (big.Silicon.area_mm2 /. small.Silicon.area_mm2)
+  | _ -> Alcotest.fail "table4 must have two design points"
+
+let test_tiny_power_envelope () =
+  (* paper §3.2: Tiny's typical power is ~300 mW *)
+  let p =
+    Silicon.core_power_w Config.tiny ~cube_utilization:0.7
+      ~vector_utilization:0.3
+  in
+  Alcotest.(check bool) "within 0.15..0.5 W" true (p > 0.15 && p < 0.5)
+
+let test_core_area_monotone () =
+  let a v = Silicon.core_area_mm2 v in
+  Alcotest.(check bool) "tiny < lite" true (a Config.tiny < a Config.lite);
+  Alcotest.(check bool) "lite < max" true (a Config.lite < a Config.max);
+  Alcotest.(check bool) "max core under 10 mm2" true (a Config.max < 10.)
+
+let cube_power_monotone_prop =
+  QCheck.Test.make ~count:100 ~name:"cube power grows with dimensions"
+    QCheck.(pair (int_range 1 5) (int_range 1 5))
+    (fun (a, b) ->
+      let small = min a b * 4 and big = max a b * 4 + 4 in
+      let p d = Silicon.cube_power_w { Config.m = d; k = d; n = d } ~frequency_ghz:1. in
+      p small < p big)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "arch"
+    [
+      ( "config-table5",
+        [
+          Alcotest.test_case "cube perf" `Quick test_table5_cube_perf;
+          Alcotest.test_case "vector width" `Quick test_table5_vector_width;
+          Alcotest.test_case "bandwidths" `Quick test_table5_bandwidths;
+          Alcotest.test_case "peak flops" `Quick test_peak_flops;
+          Alcotest.test_case "cube dims at precision" `Quick test_cube_dims_at;
+          Alcotest.test_case "tile cycles" `Quick test_cube_tile_cycles;
+          Alcotest.test_case "precision" `Quick test_precision;
+        ] );
+      ( "silicon",
+        [
+          Alcotest.test_case "table3 vector row" `Quick test_table3_vector;
+          Alcotest.test_case "table3 cube row" `Quick test_table3_cube;
+          Alcotest.test_case "table3 order of magnitude" `Quick
+            test_table3_order_of_magnitude;
+          Alcotest.test_case "table4 cube trade-off" `Quick test_table4;
+          Alcotest.test_case "tiny power envelope" `Quick
+            test_tiny_power_envelope;
+          Alcotest.test_case "core areas" `Quick test_core_area_monotone;
+          q cube_power_monotone_prop;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+open Ascend.Baselines
+module Workload = Ascend.Nn.Workload
+module Graph = Ascend.Nn.Graph
+
+let resnet18_layers () =
+  let g = Ascend.Nn.Resnet.v1_5_18 () in
+  List.map (Workload.of_node g) (Graph.nodes g)
+
+(* ------------------------------------------------------------------ *)
+(* Systolic array                                                     *)
+
+let test_systolic_peak () =
+  (* 4x 128x128 at 0.82 GHz ~ 107 TFLOPS, the paper's "106" *)
+  let p = Systolic.peak_flops Systolic.tpu_v3 /. 1e12 in
+  Alcotest.(check bool) "105..110 TFLOPS" true (p > 104. && p < 110.)
+
+let test_systolic_fill_drain () =
+  let t = Systolic.tpu_v3 in
+  (* enough weight tiles to occupy all four MXUs; utilisation then hinges
+     on the activation-stream length m versus the fill/drain overhead *)
+  let u_small = Systolic.gemm_utilization t ~m:8 ~k:512 ~n:512 in
+  let u_large = Systolic.gemm_utilization t ~m:100000 ~k:512 ~n:512 in
+  Alcotest.(check bool) "small m wastes the pipeline" true (u_small < 0.1);
+  Alcotest.(check bool) "large m fills it" true (u_large > 0.9);
+  (* a single weight tile can occupy only one of the four arrays *)
+  let u_one_tile = Systolic.gemm_utilization t ~m:100000 ~k:128 ~n:128 in
+  Alcotest.(check bool) "one tile caps at a quarter" true
+    (u_one_tile < 0.26 && u_one_tile > 0.2)
+
+let test_systolic_normalization_drain () =
+  let t = Systolic.tpu_v3 in
+  let gemm = [ { Workload.count = 1; m = 4096; k = 512; n = 512 } ] in
+  let without =
+    Systolic.layer_seconds t ~gemms:gemm ~vector_elems:0. ~bytes:0
+  in
+  let with_norm =
+    Systolic.layer_seconds t ~gemms:gemm ~vector_elems:1000. ~bytes:0
+  in
+  Alcotest.(check bool) "a normalisation layer costs a drain" true
+    (with_norm > without)
+
+let systolic_monotone_prop =
+  QCheck.Test.make ~count:100 ~name:"systolic time monotone in m"
+    QCheck.(pair (int_range 1 4096) (int_range 1 4096))
+    (fun (a, b) ->
+      let small = min a b and big = max a b in
+      Systolic.gemm_cycles Systolic.tpu_v3 ~m:small ~k:256 ~n:256
+      <= Systolic.gemm_cycles Systolic.tpu_v3 ~m:big ~k:256 ~n:256)
+
+(* ------------------------------------------------------------------ *)
+(* SIMT GPU                                                           *)
+
+let test_v100_peak () =
+  let p = Simt_gpu.peak_tensor_flops Simt_gpu.v100 /. 1e12 in
+  Alcotest.(check bool) "~125 TFLOPS" true (p > 122. && p < 128.)
+
+let test_v100_occupancy () =
+  let t = Simt_gpu.v100 in
+  (* a GEMM too small to fill 80 SMs takes disproportionately long *)
+  let tiny = Simt_gpu.gemm_seconds t ~m:64 ~k:64 ~n:64 in
+  let per_mac_tiny = tiny /. float_of_int (64 * 64 * 64) in
+  let big = Simt_gpu.gemm_seconds t ~m:4096 ~k:4096 ~n:4096 in
+  let per_mac_big = big /. (4096. ** 3.) in
+  Alcotest.(check bool) "small GEMMs pay occupancy" true
+    (per_mac_tiny > 10. *. per_mac_big)
+
+let test_v100_memory_roofline () =
+  let t = Simt_gpu.v100 in
+  (* a tiny-compute huge-bytes layer is bandwidth bound *)
+  let s =
+    Simt_gpu.layer_seconds t ~gemms:[] ~vector_elems:1.
+      ~bytes:(9 * 1000 * 1000 * 1000)
+  in
+  Alcotest.(check (float 1e-3)) "10 GB at 900 GB/s" 0.01 s
+
+(* ------------------------------------------------------------------ *)
+(* CPU                                                                *)
+
+let test_cpu_peak () =
+  let p = Cpu.peak_flops Cpu.xeon_8180 /. 1e12 in
+  (* the paper's Table 7 row: 1.5 TFLOPS *)
+  Alcotest.(check bool) "1.4..1.6 TFLOPS" true (p > 1.4 && p < 1.6)
+
+let test_ordering_on_resnet () =
+  (* the Table 7 qualitative ordering on identical workloads *)
+  let layers = resnet18_layers () in
+  let v100 = Simt_gpu.network_seconds Simt_gpu.v100 layers in
+  let tpu = Systolic.network_seconds Systolic.tpu_v3 layers in
+  let cpu = Cpu.network_seconds Cpu.xeon_8180 layers in
+  Alcotest.(check bool) "accelerators beat the CPU" true
+    (v100 < cpu && tpu < cpu);
+  Alcotest.(check bool) "CPU is orders of magnitude behind" true
+    (cpu > 20. *. v100)
+
+(* ------------------------------------------------------------------ *)
+(* Dataflow                                                           *)
+
+let test_dataflow_no_training () =
+  Alcotest.(check bool) "synchronous training unsupported" false
+    (Dataflow.training_supported Dataflow.generic_dataflow)
+
+let test_dataflow_latency_vs_throughput () =
+  let t = Dataflow.generic_dataflow in
+  let layers = resnet18_layers () in
+  (* single-sample latency is reconfiguration-dominated; batch amortises *)
+  let u1 = Dataflow.utilization t ~layers ~batch:1 in
+  let u256 = Dataflow.utilization t ~layers ~batch:256 in
+  Alcotest.(check bool) "batch-1 utilisation collapses" true (u1 < 0.3);
+  Alcotest.(check bool) "large batch streams near peak" true (u256 > 0.6);
+  let lat = Dataflow.single_sample_latency_s t ~layers in
+  let reconf =
+    float_of_int (List.length layers) *. t.Dataflow.reconfiguration_s
+  in
+  Alcotest.(check bool) "latency at least the reconfigurations" true
+    (lat >= reconf)
+
+let dataflow_batch_monotone_prop =
+  QCheck.Test.make ~count:50 ~name:"dataflow utilisation monotone in batch"
+    QCheck.(pair (int_range 1 128) (int_range 1 128))
+    (fun (a, b) ->
+      let layers = resnet18_layers () in
+      let u x =
+        Dataflow.utilization Dataflow.generic_dataflow ~layers ~batch:x
+      in
+      u (min a b) <= u (max a b) +. 1e-9)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "baselines"
+    [
+      ( "systolic",
+        [
+          Alcotest.test_case "peak" `Quick test_systolic_peak;
+          Alcotest.test_case "fill/drain" `Quick test_systolic_fill_drain;
+          Alcotest.test_case "normalization drain" `Quick
+            test_systolic_normalization_drain;
+          q systolic_monotone_prop;
+        ] );
+      ( "simt-gpu",
+        [
+          Alcotest.test_case "peak" `Quick test_v100_peak;
+          Alcotest.test_case "occupancy" `Quick test_v100_occupancy;
+          Alcotest.test_case "memory roofline" `Quick test_v100_memory_roofline;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "peak" `Quick test_cpu_peak;
+          Alcotest.test_case "table7 ordering" `Quick test_ordering_on_resnet;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "no training" `Quick test_dataflow_no_training;
+          Alcotest.test_case "latency vs throughput" `Quick
+            test_dataflow_latency_vs_throughput;
+          q dataflow_batch_monotone_prop;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+open Ascend.Cluster
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                             *)
+
+let test_server_topology () =
+  let s = Server.ascend910_server in
+  Alcotest.(check int) "8 chips" 8 s.Server.chips;
+  Alcotest.(check int) "4 per group" 4 (Server.chips_per_group s);
+  Alcotest.(check bool) "0 and 3 same group" true (Server.same_group s 0 3);
+  Alcotest.(check bool) "3 and 4 different groups" false (Server.same_group s 3 4);
+  Alcotest.(check (float 1.)) "HCCS intra" 30e9
+    (Server.link_bandwidth s ~src:0 ~dst:1);
+  Alcotest.(check (float 1.)) "PCIe inter" 32e9
+    (Server.link_bandwidth s ~src:0 ~dst:7)
+
+let test_server_allreduce_scales () =
+  let s = Server.ascend910_server in
+  let t b = Server.intra_server_allreduce_seconds s ~bytes:b in
+  Alcotest.(check (float 1e-12)) "zero bytes free" 0. (t 0.);
+  Alcotest.(check bool) "monotone" true (t 1e9 > t 1e8);
+  (* 2x the data takes 2x the time in the bandwidth-dominated regime *)
+  Alcotest.(check bool) "roughly linear" true
+    (Float.abs ((t 2e9 /. t 1e9) -. 2.) < 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Collectives                                                        *)
+
+let test_ring_allreduce_formula () =
+  (* 2(n-1)/n * bytes / bw, plus latency terms *)
+  let t =
+    Collective.ring_allreduce_seconds ~bytes:1e9 ~nodes:4 ~bandwidth:10e9
+      ~latency_s:0. ()
+  in
+  Alcotest.(check (float 1e-6)) "formula" 0.15 t;
+  Alcotest.(check (float 1e-12)) "single node free" 0.
+    (Collective.ring_allreduce_seconds ~bytes:1e9 ~nodes:1 ~bandwidth:10e9 ())
+
+let test_ring_allreduce_latency_term () =
+  let no_lat =
+    Collective.ring_allreduce_seconds ~bytes:1e6 ~nodes:16 ~bandwidth:100e9
+      ~latency_s:0. ()
+  in
+  let with_lat =
+    Collective.ring_allreduce_seconds ~bytes:1e6 ~nodes:16 ~bandwidth:100e9
+      ~latency_s:1e-5 ()
+  in
+  Alcotest.(check (float 1e-9)) "30 steps of latency" (no_lat +. 30e-5) with_lat
+
+let test_hierarchical_slower_than_intra () =
+  let server = Server.ascend910_server in
+  let network = Ascend.Noc.Fat_tree.ascend_cluster in
+  let intra = Server.intra_server_allreduce_seconds server ~bytes:1e8 in
+  let hier =
+    Collective.hierarchical_allreduce_seconds ~server ~network ~servers:256
+      ~bytes:1e8
+  in
+  Alcotest.(check bool) "cluster costs more" true (hier > intra)
+
+let test_halving_doubling () =
+  (* same bandwidth term as ring, fewer latency steps *)
+  let bw = 10e9 and lat = 1e-4 in
+  let small_ring =
+    Collective.ring_allreduce_seconds ~bytes:1e4 ~nodes:64 ~bandwidth:bw
+      ~latency_s:lat ()
+  in
+  let small_hd =
+    Collective.halving_doubling_seconds ~bytes:1e4 ~nodes:64 ~bandwidth:bw
+      ~latency_s:lat ()
+  in
+  Alcotest.(check bool) "hd wins on small messages" true (small_hd < small_ring);
+  let big_ring =
+    Collective.ring_allreduce_seconds ~bytes:1e10 ~nodes:64 ~bandwidth:bw
+      ~latency_s:lat ()
+  in
+  let big_hd =
+    Collective.halving_doubling_seconds ~bytes:1e10 ~nodes:64 ~bandwidth:bw
+      ~latency_s:lat ()
+  in
+  (* bandwidth-bound regime: the two converge *)
+  Alcotest.(check bool) "within 1% on huge messages" true
+    (Float.abs (big_ring -. big_hd) /. big_ring < 0.01);
+  Alcotest.(check (float 1e-12)) "single node free" 0.
+    (Collective.halving_doubling_seconds ~bytes:1e6 ~nodes:1 ~bandwidth:bw ())
+
+let test_best_allreduce_picks_minimum () =
+  let bw = 10e9 and lat = 1e-4 in
+  List.iter
+    (fun (bytes, nodes) ->
+      let best, name =
+        Collective.best_allreduce_seconds ~bytes ~nodes ~bandwidth:bw
+          ~latency_s:lat ()
+      in
+      let ring =
+        Collective.ring_allreduce_seconds ~bytes ~nodes ~bandwidth:bw
+          ~latency_s:lat ()
+      in
+      let hd =
+        Collective.halving_doubling_seconds ~bytes ~nodes ~bandwidth:bw
+          ~latency_s:lat ()
+      in
+      Alcotest.(check (float 1e-12)) "is the min" (Float.min ring hd) best;
+      Alcotest.(check bool) "named" true
+        (name = "ring" || name = "halving-doubling"))
+    [ (1e3, 8); (1e9, 8); (1e3, 256); (1e9, 256); (1e6, 100) ]
+
+let allreduce_monotone_prop =
+  QCheck.Test.make ~count:100 ~name:"allreduce time monotone in bytes"
+    QCheck.(pair (float_range 1e3 1e9) (float_range 1e3 1e9))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let t bytes =
+        Collective.ring_allreduce_seconds ~bytes ~nodes:8 ~bandwidth:30e9 ()
+      in
+      t lo <= t hi)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed training                                               *)
+
+let chip_result () =
+  let build ~batch = Ascend.Nn.Resnet.v1_5_18 ~batch () in
+  match
+    Ascend.Soc.Training_soc.run ~training:true
+      Ascend.Soc.Training_soc.ascend910 ~build ~batch:32
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_train_step () =
+  let chip = chip_result () in
+  let cluster = Training.cluster_of_chips ~chips:256 in
+  Alcotest.(check int) "32 servers" 32 cluster.Training.servers;
+  Alcotest.(check int) "256 chips" 256 (Training.total_chips cluster);
+  let param_bytes = 2. *. 11.7e6 (* resnet18 fp16 *) in
+  let step = Training.train_step cluster ~chip_result:chip ~param_bytes in
+  Alcotest.(check int) "global batch" (32 * 256) step.Training.global_batch;
+  Alcotest.(check bool) "step at least chip time" true
+    (step.Training.step_seconds >= chip.Ascend.Soc.Training_soc.step_seconds);
+  Alcotest.(check bool) "efficiency in (0,1]" true
+    (step.Training.scaling_efficiency > 0.
+    && step.Training.scaling_efficiency <= 1.)
+
+let test_scaling_efficiency_degrades () =
+  let chip = chip_result () in
+  let param_bytes = 2. *. 11.7e6 in
+  let eff chips =
+    (Training.train_step (Training.cluster_of_chips ~chips) ~chip_result:chip
+       ~param_bytes)
+      .Training.scaling_efficiency
+  in
+  Alcotest.(check bool) "more chips, lower efficiency" true
+    (eff 2048 <= eff 64 +. 1e-9)
+
+let test_cluster_peak () =
+  (* §4.2: the 2048-chip cluster delivers ~512 PFLOPS fp16 *)
+  let p = Training.peak_fp16_flops Training.ascend_cluster_2048 in
+  Alcotest.(check bool) "500..550 PFLOPS" true (p > 5.0e17 && p < 5.5e17)
+
+let test_time_to_train () =
+  let chip = chip_result () in
+  let cluster = Training.cluster_of_chips ~chips:256 in
+  let step =
+    Training.train_step cluster ~chip_result:chip ~param_bytes:(2. *. 11.7e6)
+  in
+  let t =
+    Training.time_to_train_seconds cluster ~step ~samples_per_epoch:1_281_167
+      ~epochs:44.
+  in
+  Alcotest.(check bool) "positive and finite" true (t > 0. && Float.is_finite t)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "cluster"
+    [
+      ( "server",
+        [
+          Alcotest.test_case "topology" `Quick test_server_topology;
+          Alcotest.test_case "allreduce scales" `Quick test_server_allreduce_scales;
+        ] );
+      ( "collective",
+        [
+          Alcotest.test_case "ring formula" `Quick test_ring_allreduce_formula;
+          Alcotest.test_case "latency term" `Quick
+            test_ring_allreduce_latency_term;
+          Alcotest.test_case "hierarchy cost" `Quick
+            test_hierarchical_slower_than_intra;
+          Alcotest.test_case "halving-doubling" `Quick test_halving_doubling;
+          Alcotest.test_case "algorithm picker" `Quick
+            test_best_allreduce_picks_minimum;
+          q allreduce_monotone_prop;
+        ] );
+      ( "training",
+        [
+          Alcotest.test_case "train step" `Quick test_train_step;
+          Alcotest.test_case "scaling efficiency" `Quick
+            test_scaling_efficiency_degrades;
+          Alcotest.test_case "cluster peak" `Quick test_cluster_peak;
+          Alcotest.test_case "time to train" `Quick test_time_to_train;
+        ] );
+    ]

@@ -1,0 +1,288 @@
+open Ascend.Core_sim
+open Ascend.Isa
+module Config = Ascend.Arch.Config
+module Precision = Ascend.Arch.Precision
+
+let cube ?(accumulate = false) m k n =
+  Instruction.Cube_matmul { m; k; n; precision = Precision.Fp16; accumulate }
+
+let vec bytes =
+  Instruction.Vector_op { op_name = "t"; bytes; reads_ub = true; writes_ub = true }
+
+let set f t flag = Instruction.Set_flag { from_pipe = f; to_pipe = t; flag }
+let wait f t flag = Instruction.Wait_flag { from_pipe = f; to_pipe = t; flag }
+
+let run_ok ?(config = Config.max) instrs =
+  match Simulator.run config (Program.make ~name:"t" instrs) with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "simulation failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Latency model                                                      *)
+
+let test_latency_cube () =
+  Alcotest.(check int) "one tile + overhead"
+    (1 + Latency.cube_issue_overhead)
+    (Latency.cube_matmul Config.max ~m:16 ~k:16 ~n:16 ~precision:Precision.Fp16);
+  Alcotest.(check int) "256x256x256 = 4096 cycles"
+    (4096 + Latency.cube_issue_overhead)
+    (Latency.cube_matmul Config.max ~m:256 ~k:256 ~n:256
+       ~precision:Precision.Fp16);
+  (* int8 doubles the k throughput *)
+  Alcotest.(check int) "int8 halves k tiles"
+    (2048 + Latency.cube_issue_overhead)
+    (Latency.cube_matmul Config.max ~m:256 ~k:256 ~n:256
+       ~precision:Precision.Int8)
+
+let test_latency_vector () =
+  Alcotest.(check int) "256B in one cycle"
+    (1 + Latency.vector_issue_overhead)
+    (Latency.vector_op Config.max ~bytes:256);
+  Alcotest.(check int) "1KiB on Lite = 8 cycles"
+    (8 + Latency.vector_issue_overhead)
+    (Latency.vector_op Config.lite ~bytes:1024)
+
+let test_latency_mte () =
+  (* Max A port: 4096 B/cycle *)
+  Alcotest.(check int) "A port 64KiB"
+    (16 + Latency.mte_issue_overhead)
+    (Latency.mte_move Config.max ~src:Buffer_id.L1 ~dst:Buffer_id.L0a
+       ~bytes:(64 * 1024));
+  (* Max external: 94 GB/s at 1 GHz = 94 B/cycle *)
+  Alcotest.(check int) "LLC port 9400 B"
+    (100 + Latency.mte_issue_overhead)
+    (Latency.mte_move Config.max ~src:Buffer_id.External ~dst:Buffer_id.L1
+       ~bytes:9400)
+
+(* ------------------------------------------------------------------ *)
+(* Execution semantics                                                *)
+
+let test_single_instruction () =
+  let r = run_ok [ cube 256 256 256 ] in
+  Alcotest.(check int) "makespan = latency"
+    (4096 + Latency.cube_issue_overhead)
+    r.Simulator.total_cycles
+
+let test_pipes_overlap () =
+  (* independent cube and vector work overlaps almost entirely *)
+  let r = run_ok [ cube 256 256 256; vec (256 * 1024) ] in
+  let cube_lat = 4096 + Latency.cube_issue_overhead in
+  let vec_lat = 1024 + Latency.vector_issue_overhead in
+  Alcotest.(check bool) "overlapped" true
+    (r.Simulator.total_cycles < cube_lat + vec_lat);
+  Alcotest.(check bool) "at least the longer one" true
+    (r.Simulator.total_cycles >= max cube_lat vec_lat)
+
+let test_flags_serialise () =
+  (* vector waits for the cube: the times add *)
+  let r =
+    run_ok
+      [
+        cube 256 256 256;
+        set Pipe.Cube Pipe.Vector 0;
+        wait Pipe.Cube Pipe.Vector 0;
+        vec (256 * 1024);
+      ]
+  in
+  let cube_lat = 4096 + Latency.cube_issue_overhead in
+  let vec_lat = 1024 + Latency.vector_issue_overhead in
+  Alcotest.(check bool) "serialised" true
+    (r.Simulator.total_cycles >= cube_lat + vec_lat)
+
+let test_set_before_wait_in_program_order_not_required () =
+  (* the wait appears before the set in program order but on another
+     pipe; the simulator must not deadlock *)
+  let r =
+    run_ok
+      [
+        wait Pipe.Cube Pipe.Vector 1;
+        vec 256;
+        cube 16 16 16;
+        set Pipe.Cube Pipe.Vector 1;
+      ]
+  in
+  Alcotest.(check bool) "completed" true (r.Simulator.total_cycles > 0)
+
+let test_deadlock_detected () =
+  (* wait with no matching set fails validation; disable validation to
+     exercise the runtime detector *)
+  let p = Program.make ~name:"dl" [ wait Pipe.Cube Pipe.Vector 0; vec 256 ] in
+  (match Simulator.run ~validate:false Config.max p with
+  | Error e ->
+    Alcotest.(check bool) "mentions deadlock" true
+      (String.length e >= 8 && String.sub e 0 8 = "deadlock")
+  | Ok _ -> Alcotest.fail "must deadlock");
+  (* and validation catches it statically *)
+  match Simulator.run Config.max p with
+  | Error e ->
+    Alcotest.(check bool) "static" true
+      (String.length e >= 10 && String.sub e 0 10 = "validation")
+  | Ok _ -> Alcotest.fail "must fail validation"
+
+let test_barrier_drains () =
+  let r =
+    run_ok
+      [ cube 256 256 256; Instruction.Barrier; vec (256 * 1024) ]
+  in
+  let cube_lat = 4096 + Latency.cube_issue_overhead in
+  let vec_lat = 1024 + Latency.vector_issue_overhead in
+  Alcotest.(check bool) "barrier serialises" true
+    (r.Simulator.total_cycles >= cube_lat + vec_lat)
+
+let test_makespan_at_least_busy () =
+  let r =
+    run_ok [ cube 32 32 32; vec 512; cube 16 16 16; vec 128 ]
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Pipe.name p ^ " busy <= makespan")
+        true
+        ((Simulator.pipe_stats r p).Simulator.busy_cycles
+        <= r.Simulator.total_cycles))
+    Pipe.all
+
+let test_traffic_accounting () =
+  let r =
+    run_ok
+      [
+        Instruction.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1
+          ~bytes:1000 ();
+        Instruction.mte_move ~src:Buffer_id.L1 ~dst:Buffer_id.L0a
+          ~transform:(Instruction.Img2col { expansion = 4. })
+          ~bytes:800 ();
+      ]
+  in
+  Alcotest.(check int) "L1 written" 1000
+    (Simulator.traffic r Buffer_id.L1).Simulator.written_bytes;
+  (* img2col reads only the unique bytes out of L1 *)
+  Alcotest.(check int) "L1 read compact" 200
+    (Simulator.traffic r Buffer_id.L1).Simulator.read_bytes;
+  Alcotest.(check int) "L0A written expanded" 800
+    (Simulator.traffic r Buffer_id.L0a).Simulator.written_bytes;
+  Alcotest.(check int) "external read" 1000
+    (Simulator.traffic r Buffer_id.External).Simulator.read_bytes
+
+let test_energy_positive_and_scales () =
+  let small = run_ok [ cube 16 16 16 ] in
+  let big = run_ok [ cube 256 256 256 ] in
+  Alcotest.(check bool) "positive" true (small.Simulator.energy_j > 0.);
+  Alcotest.(check bool) "more macs, more energy" true
+    (big.Simulator.energy_j > 100. *. small.Simulator.energy_j);
+  Alcotest.(check int) "mac count" (256 * 256 * 256)
+    big.Simulator.cube_macs_executed
+
+let test_trace () =
+  match
+    Simulator.run ~trace:true Config.max
+      (Program.make ~name:"t" [ cube 16 16 16; vec 256 ])
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check int) "two entries" 2 (List.length r.Simulator.trace);
+    List.iter
+      (fun (e : Simulator.trace_entry) ->
+        Alcotest.(check bool) "start <= end" true
+          (e.Simulator.start_cycle <= e.Simulator.end_cycle))
+      r.Simulator.trace
+
+let test_timeline () =
+  (match
+     Simulator.run ~trace:true Config.max
+       (Program.make ~name:"t" [ cube 256 256 256; vec (64 * 1024) ])
+   with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    let s = Timeline.render ~width:40 r in
+    Alcotest.(check bool) "has busy marks" true (String.contains s '#');
+    Alcotest.(check bool) "has idle marks" true (String.contains s '.');
+    let bars = Timeline.utilization_bars r in
+    Alcotest.(check bool) "bars mention all pipes" true
+      (String.length bars > 0 && String.contains bars '%'));
+  (* no trace -> explanatory note, not a crash *)
+  match Simulator.run Config.max (Program.make ~name:"t" [ vec 256 ]) with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check bool) "note without trace" true
+      (String.length (Timeline.render r) > 0
+      && not (String.contains (Timeline.render r) '#'))
+
+let test_dispatch_rate () =
+  (* the PSQ dispatches one instruction per cycle: instruction i cannot
+     start before cycle i *)
+  let n = 100 in
+  let instrs = List.init n (fun _ -> Instruction.Scalar_op { cycles = 1 }) in
+  let r = run_ok instrs in
+  Alcotest.(check bool) "at least n cycles" true (r.Simulator.total_cycles >= n)
+
+(* random programs with balanced flags never deadlock *)
+let random_program_prop =
+  QCheck.Test.make ~count:50
+    ~name:"random flag-balanced programs terminate without deadlock"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Ascend.Util.Prng.create ~seed in
+      let n = 5 + Ascend.Util.Prng.int rng ~bound:30 in
+      let instrs = ref [] in
+      let pending = ref [] in
+      for i = 0 to n - 1 do
+        ignore i;
+        match Ascend.Util.Prng.int rng ~bound:4 with
+        | 0 -> instrs := cube 32 32 32 :: !instrs
+        | 1 -> instrs := vec 1024 :: !instrs
+        | 2 ->
+          let flag = Ascend.Util.Prng.int rng ~bound:4 in
+          instrs := set Pipe.Cube Pipe.Vector flag :: !instrs;
+          pending := flag :: !pending
+        | _ -> (
+          match !pending with
+          | flag :: rest ->
+            instrs := wait Pipe.Cube Pipe.Vector flag :: !instrs;
+            pending := rest
+          | [] -> instrs := Instruction.Barrier :: !instrs)
+      done;
+      let p = Program.make ~name:"rand" (List.rev !instrs) in
+      match Simulator.run Config.max p with
+      | Ok r -> r.Simulator.total_cycles > 0
+      | Error _ -> false)
+
+let monotone_bytes_prop =
+  QCheck.Test.make ~count:50 ~name:"more vector bytes never run faster"
+    QCheck.(pair (int_range 1 100000) (int_range 1 100000))
+    (fun (a, b) ->
+      let small = min a b and big = max a b in
+      let t bytes = (run_ok [ vec bytes ]).Simulator.total_cycles in
+      t small <= t big)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "core_sim"
+    [
+      ( "latency",
+        [
+          Alcotest.test_case "cube" `Quick test_latency_cube;
+          Alcotest.test_case "vector" `Quick test_latency_vector;
+          Alcotest.test_case "mte" `Quick test_latency_mte;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "single instruction" `Quick test_single_instruction;
+          Alcotest.test_case "pipes overlap" `Quick test_pipes_overlap;
+          Alcotest.test_case "flags serialise" `Quick test_flags_serialise;
+          Alcotest.test_case "late set" `Quick
+            test_set_before_wait_in_program_order_not_required;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "barrier drains" `Quick test_barrier_drains;
+          Alcotest.test_case "makespan >= busy" `Quick test_makespan_at_least_busy;
+          Alcotest.test_case "dispatch rate" `Quick test_dispatch_rate;
+          q random_program_prop;
+          q monotone_bytes_prop;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "traffic" `Quick test_traffic_accounting;
+          Alcotest.test_case "energy" `Quick test_energy_positive_and_scales;
+          Alcotest.test_case "trace" `Quick test_trace;
+          Alcotest.test_case "timeline" `Quick test_timeline;
+        ] );
+    ]

@@ -1,0 +1,216 @@
+open Ascend.Memory
+
+(* ------------------------------------------------------------------ *)
+(* LLC                                                                *)
+
+let test_llc_geometry () =
+  let c = Llc.create ~line_bytes:64 ~ways:4 ~capacity_bytes:(64 * 4 * 128) () in
+  Alcotest.(check int) "sets" 128 (Llc.sets c);
+  Alcotest.(check int) "capacity" (64 * 4 * 128) (Llc.capacity_bytes c)
+
+let test_llc_hits_after_fill () =
+  let c = Llc.create ~line_bytes:64 ~ways:4 ~capacity_bytes:(64 * 1024) () in
+  (* working set of half the capacity: second pass all hits *)
+  for i = 0 to 511 do
+    ignore (Llc.access c ~addr:(i * 64) ~write:false)
+  done;
+  Llc.reset_stats c;
+  for i = 0 to 511 do
+    ignore (Llc.access c ~addr:(i * 64) ~write:false)
+  done;
+  Alcotest.(check (float 1e-9)) "all hits" 1.0 (Llc.hit_rate c)
+
+let test_llc_thrashes_when_oversized () =
+  let c = Llc.create ~line_bytes:64 ~ways:4 ~capacity_bytes:(64 * 256) () in
+  (* working set 4x capacity, streamed twice in the same order: LRU
+     evicts ahead of reuse, so the second pass misses everything *)
+  for _pass = 1 to 2 do
+    for i = 0 to 1023 do
+      ignore (Llc.access c ~addr:(i * 64) ~write:false)
+    done
+  done;
+  Alcotest.(check bool) "mostly misses" true (Llc.hit_rate c < 0.05)
+
+let test_llc_access_range () =
+  let c = Llc.create ~line_bytes:128 ~ways:16 ~capacity_bytes:(1024 * 1024) () in
+  let hits, misses = Llc.access_range c ~addr:0 ~bytes:1280 ~write:false in
+  Alcotest.(check int) "10 lines missed" 10 misses;
+  Alcotest.(check int) "no hits yet" 0 hits;
+  let hits2, misses2 = Llc.access_range c ~addr:0 ~bytes:1280 ~write:true in
+  Alcotest.(check int) "10 hits" 10 hits2;
+  Alcotest.(check int) "no misses" 0 misses2
+
+let llc_capacity_monotone_prop =
+  QCheck.Test.make ~count:20 ~name:"hit rate monotone in capacity"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Ascend.Util.Prng.create ~seed in
+      let addrs =
+        Array.init 2000 (fun _ -> Ascend.Util.Prng.int rng ~bound:(1 lsl 20))
+      in
+      let rate cap =
+        let c = Llc.create ~capacity_bytes:cap () in
+        Array.iter (fun a -> ignore (Llc.access c ~addr:a ~write:false)) addrs;
+        Llc.hit_rate c
+      in
+      rate (64 * 1024) <= rate (1024 * 1024) +. 1e-9)
+
+let test_hit_fraction_model () =
+  Alcotest.(check (float 1e-9)) "fits" 1.0
+    (Llc.hit_fraction ~capacity_bytes:100 ~working_set_bytes:50);
+  Alcotest.(check (float 1e-9)) "half" 0.5
+    (Llc.hit_fraction ~capacity_bytes:50 ~working_set_bytes:100);
+  Alcotest.(check (float 1e-9)) "empty set" 1.0
+    (Llc.hit_fraction ~capacity_bytes:0 ~working_set_bytes:0)
+
+(* ------------------------------------------------------------------ *)
+(* Memory wall (Table 6)                                              *)
+
+let test_table6_ladder () =
+  let rungs = Memory_wall.table6 ~peak_flops:256e12 in
+  Alcotest.(check int) "seven rungs" 7 (List.length rungs);
+  (match rungs with
+  | cube :: l0 :: l1 :: llc :: hbm :: _ ->
+    Alcotest.(check (float 1.)) "cube demand 2048 TB/s" 2048e12
+      cube.Memory_wall.bandwidth_bytes_per_s;
+    Alcotest.(check (float 1e-9)) "L0 ratio 1" 1. l0.Memory_wall.ratio_to_cube;
+    Alcotest.(check (float 1e-9)) "L1 ratio 1/10" 0.1 l1.Memory_wall.ratio_to_cube;
+    Alcotest.(check (float 1e-9)) "LLC ratio 1/100" 0.01
+      llc.Memory_wall.ratio_to_cube;
+    (* HBM at 1 TB/s is ~1/2000 of the cube demand *)
+    Alcotest.(check bool) "HBM ratio near 1/2000" true
+      (Float.abs ((1. /. hbm.Memory_wall.ratio_to_cube) -. 2048.) < 1.)
+  | _ -> Alcotest.fail "ladder shape");
+  let last = List.nth rungs 6 in
+  Alcotest.(check bool) "inter-server ~1/200000" true
+    (1. /. last.Memory_wall.ratio_to_cube > 100000.)
+
+let test_reuse_factor () =
+  let rungs = Memory_wall.table6 ~peak_flops:256e12 in
+  let l0 = List.nth rungs 1 and l1 = List.nth rungs 2 in
+  Alcotest.(check (float 1e-6)) "10x reuse between L0 and L1" 10.
+    (Memory_wall.required_reuse_factor ~upper:l0 ~lower:l1)
+
+(* ------------------------------------------------------------------ *)
+(* MPAM                                                               *)
+
+let spec name min_share max_share priority =
+  { Mpam.class_name = name; min_share; max_share; priority }
+
+let test_mpam_minimum_guaranteed () =
+  let allocs =
+    Mpam.partition ~total_bandwidth:100.
+      [
+        (spec "critical" 0.5 0.8 3, 60.);
+        (spec "background" 0.0 1.0 0, 1000.);
+      ]
+  in
+  let critical = List.hd allocs in
+  Alcotest.(check bool) "critical gets at least its min" true
+    (critical.Mpam.granted >= 50.)
+
+let test_mpam_priority_order () =
+  let allocs =
+    Mpam.partition ~total_bandwidth:100.
+      [
+        (spec "high" 0.0 1.0 2, 80.);
+        (spec "low" 0.0 1.0 1, 80.);
+      ]
+  in
+  match allocs with
+  | [ high; low ] ->
+    Alcotest.(check (float 1e-6)) "high fully served" 80. high.Mpam.granted;
+    Alcotest.(check (float 1e-6)) "low gets the rest" 20. low.Mpam.granted
+  | _ -> Alcotest.fail "two allocations"
+
+let test_mpam_work_conserving () =
+  (* caps don't waste bandwidth when someone still wants it *)
+  let allocs =
+    Mpam.partition ~total_bandwidth:100.
+      [
+        (spec "capped" 0.0 0.3 2, 90.);
+        (spec "hungry" 0.0 0.4 1, 90.);
+      ]
+  in
+  let total = List.fold_left (fun a x -> a +. x.Mpam.granted) 0. allocs in
+  Alcotest.(check bool) "all bandwidth used" true (total > 99.9)
+
+let test_mpam_rejects_bad_specs () =
+  Alcotest.(check bool) "min > max raises" true
+    (try
+       ignore
+         (Mpam.partition ~total_bandwidth:1. [ (spec "x" 0.5 0.2 0, 1.) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "mins over 1 raise" true
+    (try
+       ignore
+         (Mpam.partition ~total_bandwidth:1.
+            [ (spec "a" 0.7 0.8 0, 1.); (spec "b" 0.7 0.8 0, 1.) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let mpam_feasible_prop =
+  QCheck.Test.make ~count:100 ~name:"mpam never over-allocates"
+    QCheck.(pair (float_range 0. 0.24) (list_of_size (Gen.int_range 1 4)
+      (float_range 0. 200.)))
+    (fun (min_share, demands) ->
+      let specs =
+        List.mapi
+          (fun i d -> (spec (string_of_int i) min_share 1.0 i, d))
+          demands
+      in
+      let allocs = Mpam.partition ~total_bandwidth:100. specs in
+      let total = List.fold_left (fun a x -> a +. x.Mpam.granted) 0. allocs in
+      total <= 100. +. 1e-6
+      && List.for_all (fun x -> x.Mpam.granted <= x.Mpam.demand +. 1e-6) allocs)
+
+let test_latency_factor () =
+  Alcotest.(check (float 1e-9)) "idle" 1. (Mpam.latency_factor ~utilization:0.);
+  Alcotest.(check bool) "half load modest" true
+    (Mpam.latency_factor ~utilization:0.5 < 2.);
+  Alcotest.(check bool) "saturated clamped" true
+    (Mpam.latency_factor ~utilization:1.5 <= 50.)
+
+(* ------------------------------------------------------------------ *)
+(* DRAM                                                               *)
+
+let test_dram () =
+  Alcotest.(check (float 1e-3)) "HBM 1.2 TB/s" 1.2e12
+    (Dram.total_bandwidth Dram.hbm2_ascend910);
+  let a = Dram.share Dram.hbm2_ascend910 ~demands:[| 1e12; 1e12 |] in
+  Alcotest.(check (float 1e6)) "fair halves" 0.6e12 a.(0);
+  Alcotest.(check bool) "latency inflates" true
+    (Dram.loaded_latency_ns Dram.hbm2_ascend910 ~utilization:0.9
+    > Dram.hbm2_ascend910.Dram.base_latency_ns)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "memory"
+    [
+      ( "llc",
+        [
+          Alcotest.test_case "geometry" `Quick test_llc_geometry;
+          Alcotest.test_case "hits after fill" `Quick test_llc_hits_after_fill;
+          Alcotest.test_case "thrashing" `Quick test_llc_thrashes_when_oversized;
+          Alcotest.test_case "range" `Quick test_llc_access_range;
+          Alcotest.test_case "hit fraction model" `Quick test_hit_fraction_model;
+          q llc_capacity_monotone_prop;
+        ] );
+      ( "memory-wall",
+        [
+          Alcotest.test_case "table6 ladder" `Quick test_table6_ladder;
+          Alcotest.test_case "reuse factor" `Quick test_reuse_factor;
+        ] );
+      ( "mpam",
+        [
+          Alcotest.test_case "minimum guaranteed" `Quick
+            test_mpam_minimum_guaranteed;
+          Alcotest.test_case "priority order" `Quick test_mpam_priority_order;
+          Alcotest.test_case "work conserving" `Quick test_mpam_work_conserving;
+          Alcotest.test_case "bad specs" `Quick test_mpam_rejects_bad_specs;
+          Alcotest.test_case "latency factor" `Quick test_latency_factor;
+          q mpam_feasible_prop;
+        ] );
+      ("dram", [ Alcotest.test_case "hbm" `Quick test_dram ]);
+    ]

@@ -1,0 +1,185 @@
+open Ascend.Noc
+
+(* ------------------------------------------------------------------ *)
+(* Mesh (flow level)                                                  *)
+
+let mesh44 = Mesh.create ~rows:4 ~cols:4 ()
+
+let node t r c = Mesh.node t ~row:r ~col:c
+
+let test_xy_route () =
+  let route = Mesh.xy_route (node mesh44 0 0) (node mesh44 2 3) in
+  Alcotest.(check int) "path length = hops + 1" 6 (List.length route);
+  (* X first: the second node moves in the column direction *)
+  (match route with
+  | _ :: second :: _ ->
+    Alcotest.(check int) "x-first row" 0 second.Mesh.row;
+    Alcotest.(check int) "x-first col" 1 second.Mesh.col
+  | _ -> Alcotest.fail "route too short");
+  Alcotest.(check int) "hops" 5 (Mesh.hops (node mesh44 0 0) (node mesh44 2 3))
+
+let test_single_flow_full_bandwidth () =
+  let f =
+    { Mesh.src = node mesh44 0 0; dst = node mesh44 3 3; demand = 100e9 }
+  in
+  match Mesh.route_flows mesh44 [ f ] with
+  | [ r ] ->
+    Alcotest.(check (float 1e-3)) "full demand" 100e9 r.Mesh.throughput;
+    Alcotest.(check int) "hops" 6 r.Mesh.hops
+  | _ -> Alcotest.fail "one result"
+
+let test_shared_link_split () =
+  (* two flows over the same single link share it equally *)
+  let a = { Mesh.src = node mesh44 0 0; dst = node mesh44 0 1; demand = 1e12 } in
+  let b = { Mesh.src = node mesh44 0 0; dst = node mesh44 0 1; demand = 1e12 } in
+  match Mesh.route_flows mesh44 [ a; b ] with
+  | [ ra; rb ] ->
+    Alcotest.(check (float 1e6)) "half each (256 GB/s link)" 128e9
+      ra.Mesh.throughput;
+    Alcotest.(check (float 1e6)) "symmetric" ra.Mesh.throughput rb.Mesh.throughput
+  | _ -> Alcotest.fail "two results"
+
+let flows_feasible_prop =
+  QCheck.Test.make ~count:50 ~name:"flow allocation feasible and demand-capped"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Ascend.Util.Prng.create ~seed in
+      let flows =
+        List.init 6 (fun _ ->
+            let r () = Ascend.Util.Prng.int rng ~bound:4 in
+            {
+              Mesh.src = node mesh44 (r ()) (r ());
+              dst = node mesh44 (r ()) (r ());
+              demand = 1e9 *. float_of_int (1 + Ascend.Util.Prng.int rng ~bound:500);
+            })
+      in
+      let rs = Mesh.route_flows mesh44 flows in
+      List.for_all
+        (fun r ->
+          r.Mesh.throughput <= r.Mesh.flow.Mesh.demand +. 1.
+          && r.Mesh.throughput >= 0.)
+        rs)
+
+let test_ascend910_mesh () =
+  Alcotest.(check int) "6 rows" 6 (Mesh.rows Mesh.ascend910);
+  Alcotest.(check int) "4 cols" 4 (Mesh.cols Mesh.ascend910);
+  (* 1024-bit links at 2 GHz: 256 GB/s *)
+  Alcotest.(check (float 1.)) "link bandwidth" 256e9
+    (Mesh.link_bandwidth Mesh.ascend910);
+  Alcotest.(check (float 1.)) "bisection" (2. *. 6. *. 256e9)
+    (Mesh.bisection_bandwidth Mesh.ascend910)
+
+(* ------------------------------------------------------------------ *)
+(* Deflection (cycle level)                                           *)
+
+let test_deflection_single_packet () =
+  let t = Deflection.create ~rows:4 ~cols:4 in
+  Deflection.inject t ~src_row:0 ~src_col:0 ~dst_row:3 ~dst_col:3;
+  match Deflection.run t with
+  | Ok s ->
+    Alcotest.(check int) "delivered" 1 s.Deflection.delivered;
+    (* manhattan distance 6: latency at least that *)
+    Alcotest.(check bool) "latency >= hops" true
+      (s.Deflection.max_latency_cycles >= 6);
+    Alcotest.(check int) "no deflections alone" 0 s.Deflection.deflections
+  | Error e -> Alcotest.fail e
+
+let test_deflection_all_delivered () =
+  let s =
+    Deflection.uniform_random_experiment ~rows:4 ~cols:6 ~packets:500 ~seed:1
+  in
+  Alcotest.(check int) "all 500" 500 s.Deflection.delivered
+
+let test_deflection_contention_increases_latency () =
+  let light =
+    Deflection.uniform_random_experiment ~rows:4 ~cols:4 ~packets:20 ~seed:2
+  in
+  let heavy =
+    Deflection.uniform_random_experiment ~rows:4 ~cols:4 ~packets:2000 ~seed:2
+  in
+  Alcotest.(check bool) "heavier load, higher latency" true
+    (Deflection.average_latency heavy >= Deflection.average_latency light)
+
+let deflection_delivery_prop =
+  QCheck.Test.make ~count:20 ~name:"deflection mesh always delivers"
+    QCheck.(pair (int_range 1 200) (int_range 0 1000))
+    (fun (packets, seed) ->
+      let s =
+        Deflection.uniform_random_experiment ~rows:3 ~cols:3 ~packets ~seed
+      in
+      s.Deflection.delivered = packets)
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                               *)
+
+let test_ring_hops () =
+  let r = Ring.create ~nodes:8 () in
+  Alcotest.(check int) "adjacent" 1 (Ring.hops r ~src:0 ~dst:1);
+  Alcotest.(check int) "wrap" 1 (Ring.hops r ~src:0 ~dst:7);
+  Alcotest.(check int) "opposite" 4 (Ring.hops r ~src:0 ~dst:4);
+  Alcotest.(check bool) "symmetric" true
+    (Ring.hops r ~src:2 ~dst:6 = Ring.hops r ~src:6 ~dst:2)
+
+let test_ring_worst_case () =
+  let r = Ring.create ~nodes:8 ~hop_latency_ns:2. () in
+  Alcotest.(check (float 1e-9)) "worst case = half ring + 1" 10.
+    (Ring.worst_case_latency_ns r)
+
+let test_ring_throughput () =
+  let r = Ring.create ~link_bandwidth:10. ~nodes:4 () in
+  (* two flows in the same direction over the same link *)
+  let rates = Ring.throughput r ~flows:[ (0, 1, 100.); (0, 1, 100.) ] in
+  (match rates with
+  | [ a; b ] ->
+    Alcotest.(check (float 1e-6)) "split" 5. a;
+    Alcotest.(check (float 1e-6)) "split" 5. b
+  | _ -> Alcotest.fail "two rates");
+  (* opposite-direction flows don't contend *)
+  let rates2 = Ring.throughput r ~flows:[ (0, 1, 8.); (1, 0, 8.) ] in
+  List.iter (fun v -> Alcotest.(check (float 1e-6)) "full" 8. v) rates2
+
+(* ------------------------------------------------------------------ *)
+(* Fat tree                                                           *)
+
+let test_fat_tree () =
+  let ft = Fat_tree.ascend_cluster in
+  Alcotest.(check int) "256 servers" 256 (Fat_tree.servers ft);
+  Alcotest.(check int) "16 leaves" 16 (Fat_tree.leaves ft);
+  (* 100 Gb/s = 12.5 GB/s *)
+  Alcotest.(check (float 1e-3)) "server NIC" 12.5e9
+    (Fat_tree.server_bandwidth ft);
+  Alcotest.(check (float 1.)) "bisection" (128. *. 12.5e9)
+    (Fat_tree.bisection_bandwidth ft);
+  Alcotest.(check (float 1e-9)) "same leaf 1us" 1.0
+    (Fat_tree.latency_us ft ~src:0 ~dst:5);
+  Alcotest.(check (float 1e-9)) "cross leaf 3us" 3.0
+    (Fat_tree.latency_us ft ~src:0 ~dst:200)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "noc"
+    [
+      ( "mesh",
+        [
+          Alcotest.test_case "xy route" `Quick test_xy_route;
+          Alcotest.test_case "single flow" `Quick test_single_flow_full_bandwidth;
+          Alcotest.test_case "shared link" `Quick test_shared_link_split;
+          Alcotest.test_case "ascend910 mesh" `Quick test_ascend910_mesh;
+          q flows_feasible_prop;
+        ] );
+      ( "deflection",
+        [
+          Alcotest.test_case "single packet" `Quick test_deflection_single_packet;
+          Alcotest.test_case "all delivered" `Quick test_deflection_all_delivered;
+          Alcotest.test_case "contention latency" `Quick
+            test_deflection_contention_increases_latency;
+          q deflection_delivery_prop;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "hops" `Quick test_ring_hops;
+          Alcotest.test_case "worst case" `Quick test_ring_worst_case;
+          Alcotest.test_case "throughput" `Quick test_ring_throughput;
+        ] );
+      ("fat-tree", [ Alcotest.test_case "shape" `Quick test_fat_tree ]);
+    ]

@@ -1,0 +1,231 @@
+open Ascend.Runtime
+module Prng = Ascend.Util.Prng
+
+let task ?(blocks = 1) ?(cycles = 10) name =
+  { Scheduler.task_name = name; blocks; cycles_per_block = cycles }
+
+let stream name tasks = { Scheduler.stream_name = name; tasks }
+let app ?priority name streams = Scheduler.app ?priority ~name streams
+
+(* ------------------------------------------------------------------ *)
+
+let test_single_task () =
+  let s = Scheduler.run ~cores:4 [ app "a" [ stream "s" [ task "t" ] ] ] in
+  Alcotest.(check int) "makespan" 10 s.Scheduler.makespan_cycles;
+  Alcotest.(check int) "one task" 1 s.Scheduler.tasks_completed;
+  Alcotest.(check int) "one placement" 1 (List.length s.Scheduler.placements)
+
+let test_blocks_parallelise () =
+  let t = task ~blocks:4 ~cycles:10 "t" in
+  let wide = Scheduler.run ~cores:4 [ app "a" [ stream "s" [ t ] ] ] in
+  let narrow = Scheduler.run ~cores:1 [ app "a" [ stream "s" [ t ] ] ] in
+  Alcotest.(check int) "4 cores: one wave" 10 wide.Scheduler.makespan_cycles;
+  Alcotest.(check int) "1 core: serialised" 40 narrow.Scheduler.makespan_cycles
+
+let test_stream_tasks_in_order () =
+  let s =
+    Scheduler.run ~cores:8
+      [ app "a" [ stream "s" [ task ~cycles:5 "t1"; task ~cycles:5 "t2" ] ] ]
+  in
+  (* in-order within a stream: t2 starts after t1 completes *)
+  let find name =
+    List.find (fun p -> p.Scheduler.task = name) s.Scheduler.placements
+  in
+  Alcotest.(check bool) "t2 after t1" true
+    ((find "t2").Scheduler.start_cycle >= (find "t1").Scheduler.end_cycle);
+  Alcotest.(check int) "makespan adds" 10 s.Scheduler.makespan_cycles
+
+let test_streams_run_concurrently () =
+  let s =
+    Scheduler.run ~cores:2
+      [
+        app "a"
+          [
+            stream "s1" [ task ~cycles:10 "t1" ];
+            stream "s2" [ task ~cycles:10 "t2" ];
+          ];
+      ]
+  in
+  Alcotest.(check int) "overlapped" 10 s.Scheduler.makespan_cycles
+
+let test_apps_share_soc () =
+  (* §5.2: multiple apps execute in parallel on one SoC *)
+  let mk name = app name [ stream (name ^ ".s") [ task ~cycles:10 name ] ] in
+  let s = Scheduler.run ~cores:2 [ mk "app1"; mk "app2" ] in
+  Alcotest.(check int) "both complete concurrently" 10
+    s.Scheduler.makespan_cycles
+
+let test_utilization_bounds () =
+  let s =
+    Scheduler.run ~cores:3
+      [ app "a" [ stream "s" [ task ~blocks:9 ~cycles:7 "t" ] ] ]
+  in
+  let u = Scheduler.utilization s in
+  Alcotest.(check bool) "0 < u <= 1" true (u > 0. && u <= 1.);
+  Alcotest.(check (float 1e-9)) "perfectly balanced" 1. u
+
+let no_core_overlap placements =
+  (* on each core, busy intervals must not overlap *)
+  let by_core = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let cur =
+        match Hashtbl.find_opt by_core p.Scheduler.core with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace by_core p.Scheduler.core (p :: cur))
+    placements;
+  Hashtbl.fold
+    (fun _ ps acc ->
+      let sorted =
+        List.sort (fun a b -> compare a.Scheduler.start_cycle b.Scheduler.start_cycle) ps
+      in
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+          a.Scheduler.end_cycle <= b.Scheduler.start_cycle && ok rest
+        | [ _ ] | [] -> true
+      in
+      acc && ok sorted)
+    by_core true
+
+let random_apps rng =
+  let n_apps = 1 + Prng.int rng ~bound:3 in
+  List.init n_apps (fun ai ->
+      let n_streams = 1 + Prng.int rng ~bound:3 in
+      app
+        (Printf.sprintf "app%d" ai)
+        (List.init n_streams (fun si ->
+             let n_tasks = 1 + Prng.int rng ~bound:4 in
+             stream
+               (Printf.sprintf "s%d.%d" ai si)
+               (List.init n_tasks (fun ti ->
+                    task
+                      ~blocks:(1 + Prng.int rng ~bound:4)
+                      ~cycles:(1 + Prng.int rng ~bound:20)
+                      (Printf.sprintf "t%d.%d.%d" ai si ti))))))
+
+let conservation_prop =
+  QCheck.Test.make ~count:100 ~name:"every block placed exactly once"
+    QCheck.(pair (int_range 1 8) (int_range 0 10000))
+    (fun (cores, seed) ->
+      let rng = Prng.create ~seed in
+      let apps = random_apps rng in
+      let expected =
+        List.fold_left
+          (fun acc a ->
+            List.fold_left
+              (fun acc s ->
+                List.fold_left
+                  (fun acc t -> acc + t.Scheduler.blocks)
+                  acc s.Scheduler.tasks)
+              acc a.Scheduler.streams)
+          0 apps
+      in
+      let s = Scheduler.run ~cores apps in
+      List.length s.Scheduler.placements = expected
+      && no_core_overlap s.Scheduler.placements)
+
+let more_cores_not_slower_prop =
+  QCheck.Test.make ~count:50 ~name:"more cores never slower"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let apps = random_apps rng in
+      let m cores = (Scheduler.run ~cores apps).Scheduler.makespan_cycles in
+      m 8 <= m 2 && m 2 <= m 1)
+
+let test_layer_to_task () =
+  match
+    Ascend.Compiler.Engine.run_inference Ascend.Arch.Config.tiny
+      (Ascend.Nn.Gesture.build ())
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    let stream = Scheduler.stream_of_network r ~blocks_per_task:2 in
+    Alcotest.(check int) "one task per layer"
+      (List.length r.Ascend.Compiler.Engine.layers)
+      (List.length stream.Scheduler.tasks);
+    let s = Scheduler.run ~cores:2 [ app "net" [ stream ] ] in
+    Alcotest.(check bool) "finishes" true (s.Scheduler.makespan_cycles > 0)
+
+let test_priority_preference () =
+  (* one core, two identical apps: the high-priority one runs first *)
+  let mk name priority =
+    app ~priority name [ stream (name ^ ".s") [ task ~cycles:10 name ] ]
+  in
+  let s = Scheduler.run ~cores:1 [ mk "background" 0; mk "critical" 5 ] in
+  let find name =
+    List.find (fun p -> p.Scheduler.task = name) s.Scheduler.placements
+  in
+  Alcotest.(check int) "critical starts immediately" 0
+    (find "critical").Scheduler.start_cycle;
+  Alcotest.(check bool) "background waits" true
+    ((find "background").Scheduler.start_cycle
+    >= (find "critical").Scheduler.end_cycle)
+
+let priorities_do_not_change_makespan_prop =
+  (* priorities reorder work on a work-conserving scheduler: total
+     makespan of a fixed task set stays within the no-priority bound for
+     single-block tasks on one core *)
+  QCheck.Test.make ~count:50 ~name:"priorities keep the scheduler work-conserving"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let mk priority i =
+        app ~priority
+          (Printf.sprintf "a%d" i)
+          [ stream
+              (Printf.sprintf "s%d" i)
+              [ task ~cycles:(1 + Prng.int rng ~bound:20) (Printf.sprintf "t%d" i) ] ]
+      in
+      let apps = List.init 4 (fun i -> mk (Prng.int rng ~bound:3) i) in
+      let total =
+        List.fold_left
+          (fun acc a ->
+            List.fold_left
+              (fun acc s ->
+                List.fold_left
+                  (fun acc t -> acc + t.Scheduler.cycles_per_block)
+                  acc s.Scheduler.tasks)
+              acc a.Scheduler.streams)
+          0 apps
+      in
+      (Scheduler.run ~cores:1 apps).Scheduler.makespan_cycles = total)
+
+let test_invalid_inputs () =
+  Alcotest.(check bool) "0 cores raises" true
+    (try
+       ignore (Scheduler.run ~cores:0 []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "0 blocks raises" true
+    (try
+       ignore
+         (Scheduler.run ~cores:1
+            [ app "a" [ stream "s" [ task ~blocks:0 "t" ] ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "runtime"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "single task" `Quick test_single_task;
+          Alcotest.test_case "blocks parallelise" `Quick test_blocks_parallelise;
+          Alcotest.test_case "stream order" `Quick test_stream_tasks_in_order;
+          Alcotest.test_case "streams concurrent" `Quick
+            test_streams_run_concurrently;
+          Alcotest.test_case "apps share soc" `Quick test_apps_share_soc;
+          Alcotest.test_case "utilization" `Quick test_utilization_bounds;
+          Alcotest.test_case "layers to tasks" `Quick test_layer_to_task;
+          Alcotest.test_case "invalid inputs" `Quick test_invalid_inputs;
+          Alcotest.test_case "priority preference" `Quick
+            test_priority_preference;
+          q priorities_do_not_change_makespan_prop;
+          q conservation_prop;
+          q more_cores_not_slower_prop;
+        ] );
+    ]

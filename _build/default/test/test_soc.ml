@@ -1,0 +1,282 @@
+open Ascend.Soc
+module Config = Ascend.Arch.Config
+module Precision = Ascend.Arch.Precision
+
+(* ------------------------------------------------------------------ *)
+(* Training SoC (Ascend 910)                                          *)
+
+let test_910_peak () =
+  let fp16 =
+    Training_soc.peak_flops Training_soc.ascend910 ~precision:Precision.Fp16
+  in
+  (* 32 cores x 8192 FLOPS/cycle x 1 GHz = 262 TFLOPS ("256" in the paper) *)
+  Alcotest.(check bool) "256-264 TFLOPS" true (fp16 > 250e12 && fp16 < 270e12);
+  let int8 =
+    Training_soc.peak_flops Training_soc.ascend910 ~precision:Precision.Int8
+  in
+  Alcotest.(check bool) "int8 doubles" true
+    (Float.abs ((int8 /. fp16) -. 2.) < 1e-9)
+
+let test_910_run_small_network () =
+  let build ~batch = Ascend.Nn.Resnet.v1_5_18 ~batch () in
+  match Training_soc.run Training_soc.ascend910 ~build ~batch:32 with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check int) "all 32 cores used" 32 r.Training_soc.cores_used;
+    Alcotest.(check bool) "throughput positive" true
+      (r.Training_soc.throughput_per_s > 0.);
+    Alcotest.(check bool) "slowdowns >= 1" true
+      (r.Training_soc.hbm_slowdown >= 1. && r.Training_soc.noc_slowdown >= 1.);
+    Alcotest.(check bool) "power within TDP ballpark" true
+      (r.Training_soc.chip_power_w > 50. && r.Training_soc.chip_power_w < 450.)
+
+let test_910_batch_smaller_than_cores () =
+  let build ~batch = Ascend.Nn.Resnet.v1_5_18 ~batch () in
+  match Training_soc.run Training_soc.ascend910 ~build ~batch:4 with
+  | Error e -> Alcotest.fail e
+  | Ok r -> Alcotest.(check int) "4 cores used" 4 r.Training_soc.cores_used
+
+let test_llc_capacity_speedup () =
+  (* §4.1: growing the LLC from 96 MB to 720 MB speeds up training *)
+  let mib = Ascend.Util.Units.mib in
+  let build ~batch = Ascend.Nn.Resnet.v1_5_18 ~batch () in
+  let run llc =
+    match
+      Training_soc.run ~training:true
+        (Training_soc.ascend910_llc ~llc_bytes:llc)
+        ~build ~batch:64
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let small = run (96 * mib) in
+  let big = run (720 * mib) in
+  Alcotest.(check bool) "hit fraction grows" true
+    (big.Training_soc.llc_hit_fraction >= small.Training_soc.llc_hit_fraction);
+  Alcotest.(check bool) "not slower" true
+    (big.Training_soc.step_seconds <= small.Training_soc.step_seconds)
+
+let test_die_area () =
+  let a = Training_soc.compute_die_area_mm2 Training_soc.ascend910 in
+  (* the paper reports 456 mm2 for the compute die *)
+  Alcotest.(check bool) "280..500 mm2" true (a > 280. && a < 500.)
+
+(* ------------------------------------------------------------------ *)
+(* Mobile SoC (Kirin 990)                                             *)
+
+let test_kirin_peak_tops () =
+  let tops = Mobile_soc.peak_tops Mobile_soc.kirin990 in
+  (* paper Table 8: 6.88 TOPS *)
+  Alcotest.(check bool) "6.5..7.2 TOPS" true (tops > 6.5 && tops < 7.2)
+
+let test_kirin_mobilenet () =
+  let g = Ascend.Nn.Mobilenet.v2 () in
+  match Mobile_soc.run_big Mobile_soc.kirin990 g with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    (* paper: 5.2 ms per image; accept the right order of magnitude *)
+    Alcotest.(check bool) "latency 0.5..20 ms" true
+      (r.Mobile_soc.latency_s > 0.5e-3 && r.Mobile_soc.latency_s < 20e-3);
+    (* paper: 4.6 TOPS/W energy efficiency *)
+    Alcotest.(check bool) "2..8 TOPS/W" true
+      (r.Mobile_soc.tops_per_watt > 2. && r.Mobile_soc.tops_per_watt < 8.)
+
+let test_dvfs_trade_off () =
+  let g = Ascend.Nn.Mobilenet.v2 () in
+  let run point =
+    match Mobile_soc.run_big ~point Mobile_soc.kirin990 g with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let low = run "low" and boost = run "boost" in
+  Alcotest.(check bool) "boost faster" true
+    (boost.Mobile_soc.latency_s < low.Mobile_soc.latency_s);
+  Alcotest.(check bool) "low sips power" true
+    (low.Mobile_soc.average_power_w < boost.Mobile_soc.average_power_w);
+  (* f*V^2: low frequency also wins on energy per inference *)
+  Alcotest.(check bool) "low wins energy" true
+    (low.Mobile_soc.energy_per_inference_j
+    < boost.Mobile_soc.energy_per_inference_j)
+
+let test_sparsity_saves_energy () =
+  let g = Ascend.Nn.Mobilenet.v2 () in
+  let run sparsity =
+    match Mobile_soc.run_big ?sparsity Mobile_soc.kirin990 g with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let dense = run None and sparse = run (Some 0.5) in
+  Alcotest.(check bool) "sparse cheaper" true
+    (sparse.Mobile_soc.energy_per_inference_j
+    <= dense.Mobile_soc.energy_per_inference_j)
+
+let test_tiny_runs_gesture_in_envelope () =
+  let g = Ascend.Nn.Gesture.build () in
+  match Mobile_soc.run_little Mobile_soc.kirin990 g with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    (* §3.2: the Tiny core's typical power is ~300 mW *)
+    Alcotest.(check bool) "power < 0.5 W" true
+      (r.Mobile_soc.average_power_w < 0.5);
+    Alcotest.(check bool) "fast enough for always-on (<10ms)" true
+      (r.Mobile_soc.latency_s < 10e-3)
+
+let test_batch1_utilization_argument () =
+  (* §3.2: at batch 1 (m = oh*ow small for late layers), the 4x16x16 cube
+     utilises better than 16x16x16 *)
+  let lite = Mobile_soc.batch1_cube_utilization Config.lite ~m:4 ~k:256 ~n:256 in
+  let max = Mobile_soc.batch1_cube_utilization Config.max ~m:4 ~k:256 ~n:256 in
+  Alcotest.(check bool) "lite 4-row cube wins at m=4" true (lite > 3. *. max)
+
+(* ------------------------------------------------------------------ *)
+(* Automotive SoC (Ascend 610)                                        *)
+
+let test_610_peak () =
+  let int8 = Automotive_soc.peak_tops Automotive_soc.ascend610 ~precision:Precision.Int8 in
+  (* paper Table 9: 160 TOPS *)
+  Alcotest.(check bool) "150..170 TOPS int8" true (int8 > 150. && int8 < 175.);
+  let int4 = Automotive_soc.peak_tops Automotive_soc.ascend610 ~precision:Precision.Int4 in
+  Alcotest.(check bool) "int4 doubles int8" true
+    (Float.abs ((int4 /. int8) -. 2.) < 1e-9)
+
+let perception_models () =
+  [
+    ("detector", Ascend.Nn.Resnet.v1_5_18 (), 0.05);
+    ("segmenter", Ascend.Nn.Mobilenet.v2 (), 0.05);
+  ]
+
+let test_qos_mpam_bounds_latency () =
+  let soc = Automotive_soc.ascend610 in
+  let background = 90e9 (* heavy logging/map traffic *) in
+  let run with_mpam =
+    match
+      Automotive_soc.run_service ~with_mpam soc ~models:(perception_models ())
+        ~background_demand:background
+    with
+    | Ok rs -> rs
+    | Error e -> Alcotest.fail e
+  in
+  let with_m = run true and without = run false in
+  List.iter2
+    (fun (w : Automotive_soc.service_result) wo ->
+      Alcotest.(check bool)
+        (w.Automotive_soc.model_name ^ ": MPAM not worse")
+        true
+        (w.Automotive_soc.end_to_end_s
+        <= wo.Automotive_soc.end_to_end_s +. 1e-9))
+    with_m without;
+  (* under MPAM every perception deadline is met *)
+  List.iter
+    (fun (r : Automotive_soc.service_result) ->
+      Alcotest.(check bool)
+        (r.Automotive_soc.model_name ^ " deadline met")
+        true r.Automotive_soc.met_deadline)
+    with_m
+
+let test_too_many_models_rejected () =
+  let many =
+    List.init 11 (fun i ->
+        (Printf.sprintf "m%d" i, Ascend.Nn.Gesture.build (), 0.1))
+  in
+  match
+    Automotive_soc.run_service Automotive_soc.ascend610 ~models:many
+      ~background_demand:0.
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "must reject more models than cores"
+
+let test_safety_ring_bound () =
+  let ns = Automotive_soc.worst_case_cpu_latency_ns Automotive_soc.ascend610 in
+  Alcotest.(check bool) "bounded and small" true (ns > 0. && ns < 100.)
+
+(* ------------------------------------------------------------------ *)
+(* Inference SoC (Ascend 310)                                          *)
+
+let test_310_envelope () =
+  let soc = Inference_soc.ascend310 in
+  let int8 = Inference_soc.peak_tops soc ~precision:Precision.Int8 in
+  (* the shipped 310 is a 16/8 TOPS part *)
+  Alcotest.(check bool) "peak 20-40 TOPS int8" true (int8 > 20. && int8 < 40.);
+  match Inference_soc.run soc (Ascend.Nn.Resnet.v1_5_18 ()) with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check bool) "real-time resnet18" true
+      (r.Inference_soc.latency_s < 5e-3);
+    Alcotest.(check bool) "multi-channel video" true
+      (r.Inference_soc.video_channels >= 4);
+    Alcotest.(check bool) "decode-capacity bounded" true
+      (r.Inference_soc.video_channels <= 16)
+
+(* ------------------------------------------------------------------ *)
+(* Trace-driven LLC (§4.1 with the real cache)                         *)
+
+let test_llc_trace_monotone () =
+  let g = Ascend.Nn.Gesture.build () in
+  let footprint = Llc_trace.address_footprint_bytes g in
+  Alcotest.(check bool) "nonzero footprint" true (footprint > 0);
+  let kib = 1024 in
+  let points =
+    Llc_trace.sweep g
+      ~capacities:[ 16 * kib; 64 * kib; 256 * kib; 2 * footprint ]
+  in
+  let rates = List.map (fun p -> p.Llc_trace.hit_rate) points in
+  (* monotone non-decreasing in capacity *)
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone in capacity" true (mono rates);
+  (* once everything fits, the steady pass hits essentially always *)
+  let last = List.nth points (List.length points - 1) in
+  Alcotest.(check bool) "resident working set hits" true
+    (last.Llc_trace.hit_rate > 0.99)
+
+(* ------------------------------------------------------------------ *)
+(* DVPP                                                               *)
+
+let test_dvpp () =
+  let d = Dvpp.automotive_dvpp in
+  Alcotest.(check bool) "frame latency under 50 ms" true
+    (Dvpp.frame_latency_s d ~width:1920 ~height:1080 < 0.05);
+  Alcotest.(check (float 1e-9)) "under-subscribed full rate" 30.
+    (Dvpp.max_camera_fps d ~cameras:8);
+  Alcotest.(check (float 1e-9)) "over-subscribed shares" 15.
+    (Dvpp.max_camera_fps d ~cameras:32)
+
+let () =
+  Alcotest.run "soc"
+    [
+      ( "training-910",
+        [
+          Alcotest.test_case "peak flops" `Quick test_910_peak;
+          Alcotest.test_case "run network" `Quick test_910_run_small_network;
+          Alcotest.test_case "small batch" `Quick test_910_batch_smaller_than_cores;
+          Alcotest.test_case "llc capacity speedup" `Slow
+            test_llc_capacity_speedup;
+          Alcotest.test_case "die area" `Quick test_die_area;
+        ] );
+      ( "mobile-kirin990",
+        [
+          Alcotest.test_case "peak tops" `Quick test_kirin_peak_tops;
+          Alcotest.test_case "mobilenet" `Quick test_kirin_mobilenet;
+          Alcotest.test_case "dvfs" `Quick test_dvfs_trade_off;
+          Alcotest.test_case "sparsity" `Quick test_sparsity_saves_energy;
+          Alcotest.test_case "tiny gesture envelope" `Quick
+            test_tiny_runs_gesture_in_envelope;
+          Alcotest.test_case "batch-1 utilization" `Quick
+            test_batch1_utilization_argument;
+        ] );
+      ( "automotive-610",
+        [
+          Alcotest.test_case "peak tops" `Quick test_610_peak;
+          Alcotest.test_case "qos mpam" `Quick test_qos_mpam_bounds_latency;
+          Alcotest.test_case "capacity limit" `Quick test_too_many_models_rejected;
+          Alcotest.test_case "safety ring" `Quick test_safety_ring_bound;
+        ] );
+      ( "inference-310",
+        [
+          Alcotest.test_case "envelope" `Quick test_310_envelope;
+          Alcotest.test_case "llc trace" `Quick test_llc_trace_monotone;
+        ] );
+      ("dvpp", [ Alcotest.test_case "throughput" `Quick test_dvpp ]);
+    ]

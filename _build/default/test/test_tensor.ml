@@ -1,0 +1,294 @@
+open Ascend.Tensor
+module Precision = Ascend.Arch.Precision
+module Prng = Ascend.Util.Prng
+
+let shape l = Shape.of_list l
+
+(* ------------------------------------------------------------------ *)
+(* Shape                                                              *)
+
+let test_shape_basics () =
+  let s = shape [ 2; 3; 4 ] in
+  Alcotest.(check int) "numel" 24 (Shape.numel s);
+  Alcotest.(check int) "rank" 3 (Shape.rank s);
+  Alcotest.(check int) "dim" 3 (Shape.dim s 1);
+  Alcotest.(check int) "negative dim" 4 (Shape.dim s (-1));
+  Alcotest.(check string) "to_string" "[2x3x4]" (Shape.to_string s);
+  Alcotest.(check (array int)) "strides" [| 12; 4; 1 |] (Shape.strides s);
+  Alcotest.(check int) "ravel" 23 (Shape.ravel_index s [| 1; 2; 3 |]);
+  Alcotest.(check int) "scalar numel" 1 (Shape.numel Shape.scalar);
+  Alcotest.(check int) "fp16 bytes" 48 (Shape.bytes s ~dtype:Precision.Fp16);
+  Alcotest.(check int) "int4 bytes" 12 (Shape.bytes s ~dtype:Precision.Int4)
+
+let test_shape_errors () =
+  Alcotest.check_raises "negative dim"
+    (Invalid_argument "Shape.of_list: negative dimension") (fun () ->
+      ignore (shape [ 2; -1 ]));
+  Alcotest.check_raises "ravel out of bounds"
+    (Invalid_argument "Shape.ravel_index: index out of bounds") (fun () ->
+      ignore (Shape.ravel_index (shape [ 2; 2 ]) [| 0; 2 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Tensor                                                             *)
+
+let test_tensor_basics () =
+  let t = Tensor.init (shape [ 2; 3 ]) (fun i -> float_of_int ((i.(0) * 10) + i.(1))) in
+  Alcotest.(check (float 0.)) "get" 12. (Tensor.get t [| 1; 2 |]);
+  Tensor.set t [| 0; 1 |] 42.;
+  Alcotest.(check (float 0.)) "set" 42. (Tensor.get t [| 0; 1 |]);
+  let tr = Tensor.transpose t in
+  Alcotest.(check (float 0.)) "transpose" 12. (Tensor.get tr [| 2; 1 |]);
+  let r = Tensor.reshape t (shape [ 3; 2 ]) in
+  Alcotest.(check (float 0.)) "reshape flat order" 42. (Tensor.get r [| 0; 1 |])
+
+let test_tensor_cast () =
+  let t = Tensor.of_array (shape [ 4 ]) [| 0.3; -200.; 150.; 1.0 |] in
+  let i8 = Tensor.cast t Precision.Int8 in
+  Alcotest.(check (float 0.)) "round" 0. (Tensor.get_flat i8 0);
+  Alcotest.(check (float 0.)) "clamp low" (-128.) (Tensor.get_flat i8 1);
+  Alcotest.(check (float 0.)) "clamp high" 127. (Tensor.get_flat i8 2);
+  let f16 = Tensor.cast t Precision.Fp16 in
+  Alcotest.(check (float 1e-4)) "fp16 0.3" 0.30004882 (Tensor.get_flat f16 0)
+
+let test_tensor_arith () =
+  let a = Tensor.full (shape [ 3 ]) 2. and b = Tensor.full (shape [ 3 ]) 3. in
+  Alcotest.(check (float 0.)) "add" 5. (Tensor.get_flat (Tensor.add a b) 0);
+  Alcotest.(check (float 0.)) "mul" 6. (Tensor.get_flat (Tensor.mul a b) 0);
+  Alcotest.(check (float 0.)) "scale" 4. (Tensor.get_flat (Tensor.scale 2. a) 0);
+  Alcotest.(check bool) "equal_approx" true
+    (Tensor.equal_approx a (Tensor.scale (2. /. 3.) b) ~tol:1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Ops: golden identities                                             *)
+
+let rand_tensor rng s = Tensor.random rng (shape s)
+
+let test_matmul () =
+  let a = Tensor.of_array (shape [ 2; 2 ]) [| 1.; 2.; 3.; 4. |] in
+  let b = Tensor.of_array (shape [ 2; 2 ]) [| 5.; 6.; 7.; 8. |] in
+  let c = Ops.matmul a b in
+  Alcotest.(check (float 0.)) "c00" 19. (Tensor.get c [| 0; 0 |]);
+  Alcotest.(check (float 0.)) "c11" 50. (Tensor.get c [| 1; 1 |])
+
+let test_matmul_mixed_rounds_sources () =
+  let a = Tensor.of_array (shape [ 1; 1 ]) [| 1. /. 3. |] in
+  let b = Tensor.of_array (shape [ 1; 1 ]) [| 3. |] in
+  let exact = Tensor.get (Ops.matmul a b) [| 0; 0 |] in
+  let mixed = Tensor.get (Ops.matmul_mixed a b) [| 0; 0 |] in
+  Alcotest.(check (float 1e-12)) "exact" 1. exact;
+  Alcotest.(check (float 1e-12)) "mixed uses rounded source"
+    (Ascend.Util.Fp16.round_float (1. /. 3.) *. 3.)
+    mixed
+
+let conv_equiv_case ~n ~cin ~cout ~hw ~k ~stride ~padding ~seed =
+  let rng = Prng.create ~seed in
+  let x = rand_tensor rng [ n; cin; hw; hw ] in
+  let w = rand_tensor rng [ cout; cin; k; k ] in
+  let params = { Ops.stride; padding; groups = 1 } in
+  let direct = Ops.conv2d ~params x w in
+  let gemm = Ops.conv2d_via_gemm ~params x w in
+  Tensor.max_abs_diff direct gemm < 1e-9
+
+let img2col_gemm_prop =
+  QCheck.Test.make ~count:30 ~name:"img2col+GEMM == direct convolution"
+    QCheck.(quad (int_range 1 2) (int_range 1 4) (int_range 1 3) (int_range 0 1000))
+    (fun (n, cin, k, seed) ->
+      conv_equiv_case ~n ~cin ~cout:3 ~hw:(k + 4) ~k ~stride:1 ~padding:0 ~seed)
+
+let img2col_gemm_strided_prop =
+  QCheck.Test.make ~count:30
+    ~name:"img2col+GEMM == direct convolution (stride/padding)"
+    QCheck.(pair (int_range 1 2) (int_range 0 1000))
+    (fun (stride_minus_1, seed) ->
+      conv_equiv_case ~n:1 ~cin:3 ~cout:4 ~hw:8 ~k:3
+        ~stride:(stride_minus_1 + 1) ~padding:1 ~seed)
+
+let test_depthwise_conv_via_gemm () =
+  let rng = Prng.create ~seed:3 in
+  let x = rand_tensor rng [ 1; 4; 6; 6 ] in
+  let w = rand_tensor rng [ 4; 1; 3; 3 ] in
+  let params = { Ops.stride = 1; padding = 1; groups = 4 } in
+  let direct = Ops.conv2d ~params x w in
+  let gemm = Ops.conv2d_via_gemm ~params x w in
+  Alcotest.(check bool) "equal" true (Tensor.max_abs_diff direct gemm < 1e-9)
+
+let test_conv_output_hw () =
+  Alcotest.(check (pair int int)) "resnet stem" (112, 112)
+    (Ops.conv_output_hw ~h:224 ~w:224 ~kh:7 ~kw:7 ~stride:2 ~padding:3);
+  Alcotest.check_raises "empty output"
+    (Invalid_argument "Ops.conv_output_hw: empty output") (fun () ->
+      ignore (Ops.conv_output_hw ~h:2 ~w:2 ~kh:5 ~kw:5 ~stride:1 ~padding:0))
+
+let test_pooling () =
+  let x = Tensor.of_array (shape [ 1; 1; 2; 2 ]) [| 1.; 2.; 3.; 4. |] in
+  let mx = Ops.max_pool2d x ~kernel:2 ~stride:2 in
+  Alcotest.(check (float 0.)) "max" 4. (Tensor.get mx [| 0; 0; 0; 0 |]);
+  let av = Ops.avg_pool2d x ~kernel:2 ~stride:2 in
+  Alcotest.(check (float 0.)) "avg" 2.5 (Tensor.get av [| 0; 0; 0; 0 |]);
+  let g = Ops.global_avg_pool x in
+  Alcotest.(check (float 0.)) "gap" 2.5 (Tensor.get g [| 0; 0 |])
+
+let test_activations () =
+  let x = Tensor.of_array (shape [ 3 ]) [| -1.; 0.5; 10. |] in
+  let r = Ops.relu x in
+  Alcotest.(check (float 0.)) "relu clips" 0. (Tensor.get_flat r 0);
+  let r6 = Ops.relu6 x in
+  Alcotest.(check (float 0.)) "relu6 caps" 6. (Tensor.get_flat r6 2);
+  let s = Ops.sigmoid (Tensor.of_array (shape [ 1 ]) [| 0. |]) in
+  Alcotest.(check (float 1e-12)) "sigmoid(0)" 0.5 (Tensor.get_flat s 0);
+  let g = Ops.gelu (Tensor.of_array (shape [ 1 ]) [| 0. |]) in
+  Alcotest.(check (float 1e-12)) "gelu(0)" 0. (Tensor.get_flat g 0)
+
+let softmax_props =
+  QCheck.Test.make ~count:50 ~name:"softmax rows sum to 1 and are positive"
+    QCheck.(pair (int_range 1 5) (int_range 0 1000))
+    (fun (rows, seed) ->
+      let rng = Prng.create ~seed in
+      let x = rand_tensor rng [ rows; 7 ] in
+      let s = Ops.softmax x in
+      let ok = ref true in
+      for r = 0 to rows - 1 do
+        let sum = ref 0. in
+        for c = 0 to 6 do
+          let v = Tensor.get s [| r; c |] in
+          if v < 0. then ok := false;
+          sum := !sum +. v
+        done;
+        if Float.abs (!sum -. 1.) > 1e-9 then ok := false
+      done;
+      !ok)
+
+let layer_norm_props =
+  QCheck.Test.make ~count:50 ~name:"layer_norm rows have mean 0 variance 1"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let x = rand_tensor rng [ 3; 64 ] in
+      let y = Ops.layer_norm x in
+      let ok = ref true in
+      for r = 0 to 2 do
+        let vals = List.init 64 (fun c -> Tensor.get y [| r; c |]) in
+        let m = Ascend.Util.Stats.mean vals in
+        let sd = Ascend.Util.Stats.stddev vals in
+        if Float.abs m > 1e-6 || Float.abs (sd -. 1.) > 1e-2 then ok := false
+      done;
+      !ok)
+
+let test_bias_add () =
+  let x = Tensor.full (shape [ 1; 2; 2; 2 ]) 1. in
+  let b = Tensor.of_array (shape [ 2 ]) [| 10.; 20. |] in
+  let y = Ops.bias_add x b in
+  Alcotest.(check (float 0.)) "channel 0" 11. (Tensor.get y [| 0; 0; 1; 1 |]);
+  Alcotest.(check (float 0.)) "channel 1" 21. (Tensor.get y [| 0; 1; 0; 0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                             *)
+
+let layout_roundtrip_prop =
+  QCheck.Test.make ~count:30 ~name:"NCHW -> NC1HWC0 -> NCHW roundtrip"
+    QCheck.(pair (int_range 1 40) (int_range 0 1000))
+    (fun (c, seed) ->
+      let rng = Prng.create ~seed in
+      let x = rand_tensor rng [ 2; c; 3; 3 ] in
+      let back = Layout.nc1hwc0_to_nchw ~c (Layout.nchw_to_nc1hwc0 x) in
+      Tensor.max_abs_diff x back = 0.)
+
+let fracz_roundtrip_prop =
+  QCheck.Test.make ~count:30 ~name:"OIHW -> FracZ -> OIHW roundtrip"
+    QCheck.(pair (pair (int_range 1 40) (int_range 1 40)) (int_range 0 1000))
+    (fun ((cout, cin), seed) ->
+      let rng = Prng.create ~seed in
+      let w = rand_tensor rng [ cout; cin; 3; 3 ] in
+      let back =
+        Layout.fracz_to_weights ~cout ~cin ~kh:3 ~kw:3 (Layout.weights_to_fracz w)
+      in
+      Tensor.max_abs_diff w back = 0.)
+
+let test_layout_c0 () =
+  Alcotest.(check int) "fp16 c0" 16 (Layout.c0 ~dtype:Precision.Fp16);
+  Alcotest.(check int) "int8 c0" 32 (Layout.c0 ~dtype:Precision.Int8);
+  Alcotest.(check int) "padded bytes" (16 * 4 * 4 * 2)
+    (Layout.padded_channel_bytes ~c:3 ~h:4 ~w:4 ~dtype:Precision.Fp16)
+
+(* ------------------------------------------------------------------ *)
+(* Quantize                                                           *)
+
+let quantize_error_prop =
+  QCheck.Test.make ~count:100 ~name:"int8 round-trip error <= scale/2"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let t = rand_tensor rng [ 64 ] in
+      let p = Quantize.calibrate ~dtype:Precision.Int8 t in
+      Quantize.max_round_trip_error p t <= (p.Quantize.scale /. 2.) +. 1e-12)
+
+let quantize_int4_worse_prop =
+  QCheck.Test.make ~count:50 ~name:"int4 scale coarser than int8"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let t = rand_tensor rng [ 64 ] in
+      let p8 = Quantize.calibrate ~dtype:Precision.Int8 t in
+      let p4 = Quantize.calibrate ~dtype:Precision.Int4 t in
+      p4.Quantize.scale >= p8.Quantize.scale)
+
+let test_quantize_symmetric () =
+  let t = Tensor.of_array (shape [ 3 ]) [| -1.; 0.; 2. |] in
+  let p = Quantize.calibrate ~dtype:Precision.Int8 t in
+  Alcotest.(check int) "zero point" 0 p.Quantize.zero_point;
+  let q = Quantize.quantize p t in
+  Alcotest.(check (float 0.)) "max maps to qmax" 127. (Tensor.get_flat q 2);
+  let d = Quantize.dequantize p q in
+  Alcotest.(check (float 1e-6)) "max restored" 2. (Tensor.get_flat d 2)
+
+let test_quantize_asymmetric () =
+  let t = Tensor.of_array (shape [ 2 ]) [| 0.; 10. |] in
+  let p = Quantize.calibrate ~symmetric:false ~dtype:Precision.Int8 t in
+  let rt = Quantize.round_trip p t in
+  Alcotest.(check (float 0.05)) "0 restored" 0. (Tensor.get_flat rt 0);
+  Alcotest.(check (float 0.05)) "10 restored" 10. (Tensor.get_flat rt 1)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tensor"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "basics" `Quick test_shape_basics;
+          Alcotest.test_case "errors" `Quick test_shape_errors;
+        ] );
+      ( "tensor",
+        [
+          Alcotest.test_case "basics" `Quick test_tensor_basics;
+          Alcotest.test_case "cast" `Quick test_tensor_cast;
+          Alcotest.test_case "arith" `Quick test_tensor_arith;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "matmul" `Quick test_matmul;
+          Alcotest.test_case "mixed precision" `Quick
+            test_matmul_mixed_rounds_sources;
+          Alcotest.test_case "depthwise gemm" `Quick test_depthwise_conv_via_gemm;
+          Alcotest.test_case "conv output hw" `Quick test_conv_output_hw;
+          Alcotest.test_case "pooling" `Quick test_pooling;
+          Alcotest.test_case "activations" `Quick test_activations;
+          Alcotest.test_case "bias add" `Quick test_bias_add;
+          q img2col_gemm_prop;
+          q img2col_gemm_strided_prop;
+          q softmax_props;
+          q layer_norm_props;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "c0" `Quick test_layout_c0;
+          q layout_roundtrip_prop;
+          q fracz_roundtrip_prop;
+        ] );
+      ( "quantize",
+        [
+          Alcotest.test_case "symmetric" `Quick test_quantize_symmetric;
+          Alcotest.test_case "asymmetric" `Quick test_quantize_asymmetric;
+          q quantize_error_prop;
+          q quantize_int4_worse_prop;
+        ] );
+    ]

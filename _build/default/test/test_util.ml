@@ -1,0 +1,229 @@
+open Ascend.Util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Fp16                                                               *)
+
+let test_fp16_known_values () =
+  check_float "one" 1. (Fp16.to_float Fp16.one);
+  check_float "zero" 0. (Fp16.to_float Fp16.zero);
+  check_float "max" 65504. (Fp16.to_float (Fp16.of_float 65504.));
+  check_float "half" 0.5 (Fp16.to_float (Fp16.of_float 0.5));
+  check_float "third rounds" 0.333251953125 (Fp16.round_float (1. /. 3.));
+  Alcotest.(check bool) "inf" true (Fp16.is_inf (Fp16.of_float 1e6));
+  Alcotest.(check bool) "neg inf" true (Fp16.is_inf (Fp16.of_float (-1e6)));
+  Alcotest.(check bool) "nan" true (Fp16.is_nan (Fp16.of_float nan));
+  Alcotest.(check bool)
+    "subnormal" true
+    (Fp16.is_subnormal (Fp16.of_float 1e-7))
+
+let test_fp16_boundaries () =
+  (* 65519.999 rounds down to 65504; 65520 is the tie to infinity *)
+  check_float "just below overflow" 65504. (Fp16.round_float 65519.9);
+  Alcotest.(check bool) "tie overflows" true
+    (Fp16.is_inf (Fp16.of_float 65520.));
+  check_float "min normal" Fp16.min_positive_normal
+    (Fp16.round_float Fp16.min_positive_normal);
+  check_float "min subnormal" Fp16.min_positive_subnormal
+    (Fp16.round_float Fp16.min_positive_subnormal);
+  check_float "underflow" 0. (Fp16.round_float 1e-9);
+  check_float "neg zero keeps sign" 0. (Fp16.round_float (-1e-9));
+  Alcotest.(check int) "neg zero bits" 0x8000
+    (Fp16.bits (Fp16.of_float (-1e-9)))
+
+let test_fp16_neg () =
+  check_float "neg" (-2.5) (Fp16.to_float (Fp16.neg (Fp16.of_float 2.5)))
+
+let fp16_roundtrip_prop =
+  QCheck.Test.make ~count:1000 ~name:"fp16 roundtrip is idempotent"
+    QCheck.(float_range (-65000.) 65000.)
+    (fun x ->
+      let once = Fp16.round_float x in
+      let twice = Fp16.round_float once in
+      once = twice)
+
+let fp16_error_bound_prop =
+  QCheck.Test.make ~count:1000 ~name:"fp16 relative error < 2^-10 (normals)"
+    QCheck.(float_range 0.001 60000.)
+    (fun x ->
+      let r = Fp16.round_float x in
+      Float.abs (r -. x) /. x <= Fp16.epsilon)
+
+let fp16_order_prop =
+  QCheck.Test.make ~count:500 ~name:"fp16 rounding is monotone"
+    QCheck.(pair (float_range (-60000.) 60000.) (float_range (-60000.) 60000.))
+    (fun (a, b) ->
+      let a, b = if a <= b then (a, b) else (b, a) in
+      Fp16.round_float a <= Fp16.round_float b)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+
+let test_stats () =
+  check_float "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  check_float "mean empty" 0. (Stats.mean []);
+  check_float "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ]);
+  check_float "stddev" 0. (Stats.stddev [ 5.; 5.; 5. ]);
+  check_float "p50" 2. (Stats.percentile 50. [ 3.; 1.; 2. ]);
+  check_float "p0" 1. (Stats.percentile 0. [ 3.; 1.; 2. ]);
+  check_float "p100" 3. (Stats.percentile 100. [ 3.; 1.; 2. ]);
+  check_float "ratio" 2. (Stats.ratio 4. 2.);
+  Alcotest.(check bool) "ratio by zero" true (Stats.ratio 1. 0. = infinity);
+  check_float "ratio zero zero" 0. (Stats.ratio 0. 0.);
+  Alcotest.(check int) "divide_round_up exact" 4 (Stats.divide_round_up 16 4);
+  Alcotest.(check int) "divide_round_up up" 5 (Stats.divide_round_up 17 4);
+  Alcotest.(check int) "round_up_to" 32 (Stats.round_up_to ~multiple:16 17);
+  Alcotest.check_raises "bad divisor" (Invalid_argument
+    "Stats.divide_round_up: non-positive divisor") (fun () ->
+      ignore (Stats.divide_round_up 1 0))
+
+let div_up_prop =
+  QCheck.Test.make ~count:500 ~name:"divide_round_up is a ceiling"
+    QCheck.(pair (int_range 0 100000) (int_range 1 1000))
+    (fun (a, b) ->
+      let q = Stats.divide_round_up a b in
+      (q * b >= a) && ((q - 1) * b < a || q = 0))
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                               *)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:42 in
+  let child = Prng.split a in
+  Alcotest.(check bool) "diverged" true (Prng.bits64 a <> Prng.bits64 child)
+
+let prng_int_bound_prop =
+  QCheck.Test.make ~count:500 ~name:"prng int respects bound"
+    QCheck.(pair (int_range 1 10000) (int_range 0 1000))
+    (fun (bound, seed) ->
+      let rng = Prng.create ~seed in
+      let v = Prng.int rng ~bound in
+      v >= 0 && v < bound)
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create ~seed:7 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_prng_gaussian_moments () =
+  let rng = Prng.create ~seed:11 in
+  let n = 20000 in
+  let xs = List.init n (fun _ -> Prng.gaussian rng ~mu:3. ~sigma:2.) in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (Stats.mean xs -. 3.) < 0.1);
+  Alcotest.(check bool) "stddev near 2" true
+    (Float.abs (Stats.stddev xs -. 2.) < 0.1)
+
+(* ------------------------------------------------------------------ *)
+(* Fairness                                                           *)
+
+let test_max_min_fair_basic () =
+  let a = Fairness.max_min_fair ~capacity:10. ~demands:[| 2.; 20. |] in
+  check_float "small demand satisfied" 2. a.(0);
+  check_float "big demand gets rest" 8. a.(1)
+
+let test_max_min_fair_equal_split () =
+  let a = Fairness.max_min_fair ~capacity:9. ~demands:[| 100.; 100.; 100. |] in
+  Array.iter (fun v -> check_float "equal thirds" 3. v) a
+
+let fairness_props =
+  QCheck.Test.make ~count:300 ~name:"max-min fair: feasible and demand-capped"
+    QCheck.(pair (float_range 0. 100.) (list_of_size (Gen.int_range 1 8)
+      (float_range 0. 50.)))
+    (fun (capacity, demands) ->
+      let demands = Array.of_list demands in
+      let a = Fairness.max_min_fair ~capacity ~demands in
+      let total = Array.fold_left ( +. ) 0. a in
+      total <= capacity +. 1e-6
+      && Array.for_all2 (fun alloc d -> alloc <= d +. 1e-6) a demands)
+
+let fairness_work_conserving =
+  QCheck.Test.make ~count:300
+    ~name:"max-min fair is work conserving when demand exceeds capacity"
+    QCheck.(pair (float_range 1. 100.) (list_of_size (Gen.int_range 1 8)
+      (float_range 1. 50.)))
+    (fun (capacity, demands) ->
+      let demands = Array.of_list demands in
+      let total_demand = Array.fold_left ( +. ) 0. demands in
+      let a = Fairness.max_min_fair ~capacity ~demands in
+      let total = Array.fold_left ( +. ) 0. a in
+      Float.abs (total -. Float.min capacity total_demand) < 1e-4)
+
+(* ------------------------------------------------------------------ *)
+(* Units / Table                                                      *)
+
+let test_units () =
+  check_float "4TB/s at 1GHz" 4000. (Units.bytes_per_cycle_of_gbps
+    ~bandwidth_gb_s:4000. ~frequency_ghz:1.);
+  check_float "768GB/s at 0.75GHz" 1024. (Units.bytes_per_cycle_of_gbps
+    ~bandwidth_gb_s:768. ~frequency_ghz:0.75);
+  check_float "cycles to seconds" 1e-6
+    (Units.seconds_of_cycles ~cycles:1000 ~frequency_ghz:1.);
+  Alcotest.(check string) "pp_bytes" "64.0 KiB"
+    (Format.asprintf "%a" Units.pp_bytes (64 * 1024));
+  Alcotest.(check string) "pp_seconds ms" "1.50 ms"
+    (Format.asprintf "%a" Units.pp_seconds 1.5e-3)
+
+let test_table () =
+  let t = Table.create ~header:[ "a"; "b" ] () in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_separator t;
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains cells" true (String.contains s '3');
+  Alcotest.(check bool) "has rules" true (String.contains s '+');
+  Alcotest.check_raises "row width mismatch"
+    (Invalid_argument "Table.add_row: expected 2 cells, got 1") (fun () ->
+      Table.add_row t [ "x" ]);
+  Alcotest.(check string) "ratio cell" "1.71x" (Table.cell_ratio 1.71)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "fp16",
+        [
+          Alcotest.test_case "known values" `Quick test_fp16_known_values;
+          Alcotest.test_case "boundaries" `Quick test_fp16_boundaries;
+          Alcotest.test_case "neg" `Quick test_fp16_neg;
+          q fp16_roundtrip_prop;
+          q fp16_error_bound_prop;
+          q fp16_order_prop;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "descriptive" `Quick test_stats;
+          q div_up_prop;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutes;
+          Alcotest.test_case "gaussian" `Quick test_prng_gaussian_moments;
+          q prng_int_bound_prop;
+        ] );
+      ( "fairness",
+        [
+          Alcotest.test_case "basic" `Quick test_max_min_fair_basic;
+          Alcotest.test_case "equal split" `Quick test_max_min_fair_equal_split;
+          q fairness_props;
+          q fairness_work_conserving;
+        ] );
+      ( "units-table",
+        [
+          Alcotest.test_case "units" `Quick test_units;
+          Alcotest.test_case "table" `Quick test_table;
+        ] );
+    ]

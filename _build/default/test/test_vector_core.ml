@@ -1,0 +1,383 @@
+open Ascend.Vector_core
+module Config = Ascend.Arch.Config
+module Prng = Ascend.Util.Prng
+
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Quaternion                                                         *)
+
+let test_quat_identity () =
+  let q = Quaternion.identity in
+  checkf "norm 1" 1. (Quaternion.norm q);
+  let v = (1., 2., 3.) in
+  let x, y, z = Quaternion.rotate q v in
+  checkf "rot x" 1. x;
+  checkf "rot y" 2. y;
+  checkf "rot z" 3. z
+
+let test_quat_axis_rotation () =
+  (* 90 degrees around z maps x-axis to y-axis *)
+  let q = Quaternion.of_axis_angle ~axis:(0., 0., 1.) ~angle:(Float.pi /. 2.) in
+  let x, y, z = Quaternion.rotate q (1., 0., 0.) in
+  Alcotest.(check (float 1e-12)) "x -> 0" 0. x;
+  Alcotest.(check (float 1e-12)) "y -> 1" 1. y;
+  Alcotest.(check (float 1e-12)) "z -> 0" 0. z
+
+let test_quat_mul_composes () =
+  let qa = Quaternion.of_axis_angle ~axis:(0., 0., 1.) ~angle:0.7 in
+  let qb = Quaternion.of_axis_angle ~axis:(0., 0., 1.) ~angle:0.5 in
+  let composed = Quaternion.mul qa qb in
+  let direct = Quaternion.of_axis_angle ~axis:(0., 0., 1.) ~angle:1.2 in
+  Alcotest.(check bool) "angles add" true
+    (Quaternion.approx_equal ~tol:1e-12 composed direct)
+
+let test_quat_conjugate_inverts () =
+  let q = Quaternion.of_axis_angle ~axis:(1., 2., -1.) ~angle:0.9 in
+  let round = Quaternion.mul q (Quaternion.conjugate q) in
+  Alcotest.(check bool) "q q* = 1" true
+    (Quaternion.approx_equal ~tol:1e-12 round Quaternion.identity)
+
+let test_quat_slerp_endpoints () =
+  let a = Quaternion.of_axis_angle ~axis:(0., 1., 0.) ~angle:0.3 in
+  let b = Quaternion.of_axis_angle ~axis:(0., 1., 0.) ~angle:1.3 in
+  Alcotest.(check bool) "t=0 -> a" true
+    (Quaternion.approx_equal ~tol:1e-9 (Quaternion.slerp a b 0.) a);
+  Alcotest.(check bool) "t=1 -> b" true
+    (Quaternion.approx_equal ~tol:1e-9 (Quaternion.slerp a b 1.) b);
+  let mid = Quaternion.slerp a b 0.5 in
+  let expect = Quaternion.of_axis_angle ~axis:(0., 1., 0.) ~angle:0.8 in
+  Alcotest.(check bool) "t=0.5 halfway" true
+    (Quaternion.approx_equal ~tol:1e-9 mid expect)
+
+let quat_rotation_preserves_norm =
+  QCheck.Test.make ~count:200 ~name:"rotation preserves vector norm"
+    QCheck.(quad (float_range (-1.) 1.) (float_range (-1.) 1.)
+              (float_range (-1.) 1.) (float_range 0.01 6.))
+    (fun (x, y, z, angle) ->
+      QCheck.assume (Float.abs x +. Float.abs y +. Float.abs z > 0.01);
+      let q = Quaternion.of_axis_angle ~axis:(x, y, z) ~angle in
+      let vx, vy, vz = (0.3, -1.7, 2.2) in
+      let rx, ry, rz = Quaternion.rotate q (vx, vy, vz) in
+      let n v1 v2 v3 = sqrt ((v1 *. v1) +. (v2 *. v2) +. (v3 *. v3)) in
+      Float.abs (n rx ry rz -. n vx vy vz) < 1e-9)
+
+let test_quat_matrix_agrees () =
+  let q = Quaternion.of_axis_angle ~axis:(1., 1., 0.) ~angle:0.8 in
+  let m = Quaternion.to_rotation_matrix q in
+  let v = (0.5, -0.25, 1.0) in
+  let qx, qy, qz = Quaternion.rotate q v in
+  let vx, vy, vz = v in
+  let mx = (m.(0).(0) *. vx) +. (m.(0).(1) *. vy) +. (m.(0).(2) *. vz) in
+  let my = (m.(1).(0) *. vx) +. (m.(1).(1) *. vy) +. (m.(1).(2) *. vz) in
+  let mz = (m.(2).(0) *. vx) +. (m.(2).(1) *. vy) +. (m.(2).(2) *. vz) in
+  Alcotest.(check (float 1e-12)) "mx" qx mx;
+  Alcotest.(check (float 1e-12)) "my" qy my;
+  Alcotest.(check (float 1e-12)) "mz" qz mz
+
+let test_quat_cycles () =
+  let c = Quaternion.batched_mul_cycles Config.standard ~count:1000 in
+  Alcotest.(check bool) "positive and sane" true (c > 0 && c < 100000);
+  Alcotest.(check bool) "more work, more cycles" true
+    (Quaternion.batched_mul_cycles Config.standard ~count:10000 > c)
+
+(* ------------------------------------------------------------------ *)
+(* Sort                                                               *)
+
+let bitonic_sorts_prop =
+  QCheck.Test.make ~count:200 ~name:"bitonic sort sorts any array"
+    QCheck.(list_of_size (Gen.int_range 0 130) (float_range (-100.) 100.))
+    (fun xs ->
+      let a = Array.of_list xs in
+      Sort.bitonic_sort a;
+      let sorted = Array.of_list xs in
+      Array.sort compare sorted;
+      a = sorted)
+
+let test_bitonic_passes () =
+  Alcotest.(check int) "n=1" 0 (Sort.bitonic_passes 1);
+  Alcotest.(check int) "n=2" 1 (Sort.bitonic_passes 2);
+  Alcotest.(check int) "n=1024: 10*11/2" 55 (Sort.bitonic_passes 1024)
+
+let test_top_k () =
+  let a = [| 5.; 1.; 9.; 3.; 7. |] in
+  Alcotest.(check (array (float 0.))) "top 3" [| 9.; 7.; 5. |]
+    (Sort.top_k a ~k:3);
+  Alcotest.(check (array (float 0.))) "k over length" [| 9.; 7.; 5.; 3.; 1. |]
+    (Sort.top_k a ~k:10)
+
+let test_sort_cycles_scale () =
+  let c n = Sort.sort_cycles Config.standard ~n in
+  Alcotest.(check bool) "grows superlinearly" true
+    (c 4096 > 2 * c 1024)
+
+(* ------------------------------------------------------------------ *)
+(* Stereo                                                             *)
+
+let textured_scene =
+  Stereo.image_of_fn ~width:48 ~height:16 (fun ~x ~y ->
+      let fx = float_of_int x and fy = float_of_int y in
+      sin (fx *. 0.9) +. cos (fy *. 1.3) +. (0.1 *. fx) +. sin (fx *. fy *. 0.05))
+
+let test_stereo_recovers_disparity () =
+  let d_true = 4 in
+  let right = Stereo.shift_scene textured_scene ~disparity:d_true in
+  let map =
+    Stereo.disparity_map ~window:5 ~max_disparity:8 ~left:textured_scene
+      ~right ()
+  in
+  (* count correct pixels away from the clamped borders *)
+  let w = 48 and h = 16 in
+  let correct = ref 0 and total = ref 0 in
+  for y = 3 to h - 4 do
+    for x = 8 to w - 4 do
+      incr total;
+      if map.((y * w) + x) = d_true then incr correct
+    done
+  done;
+  Alcotest.(check bool) "over 90% correct" true
+    (float_of_int !correct /. float_of_int !total > 0.9)
+
+let test_stereo_zero_disparity () =
+  let map =
+    Stereo.disparity_map ~window:3 ~max_disparity:4 ~left:textured_scene
+      ~right:textured_scene ()
+  in
+  Alcotest.(check bool) "identical images -> all zeros" true
+    (Array.for_all (fun d -> d = 0) map)
+
+let test_stereo_errors () =
+  Alcotest.(check bool) "even window rejected" true
+    (try
+       ignore
+         (Stereo.disparity_map ~window:4 ~left:textured_scene
+            ~right:textured_scene ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_stereo_cycles () =
+  let c =
+    Stereo.disparity_cycles Config.standard ~width:640 ~height:480 ~window:5
+      ~max_disparity:16
+  in
+  (* 640x480, 25-tap window, 17 disparities on 128 lanes: ~milliseconds *)
+  Alcotest.(check bool) "order of magnitude" true
+    (c > 1_000_000 && c < 100_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* K-means                                                            *)
+
+let blob rng ~cx ~cy ~n =
+  List.init n (fun _ ->
+      [| cx +. Prng.gaussian rng ~mu:0. ~sigma:0.2;
+         cy +. Prng.gaussian rng ~mu:0. ~sigma:0.2 |])
+
+let test_kmeans_separates_blobs () =
+  let rng = Prng.create ~seed:5 in
+  let points =
+    Array.of_list
+      (blob rng ~cx:0. ~cy:0. ~n:40
+      @ blob rng ~cx:10. ~cy:0. ~n:40
+      @ blob rng ~cx:0. ~cy:10. ~n:40)
+  in
+  let r = Kmeans.fit ~points ~k:3 () in
+  (* all three blob centres recovered within 0.5 *)
+  List.iter
+    (fun (cx, cy) ->
+      let found =
+        Array.exists
+          (fun c ->
+            Float.abs (c.(0) -. cx) < 0.5 && Float.abs (c.(1) -. cy) < 0.5)
+          r.Kmeans.centroids
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "centre (%.0f,%.0f) found" cx cy)
+        true found)
+    [ (0., 0.); (10., 0.); (0., 10.) ];
+  (* same-blob points share a cluster *)
+  let a0 = r.Kmeans.assignment.(0) in
+  Alcotest.(check bool) "blob 1 together" true
+    (Array.for_all (fun i -> i = a0)
+       (Array.sub r.Kmeans.assignment 0 40))
+
+let test_kmeans_k_equals_n () =
+  let points = [| [| 0. |]; [| 5. |]; [| 9. |] |] in
+  let r = Kmeans.fit ~points ~k:3 () in
+  Alcotest.(check (float 1e-9)) "zero inertia" 0. r.Kmeans.inertia
+
+let kmeans_inertia_decreases_with_k =
+  QCheck.Test.make ~count:20 ~name:"inertia non-increasing in k"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let points =
+        Array.init 30 (fun _ ->
+            [| Prng.uniform rng ~lo:0. ~hi:10.;
+               Prng.uniform rng ~lo:0. ~hi:10. |])
+      in
+      let inertia k = (Kmeans.fit ~points ~k ~seed ()).Kmeans.inertia in
+      inertia 5 <= inertia 2 +. 1e-6)
+
+let test_kmeans_errors () =
+  Alcotest.(check bool) "k=0 rejected" true
+    (try
+       ignore (Kmeans.fit ~points:[| [| 1. |] |] ~k:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Simplex                                                            *)
+
+let test_simplex_basic () =
+  (* max 3x + 2y st x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj 12 *)
+  match
+    Simplex.solve ~c:[| 3.; 2. |]
+      ~a:[| [| 1.; 1. |]; [| 1.; 3. |] |]
+      ~b:[| 4.; 6. |]
+  with
+  | Ok (Simplex.Optimal { objective; x }) ->
+    checkf "objective" 12. objective;
+    checkf "x" 4. x.(0);
+    checkf "y" 0. x.(1)
+  | Ok Simplex.Unbounded -> Alcotest.fail "not unbounded"
+  | Error e -> Alcotest.fail e
+
+let test_simplex_interior_optimum () =
+  (* max x + y st x <= 2, y <= 3, x + y <= 4 -> obj 4 on the face *)
+  match
+    Simplex.solve ~c:[| 1.; 1. |]
+      ~a:[| [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] |]
+      ~b:[| 2.; 3.; 4. |]
+  with
+  | Ok (Simplex.Optimal { objective; x }) ->
+    checkf "objective" 4. objective;
+    Alcotest.(check bool) "feasible" true
+      (x.(0) <= 2. +. 1e-9 && x.(1) <= 3. +. 1e-9
+      && x.(0) +. x.(1) <= 4. +. 1e-9)
+  | Ok Simplex.Unbounded -> Alcotest.fail "not unbounded"
+  | Error e -> Alcotest.fail e
+
+let test_simplex_unbounded () =
+  match Simplex.solve ~c:[| 1. |] ~a:[| [| -1. |] |] ~b:[| 1. |] with
+  | Ok Simplex.Unbounded -> ()
+  | Ok (Simplex.Optimal _) -> Alcotest.fail "must be unbounded"
+  | Error e -> Alcotest.fail e
+
+let test_simplex_rejects_bad_input () =
+  (match Simplex.solve ~c:[| 1. |] ~a:[| [| 1. |] |] ~b:[| -1. |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative b must be rejected");
+  match Simplex.solve ~c:[| 1.; 2. |] ~a:[| [| 1. |] |] ~b:[| 1. |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ragged A must be rejected"
+
+let simplex_feasible_prop =
+  QCheck.Test.make ~count:100 ~name:"simplex solutions are feasible"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let n = 2 + Prng.int rng ~bound:3 in
+      let m = 2 + Prng.int rng ~bound:3 in
+      let c = Array.init n (fun _ -> Prng.uniform rng ~lo:0. ~hi:5.) in
+      let a =
+        Array.init m (fun _ ->
+            Array.init n (fun _ -> Prng.uniform rng ~lo:0.1 ~hi:3.))
+      in
+      let b = Array.init m (fun _ -> Prng.uniform rng ~lo:1. ~hi:10.) in
+      match Simplex.solve ~c ~a ~b with
+      | Ok (Simplex.Optimal { x; objective }) ->
+        let feasible =
+          Array.for_all (fun v -> v >= -1e-7) x
+          && Array.for_all2
+               (fun row bi ->
+                 let lhs = ref 0. in
+                 Array.iteri (fun j v -> lhs := !lhs +. (v *. x.(j))) row;
+                 !lhs <= bi +. 1e-6)
+               a b
+        in
+        let obj_check =
+          let v = ref 0. in
+          Array.iteri (fun j cv -> v := !v +. (cv *. x.(j))) c;
+          Float.abs (!v -. objective) < 1e-6
+        in
+        feasible && obj_check && objective >= -1e-9
+      | Ok Simplex.Unbounded -> false (* positive-A problems are bounded *)
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* SLAM pipeline                                                      *)
+
+let test_slam_profile () =
+  let p =
+    Slam_pipeline.profile_frame ~width:320 ~height:240 ~features:2000
+      ~landmarks:500 ()
+  in
+  Alcotest.(check bool) "stereo dominates" true
+    (p.Slam_pipeline.stereo_cycles > p.Slam_pipeline.feature_sort_cycles);
+  Alcotest.(check bool) "all components counted" true
+    (p.Slam_pipeline.total_cycles
+    = p.Slam_pipeline.stereo_cycles + p.Slam_pipeline.feature_sort_cycles
+      + p.Slam_pipeline.pose_update_cycles + p.Slam_pipeline.clustering_cycles
+      + p.Slam_pipeline.lp_check_cycles);
+  (* a QVGA SLAM front end sustains real-time rates on the vector core *)
+  Alcotest.(check bool) "at least 30 fps" true
+    (p.Slam_pipeline.sustainable_fps > 30.)
+
+let test_vector_core_config () =
+  let c = Slam_pipeline.vector_core_config in
+  Alcotest.(check int) "no cube MACs" 1 (Config.cube_macs c);
+  Alcotest.(check int) "keeps the 256B vector" 256 c.Config.vector_width_bytes
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "vector_core"
+    [
+      ( "quaternion",
+        [
+          Alcotest.test_case "identity" `Quick test_quat_identity;
+          Alcotest.test_case "axis rotation" `Quick test_quat_axis_rotation;
+          Alcotest.test_case "mul composes" `Quick test_quat_mul_composes;
+          Alcotest.test_case "conjugate inverts" `Quick
+            test_quat_conjugate_inverts;
+          Alcotest.test_case "slerp" `Quick test_quat_slerp_endpoints;
+          Alcotest.test_case "matrix agrees" `Quick test_quat_matrix_agrees;
+          Alcotest.test_case "cycle model" `Quick test_quat_cycles;
+          q quat_rotation_preserves_norm;
+        ] );
+      ( "sort",
+        [
+          Alcotest.test_case "passes" `Quick test_bitonic_passes;
+          Alcotest.test_case "top_k" `Quick test_top_k;
+          Alcotest.test_case "cycles scale" `Quick test_sort_cycles_scale;
+          q bitonic_sorts_prop;
+        ] );
+      ( "stereo",
+        [
+          Alcotest.test_case "recovers disparity" `Quick
+            test_stereo_recovers_disparity;
+          Alcotest.test_case "zero disparity" `Quick test_stereo_zero_disparity;
+          Alcotest.test_case "errors" `Quick test_stereo_errors;
+          Alcotest.test_case "cycle model" `Quick test_stereo_cycles;
+        ] );
+      ( "kmeans",
+        [
+          Alcotest.test_case "separates blobs" `Quick test_kmeans_separates_blobs;
+          Alcotest.test_case "k = n" `Quick test_kmeans_k_equals_n;
+          Alcotest.test_case "errors" `Quick test_kmeans_errors;
+          q kmeans_inertia_decreases_with_k;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "basic" `Quick test_simplex_basic;
+          Alcotest.test_case "face optimum" `Quick test_simplex_interior_optimum;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "bad input" `Quick test_simplex_rejects_bad_input;
+          q simplex_feasible_prop;
+        ] );
+      ( "slam",
+        [
+          Alcotest.test_case "frame profile" `Quick test_slam_profile;
+          Alcotest.test_case "vector core config" `Quick
+            test_vector_core_config;
+        ] );
+    ]
