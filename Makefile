@@ -1,0 +1,22 @@
+.PHONY: all build test lint bench check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# static happens-before / hazard lint of the whole model zoo across all
+# core versions and codegen option combinations (non-zero exit on findings)
+lint:
+	dune exec bin/ascend_cli.exe -- lint --all
+
+bench:
+	dune exec bench/main.exe
+
+check: build test lint
+
+clean:
+	dune clean

@@ -185,6 +185,142 @@ let streams_cmd =
              schedule them across cores.")
     Term.(const streams $ model_arg $ core_arg $ batch_arg $ cores_arg)
 
+(* --- lint --------------------------------------------------------- *)
+
+module Codegen = Ascend.Compiler.Codegen
+module Fusion = Ascend.Compiler.Fusion
+module Verify = Ascend.Verify
+
+(* every codegen option combination: sync mode x double-buffering x
+   weight sparsity — the axes of paper Figure 3's ablations *)
+let lint_option_combos =
+  List.concat_map
+    (fun sync_mode ->
+      List.concat_map
+        (fun double_buffer ->
+          List.map
+            (fun weight_sparsity ->
+              { Codegen.default_options with
+                sync_mode; double_buffer; weight_sparsity })
+            [ None; Some 0.5 ])
+        [ true; false ])
+    [ Codegen.Flags; Codegen.Coarse_barriers ]
+
+let describe_options (o : Codegen.options) =
+  Printf.sprintf "%s,db=%b,sparsity=%s"
+    (match o.Codegen.sync_mode with
+    | Codegen.Flags -> "flags"
+    | Codegen.Coarse_barriers -> "barriers")
+    o.Codegen.double_buffer
+    (match o.Codegen.weight_sparsity with
+    | None -> "none"
+    | Some r -> Printf.sprintf "%.2f" r)
+
+let lint_one ~verbose config options name graph =
+  let n_findings = ref 0 in
+  let n_programs = ref 0 in
+  (try
+     List.iter
+       (fun (grp, p) ->
+         incr n_programs;
+         match Verify.analyze config p with
+         | [] -> ()
+         | findings ->
+           n_findings := !n_findings + List.length findings;
+           Format.printf "%s / %s / %s / %s:@." name config.Config.name
+             (describe_options options) grp.Fusion.tag;
+           Format.printf "%a" Verify.pp_report findings)
+       (Codegen.graph_programs ~options config graph)
+   with Invalid_argument e ->
+     incr n_findings;
+     Format.printf "%s / %s / %s: codegen rejected: %s@." name
+       config.Config.name (describe_options options) e);
+  if verbose && !n_findings = 0 then
+    Format.printf "%s / %s / %s: %d program(s) clean@." name config.Config.name
+      (describe_options options) !n_programs;
+  !n_findings
+
+let lint model_opt all core_opt verbose =
+  let selected_models =
+    match (model_opt, all) with
+    | Some (name, build), _ -> [ (name, build) ]
+    | None, true -> models
+    | None, false ->
+      prerr_endline "error: pass a MODEL or --all";
+      exit 2
+  in
+  let selected_cores =
+    match core_opt with Some c -> [ c ] | None -> List.map snd cores
+  in
+  let total = ref 0 in
+  let combos = ref 0 in
+  List.iter
+    (fun (name, build) ->
+      let graph = build ~batch:1 in
+      List.iter
+        (fun config ->
+          if Config.supports config (Graph.dtype graph) then
+            List.iter
+              (fun options ->
+                incr combos;
+                total := !total + lint_one ~verbose config options name graph)
+              lint_option_combos)
+        selected_cores)
+    selected_models;
+  if !combos = 0 then begin
+    prerr_endline
+      "error: nothing to lint (selected core does not support the model's \
+       dtype)";
+    2
+  end
+  else if !total = 0 then begin
+    Format.printf "lint: %d model/core/option combination(s) clean@." !combos;
+    0
+  end
+  else begin
+    Format.printf "lint: %d finding(s) across %d combination(s)@." !total
+      !combos;
+    1
+  end
+
+let named_model_conv =
+  let parse s =
+    match List.assoc_opt s models with
+    | Some f -> Ok (s, f)
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown model %s (try: %s)" s
+             (String.concat ", " (List.map fst models))))
+  in
+  Arg.conv (parse, fun ppf (name, _) -> Format.pp_print_string ppf name)
+
+let lint_model_arg =
+  Arg.(value & pos 0 (some named_model_conv) None & info [] ~docv:"MODEL")
+
+let lint_all_arg =
+  Arg.(value & flag
+       & info [ "all" ] ~doc:"Lint every model in the zoo (default cores: all).")
+
+let lint_core_arg =
+  Arg.(value & opt (some core_conv) None
+       & info [ "core" ] ~docv:"CORE"
+           ~doc:"Restrict to one core version (default: all Table-5 cores).")
+
+let lint_verbose_arg =
+  Arg.(value & flag & info [ "verbose" ] ~doc:"Report clean combinations too.")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify generated programs (happens-before deadlock \
+          analysis, RAW/WAR/WAW buffer hazards, buffer-peak cross-checks, \
+          flag leaks) across codegen option combinations. Exits non-zero on \
+          any finding.")
+    Term.(const lint $ lint_model_arg $ lint_all_arg $ lint_core_arg
+          $ lint_verbose_arg)
+
 (* --- list --------------------------------------------------------- *)
 
 let list_all () =
@@ -208,4 +344,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ simulate_cmd; profile_cmd; disasm_cmd; streams_cmd; list_cmd ]))
+          [ simulate_cmd; profile_cmd; disasm_cmd; streams_cmd; lint_cmd;
+            list_cmd ]))

@@ -31,18 +31,26 @@ let f_drain = 4 (* Cube -> Vector: L0C tile complete *)
 let f_l0c_free = 5 (* Vector -> Cube: L0C slot drained *)
 let f_store = 6 (* Vector -> MTE3: UB tile ready *)
 let f_ub_free = 7 (* MTE3 -> Vector: UB slot stored *)
+let f_a_free = 8 (* MTE1 -> MTE2: L1 A slot fully read, reload allowed *)
+let f_b_free = 9 (* MTE1 -> MTE2: L1 B slot fully read, reload allowed *)
 
 let gemm_tile_flags =
   (f_a_panel, f_b_data, f_l0_data, f_l0_free, f_drain, f_l0c_free, f_store,
    f_ub_free)
 
+(* L1 is shared between the A ring (slots 0..1) and the B region
+   (slots 2..3): slot ids only need to be disjoint per buffer *)
+let l1_b_slot_base = 2
+
 type builder = {
   mutable rev : I.t list;
-  mutable peaks : (Buffer_id.t * int) list;
+  (* net sets-minus-waits per flag triple, Flags mode only: the drain
+     epilogue consumes leftovers so every program is flag-clean *)
+  nets : (Pipe.t * Pipe.t * int, int) Hashtbl.t;
   mode : sync_mode;
 }
 
-let builder ?(mode = Flags) () = { rev = []; peaks = []; mode }
+let builder ?(mode = Flags) () = { rev = []; nets = Hashtbl.create 16; mode }
 let emit b i = b.rev <- i :: b.rev
 
 (* under coarse-barrier synchronisation (the ablation of Figure 3's
@@ -53,21 +61,36 @@ let barrier b =
   | I.Barrier :: _ -> () (* collapse adjacent barriers *)
   | _ -> emit b I.Barrier
 
-let peak b buf bytes =
+let bump b key d =
   let cur =
-    match List.assoc_opt buf b.peaks with Some v -> v | None -> 0
+    match Hashtbl.find_opt b.nets key with Some v -> v | None -> 0
   in
-  b.peaks <- (buf, max cur bytes) :: List.remove_assoc buf b.peaks
+  Hashtbl.replace b.nets key (cur + d)
 
 let set b ~from_pipe ~to_pipe flag =
   match b.mode with
-  | Flags -> emit b (I.Set_flag { from_pipe; to_pipe; flag })
+  | Flags ->
+    bump b (from_pipe, to_pipe, flag) 1;
+    emit b (I.set_flag ~from_pipe ~to_pipe ~flag)
   | Coarse_barriers -> ()
 
 let wait b ~from_pipe ~to_pipe flag =
   match b.mode with
-  | Flags -> emit b (I.Wait_flag { from_pipe; to_pipe; flag })
+  | Flags ->
+    bump b (from_pipe, to_pipe, flag) (-1);
+    emit b (I.wait_flag ~from_pipe ~to_pipe ~flag)
   | Coarse_barriers -> barrier b
+
+(* epilogue: consume every flag still set, so the program composes
+   cleanly under [Program.concat] (a leaked set would satisfy a wait in
+   the next part).  No-op under coarse barriers (no flags exist). *)
+let drain b =
+  Hashtbl.fold (fun key net acc -> (key, net) :: acc) b.nets []
+  |> List.sort compare
+  |> List.iter (fun ((from_pipe, to_pipe, flag), net) ->
+         for _ = 1 to net do
+           wait b ~from_pipe ~to_pipe flag
+         done)
 
 let bytes_of ~elems ~size = int_of_float (ceil (float_of_int elems *. size))
 
@@ -121,33 +144,36 @@ let emit_gemm b (config : Config.t) ~options ~precision ~expansion
   let a_chunk_bytes mt_a kt_a =
     int_of_float (float_of_int (bytes_of ~elems:(mt_a * kt_a) ~size:src) /. expansion)
   in
-  peak b Buffer_id.L0a (2 * bytes_of ~elems:(mt * kt) ~size:src);
-  peak b Buffer_id.L0b (2 * bytes_of ~elems:(kt * nt) ~size:src);
-  peak b Buffer_id.L0c (2 * bytes_of ~elems:(mt * nt) ~size:acc);
-  peak b Buffer_id.Ub (2 * bytes_of ~elems:(mt * nt) ~size:acc);
-  peak b Buffer_id.L1
-    ((if a_resident then 2 * a_panel_bytes mt else 2 * a_chunk_bytes mt kt)
-    + (if b_resident then b_total else 2 * bytes_of ~elems:(kt * nt) ~size:src));
   (* double buffering keeps two tiles in flight; disabling it (the
-     ablation knob) serialises on a single slot *)
+     ablation knob) serialises on a single slot.  Ring counters are
+     global across GEMM instances so semaphore wait ordinals line up
+     with the set that released the exact slot being rewritten. *)
   let depth = if options.double_buffer then 2 else 1 in
-  for _instance = 1 to g.count do
+  let tile_index = ref 0 (* k-level tile pairs, for L0A/L0B recycling *) in
+  let out_tile_index = ref 0 (* (m,n) output tiles, for L0C/UB recycling *) in
+  let panel_index = ref 0 (* resident A panels, for the L1 A ring *) in
+  for instance = 1 to g.count do
     if b_resident then begin
+      (* the resident B region is one L1 slot reused by every instance:
+         before overwriting it, wait for the previous instance's reads *)
+      if instance > 1 then
+        wait b ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Mte2 f_b_free;
       emit b
         (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1
-           ~bytes:(b_ext_bytes b_total) ());
+           ~dst_slot:l1_b_slot_base ~bytes:(b_ext_bytes b_total) ());
       set b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_b_data
     end;
     let waited_b = ref false in
-    let tile_index = ref 0 (* k-level tile pairs, for L0A/L0B recycling *) in
-    let out_tile_index = ref 0 (* (m,n) output tiles, for L0C/UB recycling *) in
     for mi = 0 to m_tiles - 1 do
       let mt_a = min mt (g.m - (mi * mt)) in
       (* stage the A panel for this m-tile when it fits *)
+      let panel_slot = !panel_index mod depth in
       if a_resident then begin
+        if !panel_index >= depth then
+          wait b ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Mte2 f_a_free;
         emit b
           (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1
-             ~bytes:(a_panel_bytes mt_a) ());
+             ~dst_slot:panel_slot ~bytes:(a_panel_bytes mt_a) ());
         set b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_a_panel
       end;
       let waited_a = ref false in
@@ -155,57 +181,83 @@ let emit_gemm b (config : Config.t) ~options ~precision ~expansion
         let nt_a = min nt (g.n - (ni * nt)) in
         for ki = 0 to k_tiles - 1 do
           let kt_a = min kt (g.k - (ki * kt)) in
+          let l0_slot = !tile_index mod depth in
+          let out_slot = !out_tile_index mod depth in
           (* L0 slot backpressure *)
           if !tile_index >= depth then
             wait b ~from_pipe:Pipe.Cube ~to_pipe:Pipe.Mte1 f_l0_free;
-          if a_resident then begin
-            if not !waited_a then begin
-              wait b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_a_panel;
-              waited_a := true
+          let a_l1_slot =
+            if a_resident then begin
+              if not !waited_a then begin
+                wait b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_a_panel;
+                waited_a := true
+              end;
+              panel_slot
             end
-          end
-          else begin
-            emit b
-              (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1
-                 ~bytes:(a_chunk_bytes mt_a kt_a) ());
-            set b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_a_panel;
-            wait b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_a_panel
-          end;
+            else begin
+              let slot = !tile_index mod depth in
+              if !tile_index >= depth then
+                wait b ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Mte2 f_a_free;
+              emit b
+                (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1
+                   ~dst_slot:slot ~bytes:(a_chunk_bytes mt_a kt_a) ());
+              set b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_a_panel;
+              wait b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_a_panel;
+              slot
+            end
+          in
           emit b
             (I.mte_move ~src:Buffer_id.L1 ~dst:Buffer_id.L0a
                ~transform:(I.Img2col { expansion })
+               ~src_slot:a_l1_slot ~dst_slot:l0_slot
                ~bytes:(bytes_of ~elems:(mt_a * kt_a) ~size:src)
                ());
-          if b_resident then begin
-            if not !waited_b then begin
-              wait b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_b_data;
-              waited_b := true
+          if not a_resident then
+            (* this streamed A chunk is consumed; its L1 slot may reload *)
+            set b ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Mte2 f_a_free;
+          let b_l1_slot =
+            if b_resident then begin
+              if not !waited_b then begin
+                wait b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_b_data;
+                waited_b := true
+              end;
+              l1_b_slot_base
             end
-          end
-          else begin
-            emit b
-              (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1
-                 ~bytes:(b_ext_bytes (bytes_of ~elems:(kt_a * nt_a) ~size:src))
-                 ());
-            set b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_b_data;
-            wait b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_b_data
-          end;
+            else begin
+              let slot = l1_b_slot_base + (!tile_index mod depth) in
+              if !tile_index >= depth then
+                wait b ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Mte2 f_b_free;
+              emit b
+                (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1
+                   ~dst_slot:slot
+                   ~bytes:(b_ext_bytes (bytes_of ~elems:(kt_a * nt_a) ~size:src))
+                   ());
+              set b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_b_data;
+              wait b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 f_b_data;
+              slot
+            end
+          in
           emit b
             (I.mte_move ~src:Buffer_id.L1 ~dst:Buffer_id.L0b
                ~transform:b_transform
+               ~src_slot:b_l1_slot ~dst_slot:l0_slot
                ~bytes:(bytes_of ~elems:(kt_a * nt_a) ~size:src)
                ());
+          if not b_resident then
+            set b ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Mte2 f_b_free;
           set b ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Cube f_l0_data;
           (* cube side *)
           wait b ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Cube f_l0_data;
           if ki = 0 && !out_tile_index >= depth then
             wait b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Cube f_l0c_free;
           emit b
-            (I.Cube_matmul
-               { m = mt_a; k = kt_a; n = nt_a; precision; accumulate = ki > 0 });
+            (I.cube_matmul ~m:mt_a ~k:kt_a ~n:nt_a ~precision
+               ~accumulate:(ki > 0) ~l0a_slot:l0_slot ~l0b_slot:l0_slot
+               ~l0c_slot:out_slot ());
           set b ~from_pipe:Pipe.Cube ~to_pipe:Pipe.Mte1 f_l0_free;
           incr tile_index
         done;
+        let out_slot = !out_tile_index mod depth in
         (* drain the finished (mi, ni) tile through the vector unit *)
         set b ~from_pipe:Pipe.Cube ~to_pipe:Pipe.Vector f_drain;
         wait b ~from_pipe:Pipe.Cube ~to_pipe:Pipe.Vector f_drain;
@@ -213,29 +265,32 @@ let emit_gemm b (config : Config.t) ~options ~precision ~expansion
           wait b ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector f_ub_free;
         let out_acc_bytes = bytes_of ~elems:(mt_a * nt_a) ~size:acc in
         emit b
-          (I.mte_move ~src:Buffer_id.L0c ~dst:Buffer_id.Ub ~bytes:out_acc_bytes
-             ());
+          (I.mte_move ~src:Buffer_id.L0c ~dst:Buffer_id.Ub
+             ~src_slot:out_slot ~dst_slot:out_slot ~bytes:out_acc_bytes ());
         if post_bytes_per_tile > 0 then
           emit b
-            (I.Vector_op
-               {
-                 op_name = "post";
-                 bytes = post_bytes_per_tile;
-                 reads_ub = true;
-                 writes_ub = true;
-               });
+            (I.vector_op ~op_name:"post" ~bytes:post_bytes_per_tile
+               ~ub_in_slot:out_slot ~ub_out_slot:out_slot ());
         set b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Cube f_l0c_free;
         set b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte3 f_store;
         (* store side, downcast back to source precision *)
         wait b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte3 f_store;
         emit b
           (I.mte_move ~src:Buffer_id.Ub ~dst:Buffer_id.External
+             ~src_slot:out_slot
              ~bytes:(bytes_of ~elems:(mt_a * nt_a) ~size:src)
              ());
         set b ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector f_ub_free;
         incr out_tile_index
-      done
-    done
+      done;
+      if a_resident then begin
+        (* all reads of this panel are done; its L1 slot may reload *)
+        set b ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Mte2 f_a_free;
+        incr panel_index
+      end
+    done;
+    if b_resident then
+      set b ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Mte2 f_b_free
   done
 
 (* ------------------------------------------------------------------ *)
@@ -249,38 +304,50 @@ let f_out_free = 3 (* MTE3 -> Vector *)
 let emit_vector_stream b (config : Config.t) ~options ~precision ~vector_bytes
     ~input_bytes ~output_bytes =
   let chunk = max 1 (config.buffers.ub_bytes / 4) in
-  let n_chunks = max 1 (div_up (max vector_bytes 1) chunk) in
-  let share total i =
-    (* split [total] across chunks, remainder on the first *)
-    let base = total / n_chunks in
-    if i = 0 then total - (base * (n_chunks - 1)) else base
+  (* chunk so that every per-round share fits one quarter-UB slot: two
+     input slots (ring 0..1) plus two output slots (ring 2..3) is the
+     whole UB at double-buffering depth *)
+  let n_chunks =
+    max 1
+      (List.fold_left max 0
+         (List.map
+            (fun total -> div_up total chunk)
+            [ vector_bytes; input_bytes; output_bytes ]))
   in
-  peak b Buffer_id.Ub (min config.buffers.ub_bytes (4 * chunk));
+  let share total i =
+    (* split [total] across chunks, spreading the remainder *)
+    (total / n_chunks) + if i < total mod n_chunks then 1 else 0
+  in
   ignore precision;
   let depth = if options.double_buffer then 2 else 1 in
+  let ub_out_base = 2 in
   for i = 0 to n_chunks - 1 do
     let in_b = share input_bytes i in
     let work_b = share vector_bytes i in
     let out_b = share output_bytes i in
+    let in_slot = i mod depth in
+    let out_slot = ub_out_base + (i mod depth) in
     if i >= depth then
       wait b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte2 f_in_free;
     if in_b > 0 then
       emit b
-        (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.Ub ~bytes:in_b ());
+        (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.Ub
+           ~dst_slot:in_slot ~bytes:in_b ());
     set b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Vector f_in_data;
     wait b ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Vector f_in_data;
     if i >= depth then
       wait b ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector f_out_free;
     if work_b > 0 then
       emit b
-        (I.Vector_op
-           { op_name = "vec"; bytes = work_b; reads_ub = true; writes_ub = true });
+        (I.vector_op ~op_name:"vec" ~bytes:work_b ~ub_in_slot:in_slot
+           ~ub_out_slot:out_slot ());
     set b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte2 f_in_free;
     set b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte3 f_out_data;
     wait b ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte3 f_out_data;
     if out_b > 0 then
       emit b
-        (I.mte_move ~src:Buffer_id.Ub ~dst:Buffer_id.External ~bytes:out_b ());
+        (I.mte_move ~src:Buffer_id.Ub ~dst:Buffer_id.External
+           ~src_slot:out_slot ~bytes:out_b ());
     set b ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector f_out_free
   done
 
@@ -324,7 +391,12 @@ let group_program ?(options = default_options) (config : Config.t)
     emit_vector_stream b config ~options ~precision:group.precision
       ~vector_bytes:(int_of_float (ceil (group.vector_elems *. src)))
       ~input_bytes:group.input_bytes ~output_bytes:group.output_bytes);
-  Program.make ~name:group.tag ~buffer_peak:b.peaks (List.rev b.rev)
+  (* consume leftover ring-release flags so the program is flag-clean *)
+  drain b;
+  (* declare exactly the footprint the instruction stream allocates —
+     the verifier recomputes the same quantity and cross-checks it *)
+  let p = Program.make ~name:group.tag (List.rev b.rev) in
+  { p with Program.buffer_peak = Program.derived_buffer_peak p }
 
 let graph_programs ?options config graph =
   let groups = Fusion.partition graph in

@@ -10,15 +10,25 @@ type kernel = {
   generate : Config.t -> Program.t;
 }
 
-let f_in = 0 (* MTE2 -> Vector *)
-let f_in_free = 1 (* Vector -> MTE2 *)
-let f_out = 2 (* Vector -> MTE3 *)
-let f_out_free = 3 (* MTE3 -> Vector *)
+let f_in = 0 (* producer -> consumer: input staged *)
+let f_in_free = 1 (* consumer -> producer: input slot reusable *)
+let f_out = 2 (* Vector -> MTE3: output ready *)
+let f_out_free = 3 (* MTE3 -> Vector: output slot stored *)
+let f_ub_free = 4 (* MTE3 -> Vector: UB drain slot stored (transpose) *)
 
 let div_up = Ascend_util.Stats.divide_round_up
 
+(* declare exactly what the instruction stream allocates (cross-checked
+   by Ascend_verify's independent peak recomputation) *)
+let finish ~name instrs =
+  let p = Program.make ~name instrs in
+  { p with Program.buffer_peak = Program.derived_buffer_peak p }
+
 (* row-granular streamed kernel: [passes] vector sweeps per chunk of
-   whole rows resident in a quarter of the UB *)
+   whole rows, double-buffered through UB ring slots — input ring 0..1,
+   working/output ring 2..3 (the first pass reads the input slot and
+   writes the working slot; later passes update the working slot in
+   place; MTE3 stores from the working slot) *)
 let row_kernel ~name ~rows ~cols ~dtype ~passes =
   if rows <= 0 || cols <= 0 then invalid_arg (name ^ ": empty matrix");
   let generate (config : Config.t) =
@@ -38,28 +48,38 @@ let row_kernel ~name ~rows ~cols ~dtype ~passes =
     for c = 0 to chunks - 1 do
       let rows_here = min rows_per_chunk (rows - (c * rows_per_chunk)) in
       let bytes = rows_here * row_bytes in
+      let in_slot = c mod 2 in
+      let work_slot = 2 + (c mod 2) in
       if c >= 2 then
-        emit (I.Wait_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte2; flag = f_in_free });
-      emit (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.Ub ~bytes ());
-      emit (I.Set_flag { from_pipe = Pipe.Mte2; to_pipe = Pipe.Vector; flag = f_in });
-      emit (I.Wait_flag { from_pipe = Pipe.Mte2; to_pipe = Pipe.Vector; flag = f_in });
+        emit (I.wait_flag ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte2 ~flag:f_in_free);
+      emit
+        (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.Ub ~dst_slot:in_slot
+           ~bytes ());
+      emit (I.set_flag ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Vector ~flag:f_in);
+      emit (I.wait_flag ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Vector ~flag:f_in);
       if c >= 2 then
-        emit (I.Wait_flag { from_pipe = Pipe.Mte3; to_pipe = Pipe.Vector; flag = f_out_free });
-      List.iter
-        (fun pass_name ->
+        emit (I.wait_flag ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector ~flag:f_out_free);
+      List.iteri
+        (fun pi pass_name ->
           emit
-            (I.Vector_op
-               { op_name = pass_name; bytes; reads_ub = true; writes_ub = true }))
+            (I.vector_op ~op_name:pass_name ~bytes
+               ~ub_in_slot:(if pi = 0 then in_slot else work_slot)
+               ~ub_out_slot:work_slot ()))
         passes;
-      emit (I.Set_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte2; flag = f_in_free });
-      emit (I.Set_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte3; flag = f_out });
-      emit (I.Wait_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte3; flag = f_out });
-      emit (I.mte_move ~src:Buffer_id.Ub ~dst:Buffer_id.External ~bytes ());
-      emit (I.Set_flag { from_pipe = Pipe.Mte3; to_pipe = Pipe.Vector; flag = f_out_free })
+      emit (I.set_flag ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte2 ~flag:f_in_free);
+      emit (I.set_flag ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte3 ~flag:f_out);
+      emit (I.wait_flag ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte3 ~flag:f_out);
+      emit
+        (I.mte_move ~src:Buffer_id.Ub ~dst:Buffer_id.External
+           ~src_slot:work_slot ~bytes ());
+      emit (I.set_flag ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector ~flag:f_out_free)
     done;
-    Program.make ~name
-      ~buffer_peak:[ (Buffer_id.Ub, min config.buffers.ub_bytes (4 * budget)) ]
-      (List.rev !instrs)
+    (* drain the ring-release flags so the program is flag-clean *)
+    for _ = 1 to min chunks 2 do
+      emit (I.wait_flag ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte2 ~flag:f_in_free);
+      emit (I.wait_flag ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector ~flag:f_out_free)
+    done;
+    finish ~name (List.rev !instrs)
   in
   { kernel_name = name; generate }
 
@@ -78,6 +98,7 @@ let layer_norm ~rows ~cols ?(dtype = Precision.Fp16) () =
 let transpose ~rows ~cols ?(dtype = Precision.Fp16) () =
   if rows <= 0 || cols <= 0 then invalid_arg "transpose: empty matrix";
   let name = Printf.sprintf "transpose_%dx%d" rows cols in
+  let f_l1_free = 1 (* MTE1 -> MTE2: L1 tile slot consumed *) in
   let generate (config : Config.t) =
     let total =
       int_of_float (ceil (float_of_int (rows * cols) *. Precision.size_bytes dtype))
@@ -91,29 +112,38 @@ let transpose ~rows ~cols ?(dtype = Precision.Fp16) () =
     emit (I.Scalar_op { cycles = 4 });
     for t = 0 to tiles - 1 do
       let bytes = min chunk (total - (t * chunk)) in
-      emit (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1 ~bytes ());
-      emit (I.Set_flag { from_pipe = Pipe.Mte2; to_pipe = Pipe.Mte1; flag = f_in });
-      emit (I.Wait_flag { from_pipe = Pipe.Mte2; to_pipe = Pipe.Mte1; flag = f_in });
+      let slot = t mod 2 in
+      if t >= 2 then
+        emit (I.wait_flag ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Mte2 ~flag:f_l1_free);
+      emit
+        (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1 ~dst_slot:slot
+           ~bytes ());
+      emit (I.set_flag ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 ~flag:f_in);
+      emit (I.wait_flag ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Mte1 ~flag:f_in);
       (* the MTE trans module reorders the block on the L1 -> L0A path *)
       emit
         (I.mte_move ~src:Buffer_id.L1 ~dst:Buffer_id.L0a
-           ~transform:I.Transpose ~bytes ());
-      emit (I.Set_flag { from_pipe = Pipe.Mte1; to_pipe = Pipe.Vector; flag = f_out });
-      emit (I.Wait_flag { from_pipe = Pipe.Mte1; to_pipe = Pipe.Vector; flag = f_out });
+           ~transform:I.Transpose ~src_slot:slot ~dst_slot:slot ~bytes ());
+      emit (I.set_flag ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Mte2 ~flag:f_l1_free);
+      emit (I.set_flag ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Vector ~flag:f_out);
+      emit (I.wait_flag ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Vector ~flag:f_out);
+      if t >= 2 then
+        emit (I.wait_flag ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector ~flag:f_ub_free);
       (* drain through UB *)
       emit
-        (I.Vector_op
-           { op_name = "copy"; bytes; reads_ub = false; writes_ub = true });
-      emit (I.Set_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte3; flag = f_out_free });
-      emit (I.Wait_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte3; flag = f_out_free });
-      emit (I.mte_move ~src:Buffer_id.Ub ~dst:Buffer_id.External ~bytes ())
+        (I.vector_op ~op_name:"copy" ~bytes ~reads_ub:false ~ub_out_slot:slot ());
+      emit (I.set_flag ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte3 ~flag:f_out_free);
+      emit (I.wait_flag ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte3 ~flag:f_out_free);
+      emit
+        (I.mte_move ~src:Buffer_id.Ub ~dst:Buffer_id.External ~src_slot:slot
+           ~bytes ());
+      emit (I.set_flag ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector ~flag:f_ub_free)
     done;
-    Program.make ~name
-      ~buffer_peak:
-        [ (Buffer_id.L1, min config.buffers.l1_bytes (2 * chunk));
-          (Buffer_id.L0a, min config.buffers.l0a_bytes (2 * chunk));
-          (Buffer_id.Ub, min config.buffers.ub_bytes (2 * chunk)) ]
-      (List.rev !instrs)
+    for _ = 1 to min tiles 2 do
+      emit (I.wait_flag ~from_pipe:Pipe.Mte1 ~to_pipe:Pipe.Mte2 ~flag:f_l1_free);
+      emit (I.wait_flag ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector ~flag:f_ub_free)
+    done;
+    finish ~name (List.rev !instrs)
   in
   { kernel_name = name; generate }
 
@@ -133,36 +163,41 @@ let requantize ~elems ~from_dtype ~to_dtype () =
     let budget = config.buffers.ub_bytes / 4 in
     let chunks = max 1 (div_up (in_total + out_total) budget) in
     let share total i =
-      let base = total / chunks in
-      if i = 0 then total - (base * (chunks - 1)) else base
+      (total / chunks) + if i < total mod chunks then 1 else 0
     in
     let instrs = ref [] in
     let emit i = instrs := i :: !instrs in
     emit (I.Scalar_op { cycles = 4 });
     for c = 0 to chunks - 1 do
+      let in_slot = c mod 2 in
+      let out_slot = 2 + (c mod 2) in
       if c >= 2 then
-        emit (I.Wait_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte2; flag = f_in_free });
+        emit (I.wait_flag ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte2 ~flag:f_in_free);
       emit
-        (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.Ub
+        (I.mte_move ~src:Buffer_id.External ~dst:Buffer_id.Ub ~dst_slot:in_slot
            ~bytes:(share in_total c) ());
-      emit (I.Set_flag { from_pipe = Pipe.Mte2; to_pipe = Pipe.Vector; flag = f_in });
-      emit (I.Wait_flag { from_pipe = Pipe.Mte2; to_pipe = Pipe.Vector; flag = f_in });
+      emit (I.set_flag ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Vector ~flag:f_in);
+      emit (I.wait_flag ~from_pipe:Pipe.Mte2 ~to_pipe:Pipe.Vector ~flag:f_in);
+      if c >= 2 then
+        emit (I.wait_flag ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector ~flag:f_out_free);
       (* one fused conversion pass over the wider of the two sides *)
       emit
-        (I.Vector_op
-           { op_name = "requant";
-             bytes = max (share in_total c) (share out_total c);
-             reads_ub = true; writes_ub = true });
-      emit (I.Set_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte2; flag = f_in_free });
-      emit (I.Set_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte3; flag = f_out });
-      emit (I.Wait_flag { from_pipe = Pipe.Vector; to_pipe = Pipe.Mte3; flag = f_out });
+        (I.vector_op ~op_name:"requant"
+           ~bytes:(max (share in_total c) (share out_total c))
+           ~ub_in_slot:in_slot ~ub_out_slot:out_slot ());
+      emit (I.set_flag ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte2 ~flag:f_in_free);
+      emit (I.set_flag ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte3 ~flag:f_out);
+      emit (I.wait_flag ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte3 ~flag:f_out);
       emit
-        (I.mte_move ~src:Buffer_id.Ub ~dst:Buffer_id.External
-           ~bytes:(share out_total c) ())
+        (I.mte_move ~src:Buffer_id.Ub ~dst:Buffer_id.External ~src_slot:out_slot
+           ~bytes:(share out_total c) ());
+      emit (I.set_flag ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector ~flag:f_out_free)
     done;
-    Program.make ~name
-      ~buffer_peak:[ (Buffer_id.Ub, min config.buffers.ub_bytes budget) ]
-      (List.rev !instrs)
+    for _ = 1 to min chunks 2 do
+      emit (I.wait_flag ~from_pipe:Pipe.Vector ~to_pipe:Pipe.Mte2 ~flag:f_in_free);
+      emit (I.wait_flag ~from_pipe:Pipe.Mte3 ~to_pipe:Pipe.Vector ~flag:f_out_free)
+    done;
+    finish ~name (List.rev !instrs)
   in
   { kernel_name = name; generate }
 

@@ -10,6 +10,10 @@
     - {!Nn} — the layer IR, graph builder, workload profiler and model
       zoo (ResNet-50, MobileNet-V2, BERT, GestureNet, VGG-16);
     - {!Isa} — pipes, buffers, instructions, programs;
+    - {!Verify} — the static happens-before verifier and hazard linter
+      (deadlocks, RAW/WAR/WAW races, buffer-peak cross-checks, flag
+      leaks); linking this module installs it as
+      [Program.validate ~strict:true]'s checker;
     - {!Memory} — LLC, DRAM/HBM, MPAM/QoS, the memory-wall arithmetic;
     - {!Core_sim} — the event-driven single-core simulator;
     - {!Compiler} — fusion, auto-tiling, code generation, memory
@@ -38,6 +42,7 @@ module Arch = Ascend_arch
 module Tensor = Ascend_tensor
 module Nn = Ascend_nn
 module Isa = Ascend_isa
+module Verify = Ascend_verify
 module Memory = Ascend_memory
 module Core_sim = Ascend_core_sim
 module Compiler = Ascend_compiler
@@ -48,6 +53,10 @@ module Cluster = Ascend_cluster
 module Baselines = Ascend_baselines
 module Runtime = Ascend_runtime
 module Vector_core = Ascend_vector_core
+
+(* make [Program.validate ~strict:true] work out of the box for every
+   user of the umbrella library *)
+let () = Ascend_verify.install ()
 
 (** Compile a graph and simulate inference on a named core version. *)
 let simulate ?(core = Arch.Config.Max) graph =

@@ -75,7 +75,7 @@ let account_traffic st instr =
   | Instruction.Vector_op { bytes; reads_ub; writes_ub; _ } ->
     if reads_ub then add_read Buffer_id.Ub bytes;
     if writes_ub then add_write Buffer_id.Ub bytes
-  | Instruction.Cube_matmul { m; k; n; precision; accumulate } ->
+  | Instruction.Cube_matmul { m; k; n; precision; accumulate; _ } ->
     let src = Ascend_arch.Precision.size_bytes precision in
     let acc =
       Ascend_arch.Precision.size_bytes (Ascend_arch.Precision.accumulator precision)

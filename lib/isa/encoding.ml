@@ -94,27 +94,36 @@ let get_name b off =
 let encode_one instr =
   let b = Bytes.make word_size '\000' in
   (match instr with
-  | Instruction.Cube_matmul { m; k; n; precision; accumulate } ->
+  | Instruction.Cube_matmul
+      { m; k; n; precision; accumulate; l0a_slot; l0b_slot; l0c_slot } ->
     Bytes.set_uint8 b 0 op_cube;
     set_u16 b 1 m;
     set_u16 b 3 k;
     set_u16 b 5 n;
     Bytes.set_uint8 b 7 (precision_code precision);
-    Bytes.set_uint8 b 8 (if accumulate then 1 else 0)
-  | Instruction.Vector_op { op_name; bytes; reads_ub; writes_ub } ->
+    Bytes.set_uint8 b 8 (if accumulate then 1 else 0);
+    Bytes.set_uint8 b 9 l0a_slot;
+    Bytes.set_uint8 b 10 l0b_slot;
+    Bytes.set_uint8 b 11 l0c_slot
+  | Instruction.Vector_op
+      { op_name; bytes; reads_ub; writes_ub; ub_in_slot; ub_out_slot } ->
     Bytes.set_uint8 b 0 op_vector;
     set_u32 b 1 bytes;
     Bytes.set_uint8 b 5
       ((if reads_ub then 1 else 0) lor if writes_ub then 2 else 0);
-    set_name b 6 op_name
-  | Instruction.Mte_move { src; dst; bytes; transform } ->
+    set_name b 6 op_name;
+    Bytes.set_uint8 b 14 ub_in_slot;
+    Bytes.set_uint8 b 15 ub_out_slot
+  | Instruction.Mte_move { src; dst; bytes; transform; src_slot; dst_slot } ->
     Bytes.set_uint8 b 0 op_mte;
     Bytes.set_uint8 b 1 (buffer_code src);
     Bytes.set_uint8 b 2 (buffer_code dst);
     set_u32 b 3 bytes;
     let code, param = transform_code transform in
     Bytes.set_uint8 b 7 code;
-    set_f32 b 8 param
+    set_f32 b 8 param;
+    Bytes.set_uint8 b 12 src_slot;
+    Bytes.set_uint8 b 13 dst_slot
   | Instruction.Scalar_op { cycles } ->
     Bytes.set_uint8 b 0 op_scalar;
     set_u32 b 1 cycles
@@ -149,6 +158,9 @@ let decode_one b off =
            n = get_u16 b (off + 5);
            precision;
            accumulate = Bytes.get_uint8 b (off + 8) = 1;
+           l0a_slot = Bytes.get_uint8 b (off + 9);
+           l0b_slot = Bytes.get_uint8 b (off + 10);
+           l0c_slot = Bytes.get_uint8 b (off + 11);
          })
   else if opcode = op_vector then
     let flags = Bytes.get_uint8 b (off + 5) in
@@ -159,6 +171,8 @@ let decode_one b off =
            bytes = get_u32 b (off + 1);
            reads_ub = flags land 1 = 1;
            writes_ub = flags land 2 = 2;
+           ub_in_slot = Bytes.get_uint8 b (off + 14);
+           ub_out_slot = Bytes.get_uint8 b (off + 15);
          })
   else if opcode = op_mte then
     let* src = buffer_of_code (Bytes.get_uint8 b (off + 1)) in
@@ -166,7 +180,16 @@ let decode_one b off =
     let* transform =
       transform_of_code (Bytes.get_uint8 b (off + 7)) (get_f32 b (off + 8))
     in
-    Ok (Instruction.Mte_move { src; dst; bytes = get_u32 b (off + 3); transform })
+    Ok
+      (Instruction.Mte_move
+         {
+           src;
+           dst;
+           bytes = get_u32 b (off + 3);
+           transform;
+           src_slot = Bytes.get_uint8 b (off + 12);
+           dst_slot = Bytes.get_uint8 b (off + 13);
+         })
   else if opcode = op_scalar then
     Ok (Instruction.Scalar_op { cycles = get_u32 b (off + 1) })
   else if opcode = op_set || opcode = op_wait then

@@ -11,18 +11,25 @@ type t =
       n : int;
       precision : Ascend_arch.Precision.t;
       accumulate : bool;
+      l0a_slot : int;
+      l0b_slot : int;
+      l0c_slot : int;
     }
   | Vector_op of {
       op_name : string;
       bytes : int;
       reads_ub : bool;
       writes_ub : bool;
+      ub_in_slot : int;
+      ub_out_slot : int;
     }
   | Mte_move of {
       src : Buffer_id.t;
       dst : Buffer_id.t;
       bytes : int;
       transform : mte_transform;
+      src_slot : int;
+      dst_slot : int;
     }
   | Scalar_op of { cycles : int }
   | Set_flag of { from_pipe : Pipe.t; to_pipe : Pipe.t; flag : int }
@@ -38,8 +45,14 @@ let pipe_of = function
   | Mte_move { src; dst; _ } -> Buffer_id.legal_move ~src ~dst
   | Barrier -> None
 
-let mte_move ~src ~dst ?(transform = Plain) ~bytes () =
+let check_slot ctx s =
+  if s < 0 then invalid_arg (Printf.sprintf "Instruction.%s: negative slot" ctx)
+
+let mte_move ~src ~dst ?(transform = Plain) ?(src_slot = 0) ?(dst_slot = 0)
+    ~bytes () =
   if bytes < 0 then invalid_arg "Instruction.mte_move: negative bytes";
+  check_slot "mte_move" src_slot;
+  check_slot "mte_move" dst_slot;
   (match transform with
   | Img2col { expansion } when expansion <= 0. ->
     invalid_arg "Instruction.mte_move: img2col expansion <= 0"
@@ -47,11 +60,33 @@ let mte_move ~src ~dst ?(transform = Plain) ~bytes () =
     invalid_arg "Instruction.mte_move: decompress ratio out of (0,1]"
   | Plain | Img2col _ | Transpose | Decompress _ -> ());
   match Buffer_id.legal_move ~src ~dst with
-  | Some _ -> Mte_move { src; dst; bytes; transform }
+  | Some _ -> Mte_move { src; dst; bytes; transform; src_slot; dst_slot }
   | None ->
     invalid_arg
       (Printf.sprintf "Instruction.mte_move: illegal move %s -> %s"
          (Buffer_id.name src) (Buffer_id.name dst))
+
+let cube_matmul ~m ~k ~n ~precision ?(accumulate = false) ?(l0a_slot = 0)
+    ?(l0b_slot = 0) ?(l0c_slot = 0) () =
+  if m <= 0 || k <= 0 || n <= 0 then
+    invalid_arg "Instruction.cube_matmul: non-positive dimension";
+  check_slot "cube_matmul" l0a_slot;
+  check_slot "cube_matmul" l0b_slot;
+  check_slot "cube_matmul" l0c_slot;
+  Cube_matmul { m; k; n; precision; accumulate; l0a_slot; l0b_slot; l0c_slot }
+
+let vector_op ~op_name ~bytes ?(reads_ub = true) ?(writes_ub = true)
+    ?(ub_in_slot = 0) ?(ub_out_slot = 0) () =
+  if bytes < 0 then invalid_arg "Instruction.vector_op: negative bytes";
+  check_slot "vector_op" ub_in_slot;
+  check_slot "vector_op" ub_out_slot;
+  Vector_op { op_name; bytes; reads_ub; writes_ub; ub_in_slot; ub_out_slot }
+
+let set_flag ~from_pipe ~to_pipe ~flag =
+  Set_flag { from_pipe; to_pipe; flag }
+
+let wait_flag ~from_pipe ~to_pipe ~flag =
+  Wait_flag { from_pipe; to_pipe; flag }
 
 let source_bytes = function
   | Mte_move { bytes; transform; _ } -> (
@@ -63,22 +98,93 @@ let source_bytes = function
   | Barrier ->
     0
 
+(* ------------------------------------------------------------------ *)
+(* Abstract buffer accesses: the (buffer, slot) pairs an instruction
+   touches.  A slot stands in for an address range inside the buffer
+   (double-buffering rings rotate through slots); the hazard analysis in
+   Ascend_verify and the derived buffer peaks are both built on this
+   single model.  [alloc] marks the write that establishes a slot's
+   footprint; in-place updates (accumulating matmuls, read-modify-write
+   vector passes on one slot) are writes but not allocations. *)
+
+type access_kind = Read | Write
+
+type access = {
+  buffer : Buffer_id.t;
+  slot : int;
+  bytes : int;
+  kind : access_kind;
+  alloc : bool;
+}
+
+let accesses instr =
+  let bytes_of elems size = int_of_float (ceil (float_of_int elems *. size)) in
+  match instr with
+  | Mte_move { src; dst; src_slot; dst_slot; bytes; _ } ->
+    [
+      { buffer = src; slot = src_slot; bytes = source_bytes instr; kind = Read;
+        alloc = false };
+      { buffer = dst; slot = dst_slot; bytes; kind = Write; alloc = true };
+    ]
+  | Cube_matmul { m; k; n; precision; accumulate; l0a_slot; l0b_slot; l0c_slot }
+    ->
+    let src = Ascend_arch.Precision.size_bytes precision in
+    let acc =
+      Ascend_arch.Precision.size_bytes
+        (Ascend_arch.Precision.accumulator precision)
+    in
+    let out = bytes_of (m * n) acc in
+    [
+      { buffer = Buffer_id.L0a; slot = l0a_slot; bytes = bytes_of (m * k) src;
+        kind = Read; alloc = false };
+      { buffer = Buffer_id.L0b; slot = l0b_slot; bytes = bytes_of (k * n) src;
+        kind = Read; alloc = false };
+    ]
+    @ (if accumulate then
+         [ { buffer = Buffer_id.L0c; slot = l0c_slot; bytes = out; kind = Read;
+             alloc = false } ]
+       else [])
+    @ [
+        { buffer = Buffer_id.L0c; slot = l0c_slot; bytes = out; kind = Write;
+          alloc = not accumulate };
+      ]
+  | Vector_op { bytes; reads_ub; writes_ub; ub_in_slot; ub_out_slot; _ } ->
+    (if reads_ub then
+       [ { buffer = Buffer_id.Ub; slot = ub_in_slot; bytes; kind = Read;
+           alloc = false } ]
+     else [])
+    @
+    if writes_ub then
+      [ { buffer = Buffer_id.Ub; slot = ub_out_slot; bytes; kind = Write;
+          (* writing the slot just read is an in-place update *)
+          alloc = (not reads_ub) || ub_out_slot <> ub_in_slot } ]
+    else []
+  | Scalar_op _ | Set_flag _ | Wait_flag _ | Barrier -> []
+
 let transform_name = function
   | Plain -> ""
   | Img2col { expansion } -> Printf.sprintf " img2col(x%.1f)" expansion
   | Transpose -> " trans"
   | Decompress { ratio } -> Printf.sprintf " decomp(%.2f)" ratio
 
+let slot_suffix = function 0 -> "" | s -> Printf.sprintf ".%d" s
+
 let pp ppf = function
-  | Cube_matmul { m; k; n; precision; accumulate } ->
+  | Cube_matmul { m; k; n; precision; accumulate; l0a_slot; l0b_slot; l0c_slot }
+    ->
     Format.fprintf ppf "M    matmul %dx%dx%d %s%s" m k n
       (Ascend_arch.Precision.name precision)
-      (if accumulate then " +=" else "")
-  | Vector_op { op_name; bytes; _ } ->
-    Format.fprintf ppf "V    %s %dB" op_name bytes
-  | Mte_move { src; dst; bytes; transform } ->
-    Format.fprintf ppf "MTE  %s->%s %dB%s" (Buffer_id.name src)
-      (Buffer_id.name dst) bytes (transform_name transform)
+      (if accumulate then " +=" else "");
+    if l0a_slot <> 0 || l0b_slot <> 0 || l0c_slot <> 0 then
+      Format.fprintf ppf " [%d/%d/%d]" l0a_slot l0b_slot l0c_slot
+  | Vector_op { op_name; bytes; ub_in_slot; ub_out_slot; _ } ->
+    Format.fprintf ppf "V    %s %dB" op_name bytes;
+    if ub_in_slot <> 0 || ub_out_slot <> 0 then
+      Format.fprintf ppf " [%d>%d]" ub_in_slot ub_out_slot
+  | Mte_move { src; dst; bytes; transform; src_slot; dst_slot } ->
+    Format.fprintf ppf "MTE  %s%s->%s%s %dB%s" (Buffer_id.name src)
+      (slot_suffix src_slot) (Buffer_id.name dst) (slot_suffix dst_slot) bytes
+      (transform_name transform)
   | Scalar_op { cycles } -> Format.fprintf ppf "S    scalar %dcyc" cycles
   | Set_flag { from_pipe; to_pipe; flag } ->
     Format.fprintf ppf "SET  %s->%s #%d" (Pipe.name from_pipe)

@@ -23,18 +23,25 @@ type t =
       precision : Ascend_arch.Precision.t;
       accumulate : bool;
           (** accumulate into existing L0C contents (k-loop continuation) *)
+      l0a_slot : int;
+      l0b_slot : int;
+      l0c_slot : int;
     }
   | Vector_op of {
       op_name : string;
       bytes : int;       (** bytes processed at the vector width *)
       reads_ub : bool;
       writes_ub : bool;
+      ub_in_slot : int;
+      ub_out_slot : int;
     }
   | Mte_move of {
       src : Buffer_id.t;
       dst : Buffer_id.t;
       bytes : int;       (** bytes written to [dst] *)
       transform : mte_transform;
+      src_slot : int;
+      dst_slot : int;
     }
   | Scalar_op of { cycles : int }
   | Set_flag of { from_pipe : Pipe.t; to_pipe : Pipe.t; flag : int }
@@ -42,18 +49,53 @@ type t =
   | Barrier
       (** full-core barrier: every pipe drains before any pipe proceeds *)
 
+(** Slots name disjoint address ranges inside one on-chip buffer — a
+    double-buffering ring rotates through slots 0..depth-1.  Two accesses
+    to the same buffer alias only if they name the same slot; the hazard
+    analysis in [Ascend_verify] and the derived buffer peaks are both
+    built on this model.  Slot 0 is the default for unannotated code. *)
+
 val pipe_of : t -> Pipe.t option
 (** The pipe an instruction executes on ([Set_flag] executes on its
     [from_pipe]; [Wait_flag] blocks its [to_pipe]; [Barrier] -> [None]). *)
 
 val mte_move : src:Buffer_id.t -> dst:Buffer_id.t -> ?transform:mte_transform ->
-  bytes:int -> unit -> t
+  ?src_slot:int -> ?dst_slot:int -> bytes:int -> unit -> t
 (** Raises [Invalid_argument] if the src/dst pair is not architecturally
-    legal or bytes is negative. *)
+    legal, bytes is negative, or a slot is negative. *)
+
+val cube_matmul : m:int -> k:int -> n:int -> precision:Ascend_arch.Precision.t ->
+  ?accumulate:bool -> ?l0a_slot:int -> ?l0b_slot:int -> ?l0c_slot:int ->
+  unit -> t
+(** Raises [Invalid_argument] on non-positive dimensions or negative slots. *)
+
+val vector_op : op_name:string -> bytes:int -> ?reads_ub:bool ->
+  ?writes_ub:bool -> ?ub_in_slot:int -> ?ub_out_slot:int -> unit -> t
+(** Raises [Invalid_argument] on negative bytes or slots. *)
+
+val set_flag : from_pipe:Pipe.t -> to_pipe:Pipe.t -> flag:int -> t
+val wait_flag : from_pipe:Pipe.t -> to_pipe:Pipe.t -> flag:int -> t
 
 val source_bytes : t -> int
 (** Bytes read from the source of an [Mte_move] (differs from [bytes]
     under [Img2col] expansion and [Decompress]); 0 for other forms. *)
+
+type access_kind = Read | Write
+
+type access = {
+  buffer : Buffer_id.t;
+  slot : int;
+  bytes : int;
+  kind : access_kind;
+  alloc : bool;
+      (** true when this write establishes the slot's footprint; false
+          for in-place updates (accumulating matmul, read-modify-write
+          vector pass on a single slot) and for all reads *)
+}
+
+val accesses : t -> access list
+(** The abstract (buffer, slot) accesses an instruction performs.
+    Sync and scalar instructions access no buffers. *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line disassembly. *)

@@ -16,7 +16,43 @@ let merge_peaks a b =
       (buf, max cur bytes) :: List.remove_assoc buf acc)
     a b
 
+let max_flag = 63
+
+(* Net flag balance per (from_pipe, to_pipe, flag) triple: sets minus
+   waits.  A positive entry means the program ends with that flag still
+   set — it leaks state into whatever runs next on the core. *)
+let flag_leaks t =
+  let tbl : (Pipe.t * Pipe.t * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let bump key d =
+    let cur = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0 in
+    Hashtbl.replace tbl key (cur + d)
+  in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Instruction.Set_flag { from_pipe; to_pipe; flag } ->
+        bump (from_pipe, to_pipe, flag) 1
+      | Instruction.Wait_flag { from_pipe; to_pipe; flag } ->
+        bump (from_pipe, to_pipe, flag) (-1)
+      | _ -> ())
+    t.instructions;
+  Hashtbl.fold
+    (fun (f, p, flag) net acc -> if net > 0 then (f, p, flag, net) :: acc else acc)
+    tbl []
+  |> List.sort compare
+
 let concat ~name parts =
+  List.iter
+    (fun p ->
+      match flag_leaks p with
+      | [] -> ()
+      | (f, to_, flag, net) :: _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Program.concat: part %s leaks flag %s->%s #%d (%d set(s) never \
+              consumed); a leaked flag would satisfy waits in the next part"
+             p.program_name (Pipe.name f) (Pipe.name to_) flag net))
+    parts;
   let instructions =
     List.concat_map (fun p -> p.instructions @ [ Instruction.Barrier ]) parts
   in
@@ -25,9 +61,49 @@ let concat ~name parts =
   in
   { program_name = name; instructions; buffer_peak }
 
-let max_flag = 63
+(* Independent recomputation of the peak footprint from the instruction
+   stream's slot-annotated accesses: per buffer, each slot is charged its
+   largest allocating write, and concurrent slots sum.  This is the same
+   model the code generator uses to declare [buffer_peak], and
+   [Ascend_verify] cross-checks the two. *)
+let derived_buffer_peak t =
+  let slot_max : (Buffer_id.t * int, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun instr ->
+      List.iter
+        (fun (a : Instruction.access) ->
+          if a.alloc && not (Buffer_id.equal a.buffer Buffer_id.External) then begin
+            let key = (a.buffer, a.slot) in
+            let cur =
+              match Hashtbl.find_opt slot_max key with Some v -> v | None -> 0
+            in
+            Hashtbl.replace slot_max key (max cur a.bytes)
+          end)
+        (Instruction.accesses instr))
+    t.instructions;
+  let totals : (Buffer_id.t, int) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (buf, _slot) bytes ->
+      let cur =
+        match Hashtbl.find_opt totals buf with Some v -> v | None -> 0
+      in
+      Hashtbl.replace totals buf (cur + bytes))
+    slot_max;
+  List.filter_map
+    (fun buf ->
+      match Hashtbl.find_opt totals buf with
+      | Some bytes when bytes > 0 -> Some (buf, bytes)
+      | _ -> None)
+    Buffer_id.all
 
-let validate (config : Ascend_arch.Config.t) t =
+(* Strict-mode hook: [Ascend_verify] installs its full static analysis
+   here when linked (via the [ascend] umbrella library), so [lib/isa]
+   need not depend on the analyzer. *)
+let strict_checker :
+    (Ascend_arch.Config.t -> t -> (unit, string) result) option ref =
+  ref None
+
+let validate ?(strict = false) (config : Ascend_arch.Config.t) t =
   let module I = Instruction in
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   (* pipe mapping *)
@@ -107,6 +183,16 @@ let validate (config : Ascend_arch.Config.t) t =
         | Ok (), _ -> Ok ())
       (Ok ()) t.instructions
   in
+  let check_strict () =
+    if not strict then Ok ()
+    else
+      match !strict_checker with
+      | Some check -> check config t
+      | None ->
+        Error
+          "strict validation requested but no checker installed (link the \
+           ascend umbrella library or Ascend_verify)"
+  in
   match check_pipes 0 t.instructions with
   | Error _ as e -> e
   | Ok () -> (
@@ -115,7 +201,10 @@ let validate (config : Ascend_arch.Config.t) t =
     | Ok () -> (
       match check_buffers () with
       | Error _ as e -> e
-      | Ok () -> check_precisions ()))
+      | Ok () -> (
+        match check_precisions () with
+        | Error _ as e -> e
+        | Ok () -> check_strict ())))
 
 let stats t =
   let counts = Array.make Pipe.count 0 in

@@ -15,11 +15,35 @@ val make :
 
 val length : t -> int
 
+val max_flag : int
+(** Largest legal flag id per (from, to) pipe pair. *)
+
+val flag_leaks : t -> (Pipe.t * Pipe.t * int * int) list
+(** Flags whose sets outnumber their waits over the whole program, as
+    [(from, to, flag, net)] with [net > 0].  A leaky program corrupts
+    sequential composition: the leftover set satisfies a wait in the
+    next part.  Empty for flag-clean programs. *)
+
 val concat : name:string -> t list -> t
 (** Sequential composition separated by barriers; buffer peaks take the
-    per-part maximum (parts run after one another). *)
+    per-part maximum (parts run after one another).  Raises
+    [Invalid_argument] if any part leaks flags ([flag_leaks] non-empty) —
+    a leaked set would silently satisfy a wait in the following part. *)
 
-val validate : Ascend_arch.Config.t -> t -> (unit, string) result
+val derived_buffer_peak : t -> (Buffer_id.t * int) list
+(** Peak footprint recomputed from the instruction stream itself: per
+    buffer, the sum over slots of the largest allocating write each slot
+    receives.  [External] is excluded.  This is the reference the
+    verifier cross-checks declared [buffer_peak] against. *)
+
+val strict_checker :
+  (Ascend_arch.Config.t -> t -> (unit, string) result) option ref
+(** Hook for the deep static analyzer.  [Ascend_verify.install] sets it;
+    [validate ~strict:true] calls it.  Kept as a ref so [lib/isa] does
+    not depend on [lib/verify]. *)
+
+val validate :
+  ?strict:bool -> Ascend_arch.Config.t -> t -> (unit, string) result
 (** Static checks:
     - every instruction maps to a pipe (or is a barrier);
     - every [Wait_flag] has a matching earlier-or-equal count of
@@ -27,7 +51,11 @@ val validate : Ascend_arch.Config.t -> t -> (unit, string) result
       (no flag can remain forever unsatisfied);
     - flag ids are within the hardware's range (0..63 per pipe pair);
     - declared buffer peaks fit the configuration's capacities;
-    - cube instructions only use precisions this core supports. *)
+    - cube instructions only use precisions this core supports.
+
+    With [~strict:true], additionally runs the installed
+    [strict_checker] (the full happens-before / hazard / peak / leak
+    analysis of [Ascend_verify]); errors if no checker is installed. *)
 
 val stats : t -> (Pipe.t * int) list
 (** Instruction count per pipe. *)

@@ -1,0 +1,224 @@
+(** Static happens-before verifier and hazard linter for compiled Ascend
+    core programs.
+
+    Analyses an [Ascend_isa.Program.t] against an [Ascend_arch.Config.t]
+    without executing it:
+
+    - deadlock detection over the per-pipe program-order + flag-edge
+      happens-before graph ([Hb]);
+    - RAW/WAR/WAW hazard detection between buffer accesses that no sync
+      edge orders (the double-buffering race detector);
+    - independent buffer-peak recomputation cross-checked against the
+      program's declared [buffer_peak] and the config's capacities;
+    - flag-leak detection (flags still set at program end).
+
+    [install ()] hooks the analysis into [Program.validate ~strict:true];
+    the [ascend] umbrella library installs it at link time. *)
+
+open Ascend_isa
+module Finding = Finding
+module Hb = Hb
+
+let kind_str = function
+  | Instruction.Read -> "read"
+  | Instruction.Write -> "write"
+
+(* ------------------------------------------------------------------ *)
+(* Hazards: scan each (buffer, slot)'s accesses in a topological order
+   of the happens-before graph, keeping the frontier — the last write
+   plus every read issued since.  Each new access must be HB-ordered
+   after the frontier entries it conflicts with; the frontier argument
+   makes this sound: if some older conflicting access were unordered
+   with the current one, it was already flagged when it met the frontier
+   of its time.  [External] is skipped — it is host memory where
+   distinct tensors share slot 0 by construction. *)
+
+let hazard_findings (g : Hb.t) =
+  let module Tbl = Hashtbl in
+  let frontier : (Buffer_id.t * int, (int * Instruction.access) option ref
+                                     * (int * Instruction.access) list ref)
+      Tbl.t =
+    Tbl.create 64
+  in
+  let findings = ref [] in
+  let report dep i j (a : Instruction.access) =
+    let pipe =
+      if g.Hb.lane.(i) >= 0 then List.nth_opt Pipe.all g.Hb.lane.(i) else None
+    in
+    findings :=
+      Finding.make ~index:i ?pipe (Finding.Hazard { dep })
+        (Printf.sprintf
+           "%s hazard on %s slot %d: instruction %d %ss it but is not \
+            ordered after instruction %d's %s — no flag or barrier \
+            separates them"
+           dep (Buffer_id.name a.buffer) a.slot i (kind_str a.kind) j
+           (match dep with "RAW" | "WAW" -> "write" | _ -> "read"))
+      :: !findings
+  in
+  List.iter
+    (fun i ->
+      let accs = Instruction.accesses g.Hb.instrs.(i) in
+      let reads, writes =
+        List.partition (fun (a : Instruction.access) -> a.kind = Read) accs
+      in
+      let visit (a : Instruction.access) =
+        if not (Buffer_id.equal a.buffer Buffer_id.External) then begin
+          let key = (a.buffer, a.slot) in
+          let last_write, reads_since =
+            match Tbl.find_opt frontier key with
+            | Some v -> v
+            | None ->
+              let v = (ref None, ref []) in
+              Tbl.add frontier key v;
+              v
+          in
+          match a.kind with
+          | Read ->
+            (match !last_write with
+            | Some (j, _) when not (Hb.hb g j i) -> report "RAW" i j a
+            | _ -> ());
+            reads_since := (i, a) :: !reads_since
+          | Write ->
+            (match !last_write with
+            | Some (j, _) when not (Hb.hb g j i) -> report "WAW" i j a
+            | _ -> ());
+            List.iter
+              (fun (j, _) -> if not (Hb.hb g j i) then report "WAR" i j a)
+              !reads_since;
+            last_write := Some (i, a);
+            reads_since := []
+        end
+      in
+      (* reads of an instruction logically precede its writes *)
+      List.iter visit reads;
+      List.iter visit writes)
+    g.Hb.topo;
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+
+let peak_findings (config : Ascend_arch.Config.t) (p : Program.t) =
+  let derived = Program.derived_buffer_peak p in
+  let declared buf =
+    match List.assoc_opt buf p.Program.buffer_peak with
+    | Some v -> v
+    | None -> 0
+  in
+  List.concat_map
+    (fun buf ->
+      let d = match List.assoc_opt buf derived with Some v -> v | None -> 0 in
+      let decl = declared buf in
+      let under =
+        if decl < d then
+          [
+            Finding.make Finding.Peak_mismatch
+              (Printf.sprintf
+                 "buffer %s: declared peak %d B understates the %d B the \
+                  instruction stream actually allocates"
+                 (Buffer_id.name buf) decl d);
+          ]
+        else if decl > d then
+          [
+            Finding.make ~severity:Finding.Warning Finding.Peak_mismatch
+              (Printf.sprintf
+                 "buffer %s: declared peak %d B overstates the %d B the \
+                  instruction stream allocates"
+                 (Buffer_id.name buf) decl d);
+          ]
+        else []
+      in
+      let over =
+        match Buffer_id.capacity_bytes config buf with
+        | Some cap when d > cap ->
+          [
+            Finding.make Finding.Capacity_overflow
+              (Printf.sprintf
+                 "buffer %s: recomputed footprint %d B exceeds %s's %d B \
+                  capacity"
+                 (Buffer_id.name buf) d config.name cap);
+          ]
+        | _ -> []
+      in
+      under @ over)
+    (List.filter (fun b -> not (Buffer_id.equal b Buffer_id.External))
+       Buffer_id.all)
+
+let leak_findings (p : Program.t) =
+  List.map
+    (fun (f, to_, flag, net) ->
+      let last_set =
+        let best = ref None in
+        List.iteri
+          (fun i instr ->
+            match instr with
+            | Instruction.Set_flag { from_pipe; to_pipe; flag = fl }
+              when Pipe.equal from_pipe f && Pipe.equal to_pipe to_ && fl = flag
+              ->
+              best := Some i
+            | _ -> ())
+          p.Program.instructions;
+        !best
+      in
+      Finding.make ?index:last_set ~pipe:f Finding.Flag_leak
+        (Printf.sprintf
+           "flag %s->%s #%d ends the program with %d set(s) never consumed; \
+            a following program's first wait on this triple would pass \
+            spuriously"
+           (Pipe.name f) (Pipe.name to_) flag net))
+    (Program.flag_leaks p)
+
+let structural_findings (p : Program.t) =
+  List.concat
+    (List.mapi
+       (fun i instr ->
+         match instr with
+         | Instruction.Barrier -> []
+         | Instruction.Set_flag { flag; _ } | Instruction.Wait_flag { flag; _ }
+           when flag < 0 || flag > Program.max_flag ->
+           [
+             Finding.make ~index:i Finding.Malformed
+               (Printf.sprintf "flag id %d out of range 0..%d" flag
+                  Program.max_flag);
+           ]
+         | _ -> (
+           match Instruction.pipe_of instr with
+           | Some _ -> []
+           | None ->
+             [
+               Finding.make ~index:i Finding.Malformed
+                 "instruction maps to no pipe (illegal MTE move)";
+             ]))
+       p.Program.instructions)
+
+(* ------------------------------------------------------------------ *)
+
+let analyze (config : Ascend_arch.Config.t) (p : Program.t) =
+  let structural = structural_findings p in
+  let g = Hb.build p.Program.instructions in
+  let deadlocks = g.Hb.findings in
+  (* hazard results are only meaningful on a deadlock-free graph: stuck
+     instructions never execute, so racing with them is moot *)
+  let hazards = if deadlocks = [] then hazard_findings g else [] in
+  structural @ deadlocks @ hazards @ peak_findings config p @ leak_findings p
+
+let errors findings = List.filter Finding.is_error findings
+
+let pp_report ppf findings =
+  match findings with
+  | [] -> Format.fprintf ppf "clean: no findings@."
+  | fs ->
+    List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) fs;
+    let n_err = List.length (errors fs) in
+    Format.fprintf ppf "%d finding(s), %d error(s)@." (List.length fs) n_err
+
+let strict config p =
+  match errors (analyze config p) with
+  | [] -> Ok ()
+  | f :: rest ->
+    Error
+      (Printf.sprintf "%s%s" (Finding.to_string f)
+         (match rest with
+         | [] -> ""
+         | _ -> Printf.sprintf " (+%d more finding(s))" (List.length rest)))
+
+let install () = Program.strict_checker := Some strict

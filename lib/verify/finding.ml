@@ -1,0 +1,58 @@
+(** Typed findings reported by the static verifier. *)
+
+open Ascend_isa
+
+type severity = Error | Warning
+
+type kind =
+  | Deadlock
+      (** a [Wait_flag] no interleaving can satisfy: cyclic cross-pipe
+          waits, or a wait whose ordinal exceeds the total set count *)
+  | Hazard of { dep : string }
+      (** unsynchronised conflicting accesses to one (buffer, slot);
+          [dep] is "RAW", "WAR" or "WAW" *)
+  | Peak_mismatch
+      (** declared [buffer_peak] disagrees with the footprint recomputed
+          from the instruction stream (understated = unsound) *)
+  | Capacity_overflow
+      (** recomputed footprint exceeds the config's buffer capacity *)
+  | Flag_leak
+      (** a flag is still set when the program ends — it would satisfy a
+          wait in whatever runs next on the core *)
+  | Malformed
+      (** structural problem: bad flag id, illegal move, unmapped pipe *)
+
+type t = {
+  kind : kind;
+  severity : severity;
+  index : int option;  (** offending instruction index, program order *)
+  pipe : Pipe.t option;
+  message : string;
+}
+
+let make ?(severity = Error) ?index ?pipe kind message =
+  { kind; severity; index; pipe; message }
+
+let kind_name = function
+  | Deadlock -> "deadlock"
+  | Hazard { dep } -> "hazard/" ^ dep
+  | Peak_mismatch -> "peak-mismatch"
+  | Capacity_overflow -> "capacity-overflow"
+  | Flag_leak -> "flag-leak"
+  | Malformed -> "malformed"
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let is_error t = t.severity = Error
+
+let pp ppf t =
+  Format.fprintf ppf "[%s] %s" (severity_name t.severity) (kind_name t.kind);
+  (match t.index with
+  | Some i -> Format.fprintf ppf " @@%d" i
+  | None -> ());
+  (match t.pipe with
+  | Some p -> Format.fprintf ppf " (%s)" (Pipe.name p)
+  | None -> ());
+  Format.fprintf ppf ": %s" t.message
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,198 @@
+(** Happens-before graph over one core program.
+
+    Nodes are instruction indices.  Edges:
+    - program order within each pipe's issue queue (the dispatcher
+      distributes instructions to per-pipe queues in program order, so
+      same-pipe instructions execute in listing order);
+    - [Set_flag]/[Wait_flag]: the hardware flag is a counting semaphore
+      per (from, to, flag) triple.  All sets of a triple issue from
+      [from_pipe] in program order and all waits block [to_pipe] in
+      program order, so the k-th wait can proceed exactly when the k-th
+      set has executed — giving the precise edge set_k -> wait_k;
+    - [Barrier] joins and restarts every pipe.
+
+    A wait whose ordinal is >= the triple's total set count can never be
+    satisfied; a cycle through flag edges is a cross-pipe deadlock.  Both
+    are detected by Kahn's algorithm: unsatisfiable waits are pinned with
+    an extra phantom in-degree, and every node left unprocessed is
+    transitively deadlocked.
+
+    Reachability uses per-pipe vector clocks computed along the
+    topological order: [vc.(b).(p)] is the highest lane-[p] sequence
+    number that happens before (or at) node [b], so [a] happens-before
+    [b] iff [seq a <= vc.(b).(lane a)] — O(V·pipes) space instead of a
+    quadratic closure. *)
+
+open Ascend_isa
+
+type t = {
+  instrs : Instruction.t array;
+  lane : int array;      (** pipe index of each node; -1 for barriers *)
+  seq : int array;       (** position within the node's pipe lane; -1 for barriers *)
+  topo : int list;       (** topological order of executable nodes *)
+  vc : int array array;  (** vc.(node).(pipe) — valid for executable nodes *)
+  stuck : bool array;    (** node can never execute under any interleaving *)
+  findings : Finding.t list;
+}
+
+let build instrs_list =
+  let instrs = Array.of_list instrs_list in
+  let n = Array.length instrs in
+  let succs = Array.make n [] in
+  let indeg = Array.make n 0 in
+  let add_edge a b =
+    succs.(a) <- b :: succs.(a);
+    indeg.(b) <- indeg.(b) + 1
+  in
+  let lane = Array.make n (-1) in
+  let seq = Array.make n (-1) in
+  (* per-pipe program order; barriers appear in every lane *)
+  let last_in_lane = Array.make Pipe.count (-1) in
+  let next_seq = Array.make Pipe.count 0 in
+  let chain p i =
+    if last_in_lane.(p) >= 0 then add_edge last_in_lane.(p) i;
+    last_in_lane.(p) <- i
+  in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Instruction.Barrier -> Array.iteri (fun p _ -> chain p i) last_in_lane
+      | _ -> (
+        match Instruction.pipe_of instr with
+        | Some p ->
+          let pi = Pipe.index p in
+          lane.(i) <- pi;
+          seq.(i) <- next_seq.(pi);
+          next_seq.(pi) <- next_seq.(pi) + 1;
+          chain pi i
+        | None -> (* illegal move; structurally reported elsewhere *) ()))
+    instrs;
+  (* flag edges: k-th set -> k-th wait per (from, to, flag) triple *)
+  let sets : (Pipe.t * Pipe.t * int, int list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let waits : (Pipe.t * Pipe.t * int, int list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let push tbl key i =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r := i :: !r
+    | None -> Hashtbl.add tbl key (ref [ i ])
+  in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Instruction.Set_flag { from_pipe; to_pipe; flag } ->
+        push sets (from_pipe, to_pipe, flag) i
+      | Instruction.Wait_flag { from_pipe; to_pipe; flag } ->
+        push waits (from_pipe, to_pipe, flag) i
+      | _ -> ())
+    instrs;
+  let findings = ref [] in
+  let reported_unsat = ref [] in
+  Hashtbl.iter
+    (fun ((f, p, flag) as key) wr ->
+      let ws = List.rev !wr in
+      let ss =
+        match Hashtbl.find_opt sets key with
+        | Some sr -> List.rev !sr
+        | None -> []
+      in
+      let n_sets = List.length ss in
+      List.iteri
+        (fun k w ->
+          match List.nth_opt ss k with
+          | Some s -> add_edge s w
+          | None ->
+            (* wait ordinal k needs k+1 sets; only n_sets exist *)
+            indeg.(w) <- indeg.(w) + 1;
+            reported_unsat := w :: !reported_unsat;
+            findings :=
+              Finding.make ~index:w ~pipe:p Finding.Deadlock
+                (Printf.sprintf
+                   "wait #%d on flag %s->%s #%d is unsatisfiable: it is wait \
+                    %d of this triple but the program only sets it %d time(s)"
+                   w (Pipe.name f) (Pipe.name p) flag (k + 1) n_sets)
+              :: !findings)
+        ws)
+    waits;
+  (* Kahn topological pass with vector-clock propagation *)
+  let vc = Array.make n [||] in
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let topo_rev = ref [] in
+  let processed = Array.make n false in
+  let n_processed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    processed.(i) <- true;
+    incr n_processed;
+    topo_rev := i :: !topo_rev;
+    if Array.length vc.(i) = 0 then vc.(i) <- Array.make Pipe.count (-1);
+    if lane.(i) >= 0 then vc.(i).(lane.(i)) <- max vc.(i).(lane.(i)) seq.(i);
+    List.iter
+      (fun j ->
+        if Array.length vc.(j) = 0 then vc.(j) <- Array.make Pipe.count (-1);
+        Array.iteri (fun p v -> if v > vc.(j).(p) then vc.(j).(p) <- v) vc.(i);
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      succs.(i)
+  done;
+  let stuck = Array.map not processed in
+  (* every unprocessed node not explained by an unsatisfiable-ordinal wait
+     is stuck behind one, or part of a cross-pipe wait cycle *)
+  let unexplained =
+    let tagged = !reported_unsat in
+    let rec first i =
+      if i >= n then None
+      else if
+        stuck.(i)
+        && (not (List.mem i tagged))
+        && match instrs.(i) with Instruction.Wait_flag _ -> true | _ -> false
+      then Some i
+      else first (i + 1)
+    in
+    first 0
+  in
+  (match unexplained with
+  | Some i ->
+    (* does a flag edge from a stuck node target this wait? then it is on
+       (or behind) a genuine cross-pipe cycle rather than queued after an
+       unsatisfiable wait *)
+    let pipe =
+      match instrs.(i) with
+      | Instruction.Wait_flag { to_pipe; _ } -> Some to_pipe
+      | _ -> None
+    in
+    findings :=
+      Finding.make ~index:i ?pipe Finding.Deadlock
+        (Printf.sprintf
+           "wait #%d can never be reached: it sits on a cross-pipe wait \
+            cycle (or behind one) — no interleaving satisfies it" i)
+      :: !findings
+  | None ->
+    if !n_processed < n && !reported_unsat = [] then
+      (* cycle with no wait? cannot happen (program-order edges are
+         acyclic), but stay sound *)
+      findings :=
+        Finding.make Finding.Deadlock
+          "happens-before graph contains a cycle" :: !findings);
+  {
+    instrs;
+    lane;
+    seq;
+    topo = List.rev !topo_rev;
+    vc;
+    stuck;
+    findings = List.rev !findings;
+  }
+
+let deadlock_free t = t.findings = []
+
+(* [a] happens-before-or-equals [b]; both must be executable pipe-mapped
+   nodes (the hazard scan only queries those). *)
+let hb t a b =
+  a = b
+  || t.lane.(a) >= 0
+     && Array.length t.vc.(b) > 0
+     && t.seq.(a) <= t.vc.(b).(t.lane.(a))

@@ -92,7 +92,7 @@ let test_codegen_validates_everywhere () =
           if Config.supports config (Graph.dtype g) then
             List.iter
               (fun (grp, p) ->
-                match Program.validate config p with
+                match Program.validate ~strict:true config p with
                 | Ok () -> ()
                 | Error e ->
                   Alcotest.failf "%s / %s / %s: %s" name config.Config.name

@@ -4,10 +4,10 @@ module Config = Ascend.Arch.Config
 module Precision = Ascend.Arch.Precision
 
 let cube ?(accumulate = false) m k n =
-  Instruction.Cube_matmul { m; k; n; precision = Precision.Fp16; accumulate }
+  Instruction.cube_matmul ~m ~k ~n ~precision:Precision.Fp16 ~accumulate ()
 
 let vec bytes =
-  Instruction.Vector_op { op_name = "t"; bytes; reads_ub = true; writes_ub = true }
+  Instruction.vector_op ~op_name:"t" ~bytes ()
 
 let set f t flag = Instruction.Set_flag { from_pipe = f; to_pipe = t; flag }
 let wait f t flag = Instruction.Wait_flag { from_pipe = f; to_pipe = t; flag }

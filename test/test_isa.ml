@@ -3,10 +3,10 @@ module Config = Ascend.Arch.Config
 module Precision = Ascend.Arch.Precision
 
 let cube m k n =
-  Instruction.Cube_matmul { m; k; n; precision = Precision.Fp16; accumulate = false }
+  Instruction.cube_matmul ~m ~k ~n ~precision:Precision.Fp16 ()
 
 let vec bytes =
-  Instruction.Vector_op { op_name = "t"; bytes; reads_ub = true; writes_ub = true }
+  Instruction.vector_op ~op_name:"t" ~bytes ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -144,9 +144,7 @@ let test_validate_unsupported_precision () =
   let p =
     Program.make ~name:"fp16-on-tiny"
       [
-        Instruction.Cube_matmul
-          { m = 4; k = 32; n = 4; precision = Precision.Fp16;
-            accumulate = false };
+        Instruction.cube_matmul ~m:4 ~k:32 ~n:4 ~precision:Precision.Fp16 ();
       ]
   in
   match Program.validate Config.tiny p with
@@ -188,10 +186,10 @@ let sample_program =
       ~bytes:2048 ();
     Instruction.Set_flag { from_pipe = Pipe.Mte1; to_pipe = Pipe.Cube; flag = 2 };
     Instruction.Wait_flag { from_pipe = Pipe.Mte1; to_pipe = Pipe.Cube; flag = 2 };
-    Instruction.Cube_matmul
-      { m = 256; k = 512; n = 128; precision = Precision.Fp16; accumulate = true };
-    Instruction.Vector_op
-      { op_name = "post"; bytes = 65536; reads_ub = true; writes_ub = false };
+    Instruction.cube_matmul ~m:256 ~k:512 ~n:128 ~precision:Precision.Fp16
+      ~accumulate:true ~l0a_slot:1 ~l0b_slot:1 ~l0c_slot:1 ();
+    Instruction.vector_op ~op_name:"post" ~bytes:65536 ~writes_ub:false
+      ~ub_in_slot:1 ();
     Instruction.Scalar_op { cycles = 7 };
     Instruction.Barrier;
   ]
@@ -236,9 +234,8 @@ let test_compression_helps_on_loops () =
            [
              Instruction.mte_move ~src:Buffer_id.L1 ~dst:Buffer_id.L0a
                ~bytes:(4096 + (i mod 2)) ();
-             Instruction.Cube_matmul
-               { m = 256; k = 256; n = 256; precision = Precision.Fp16;
-                 accumulate = i > 0 };
+             Instruction.cube_matmul ~m:256 ~k:256 ~n:256
+               ~precision:Precision.Fp16 ~accumulate:(i > 0) ();
            ]))
   in
   let ratio = Encoding.compression_ratio loop in
@@ -258,16 +255,18 @@ let random_instr rng =
   let module P = Ascend.Util.Prng in
   match P.int rng ~bound:7 with
   | 0 ->
-    Instruction.Cube_matmul
-      { m = 1 + P.int rng ~bound:1024; k = 1 + P.int rng ~bound:1024;
-        n = 1 + P.int rng ~bound:1024; precision = Precision.Fp16;
-        accumulate = P.bool rng }
+    Instruction.cube_matmul ~m:(1 + P.int rng ~bound:1024)
+      ~k:(1 + P.int rng ~bound:1024) ~n:(1 + P.int rng ~bound:1024)
+      ~precision:Precision.Fp16 ~accumulate:(P.bool rng)
+      ~l0a_slot:(P.int rng ~bound:4) ~l0b_slot:(P.int rng ~bound:4)
+      ~l0c_slot:(P.int rng ~bound:4) ()
   | 1 ->
-    Instruction.Vector_op
-      { op_name = "vec"; bytes = P.int rng ~bound:100000;
-        reads_ub = P.bool rng; writes_ub = P.bool rng }
+    Instruction.vector_op ~op_name:"vec" ~bytes:(P.int rng ~bound:100000)
+      ~reads_ub:(P.bool rng) ~writes_ub:(P.bool rng)
+      ~ub_in_slot:(P.int rng ~bound:4) ~ub_out_slot:(P.int rng ~bound:4) ()
   | 2 ->
     Instruction.mte_move ~src:Buffer_id.External ~dst:Buffer_id.L1
+      ~src_slot:(P.int rng ~bound:4) ~dst_slot:(P.int rng ~bound:4)
       ~bytes:(P.int rng ~bound:100000) ()
   | 3 -> Instruction.Scalar_op { cycles = 1 + P.int rng ~bound:100 }
   | 4 ->

@@ -1,0 +1,348 @@
+open Ascend.Isa
+module Config = Ascend.Arch.Config
+module Precision = Ascend.Arch.Precision
+module Codegen = Ascend.Compiler.Codegen
+module Verify = Ascend.Verify
+module Finding = Ascend.Verify.Finding
+
+let set f t flag = Instruction.set_flag ~from_pipe:f ~to_pipe:t ~flag
+let wait f t flag = Instruction.wait_flag ~from_pipe:f ~to_pipe:t ~flag
+
+let classes findings =
+  List.sort_uniq compare
+    (List.map
+       (fun (f : Finding.t) ->
+         match f.Finding.kind with
+         | Finding.Deadlock -> "deadlock"
+         | Finding.Hazard { dep } -> "hazard/" ^ dep
+         | Finding.Peak_mismatch -> "peak"
+         | Finding.Capacity_overflow -> "capacity"
+         | Finding.Flag_leak -> "leak"
+         | Finding.Malformed -> "malformed")
+       findings)
+
+let report findings = Format.asprintf "%a" Verify.pp_report findings
+
+(* ------------------------------------------------------------------ *)
+(* The model zoo is clean under every option combination               *)
+
+let zoo () =
+  [
+    ("resnet18", Ascend.Nn.Resnet.v1_5_18 ());
+    ("mobilenet", Ascend.Nn.Mobilenet.v2 ());
+    ("bert-base-s32", Ascend.Nn.Bert.base ~seq_len:32 ());
+    ("gesture", Ascend.Nn.Gesture.build ());
+  ]
+
+let option_combos =
+  List.concat_map
+    (fun sync_mode ->
+      List.concat_map
+        (fun double_buffer ->
+          List.map
+            (fun weight_sparsity ->
+              { Codegen.default_options with
+                sync_mode; double_buffer; weight_sparsity })
+            [ None; Some 0.5 ])
+        [ true; false ])
+    [ Codegen.Flags; Codegen.Coarse_barriers ]
+
+let test_zoo_clean_all_options () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun config ->
+          if Config.supports config (Ascend.Nn.Graph.dtype g) then
+            List.iter
+              (fun options ->
+                List.iter
+                  (fun (grp, p) ->
+                    match Verify.analyze config p with
+                    | [] -> ()
+                    | fs ->
+                      Alcotest.failf "%s / %s / %s: %s" name config.Config.name
+                        grp.Ascend.Compiler.Fusion.tag (report fs))
+                  (Codegen.graph_programs ~options config g))
+              option_combos)
+        Config.all)
+    (zoo ())
+
+let test_strict_validate_clean_on_codegen () =
+  let g = Ascend.Nn.Resnet.v1_5_18 () in
+  List.iter
+    (fun (_, p) ->
+      match Program.validate ~strict:true Config.max p with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "strict validate: %s" e)
+    (Codegen.graph_programs Config.max g)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock detection is happens-before reachability, not counting     *)
+
+let cyclic_wait_program =
+  (* flag counts balance per triple, yet no interleaving can run this:
+     Vector blocks on flag 0 before its set of flag 1, while Cube blocks
+     on flag 1 before its set of flag 0 *)
+  Program.make ~name:"cycle"
+    [
+      wait Pipe.Cube Pipe.Vector 0;
+      set Pipe.Vector Pipe.Cube 1;
+      wait Pipe.Vector Pipe.Cube 1;
+      set Pipe.Cube Pipe.Vector 0;
+    ]
+
+let test_cyclic_wait_deadlock () =
+  (match Program.validate Config.max cyclic_wait_program with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "flag counting must accept the cycle: %s" e);
+  let fs = Verify.analyze Config.max cyclic_wait_program in
+  Alcotest.(check (list string)) "cycle detected" [ "deadlock" ] (classes fs);
+  match Program.validate ~strict:true Config.max cyclic_wait_program with
+  | Ok () -> Alcotest.fail "strict validate must reject the cycle"
+  | Error _ -> ()
+
+let test_wait_ordering_not_counting () =
+  (* one set, one wait — balanced — but the wait is queued before any
+     set of its triple can possibly run: the set itself sits behind the
+     wait on the same pipe, so the wait ordinal can never be reached *)
+  let p =
+    Program.make ~name:"self-block"
+      [ wait Pipe.Cube Pipe.Cube 0; set Pipe.Cube Pipe.Cube 0 ]
+  in
+  (match Program.validate Config.max p with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "flag counting must accept: %s" e);
+  let fs = Verify.analyze Config.max p in
+  Alcotest.(check (list string)) "self-block detected" [ "deadlock" ]
+    (classes fs)
+
+(* ------------------------------------------------------------------ *)
+(* Hazards: broken double-buffering must be flagged                    *)
+
+let gemm_program () =
+  let g = Ascend.Nn.Resnet.v1_5_18 () in
+  let programs = Codegen.graph_programs Config.max g in
+  (* the largest cube-anchored program exercises every ring *)
+  List.fold_left
+    (fun best (_, p) ->
+      if Program.length p > Program.length best then p else best)
+    (snd (List.hd programs))
+    programs
+
+let drop_nth n instrs =
+  List.filteri (fun i _ -> i <> n) instrs
+
+let test_broken_double_buffering_detected () =
+  let p = gemm_program () in
+  Alcotest.(check (list string)) "baseline clean" []
+    (classes (Verify.analyze Config.max p));
+  (* remove the first L0-ring backpressure wait (Cube -> MTE1): MTE1 is
+     then free to overwrite an L0 slot the cube is still reading *)
+  let idx =
+    let found = ref (-1) in
+    List.iteri
+      (fun i instr ->
+        match instr with
+        | Instruction.Wait_flag { from_pipe = Pipe.Cube; to_pipe = Pipe.Mte1; _ }
+          when !found < 0 ->
+          found := i
+        | _ -> ())
+      p.Program.instructions;
+    if !found < 0 then Alcotest.fail "no L0 backpressure wait found";
+    !found
+  in
+  let broken =
+    { p with Program.instructions = drop_nth idx p.Program.instructions }
+  in
+  let fs = Verify.analyze Config.max broken in
+  let cls = classes fs in
+  Alcotest.(check bool)
+    (Printf.sprintf "WAR hazard reported (got %s)" (String.concat "," cls))
+    true
+    (List.mem "hazard/WAR" cls);
+  Alcotest.(check bool) "dropped wait also leaks the flag" true
+    (List.mem "leak" cls)
+
+(* ------------------------------------------------------------------ *)
+(* Mutation property tests: the verifier finds exactly the injected    *)
+(* defect class                                                        *)
+
+let positions_of pred instrs =
+  List.mapi (fun i x -> (i, x)) instrs
+  |> List.filter_map (fun (i, x) -> if pred x then Some i else None)
+
+let subset ~of_:allowed cls = List.for_all (fun c -> List.mem c allowed) cls
+
+let mutation_prop name ~count mutate check =
+  QCheck.Test.make ~count ~name
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let p = gemm_program () in
+      match mutate seed p with
+      | None -> QCheck.assume_fail ()
+      | Some mutated -> check (classes (Verify.analyze Config.max mutated)))
+
+let pick seed xs =
+  match xs with
+  | [] -> None
+  | _ -> Some (List.nth xs (seed mod List.length xs))
+
+let drop_set_prop =
+  mutation_prop "dropping a random Set_flag yields exactly a deadlock"
+    ~count:25
+    (fun seed p ->
+      let sets =
+        positions_of
+          (function Instruction.Set_flag _ -> true | _ -> false)
+          p.Program.instructions
+      in
+      Option.map
+        (fun n ->
+          { p with Program.instructions = drop_nth n p.Program.instructions })
+        (pick seed sets))
+    (fun cls -> cls = [ "deadlock" ])
+
+let swap_wait_prop =
+  mutation_prop
+    "swapping a Wait_flag's pipe pair deadlocks (plus leaks the orphaned set)"
+    ~count:25
+    (fun seed p ->
+      let waits =
+        positions_of
+          (function Instruction.Wait_flag _ -> true | _ -> false)
+          p.Program.instructions
+      in
+      Option.map
+        (fun n ->
+          let instructions =
+            List.mapi
+              (fun i instr ->
+                match instr with
+                | Instruction.Wait_flag { from_pipe; to_pipe; flag } when i = n
+                  ->
+                  Instruction.wait_flag ~from_pipe:to_pipe ~to_pipe:from_pipe
+                    ~flag
+                | _ -> instr)
+              p.Program.instructions
+          in
+          { p with Program.instructions })
+        (pick seed waits))
+    (fun cls ->
+      List.mem "deadlock" cls && subset ~of_:[ "deadlock"; "leak" ] cls)
+
+let shrink_peak_prop =
+  mutation_prop
+    "shrinking a declared buffer peak yields exactly a peak mismatch"
+    ~count:25
+    (fun seed p ->
+      match p.Program.buffer_peak with
+      | [] -> None
+      | peaks ->
+        let n = seed mod List.length peaks in
+        let buffer_peak =
+          List.mapi
+            (fun i (buf, bytes) ->
+              if i = n then (buf, max 0 ((bytes / 2) - 1)) else (buf, bytes))
+            peaks
+        in
+        Some { p with Program.buffer_peak })
+    (fun cls -> cls = [ "peak" ])
+
+(* ------------------------------------------------------------------ *)
+(* Flag leaks and concat composition                                   *)
+
+let leaky_program =
+  Program.make ~name:"leaky"
+    [
+      set Pipe.Cube Pipe.Vector 3;
+      wait Pipe.Cube Pipe.Vector 3;
+      set Pipe.Cube Pipe.Vector 3;
+    ]
+
+let test_flag_leak_detected () =
+  let fs = Verify.analyze Config.max leaky_program in
+  Alcotest.(check (list string)) "leak found" [ "leak" ] (classes fs);
+  match Program.flag_leaks leaky_program with
+  | [ (Pipe.Cube, Pipe.Vector, 3, 1) ] -> ()
+  | _ -> Alcotest.fail "flag_leaks must report the Cube->Vector #3 leak"
+
+let test_concat_rejects_leaky_parts () =
+  let clean =
+    Program.make ~name:"clean"
+      [ set Pipe.Cube Pipe.Vector 0; wait Pipe.Cube Pipe.Vector 0 ]
+  in
+  (match Program.concat ~name:"ok" [ clean; clean ] with
+  | p -> Alcotest.(check int) "concat ok" 6 (Program.length p));
+  match Program.concat ~name:"bad" [ leaky_program; clean ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "concat must reject a flag-leaky part"
+
+(* ------------------------------------------------------------------ *)
+(* Peak recomputation                                                  *)
+
+let test_derived_buffer_peak () =
+  let p =
+    Program.make ~name:"peaks"
+      [
+        Instruction.mte_move ~src:Buffer_id.External ~dst:Buffer_id.Ub
+          ~dst_slot:0 ~bytes:1000 ();
+        Instruction.mte_move ~src:Buffer_id.External ~dst:Buffer_id.Ub
+          ~dst_slot:1 ~bytes:500 ();
+        (* in-place update: no extra allocation *)
+        Instruction.vector_op ~op_name:"t" ~bytes:800 ~ub_in_slot:0
+          ~ub_out_slot:0 ();
+      ]
+  in
+  Alcotest.(check int) "two slots sum" 1500
+    (List.assoc Buffer_id.Ub (Program.derived_buffer_peak p))
+
+let test_capacity_overflow_detected () =
+  let big = Config.max.Config.buffers.ub_bytes + 16 in
+  let p =
+    Program.make ~name:"huge"
+      ~buffer_peak:[ (Buffer_id.Ub, big) ]
+      [
+        Instruction.mte_move ~src:Buffer_id.External ~dst:Buffer_id.Ub
+          ~bytes:big ();
+      ]
+  in
+  let cls = classes (Verify.analyze Config.max p) in
+  Alcotest.(check bool) "capacity overflow reported" true
+    (List.mem "capacity" cls)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "verify"
+    [
+      ( "zoo",
+        [
+          Alcotest.test_case "zoo clean under all options" `Slow
+            test_zoo_clean_all_options;
+          quick "strict validate clean on codegen"
+            test_strict_validate_clean_on_codegen;
+        ] );
+      ( "deadlock",
+        [
+          quick "cyclic waits" test_cyclic_wait_deadlock;
+          quick "ordering beats counting" test_wait_ordering_not_counting;
+        ] );
+      ( "hazard",
+        [
+          quick "broken double buffering" test_broken_double_buffering_detected;
+        ] );
+      ( "mutations",
+        List.map QCheck_alcotest.to_alcotest
+          [ drop_set_prop; swap_wait_prop; shrink_peak_prop ] );
+      ( "compose",
+        [
+          quick "flag leak" test_flag_leak_detected;
+          quick "concat rejects leaky" test_concat_rejects_leaky_parts;
+        ] );
+      ( "peaks",
+        [
+          quick "derived peak" test_derived_buffer_peak;
+          quick "capacity overflow" test_capacity_overflow_detected;
+        ] );
+    ]
