@@ -31,6 +31,30 @@ let ok = function
   | Ok v -> v
   | Error e -> failwith e
 
+(* machine-readable companion to the human tables: each section run
+   writes BENCH_<section>.json (scenario name, wall time, plus whatever
+   key numbers the section records) so the perf trajectory is trackable
+   PR-over-PR *)
+module Bench_json = struct
+  module Json = Ascend.Util.Json
+
+  let recorded : (string * Json.t) list ref = ref []
+
+  let record key v = recorded := (key, v) :: !recorded
+  let record_int key i = record key (Json.Int i)
+  let record_float key f = record key (Json.Float f)
+
+  let write ~section ~wall_s =
+    let doc =
+      Json.Obj
+        (("scenario", Json.String section)
+        :: ("wall_time_s", Json.Float wall_s)
+        :: List.rev !recorded)
+    in
+    recorded := [];
+    Json.write_file (Printf.sprintf "BENCH_%s.json" section) doc
+end
+
 (* ------------------------------------------------------------------ *)
 (* Table 2: operations per computing unit                              *)
 
@@ -977,18 +1001,75 @@ let edge () =
       | Error e -> Format.printf "%s: %s@." name e
       | Ok r ->
         Format.printf
-          "  %-10s %.2f ms/frame, %.0f fps across cores, %.1f W, %d \
-           concurrent 1080p30 channels@."
+          "  %-10s %.2f ms/frame, %.0f fps ideal / %.0f fps scheduled \
+           across cores, %.1f W, %d concurrent 1080p30 channels@."
           name
           (r.Ascend.Soc.Inference_soc.latency_s *. 1e3)
           r.Ascend.Soc.Inference_soc.throughput_per_s
+          r.Ascend.Soc.Inference_soc.scheduled_throughput_per_s
           r.Ascend.Soc.Inference_soc.power_w
-          r.Ascend.Soc.Inference_soc.video_channels)
+          r.Ascend.Soc.Inference_soc.video_channels;
+        Bench_json.record_float (name ^ "_fps")
+          r.Ascend.Soc.Inference_soc.scheduled_throughput_per_s)
     [
       ("resnet18", Ascend.Nn.Resnet.v1_5_18 ());
       ("resnet50", Ascend.Nn.Resnet.v1_5 ());
       ("mobilenet", Ascend.Nn.Mobilenet.v2 ());
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Request-level serving (lib/serving over the §5.2 scheduler)         *)
+
+let serving () =
+  section_header "serving"
+    "request-level serving: seeded load, dynamic batching, QoS admission, \
+     SLO metrics (2-core Standard SoC under mixed-priority overload)";
+  let module Serve = Ascend.Serving.Serve in
+  let module Load_gen = Ascend.Serving.Load_gen in
+  let duration_s = 0.25 in
+  let spec name build priority slo_ms rate seed =
+    {
+      Serve.name;
+      build;
+      priority;
+      slo_ms;
+      workload =
+        Serve.Open_loop
+          (Load_gen.create ~process:Load_gen.Poisson ~rate_per_s:rate
+             ~duration_s ~seed ());
+    }
+  in
+  let specs =
+    [
+      spec "resnet18"
+        (fun ~batch -> Ascend.Nn.Resnet.v1_5_18 ~batch ())
+        5 10. 2500. 11;
+      spec "mobilenet"
+        (fun ~batch -> Ascend.Nn.Mobilenet.v2 ~batch ())
+        0 50. 2500. 12;
+    ]
+  in
+  let config =
+    { (Serve.default_config ~core:Config.standard ~cores:2) with
+      Serve.duration_s; queue_depth = 16; max_batch = 4 }
+  in
+  match Serve.run config specs with
+  | Error e -> Format.printf "serving: %s@." e
+  | Ok r ->
+    Format.printf "%a" Serve.pp r;
+    Format.printf
+      "the high-priority detector holds its tighter SLO while the \
+       background segmenter absorbs the queueing — §5.2's QoS story at \
+       request level@.";
+    Bench_json.record_int "offline_makespan_cycles" r.Serve.offline_makespan_cycles;
+    List.iter
+      (fun (s : Ascend.Serving.Metrics.model_summary) ->
+        Bench_json.record_float (s.Ascend.Serving.Metrics.model ^ "_p99_ms")
+          s.Ascend.Serving.Metrics.p99_ms;
+        Bench_json.record_float
+          (s.Ascend.Serving.Metrics.model ^ "_goodput_per_s")
+          s.Ascend.Serving.Metrics.goodput_per_s)
+      r.Serve.metrics.Ascend.Serving.Metrics.summaries
 
 (* ------------------------------------------------------------------ *)
 (* §3.2: instruction compression                                       *)
@@ -1235,6 +1316,7 @@ let sections =
     ("precision", precision);
     ("related_work", related_work);
     ("edge", edge);
+    ("serving", serving);
     ("compression", compression);
     ("ablations", ablations);
     ("slam", slam);
@@ -1254,8 +1336,10 @@ let () =
       | Some f ->
         let t0 = Unix.gettimeofday () in
         f ();
-        Format.printf "[%s completed in %.1f s]@." name
-          (Unix.gettimeofday () -. t0)
+        let wall_s = Unix.gettimeofday () -. t0 in
+        Bench_json.write ~section:name ~wall_s;
+        Format.printf "[%s completed in %.1f s -> BENCH_%s.json]@." name
+          wall_s name
       | None ->
         Format.printf "unknown section %s (available: %s)@." name
           (String.concat ", " (List.map fst sections)))

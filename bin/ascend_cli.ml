@@ -48,6 +48,18 @@ let model_conv =
   in
   Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<model>")
 
+let named_model_conv =
+  let parse s =
+    match List.assoc_opt s models with
+    | Some f -> Ok (s, f)
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown model %s (try: %s)" s
+             (String.concat ", " (List.map fst models))))
+  in
+  Arg.conv (parse, fun ppf (name, _) -> Format.pp_print_string ppf name)
+
 let core_conv =
   let parse s =
     match List.assoc_opt s cores with
@@ -185,6 +197,197 @@ let streams_cmd =
              schedule them across cores.")
     Term.(const streams $ model_arg $ core_arg $ batch_arg $ cores_arg)
 
+(* --- serve -------------------------------------------------------- *)
+
+module Serve = Ascend.Serving.Serve
+module Load_gen = Ascend.Serving.Load_gen
+
+let serve_models_arg =
+  Arg.(
+    required
+    & pos 0 (some (list named_model_conv)) None
+    & info [] ~docv:"MODEL[,MODEL...]"
+        ~doc:"Comma-separated list of models to serve concurrently.")
+
+let rate_arg =
+  Arg.(
+    value
+    & opt (list float) [ 100. ]
+    & info [ "rate" ] ~docv:"R"
+        ~doc:
+          "Open-loop arrival rate in requests/s, one value per model (a \
+           single value applies to all).")
+
+let duration_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "duration" ] ~docv:"S" ~doc:"Load window in simulated seconds.")
+
+let batch_max_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "batch-max" ] ~docv:"B" ~doc:"Dynamic batcher size bound.")
+
+let batch_delay_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "batch-delay-ms" ] ~docv:"MS"
+        ~doc:"Max time a request may wait for batch peers.")
+
+let queue_depth_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-depth" ] ~docv:"N"
+        ~doc:"Admission bound: requests arriving past this queue depth are \
+              shed.")
+
+let slo_arg =
+  Arg.(
+    value
+    & opt (list float) [ 50. ]
+    & info [ "slo-ms" ] ~docv:"MS"
+        ~doc:"Latency SLO per model (a single value applies to all).")
+
+let priority_arg =
+  Arg.(
+    value
+    & opt (list int) [ 0 ]
+    & info [ "priority" ] ~docv:"P"
+        ~doc:"QoS priority per model, higher wins (a single value applies \
+              to all).")
+
+let process_arg =
+  Arg.(
+    value
+    & opt (enum [ ("uniform", `Uniform); ("poisson", `Poisson);
+                  ("bursty", `Bursty) ])
+        `Poisson
+    & info [ "process" ] ~docv:"P"
+        ~doc:"Arrival process: uniform, poisson or bursty.")
+
+let burst_factor_arg =
+  Arg.(
+    value & opt float 4.0
+    & info [ "burst-factor" ] ~docv:"F"
+        ~doc:"Bursty process: on-phase rate multiplier (mean rate is \
+              preserved).")
+
+let burst_period_arg =
+  Arg.(
+    value & opt float 100.0
+    & info [ "burst-period-ms" ] ~docv:"MS"
+        ~doc:"Bursty process: on/off window period.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"PRNG seed; the same seed reproduces the run bit-for-bit.")
+
+let closed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "closed" ] ~docv:"CLIENTS"
+        ~doc:"Closed-loop mode with this many concurrent clients per model \
+              (0: open loop at --rate).")
+
+let think_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "think-ms" ] ~docv:"MS"
+        ~doc:"Closed-loop mean think time between a completion and the \
+              client's next request.")
+
+let bucket_arg =
+  Arg.(
+    value & opt float 50.
+    & info [ "bucket-ms" ] ~docv:"MS" ~doc:"Occupancy-series bucket width.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the full metrics report as JSON ('-': stdout).")
+
+let broadcast ~what n = function
+  | [ x ] -> Ok (List.init n (fun _ -> x))
+  | l when List.length l = n -> Ok l
+  | l ->
+    Error
+      (Printf.sprintf "%s: expected 1 or %d value(s), got %d" what n
+         (List.length l))
+
+let serve models core cores rates duration batch_max delay_ms queue_depth
+    slos priorities process burst_factor burst_period_ms seed closed think_ms
+    bucket_ms json_path =
+  let n = List.length models in
+  let ( let* ) = Result.bind in
+  exit_of
+    (let* rates = broadcast ~what:"--rate" n rates in
+     let* slos = broadcast ~what:"--slo-ms" n slos in
+     let* priorities = broadcast ~what:"--priority" n priorities in
+     let process =
+       match process with
+       | `Uniform -> Load_gen.Uniform
+       | `Poisson -> Load_gen.Poisson
+       | `Bursty ->
+         Load_gen.Bursty
+           { factor = burst_factor; period_s = burst_period_ms /. 1e3 }
+     in
+     let specs =
+       List.mapi
+         (fun i ((name, build), (rate, (slo_ms, priority))) ->
+           let model_seed = seed + (7919 * i) in
+           let workload =
+             if closed > 0 then
+               Serve.Closed_loop
+                 { clients = closed; think_s = think_ms /. 1e3;
+                   seed = model_seed }
+             else
+               Serve.Open_loop
+                 (Load_gen.create ~process ~rate_per_s:rate
+                    ~duration_s:duration ~seed:model_seed ())
+           in
+           { Serve.name; build; priority; slo_ms; workload })
+         (List.combine models
+            (List.combine rates (List.combine slos priorities)))
+     in
+     let config =
+       {
+         Serve.core;
+         cores;
+         max_batch = batch_max;
+         max_delay_s = delay_ms /. 1e3;
+         queue_depth;
+         duration_s = duration;
+         bucket_s = bucket_ms /. 1e3;
+       }
+     in
+     let* r = Serve.run config specs in
+     Format.printf "%a" Serve.pp r;
+     (match json_path with
+     | None -> ()
+     | Some "-" ->
+       print_endline (Ascend.Util.Json.to_string ~pretty:true (Serve.to_json r))
+     | Some path -> Ascend.Util.Json.write_file path (Serve.to_json r));
+     Ok ())
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Simulate request-level serving: seeded load generation, dynamic \
+          batching, QoS admission control and SLO metrics (p50/p95/p99, \
+          goodput, rejection rate, per-core utilization) over the §5.2 \
+          multi-core scheduler.")
+    Term.(
+      const serve $ serve_models_arg $ core_arg $ cores_arg $ rate_arg
+      $ duration_arg $ batch_max_arg $ batch_delay_arg $ queue_depth_arg
+      $ slo_arg $ priority_arg $ process_arg $ burst_factor_arg
+      $ burst_period_arg $ seed_arg $ closed_arg $ think_arg $ bucket_arg
+      $ json_arg)
+
 (* --- lint --------------------------------------------------------- *)
 
 module Codegen = Ascend.Compiler.Codegen
@@ -283,18 +486,6 @@ let lint model_opt all core_opt verbose =
     1
   end
 
-let named_model_conv =
-  let parse s =
-    match List.assoc_opt s models with
-    | Some f -> Ok (s, f)
-    | None ->
-      Error
-        (`Msg
-          (Printf.sprintf "unknown model %s (try: %s)" s
-             (String.concat ", " (List.map fst models))))
-  in
-  Arg.conv (parse, fun ppf (name, _) -> Format.pp_print_string ppf name)
-
 let lint_model_arg =
   Arg.(value & pos 0 (some named_model_conv) None & info [] ~docv:"MODEL")
 
@@ -326,14 +517,43 @@ let lint_cmd =
 let list_all () =
   Format.printf "models:@.";
   List.iter (fun (name, _) -> Format.printf "  %s@." name) models;
-  Format.printf "cores:@.";
+  Format.printf "@.core versions (paper Table 5):@.";
+  let module Table = Ascend.Util.Table in
+  let module Precision = Ascend.Arch.Precision in
+  let t =
+    Table.create
+      ~header:[ "core"; "freq GHz"; "cube"; "native"; "perf/cyc"; "vector B";
+                "L1 KiB"; "UB KiB"; "LLC GB/s"; "precisions" ]
+      ()
+  in
   List.iter
-    (fun (name, c) -> Format.printf "  %-9s %a@." name Config.pp c)
+    (fun (name, (c : Config.t)) ->
+      Table.add_row t
+        [
+          name;
+          Table.cell_float c.Config.frequency_ghz;
+          Printf.sprintf "%dx%dx%d" c.Config.cube.Config.m c.Config.cube.Config.k
+            c.Config.cube.Config.n;
+          Precision.name c.Config.native_precision;
+          string_of_int
+            (Config.flops_per_cycle c ~precision:c.Config.native_precision);
+          string_of_int c.Config.vector_width_bytes;
+          string_of_int (c.Config.buffers.Config.l1_bytes / 1024);
+          string_of_int (c.Config.buffers.Config.ub_bytes / 1024);
+          (match c.Config.bandwidth.Config.llc_gb_s with
+          | Some v -> Table.cell_float ~decimals:1 v
+          | None -> "-");
+          String.concat "/"
+            (List.map Precision.name c.Config.supported_precisions);
+        ])
     cores;
+  Table.print t;
   0
 
 let list_cmd =
-  Cmd.v (Cmd.info "list" ~doc:"List available models and core versions.")
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:"List available models and the Table-5 core configurations.")
     Term.(const list_all $ const ())
 
 let () =
@@ -344,5 +564,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ simulate_cmd; profile_cmd; disasm_cmd; streams_cmd; lint_cmd;
-            list_cmd ]))
+          [ simulate_cmd; profile_cmd; disasm_cmd; streams_cmd; serve_cmd;
+            lint_cmd; list_cmd ]))

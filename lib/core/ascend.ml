@@ -24,6 +24,9 @@
     - {!Cluster} — servers, collectives, distributed training;
     - {!Baselines} — systolic array, SIMT GPU, CPU comparators;
     - {!Runtime} — the app/stream/task/block scheduler;
+    - {!Serving} — request-level serving: seeded load generation,
+      dynamic batching, QoS admission control and SLO metrics over the
+      multi-core scheduler;
     - {!Vector_core} — the §3.3 SLAM extensions (quaternion, sort,
       stereo, clustering, linear programming).
 
@@ -52,6 +55,7 @@ module Soc = Ascend_soc
 module Cluster = Ascend_cluster
 module Baselines = Ascend_baselines
 module Runtime = Ascend_runtime
+module Serving = Ascend_serving
 module Vector_core = Ascend_vector_core
 
 (* make [Program.validate ~strict:true] work out of the box for every

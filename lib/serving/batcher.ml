@@ -1,0 +1,50 @@
+type t = {
+  max_batch : int;
+  max_delay_s : float;
+  queue_depth : int;
+  queue : Request.t Queue.t;
+}
+
+type verdict = Admitted | Shed
+
+let create ~max_batch ~max_delay_s ~queue_depth () =
+  if max_batch < 1 then invalid_arg "Batcher.create: max_batch < 1";
+  if queue_depth < 1 then invalid_arg "Batcher.create: queue_depth < 1";
+  if max_delay_s < 0. then invalid_arg "Batcher.create: negative max_delay";
+  { max_batch; max_delay_s; queue_depth; queue = Queue.create () }
+
+let max_batch t = t.max_batch
+let queue_depth t = t.queue_depth
+
+let offer t r =
+  if Queue.length t.queue >= t.queue_depth then Shed
+  else begin
+    Queue.push r t.queue;
+    Admitted
+  end
+
+let length t = Queue.length t.queue
+
+let oldest t = Queue.peek_opt t.queue
+
+let deadline t =
+  match Queue.peek_opt t.queue with
+  | None -> None
+  | Some r -> Some (r.Request.arrival_s +. t.max_delay_s)
+
+let ready t ~now =
+  match Queue.peek_opt t.queue with
+  | None -> false
+  | Some r ->
+    Queue.length t.queue >= t.max_batch
+    || now >= r.Request.arrival_s +. t.max_delay_s
+
+let take t =
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else
+      match Queue.take_opt t.queue with
+      | None -> List.rev acc
+      | Some r -> go (n - 1) (r :: acc)
+  in
+  go t.max_batch []

@@ -1,0 +1,39 @@
+module Engine = Ascend_compiler.Engine
+
+type entry = { cycles : int; latency_s : float; energy_j : float }
+
+type t = {
+  core : Ascend_arch.Config.t;
+  table : (string * int, (entry, string) result) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~core () = { core; table = Hashtbl.create 16; hits = 0; misses = 0 }
+
+let core t = t.core
+
+let lookup t ~model ~build ~batch =
+  if batch < 1 then invalid_arg "Cost.lookup: batch < 1";
+  match Hashtbl.find_opt t.table (model, batch) with
+  | Some r ->
+    t.hits <- t.hits + 1;
+    r
+  | None ->
+    t.misses <- t.misses + 1;
+    let r =
+      match Engine.run_inference t.core (build ~batch) with
+      | Error _ as e -> e
+      | Ok nr ->
+        Ok
+          {
+            cycles = nr.Engine.total_cycles;
+            latency_s = Engine.seconds nr;
+            energy_j = nr.Engine.total_energy_j;
+          }
+    in
+    Hashtbl.replace t.table (model, batch) r;
+    r
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,31 @@
+(** Memoized batch-latency oracle over the real compiler + core
+    simulator path.
+
+    A serving sweep dispatches thousands of batches but only ever sees a
+    handful of distinct (model, batch-size) pairs on its fixed core
+    version; each pair is compiled and simulated once
+    ({!Ascend_compiler.Engine.run_inference}) and cached, so request-level
+    simulation stays interactive while every latency number still comes
+    from the cycle-level simulator. *)
+
+type entry = {
+  cycles : int;        (** one batch on one core *)
+  latency_s : float;
+  energy_j : float;
+}
+
+type t
+
+val create : core:Ascend_arch.Config.t -> unit -> t
+
+val core : t -> Ascend_arch.Config.t
+
+val lookup :
+  t -> model:string -> build:(batch:int -> Ascend_nn.Graph.t) -> batch:int ->
+  (entry, string) result
+(** Cached by [(model, batch)].  Raises [Invalid_argument] on
+    [batch < 1]. *)
+
+val hits : t -> int
+val misses : t -> int
+(** Cache statistics: [misses] counts actual compile+simulate runs. *)

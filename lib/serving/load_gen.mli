@@ -1,0 +1,39 @@
+(** Deterministic open-loop load generation: seeded arrival processes
+    for one request stream.
+
+    Every process is a pure function of its spec (rate, duration, seed):
+    the same spec always yields the same arrival times.  Wall-clock
+    seeding is deliberately impossible — reproducibility of a serving
+    run is part of its contract (DESIGN.md §7). *)
+
+type process =
+  | Uniform
+      (** Evenly spaced, arrival [i] at [i / rate] — the deterministic
+          baseline with zero burstiness. *)
+  | Poisson
+      (** Exponential interarrivals via inversion sampling of a seeded
+          {!Ascend_util.Prng} stream: [dt = -ln(1 - U) / rate]. *)
+  | Bursty of { factor : float; period_s : float }
+      (** On/off-modulated Poisson: each [period_s] window opens with an
+          on-phase of [period_s / factor] during which arrivals follow a
+          Poisson process at [factor * rate]; the rest of the window is
+          silent.  Mean rate is preserved; [factor >= 1]. *)
+
+type t = {
+  process : process;
+  rate_per_s : float;
+  duration_s : float;
+  seed : int;
+}
+
+val create :
+  ?process:process -> rate_per_s:float -> duration_s:float -> seed:int ->
+  unit -> t
+(** Default process {!Poisson}.  Raises [Invalid_argument] on
+    non-positive rate/duration, a bursty [factor < 1] or non-positive
+    [period_s]. *)
+
+val arrivals : t -> float list
+(** Strictly increasing-or-equal sorted times in [0, duration_s). *)
+
+val process_name : process -> string

@@ -1,0 +1,32 @@
+type t = {
+  id : int;
+  model : string;
+  arrival_s : float;
+  priority : int;
+  slo_s : float;
+}
+
+type outcome = Completed | Rejected
+
+type record = {
+  request : t;
+  outcome : outcome;
+  start_s : float;
+  finish_s : float;
+  batch : int;
+  core : int;
+}
+
+let rejected r =
+  {
+    request = r;
+    outcome = Rejected;
+    start_s = r.arrival_s;
+    finish_s = r.arrival_s;
+    batch = 0;
+    core = -1;
+  }
+
+let latency_s r = r.finish_s -. r.request.arrival_s
+
+let met_slo r = r.outcome = Completed && latency_s r <= r.request.slo_s

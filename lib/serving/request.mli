@@ -1,0 +1,35 @@
+(** A single inference request flowing through the serving stack, and the
+    completion record the metrics layer consumes.
+
+    Times are simulated seconds from the start of the run (the serving
+    layer never reads a wall clock: reproducibility is a hard
+    requirement, see DESIGN.md §7). *)
+
+type t = {
+  id : int;            (** unique, in generation order *)
+  model : string;
+  arrival_s : float;
+  priority : int;      (** the QoS priority of paper §3.3 / §5.2 *)
+  slo_s : float;       (** end-to-end latency objective *)
+}
+
+type outcome =
+  | Completed
+  | Rejected  (** shed by admission control at arrival *)
+
+type record = {
+  request : t;
+  outcome : outcome;
+  start_s : float;   (** batch dispatch time; [arrival_s] when rejected *)
+  finish_s : float;  (** completion time; [arrival_s] when rejected *)
+  batch : int;       (** size of the batch it rode in; 0 when rejected *)
+  core : int;        (** core index; -1 when rejected *)
+}
+
+val rejected : t -> record
+
+val latency_s : record -> float
+(** Queueing delay plus batch execution: [finish_s - arrival_s]. *)
+
+val met_slo : record -> bool
+(** Completed with [latency_s <= slo_s]. *)

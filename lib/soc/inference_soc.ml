@@ -1,5 +1,6 @@
 module Config = Ascend_arch.Config
 module Engine = Ascend_compiler.Engine
+module Scheduler = Ascend_runtime.Scheduler
 
 type t = {
   soc_name : string;
@@ -28,9 +29,31 @@ let peak_tops t ~precision =
 type result = {
   latency_s : float;
   throughput_per_s : float;
+  scheduled_throughput_per_s : float;
   power_w : float;
   video_channels : int;
 }
+
+(* the §5.2 runtime's view of the same workload: one stream per
+   concurrent batch replica, placed by the list scheduler across the
+   SoC's cores; throughput derives from the resulting makespan instead
+   of assuming each core runs its replica in perfect isolation *)
+let scheduled_throughput t (r : Engine.network_result) =
+  let replica i =
+    let s = Scheduler.stream_of_network r ~blocks_per_task:1 in
+    { s with Scheduler.stream_name = Printf.sprintf "replica%d" i }
+  in
+  let app =
+    Scheduler.app ~name:r.Engine.graph_name
+      (List.init t.cores (fun i -> replica i))
+  in
+  let sched = Scheduler.run ~cores:t.cores [ app ] in
+  let round_s =
+    Ascend_util.Units.seconds_of_cycles
+      ~cycles:sched.Scheduler.makespan_cycles
+      ~frequency_ghz:t.core.Config.frequency_ghz
+  in
+  if round_s > 0. then float_of_int t.cores /. round_s else 0.
 
 let run t graph =
   match Engine.run_inference t.core graph with
@@ -45,6 +68,7 @@ let run t graph =
       {
         latency_s;
         throughput_per_s = throughput;
+        scheduled_throughput_per_s = scheduled_throughput t r;
         power_w =
           (float_of_int t.cores *. Engine.average_power_w r)
           +. t.dvpp.Dvpp.power_w +. 1.0 (* uncore *);

@@ -18,7 +18,16 @@ val peak_tops : t -> precision:Ascend_arch.Precision.t -> float
 
 type result = {
   latency_s : float;            (** one batch on one core *)
-  throughput_per_s : float;     (** across all cores, batch-parallel *)
+  throughput_per_s : float;
+      (** across all cores assuming ideal batch-parallel scaling
+          (cores / latency) — an idealization: it charges no scheduling
+          or placement cost whatsoever *)
+  scheduled_throughput_per_s : float;
+      (** the same replicated workload placed by the §5.2
+          {!Ascend_runtime.Scheduler} across the SoC's cores and derived
+          from the resulting makespan; at most [throughput_per_s], and
+          equal to it exactly when the list scheduler keeps every
+          replica on its own core *)
   power_w : float;
   video_channels : int;
       (** concurrent 1080p30 streams this model keeps up with *)

@@ -1,0 +1,26 @@
+(** Minimal JSON document builder and printer.
+
+    Used by the serving metrics exporter and the benchmark harness for
+    machine-readable output ([BENCH_*.json]); no external dependency and
+    a deterministic rendering: the same document always prints to the
+    same bytes, so seeded simulations produce byte-identical files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+      (** Non-finite floats render as [null] (JSON has no inf/nan). *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+      (** Fields print in the given order — no reordering. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents with two spaces. *)
+
+val write_file : string -> t -> unit
+(** Pretty-printed, with a trailing newline. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact form. *)

@@ -193,6 +193,66 @@ let priorities_do_not_change_makespan_prop =
       in
       (Scheduler.run ~cores:1 apps).Scheduler.makespan_cycles = total)
 
+let test_equal_priority_fairness () =
+  (* two equal-priority apps on one core: readiness ties alternate
+     between them instead of draining one app first *)
+  let mk name =
+    app ~priority:1 name
+      [ stream (name ^ ".s") [ task ~cycles:10 (name ^ ".t1");
+                               task ~cycles:10 (name ^ ".t2") ] ]
+  in
+  let s = Scheduler.run ~cores:1 [ mk "a"; mk "b" ] in
+  let find name =
+    List.find (fun p -> p.Scheduler.task = name) s.Scheduler.placements
+  in
+  (* after a.t1 runs, b.t1 has been ready since cycle 0 while a.t2 only
+     became ready at 10 — so b.t1 goes second, not a.t2 *)
+  Alcotest.(check bool) "b.t1 before a.t2" true
+    ((find "b.t1").Scheduler.start_cycle < (find "a.t2").Scheduler.start_cycle);
+  Alcotest.(check int) "work-conserving" 40 s.Scheduler.makespan_cycles
+
+let test_high_priority_on_saturated_cores () =
+  (* both cores saturated with two waves of background work; a
+     high-priority arrival still lands in the first wave *)
+  let background =
+    app ~priority:0 "background"
+      (List.init 4 (fun i ->
+           stream (Printf.sprintf "bg%d" i)
+             [ task ~cycles:10 (Printf.sprintf "bg%d" i) ]))
+  in
+  let critical =
+    app ~priority:9 "critical"
+      [ stream "crit" [ task ~cycles:10 "crit" ] ]
+  in
+  let s = Scheduler.run ~cores:2 [ background; critical ] in
+  let crit =
+    List.find (fun p -> p.Scheduler.task = "crit") s.Scheduler.placements
+  in
+  Alcotest.(check int) "critical pre-empts the queue" 0
+    crit.Scheduler.start_cycle;
+  (* 5 x 10-cycle single-block tasks on 2 cores: 30-cycle makespan *)
+  Alcotest.(check int) "background absorbs the delay" 30
+    s.Scheduler.makespan_cycles
+
+let test_zero_cycle_task () =
+  (* a zero-cycle task (e.g. a pure synchronisation point) is legal: it
+     is placed, completes instantly, and releases its successor *)
+  let s =
+    Scheduler.run ~cores:1
+      [ app "a"
+          [ stream "s" [ task ~cycles:0 "sync"; task ~cycles:7 "work" ] ] ]
+  in
+  let find name =
+    List.find (fun p -> p.Scheduler.task = name) s.Scheduler.placements
+  in
+  Alcotest.(check int) "sync takes no time" 0
+    ((find "sync").Scheduler.end_cycle - (find "sync").Scheduler.start_cycle);
+  Alcotest.(check bool) "work follows" true
+    ((find "work").Scheduler.start_cycle >= (find "sync").Scheduler.end_cycle);
+  Alcotest.(check int) "makespan is the real work" 7
+    s.Scheduler.makespan_cycles;
+  Alcotest.(check int) "both placed" 2 (List.length s.Scheduler.placements)
+
 let test_invalid_inputs () =
   Alcotest.(check bool) "0 cores raises" true
     (try
@@ -224,6 +284,11 @@ let () =
           Alcotest.test_case "invalid inputs" `Quick test_invalid_inputs;
           Alcotest.test_case "priority preference" `Quick
             test_priority_preference;
+          Alcotest.test_case "equal-priority fairness" `Quick
+            test_equal_priority_fairness;
+          Alcotest.test_case "high priority on saturated cores" `Quick
+            test_high_priority_on_saturated_cores;
+          Alcotest.test_case "zero-cycle task" `Quick test_zero_cycle_task;
           q priorities_do_not_change_makespan_prop;
           q conservation_prop;
           q more_cores_not_slower_prop;

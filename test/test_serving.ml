@@ -1,0 +1,388 @@
+(* Request-level serving subsystem (lib/serving): load generation,
+   dynamic batching, admission control, SLO metrics, and the end-to-end
+   discrete-event dispatcher over the §5.2 scheduler. *)
+
+module Load_gen = Ascend.Serving.Load_gen
+module Batcher = Ascend.Serving.Batcher
+module Request = Ascend.Serving.Request
+module Metrics = Ascend.Serving.Metrics
+module Cost = Ascend.Serving.Cost
+module Serve = Ascend.Serving.Serve
+module Config = Ascend.Arch.Config
+module Json = Ascend.Util.Json
+
+let req ?(model = "m") ?(priority = 0) ?(slo_s = 1.) id arrival_s =
+  { Request.id; model; arrival_s; priority; slo_s }
+
+(* ------------------------------------------------------------------ *)
+(* Load generation                                                    *)
+
+let test_load_gen_deterministic () =
+  let spec process =
+    Load_gen.create ~process ~rate_per_s:500. ~duration_s:0.5 ~seed:42 ()
+  in
+  List.iter
+    (fun p ->
+      let a = Load_gen.arrivals (spec p) in
+      let b = Load_gen.arrivals (spec p) in
+      Alcotest.(check (list (float 0.)))
+        (Load_gen.process_name p ^ " reproducible") a b)
+    [ Load_gen.Uniform; Load_gen.Poisson;
+      Load_gen.Bursty { factor = 4.; period_s = 0.1 } ];
+  let other =
+    Load_gen.arrivals
+      (Load_gen.create ~rate_per_s:500. ~duration_s:0.5 ~seed:43 ())
+  in
+  Alcotest.(check bool) "seed matters" true
+    (other <> Load_gen.arrivals (spec Load_gen.Poisson))
+
+let test_load_gen_uniform_spacing () =
+  let g = Load_gen.create ~process:Load_gen.Uniform ~rate_per_s:100.
+      ~duration_s:0.1 ~seed:0 ()
+  in
+  let a = Load_gen.arrivals g in
+  Alcotest.(check int) "count = rate * duration" 10 (List.length a);
+  List.iteri
+    (fun i t ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "arrival %d at i/rate" i)
+        (float_of_int i /. 100.) t)
+    a
+
+let arrivals_well_formed_prop =
+  QCheck.Test.make ~count:60 ~name:"arrivals sorted within [0, duration)"
+    QCheck.(pair (int_range 0 1000) (int_range 1 3))
+    (fun (seed, which) ->
+      let process =
+        match which with
+        | 1 -> Load_gen.Uniform
+        | 2 -> Load_gen.Poisson
+        | _ -> Load_gen.Bursty { factor = 3.; period_s = 0.05 }
+      in
+      let g =
+        Load_gen.create ~process ~rate_per_s:800. ~duration_s:0.2 ~seed ()
+      in
+      let a = Load_gen.arrivals g in
+      let rec sorted = function
+        | x :: (y :: _ as rest) -> x <= y && sorted rest
+        | _ -> true
+      in
+      sorted a && List.for_all (fun t -> t >= 0. && t < 0.2) a)
+
+let test_poisson_rate () =
+  (* 200 expected arrivals: the count should land well within +-30% *)
+  let g = Load_gen.create ~rate_per_s:200. ~duration_s:1.0 ~seed:7 () in
+  let n = List.length (Load_gen.arrivals g) in
+  Alcotest.(check bool) "count near rate * duration" true
+    (n > 140 && n < 260)
+
+let test_bursty_structure () =
+  let factor = 4. and period_s = 0.1 in
+  let g =
+    Load_gen.create ~process:(Load_gen.Bursty { factor; period_s })
+      ~rate_per_s:400. ~duration_s:1.0 ~seed:11 ()
+  in
+  let a = Load_gen.arrivals g in
+  (* every arrival falls in the on-phase: the first period/factor of
+     its window *)
+  let on_len = period_s /. factor in
+  List.iter
+    (fun t ->
+      let into = Float.rem t period_s in
+      Alcotest.(check bool) "arrival inside on-phase" true
+        (into <= on_len +. 1e-9))
+    a;
+  (* the on/off modulation preserves the mean rate *)
+  let n = List.length a in
+  Alcotest.(check bool) "mean rate preserved" true (n > 280 && n < 520)
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic batcher + admission control                                 *)
+
+let test_batcher_coalescing_bounds () =
+  let b = Batcher.create ~max_batch:4 ~max_delay_s:1. ~queue_depth:64 () in
+  for i = 0 to 9 do
+    Alcotest.(check bool)
+      (Printf.sprintf "offer %d admitted" i)
+      true
+      (Batcher.offer b (req i 0.) = Batcher.Admitted)
+  done;
+  Alcotest.(check bool) "full queue is ready" true (Batcher.ready b ~now:0.);
+  let batch = Batcher.take b in
+  Alcotest.(check int) "batch capped at max_batch" 4 (List.length batch);
+  Alcotest.(check (list int)) "FIFO order" [ 0; 1; 2; 3 ]
+    (List.map (fun r -> r.Request.id) batch);
+  Alcotest.(check int) "rest still queued" 6 (Batcher.length b);
+  ignore (Batcher.take b);
+  Alcotest.(check int) "tail batch is the remainder" 2
+    (List.length (Batcher.take b))
+
+let test_batcher_delay_bound () =
+  let b = Batcher.create ~max_batch:8 ~max_delay_s:0.002 ~queue_depth:64 () in
+  ignore (Batcher.offer b (req 0 0.010));
+  Alcotest.(check bool) "below max_batch and fresh: not ready" false
+    (Batcher.ready b ~now:0.011);
+  Alcotest.(check (option (float 1e-12))) "deadline = arrival + delay"
+    (Some 0.012) (Batcher.deadline b);
+  Alcotest.(check bool) "ready at the delay bound" true
+    (Batcher.ready b ~now:0.012);
+  Alcotest.(check int) "partial batch released" 1
+    (List.length (Batcher.take b));
+  Alcotest.(check (option (float 0.))) "empty queue has no deadline" None
+    (Batcher.deadline b)
+
+let test_admission_sheds_only_past_depth () =
+  let b = Batcher.create ~max_batch:4 ~max_delay_s:1. ~queue_depth:3 () in
+  let verdicts = List.init 5 (fun i -> Batcher.offer b (req i 0.)) in
+  Alcotest.(check (list bool)) "first depth admitted, rest shed"
+    [ true; true; true; false; false ]
+    (List.map (fun v -> v = Batcher.Admitted) verdicts);
+  (* draining the queue re-opens admission *)
+  ignore (Batcher.take b);
+  Alcotest.(check bool) "admits again after drain" true
+    (Batcher.offer b (req 9 1.) = Batcher.Admitted)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics vs a hand-computed trace                                    *)
+
+let test_metrics_hand_computed () =
+  (* ten completions with latencies exactly 1..10 ms, SLO 6 ms, one
+     request rejected on arrival *)
+  let records =
+    List.init 10 (fun i ->
+        let lat_s = float_of_int (i + 1) /. 1000. in
+        {
+          Request.request = req ~slo_s:0.006 i 0.;
+          outcome = Request.Completed;
+          start_s = 0.;
+          finish_s = lat_s;
+          batch = 2;
+          core = i mod 2;
+        })
+    @ [ Request.rejected (req ~slo_s:0.006 10 0.5) ]
+  in
+  let m =
+    Metrics.build ~duration_s:1.0 ~bucket_s:0.25 ~cores:2
+      ~models:[ ("m", 0, 6.) ]
+      ~busy:[ (0, 0., 0.25); (1, 0.5, 0.75) ]
+      records
+  in
+  let s = List.hd m.Metrics.summaries in
+  Alcotest.(check int) "offered" 11 s.Metrics.offered;
+  Alcotest.(check int) "completed" 10 s.Metrics.completed;
+  Alcotest.(check int) "rejected" 1 s.Metrics.rejected;
+  Alcotest.(check (float 1e-9)) "mean" 5.5 s.Metrics.mean_ms;
+  (* Stats.percentile interpolates rank p/100 * (n-1) over the order
+     statistics: n=10 gives p50 = 5.5, p95 = 9.55, p99 = 9.91 *)
+  Alcotest.(check (float 1e-9)) "p50" 5.5 s.Metrics.p50_ms;
+  Alcotest.(check (float 1e-9)) "p95" 9.55 s.Metrics.p95_ms;
+  Alcotest.(check (float 1e-9)) "p99" 9.91 s.Metrics.p99_ms;
+  Alcotest.(check (float 1e-9)) "max" 10. s.Metrics.max_ms;
+  (* 6 of 10 completions landed within the 6 ms SLO *)
+  Alcotest.(check (float 1e-9)) "slo attainment" 0.6 s.Metrics.slo_attainment;
+  Alcotest.(check (float 1e-9)) "goodput" 6. s.Metrics.goodput_per_s;
+  Alcotest.(check (float 1e-9)) "throughput" 10. s.Metrics.throughput_per_s;
+  Alcotest.(check (float 1e-9)) "rejection rate" (1. /. 11.)
+    s.Metrics.rejection_rate;
+  Alcotest.(check (float 1e-9)) "mean batch" 2. s.Metrics.mean_batch;
+  (* each core busy 0.25 s of the 1 s horizon *)
+  Array.iter
+    (fun u -> Alcotest.(check (float 1e-9)) "core utilization" 0.25 u)
+    m.Metrics.core_utilization;
+  (* bucket 0: core0 busy, core1 idle -> mean 0.5; bucket 1: idle *)
+  Alcotest.(check (float 1e-9)) "occupancy bucket0" 0.5
+    m.Metrics.occupancy.(0);
+  Alcotest.(check (float 1e-9)) "occupancy bucket1" 0. m.Metrics.occupancy.(1)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end serve runs (tiny core + gesture net: fast to compile)    *)
+
+let gesture ~batch = Ascend.Nn.Gesture.build ~batch ()
+
+let open_spec ?(priority = 0) ?(slo_ms = 20.) ?(rate = 400.) ?(seed = 5) name
+    =
+  {
+    Serve.name;
+    build = gesture;
+    priority;
+    slo_ms;
+    workload =
+      Serve.Open_loop
+        (Load_gen.create ~rate_per_s:rate ~duration_s:0.2 ~seed ());
+  }
+
+let small_config ?(cores = 2) ?(queue_depth = 64) () =
+  { (Serve.default_config ~core:Config.tiny ~cores) with
+    Serve.duration_s = 0.2; max_batch = 4 }
+  |> fun c -> { c with Serve.queue_depth }
+
+let run_ok config specs =
+  match Serve.run config specs with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_serve_conservation () =
+  let r = run_ok (small_config ()) [ open_spec "gesture" ] in
+  let completed, rejected =
+    List.fold_left
+      (fun (c, j) (rec_ : Request.record) ->
+        match rec_.Request.outcome with
+        | Request.Completed -> (c + 1, j)
+        | Request.Rejected -> (c, j + 1))
+      (0, 0) r.Serve.records
+  in
+  let s = List.hd r.Serve.metrics.Metrics.summaries in
+  Alcotest.(check int) "offered = completed + rejected" s.Metrics.offered
+    (completed + rejected);
+  Alcotest.(check int) "summary agrees on completions" s.Metrics.completed
+    completed;
+  List.iter
+    (fun (b : Serve.batch_exec) ->
+      Alcotest.(check bool) "batch within bound" true
+        (b.Serve.bx_size >= 1 && b.Serve.bx_size <= 4);
+      Alcotest.(check bool) "core in range" true
+        (b.Serve.bx_core >= 0 && b.Serve.bx_core < 2);
+      Alcotest.(check bool) "positive span" true
+        (b.Serve.bx_finish_s > b.Serve.bx_start_s))
+    r.Serve.batches;
+  List.iter
+    (fun (rec_ : Request.record) ->
+      match rec_.Request.outcome with
+      | Request.Rejected -> ()
+      | Request.Completed ->
+        Alcotest.(check bool) "no time travel" true
+          (rec_.Request.start_s >= rec_.Request.request.Request.arrival_s
+          && rec_.Request.finish_s > rec_.Request.start_s))
+    r.Serve.records;
+  (* distinct (model, batch-size) pairs compile once; everything else
+     hits the memoized cost cache *)
+  Alcotest.(check bool) "cache does the work" true
+    (r.Serve.cost_misses <= 4 && r.Serve.cost_hits > r.Serve.cost_misses)
+
+let test_serve_open_loop_deterministic () =
+  let run () = run_ok (small_config ()) [ open_spec "gesture" ] in
+  let a = Json.to_string (Serve.to_json (run ())) in
+  let b = Json.to_string (Serve.to_json (run ())) in
+  Alcotest.(check string) "byte-identical JSON" a b;
+  let other =
+    run_ok (small_config ()) [ open_spec ~seed:6 "gesture" ]
+  in
+  Alcotest.(check bool) "different seed, different trace" true
+    (Json.to_string (Serve.to_json other) <> a)
+
+let test_serve_closed_loop_deterministic () =
+  let spec () =
+    {
+      Serve.name = "gesture";
+      build = gesture;
+      priority = 0;
+      slo_ms = 20.;
+      workload = Serve.Closed_loop { clients = 3; think_s = 0.002; seed = 9 };
+    }
+  in
+  let run () = run_ok (small_config ()) [ spec () ] in
+  let a = run () and b = run () in
+  Alcotest.(check string) "byte-identical JSON"
+    (Json.to_string (Serve.to_json a))
+    (Json.to_string (Serve.to_json b));
+  let s = List.hd a.Serve.metrics.Metrics.summaries in
+  Alcotest.(check bool) "clients kept the loop busy" true
+    (s.Metrics.completed > 3);
+  Alcotest.(check int) "closed loop never sheds" 0 s.Metrics.rejected
+
+let test_serve_qos_under_overload () =
+  (* one tiny core, two identical models, heavy load: the
+     high-priority model must see the shorter queueing delay *)
+  let mk name priority slo_ms seed =
+    {
+      (open_spec ~priority ~slo_ms ~rate:3000. ~seed name) with
+      Serve.build = gesture;
+    }
+  in
+  let config = small_config ~cores:1 ~queue_depth:16 () in
+  let r =
+    run_ok config [ mk "critical" 5 10. 21; mk "background" 0 50. 22 ]
+  in
+  let find name =
+    List.find
+      (fun s -> s.Metrics.model = name)
+      r.Serve.metrics.Metrics.summaries
+  in
+  let crit = find "critical" and bg = find "background" in
+  Alcotest.(check bool) "overload actually sheds" true
+    (crit.Metrics.rejected + bg.Metrics.rejected > 0);
+  Alcotest.(check bool) "high priority sees lower p95" true
+    (crit.Metrics.p95_ms < bg.Metrics.p95_ms);
+  Alcotest.(check bool) "high priority holds the tighter SLO" true
+    (crit.Metrics.slo_attainment >= bg.Metrics.slo_attainment)
+
+let test_serve_offline_bound () =
+  let r = run_ok (small_config ()) [ open_spec "gesture" ] in
+  (* the offline repack sees all work at t=0: its makespan can't exceed
+     the span the online run actually used *)
+  let online_busy_cycles =
+    List.fold_left (fun acc (b : Serve.batch_exec) -> acc + b.Serve.bx_cycles)
+      0 r.Serve.batches
+  in
+  Alcotest.(check bool) "offline makespan >= busy / cores" true
+    (r.Serve.offline_makespan_cycles * 2 >= online_busy_cycles);
+  Alcotest.(check bool) "offline utilization in (0,1]" true
+    (r.Serve.offline_utilization > 0. && r.Serve.offline_utilization <= 1.);
+  Alcotest.(check int) "one offline app per model" 1
+    (List.length (Serve.scheduler_apps r))
+
+let test_serve_rejects_bad_inputs () =
+  Alcotest.(check bool) "empty spec list raises" true
+    (try
+       ignore (Serve.run (small_config ()) []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate model names raise" true
+    (try
+       ignore
+         (Serve.run (small_config ())
+            [ open_spec "gesture"; open_spec "gesture" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "serving"
+    [
+      ( "load-gen",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_load_gen_deterministic;
+          Alcotest.test_case "uniform spacing" `Quick
+            test_load_gen_uniform_spacing;
+          Alcotest.test_case "poisson rate" `Quick test_poisson_rate;
+          Alcotest.test_case "bursty structure" `Quick test_bursty_structure;
+          q arrivals_well_formed_prop;
+        ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "coalescing bounds" `Quick
+            test_batcher_coalescing_bounds;
+          Alcotest.test_case "delay bound" `Quick test_batcher_delay_bound;
+          Alcotest.test_case "admission depth" `Quick
+            test_admission_sheds_only_past_depth;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "hand-computed trace" `Quick
+            test_metrics_hand_computed;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "conservation" `Quick test_serve_conservation;
+          Alcotest.test_case "open-loop determinism" `Quick
+            test_serve_open_loop_deterministic;
+          Alcotest.test_case "closed-loop determinism" `Quick
+            test_serve_closed_loop_deterministic;
+          Alcotest.test_case "qos under overload" `Quick
+            test_serve_qos_under_overload;
+          Alcotest.test_case "offline bound" `Quick test_serve_offline_bound;
+          Alcotest.test_case "invalid inputs" `Quick
+            test_serve_rejects_bad_inputs;
+        ] );
+    ]

@@ -207,6 +207,30 @@ let test_310_envelope () =
     Alcotest.(check bool) "decode-capacity bounded" true
       (r.Inference_soc.video_channels <= 16)
 
+let test_310_scheduled_vs_ideal_throughput () =
+  (* throughput_per_s is an idealization (cores / latency, no placement
+     cost); scheduled_throughput_per_s derives from a real §5.2 schedule
+     of the replicated workload.  Pin their relationship: the scheduled
+     number never exceeds the ideal, and on the 310 — one independent
+     replica stream per core — the list scheduler keeps each replica on
+     its own core, so the two coincide *)
+  let soc = Inference_soc.ascend310 in
+  match Inference_soc.run soc (Ascend.Nn.Resnet.v1_5_18 ()) with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check bool) "both positive" true
+      (r.Inference_soc.throughput_per_s > 0.
+      && r.Inference_soc.scheduled_throughput_per_s > 0.);
+    Alcotest.(check bool) "scheduled <= ideal" true
+      (r.Inference_soc.scheduled_throughput_per_s
+      <= r.Inference_soc.throughput_per_s *. (1. +. 1e-9));
+    (* per-layer tasks quantise to whole cycles, so allow rounding *)
+    let ratio =
+      r.Inference_soc.scheduled_throughput_per_s
+      /. r.Inference_soc.throughput_per_s
+    in
+    Alcotest.(check bool) "replicas stay core-local" true (ratio > 0.999)
+
 (* ------------------------------------------------------------------ *)
 (* Trace-driven LLC (§4.1 with the real cache)                         *)
 
@@ -276,6 +300,8 @@ let () =
       ( "inference-310",
         [
           Alcotest.test_case "envelope" `Quick test_310_envelope;
+          Alcotest.test_case "scheduled vs ideal throughput" `Quick
+            test_310_scheduled_vs_ideal_throughput;
           Alcotest.test_case "llc trace" `Quick test_llc_trace_monotone;
         ] );
       ("dvpp", [ Alcotest.test_case "throughput" `Quick test_dvpp ]);

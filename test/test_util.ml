@@ -188,6 +188,52 @@ let test_table () =
       Table.add_row t [ "x" ]);
   Alcotest.(check string) "ratio cell" "1.71x" (Table.cell_ratio 1.71)
 
+(* ------------------------------------------------------------------ *)
+(* Json                                                               *)
+
+module Json = Ascend.Util.Json
+
+let test_json_rendering () =
+  let doc =
+    Json.Obj
+      [
+        ("name", Json.String "a\"b\\c\nd\t");
+        ("n", Json.Int (-3));
+        ("xs", Json.List [ Json.Bool true; Json.Null; Json.Float 0.5 ]);
+        ("empty", Json.Obj []);
+      ]
+  in
+  Alcotest.(check string) "compact"
+    {|{"name":"a\"b\\c\nd\t","n":-3,"xs":[true,null,0.5],"empty":{}}|}
+    (Json.to_string doc);
+  (* pretty output parses back the same structure textually *)
+  Alcotest.(check bool) "pretty is multi-line" true
+    (String.contains (Json.to_string ~pretty:true doc) '\n')
+
+let test_json_float_repr () =
+  let s f = Json.to_string (Json.Float f) in
+  (* integers render with a trailing .0, everything else via %.9g, and
+     non-finite values become null (valid JSON, unlike nan/inf) *)
+  Alcotest.(check string) "integer-valued" "2.0" (s 2.);
+  Alcotest.(check string) "negative zero is zero" "-0.0" (s (-0.));
+  Alcotest.(check string) "fractional" "0.333333333" (s (1. /. 3.));
+  Alcotest.(check string) "nan -> null" "null" (s Float.nan);
+  Alcotest.(check string) "inf -> null" "null" (s Float.infinity)
+
+let test_json_deterministic () =
+  (* field order is the construction order: two structurally equal
+     documents print identically — the serving layer's byte-identical
+     reproducibility contract rests on this *)
+  let mk () =
+    Json.Obj
+      [ ("a", Json.Float 0.1); ("b", Json.List [ Json.Int 1; Json.Int 2 ]) ]
+  in
+  Alcotest.(check string) "stable" (Json.to_string (mk ()))
+    (Json.to_string (mk ()));
+  Alcotest.(check string) "stable pretty"
+    (Json.to_string ~pretty:true (mk ()))
+    (Json.to_string ~pretty:true (mk ()))
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "util"
@@ -225,5 +271,11 @@ let () =
         [
           Alcotest.test_case "units" `Quick test_units;
           Alcotest.test_case "table" `Quick test_table;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "rendering" `Quick test_json_rendering;
+          Alcotest.test_case "float repr" `Quick test_json_float_repr;
+          Alcotest.test_case "deterministic" `Quick test_json_deterministic;
         ] );
     ]
