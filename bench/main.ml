@@ -1240,6 +1240,111 @@ let streams () =
      exemplar tower hides entirely under its search tower@."
 
 (* ------------------------------------------------------------------ *)
+(* Execution service: serial vs parallel vs warm-cache compile         *)
+
+let compile () =
+  section_header "compile"
+    "execution service: serial vs parallel vs warm-cache compile+simulate \
+     over the zoo x Table-5 cores";
+  let module Service = Ascend.Exec.Service in
+  let module Cache = Ascend.Exec.Cache in
+  let workload =
+    List.concat_map
+      (fun (name, g) ->
+        List.filter_map
+          (fun config ->
+            if Config.supports config (Ascend.Nn.Graph.dtype g) then
+              Some (name, config, g)
+            else None)
+          Config.all)
+      [
+        ("gesture", Ascend.Nn.Gesture.build ());
+        ("resnet18", Ascend.Nn.Resnet.v1_5_18 ());
+        ("resnet50", Ascend.Nn.Resnet.v1_5 ());
+        ("mobilenet", Ascend.Nn.Mobilenet.v2 ());
+        ("bert-base-s32", Ascend.Nn.Bert.base ~seq_len:32 ());
+      ]
+  in
+  let programs =
+    List.fold_left
+      (fun acc (_, _, g) -> acc + List.length (Fusion.partition g))
+      0 workload
+  in
+  let run_all () =
+    List.map
+      (fun (name, config, g) ->
+        match Engine.run_inference config g with
+        | Ok r -> (name, config.Config.name, r.Engine.total_cycles)
+        | Error e -> failwith e)
+      workload
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* serial baseline: the engine's built-in path, no pool, no cache *)
+  Service.uninstall ();
+  let serial_results, serial_s = time run_all in
+  (* parallel cold pass: fresh service, every group is a miss *)
+  let jobs = max 4 (Ascend.Util.Domain_pool.default_jobs ()) in
+  let svc = Service.create ~jobs () in
+  Service.install svc;
+  let parallel_results, parallel_s = time run_all in
+  (* warm pass: same service, every group should hit the cache *)
+  let warm_before = Service.stats svc in
+  let warm_results, warm_s = time run_all in
+  let warm_after = Service.stats svc in
+  Service.shutdown svc;
+  Service.install_default ();
+  let identical =
+    serial_results = parallel_results && serial_results = warm_results
+  in
+  let warm_hits = warm_after.Cache.hits - warm_before.Cache.hits in
+  let warm_misses = warm_after.Cache.misses - warm_before.Cache.misses in
+  let warm_hit_rate =
+    float_of_int warm_hits /. float_of_int (max 1 (warm_hits + warm_misses))
+  in
+  let t =
+    Table.create
+      ~header:[ "pass"; "wall s"; "speedup vs serial"; "programs/s" ]
+      ()
+  in
+  List.iter
+    (fun (name, wall) ->
+      Table.add_row t
+        [
+          name;
+          Table.cell_float ~decimals:3 wall;
+          Table.cell_ratio (serial_s /. wall);
+          Table.cell_float ~decimals:0 (float_of_int programs /. wall);
+        ])
+    [
+      ("serial (no service)", serial_s);
+      (Printf.sprintf "parallel cold (%d domains)" jobs, parallel_s);
+      ("warm cache", warm_s);
+    ];
+  Table.print ~align:Table.Left t;
+  Format.printf
+    "%d model/core pairs, %d programs; results byte-identical across passes: \
+     %s; warm pass: %d hits / %d misses (%.1f%% hit rate)@."
+    (List.length workload) programs
+    (if identical then "yes" else "NO")
+    warm_hits warm_misses (100. *. warm_hit_rate);
+  Bench_json.record_int "model_core_pairs" (List.length workload);
+  Bench_json.record_int "programs" programs;
+  Bench_json.record_int "jobs" jobs;
+  Bench_json.record_float "serial_s" serial_s;
+  Bench_json.record_float "parallel_s" parallel_s;
+  Bench_json.record_float "warm_s" warm_s;
+  Bench_json.record_float "speedup" (serial_s /. parallel_s);
+  Bench_json.record_float "warm_speedup" (serial_s /. warm_s);
+  Bench_json.record_float "warm_hit_rate" warm_hit_rate;
+  Bench_json.record_float "programs_per_s"
+    (float_of_int programs /. parallel_s);
+  Bench_json.record_int "identical" (if identical then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: simulator micro-benchmarks                                *)
 
 let bechamel () =
@@ -1321,6 +1426,7 @@ let sections =
     ("ablations", ablations);
     ("slam", slam);
     ("streams", streams);
+    ("compile", compile);
     ("bechamel", bechamel);
   ]
 

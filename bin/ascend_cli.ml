@@ -419,7 +419,12 @@ let describe_options (o : Codegen.options) =
     | None -> "none"
     | Some r -> Printf.sprintf "%.2f" r)
 
+(* each combo renders its findings into its own buffer so combos can be
+   verified on worker domains and the reports printed in submission
+   order — `--jobs N` output is byte-identical to `--jobs 1` *)
 let lint_one ~verbose config options name graph =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
   let n_findings = ref 0 in
   let n_programs = ref 0 in
   (try
@@ -430,20 +435,21 @@ let lint_one ~verbose config options name graph =
          | [] -> ()
          | findings ->
            n_findings := !n_findings + List.length findings;
-           Format.printf "%s / %s / %s / %s:@." name config.Config.name
+           Format.fprintf ppf "%s / %s / %s / %s:@." name config.Config.name
              (describe_options options) grp.Fusion.tag;
-           Format.printf "%a" Verify.pp_report findings)
+           Format.fprintf ppf "%a" Verify.pp_report findings)
        (Codegen.graph_programs ~options config graph)
    with Invalid_argument e ->
      incr n_findings;
-     Format.printf "%s / %s / %s: codegen rejected: %s@." name
+     Format.fprintf ppf "%s / %s / %s: codegen rejected: %s@." name
        config.Config.name (describe_options options) e);
   if verbose && !n_findings = 0 then
-    Format.printf "%s / %s / %s: %d program(s) clean@." name config.Config.name
-      (describe_options options) !n_programs;
-  !n_findings
+    Format.fprintf ppf "%s / %s / %s: %d program(s) clean@." name
+      config.Config.name (describe_options options) !n_programs;
+  Format.pp_print_flush ppf ();
+  (Buffer.contents buf, !n_findings)
 
-let lint model_opt all core_opt verbose =
+let lint model_opt all core_opt verbose jobs =
   let selected_models =
     match (model_opt, all) with
     | Some (name, build), _ -> [ (name, build) ]
@@ -455,21 +461,39 @@ let lint model_opt all core_opt verbose =
   let selected_cores =
     match core_opt with Some c -> [ c ] | None -> List.map snd cores
   in
+  let combo_list =
+    List.concat_map
+      (fun (name, build) ->
+        let graph = build ~batch:1 in
+        List.concat_map
+          (fun config ->
+            if Config.supports config (Graph.dtype graph) then
+              List.map
+                (fun options -> (name, graph, config, options))
+                lint_option_combos
+            else [])
+          selected_cores)
+      selected_models
+  in
+  let pool =
+    Ascend.Util.Domain_pool.create
+      ?jobs:(if jobs <= 0 then None else Some jobs)
+      ()
+  in
+  let results =
+    Ascend.Util.Domain_pool.map pool
+      (fun (name, graph, config, options) ->
+        lint_one ~verbose config options name graph)
+      combo_list
+  in
+  Ascend.Util.Domain_pool.shutdown pool;
   let total = ref 0 in
-  let combos = ref 0 in
+  let combos = ref (List.length combo_list) in
   List.iter
-    (fun (name, build) ->
-      let graph = build ~batch:1 in
-      List.iter
-        (fun config ->
-          if Config.supports config (Graph.dtype graph) then
-            List.iter
-              (fun options ->
-                incr combos;
-                total := !total + lint_one ~verbose config options name graph)
-              lint_option_combos)
-        selected_cores)
-    selected_models;
+    (fun (output, n) ->
+      print_string output;
+      total := !total + n)
+    results;
   if !combos = 0 then begin
     prerr_endline
       "error: nothing to lint (selected core does not support the model's \
@@ -501,6 +525,13 @@ let lint_core_arg =
 let lint_verbose_arg =
   Arg.(value & flag & info [ "verbose" ] ~doc:"Report clean combinations too.")
 
+let lint_jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Verify combinations on $(docv) domains (0 = one per \
+                 recommended domain). Output is byte-identical regardless \
+                 of $(docv).")
+
 let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
@@ -510,7 +541,7 @@ let lint_cmd =
           flag leaks) across codegen option combinations. Exits non-zero on \
           any finding.")
     Term.(const lint $ lint_model_arg $ lint_all_arg $ lint_core_arg
-          $ lint_verbose_arg)
+          $ lint_verbose_arg $ lint_jobs_arg)
 
 (* --- list --------------------------------------------------------- *)
 

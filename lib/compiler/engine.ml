@@ -57,17 +57,39 @@ let collect config graph_name layer_results =
         0 layer_results;
   }
 
-let run_groups ?options config graph_name groups =
+let of_layer_results config graph_name results =
+  (* the first error in submission order wins, matching what a serial
+     short-circuiting run would have reported *)
   let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | g :: rest -> (
-      match run_group ?options config g with
-      | Error _ as e -> e
-      | Ok r -> go (r :: acc) rest)
+    | [] -> Ok (collect config graph_name (List.rev acc))
+    | Ok r :: rest -> go (r :: acc) rest
+    | Error e :: _ -> Error e
   in
-  match go [] groups with
-  | Error e -> Error e
-  | Ok layers -> Ok (collect config graph_name layers)
+  go [] results
+
+type group_runner =
+  ?options:Codegen.options -> Config.t -> Fusion.t list ->
+  (layer_result, string) result list
+
+(* [Ascend_exec.Service.install] routes this through its domain pool and
+   content-addressed cache; kept as a ref so lib/compiler does not
+   depend upward on lib/exec (same pattern as [Program.strict_checker]) *)
+let group_runner : group_runner option ref = ref None
+
+let run_groups ?options config graph_name groups =
+  match !group_runner with
+  | Some run -> of_layer_results config graph_name (run ?options config groups)
+  | None ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | g :: rest -> (
+        match run_group ?options config g with
+        | Error _ as e -> e
+        | Ok r -> go (r :: acc) rest)
+    in
+    (match go [] groups with
+    | Error e -> Error e
+    | Ok layers -> Ok (collect config graph_name layers))
 
 let run_inference ?options config graph =
   run_groups ?options config (Ascend_nn.Graph.name graph)
@@ -81,7 +103,7 @@ let backward_group graph (group : Fusion.t) =
   in
   Fusion.of_workloads ~tag:("bwd:" ^ group.tag) ~precision:group.precision w
 
-let run_training ?options config graph =
+let training_groups graph =
   let fwd = Fusion.partition graph in
   let bwd = List.rev_map (backward_group graph) fwd in
   (* drop empty backward groups (e.g. pure input stages) *)
@@ -90,9 +112,12 @@ let run_training ?options config graph =
       (fun (g : Fusion.t) -> g.gemms <> [] || g.vector_elems > 0.)
       bwd
   in
+  fwd @ bwd
+
+let run_training ?options config graph =
   run_groups ?options config
     (Ascend_nn.Graph.name graph ^ ":training")
-    (fwd @ bwd)
+    (training_groups graph)
 
 let seconds r =
   Ascend_util.Units.seconds_of_cycles ~cycles:r.total_cycles
@@ -120,9 +145,16 @@ let training_ratio_by_layer r =
                      && String.sub l.group.tag 0 4 = "bwd:"))
       r.layers
   in
-  let bwd_of tag =
-    List.find_opt (fun l -> l.group.Fusion.tag = "bwd:" ^ tag) bwd
-  in
+  (* index the backward layers once; the per-forward-layer List.find_opt
+     was quadratic in network depth (noticeable on the 24-block BERTs).
+     First binding wins, like the List.find_opt it replaces. *)
+  let bwd_tbl = Hashtbl.create (2 * List.length bwd) in
+  List.iter
+    (fun l ->
+      let tag = l.group.Fusion.tag in
+      if not (Hashtbl.mem bwd_tbl tag) then Hashtbl.add bwd_tbl tag l)
+    bwd;
+  let bwd_of tag = Hashtbl.find_opt bwd_tbl ("bwd:" ^ tag) in
   List.map
     (fun l ->
       let tag = l.group.Fusion.tag in

@@ -38,6 +38,29 @@ val run_group :
   ?options:Codegen.options -> Ascend_arch.Config.t -> Fusion.t ->
   (layer_result, string) result
 
+val training_groups : Ascend_nn.Graph.t -> Fusion.t list
+(** The groups [run_training] executes: forward groups followed by the
+    non-empty synthetic backward groups in reverse order. *)
+
+val of_layer_results :
+  Ascend_arch.Config.t -> string -> (layer_result, string) result list ->
+  (network_result, string) result
+(** Assemble per-group results (in submission order) into a network
+    result; the first [Error] in the list wins, matching a serial
+    short-circuiting run. *)
+
+type group_runner =
+  ?options:Codegen.options -> Ascend_arch.Config.t -> Fusion.t list ->
+  (layer_result, string) result list
+
+val group_runner : group_runner option ref
+(** Execution hook: when set, [run_inference]/[run_training]/[run_groups]
+    delegate the per-group compile+simulate fan-out to it instead of the
+    built-in serial loop.  [Ascend_exec.Service.install] points it at a
+    domain pool with a content-addressed result cache; results must be
+    returned in submission order.  Kept as a ref so [lib/compiler] does
+    not depend on [lib/exec] (the [Program.strict_checker] pattern). *)
+
 val seconds : network_result -> float
 val average_power_w : network_result -> float
 (** Energy over time plus the core's leakage floor. *)

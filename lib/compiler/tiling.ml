@@ -27,22 +27,74 @@ let legal (config : Config.t) ~precision ~mt ~kt ~nt =
   (* the drained tile must also double-buffer in the unified buffer *)
   && fits (float_of_int (mt * nt) *. acc) config.buffers.ub_bytes
 
-let cost (config : Config.t) ~precision ~img2col_expansion ~m ~k ~n ~mt ~kt ~nt =
+(* Everything the cost model derives from the problem alone — precision
+   sizes, port widths, MTE2 unique-byte totals, B-panel residency, the
+   vector drain total — is invariant across the (mt, kt, nt) candidate
+   triple loop of [choose], so it is computed once here and only the
+   genuinely per-candidate terms stay inside the loop. *)
+type cost_ctx = {
+  cc_config : Config.t;
+  cc_precision : Precision.t;
+  cc_src : float;
+  cc_m : int;
+  cc_k : int;
+  cc_n : int;
+  cc_img2col_expansion : float;
+  cc_a_port : float;
+  cc_b_port : float;
+  cc_a_unique : float;   (* MTE2: unique A bytes, im2col-compressed *)
+  cc_b_total : float;
+  cc_b_resident : bool;  (* whole B fits in half of L1 *)
+  cc_ext_bpc : float;
+  cc_vector : int;       (* vector drain of L0C through the UB port *)
+}
+
+let cost_ctx (config : Config.t) ~precision ~img2col_expansion ~m ~k ~n =
   let src, acc = sizes ~precision in
-  let m_tiles = div_up m mt and k_tiles = div_up k kt and n_tiles = div_up n nt in
+  let ext_bpc =
+    let bpc = Config.llc_bytes_per_cycle config in
+    if bpc > 0. then bpc else 16.
+  in
+  let a_unique = float_of_int (m * k) *. src /. img2col_expansion in
+  let b_total = float_of_int (k * n) *. src in
+  let out_bytes = float_of_int (m * n) *. acc in
+  {
+    cc_config = config;
+    cc_precision = precision;
+    cc_src = src;
+    cc_m = m;
+    cc_k = k;
+    cc_n = n;
+    cc_img2col_expansion = img2col_expansion;
+    cc_a_port = float_of_int config.bandwidth.l1_to_l0a;
+    cc_b_port = float_of_int config.bandwidth.l1_to_l0b;
+    cc_a_unique = a_unique;
+    cc_b_total = b_total;
+    cc_b_resident = b_total <= float_of_int config.buffers.l1_bytes /. 2.;
+    cc_ext_bpc = ext_bpc;
+    cc_vector =
+      int_of_float (ceil (out_bytes /. float_of_int config.bandwidth.ub_port));
+  }
+
+let cost_of_ctx ctx ~mt ~kt ~nt =
+  let m_tiles = div_up ctx.cc_m mt
+  and k_tiles = div_up ctx.cc_k kt
+  and n_tiles = div_up ctx.cc_n nt in
   let tiles = m_tiles * k_tiles * n_tiles in
   let tile_cycles =
-    Config.cube_tile_cycles config ~precision ~m:mt ~k:kt ~n:nt ()
+    Config.cube_tile_cycles ctx.cc_config ~precision:ctx.cc_precision ~m:mt
+      ~k:kt ~n:nt ()
   in
   let cube = tiles * (tile_cycles + Ascend_core_sim.Latency.cube_issue_overhead) in
   (* MTE1: per cube tile, one A move (im2col-compressed read, full write)
      and one B move *)
-  let a_tile_bytes = float_of_int (mt * kt) *. src in
-  let b_tile_bytes = float_of_int (kt * nt) *. src in
-  let a_port = float_of_int config.bandwidth.l1_to_l0a in
-  let b_port = float_of_int config.bandwidth.l1_to_l0b in
-  let a_move = Float.max a_tile_bytes (a_tile_bytes /. img2col_expansion) /. a_port in
-  let b_move = b_tile_bytes /. b_port in
+  let a_tile_bytes = float_of_int (mt * kt) *. ctx.cc_src in
+  let b_tile_bytes = float_of_int (kt * nt) *. ctx.cc_src in
+  let a_move =
+    Float.max a_tile_bytes (a_tile_bytes /. ctx.cc_img2col_expansion)
+    /. ctx.cc_a_port
+  in
+  let b_move = b_tile_bytes /. ctx.cc_b_port in
   let mte1 =
     tiles
     * (int_of_float (ceil (a_move +. b_move))
@@ -50,21 +102,18 @@ let cost (config : Config.t) ~precision ~img2col_expansion ~m ~k ~n ~mt ~kt ~nt 
   in
   (* MTE2: unique A bytes once, B panel per m tile (weights re-streamed
      unless the whole B fits in half of L1) *)
-  let ext_bpc =
-    let bpc = Config.llc_bytes_per_cycle config in
-    if bpc > 0. then bpc else 16.
+  let b_stream =
+    if ctx.cc_b_resident then ctx.cc_b_total
+    else ctx.cc_b_total *. float_of_int m_tiles
   in
-  let a_unique = float_of_int (m * k) *. src /. img2col_expansion in
-  let b_total = float_of_int (k * n) *. src in
-  let b_resident = b_total <= float_of_int config.buffers.l1_bytes /. 2. in
-  let b_stream = if b_resident then b_total else b_total *. float_of_int m_tiles in
-  let mte2 = int_of_float (ceil ((a_unique +. b_stream) /. ext_bpc)) in
-  (* vector drain of L0C tiles through the UB port *)
-  let out_bytes = float_of_int (m * n) *. acc in
-  let vector =
-    int_of_float (ceil (out_bytes /. float_of_int config.bandwidth.ub_port))
+  let mte2 =
+    int_of_float (ceil ((ctx.cc_a_unique +. b_stream) /. ctx.cc_ext_bpc))
   in
-  max (max cube mte1) (max mte2 vector)
+  max (max cube mte1) (max mte2 ctx.cc_vector)
+
+let cost (config : Config.t) ~precision ~img2col_expansion ~m ~k ~n ~mt ~kt ~nt =
+  cost_of_ctx (cost_ctx config ~precision ~img2col_expansion ~m ~k ~n) ~mt ~kt
+    ~nt
 
 let candidate_multiples = [ 1; 2; 4; 8; 16; 32; 64 ]
 
@@ -82,6 +131,12 @@ let choose config ~precision ?(img2col_expansion = 1.) ~m ~k ~n () =
     in
     List.sort_uniq compare cs
   in
+  (* the three candidate lists and the loop-invariant cost terms are
+     computed once; the triple loop evaluates only per-candidate work *)
+  let m_candidates = candidates dims.m m
+  and k_candidates = candidates dims.k k
+  and n_candidates = candidates dims.n n in
+  let ctx = cost_ctx config ~precision ~img2col_expansion ~m ~k ~n in
   let best = ref None in
   List.iter
     (fun mt ->
@@ -90,9 +145,7 @@ let choose config ~precision ?(img2col_expansion = 1.) ~m ~k ~n () =
           List.iter
             (fun nt ->
               if legal config ~precision ~mt ~kt ~nt then begin
-                let c =
-                  cost config ~precision ~img2col_expansion ~m ~k ~n ~mt ~kt ~nt
-                in
+                let c = cost_of_ctx ctx ~mt ~kt ~nt in
                 match !best with
                 | Some (bc, bmt, bkt, bnt)
                   when bc < c
@@ -100,9 +153,9 @@ let choose config ~precision ?(img2col_expansion = 1.) ~m ~k ~n () =
                   ignore (bmt, bkt, bnt)
                 | _ -> best := Some (c, mt, kt, nt)
               end)
-            (candidates dims.n n))
-        (candidates dims.k k))
-    (candidates dims.m m);
+            n_candidates)
+        k_candidates)
+    m_candidates;
   match !best with
   | None -> invalid_arg "Tiling.choose: no legal tiling"
   | Some (c, mt, kt, nt) ->

@@ -18,6 +18,10 @@
     - {!Core_sim} — the event-driven single-core simulator;
     - {!Compiler} — fusion, auto-tiling, code generation, memory
       planning, the compile-and-simulate engine;
+    - {!Exec} — the compile/simulate execution service: a domain pool
+      with deterministic ordered fan-out and a content-addressed cache
+      of compiled programs + simulator reports; linking this module
+      installs it behind [Engine.run_inference]/[run_training];
     - {!Tbe} — the TBE elementwise DSL and kernel lowering;
     - {!Noc} — mesh (flow and cycle level), ring, fat-tree;
     - {!Soc} — Ascend 910 / Kirin 990 / Ascend 610 integrations;
@@ -49,6 +53,7 @@ module Verify = Ascend_verify
 module Memory = Ascend_memory
 module Core_sim = Ascend_core_sim
 module Compiler = Ascend_compiler
+module Exec = Ascend_exec
 module Tbe = Ascend_tbe
 module Noc = Ascend_noc
 module Soc = Ascend_soc
@@ -61,6 +66,11 @@ module Vector_core = Ascend_vector_core
 (* make [Program.validate ~strict:true] work out of the box for every
    user of the umbrella library *)
 let () = Ascend_verify.install ()
+
+(* route every compile+simulate fan-out through the execution service's
+   domain pool and content-addressed cache ([ASCEND_JOBS] overrides the
+   worker count); outputs stay byte-identical to the serial path *)
+let () = Ascend_exec.Service.install_default ()
 
 (** Compile a graph and simulate inference on a named core version. *)
 let simulate ?(core = Arch.Config.Max) graph =

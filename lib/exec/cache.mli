@@ -1,0 +1,27 @@
+(** Bounded content-addressed result store.
+
+    Keys are stable digests (see {!Ascend_util.Stable_hash}); values are
+    whatever the service wants to reuse — here compiled programs plus
+    simulator reports.  Capacity-bound with LRU eviction; every lookup
+    counts a hit or a miss and every eviction is counted, so the cache's
+    effectiveness is observable as metrics ({!stats}). *)
+
+type 'v t
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val create : ?capacity:int -> unit -> 'v t
+(** Default capacity: 4096 entries.  Raises [Invalid_argument] on a
+    capacity below 1. *)
+
+val capacity : 'v t -> int
+
+val find : 'v t -> string -> 'v option
+(** Counts a hit or a miss and refreshes recency on hit. *)
+
+val add : 'v t -> string -> 'v -> unit
+(** Inserts unless present; evicts the least-recently-used entry when
+    full. *)
+
+val stats : 'v t -> stats
+val clear : 'v t -> unit

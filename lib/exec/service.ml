@@ -1,0 +1,171 @@
+module Config = Ascend_arch.Config
+module Precision = Ascend_arch.Precision
+module Hash = Ascend_util.Stable_hash
+module Pool = Ascend_util.Domain_pool
+module Engine = Ascend_compiler.Engine
+module Codegen = Ascend_compiler.Codegen
+module Fusion = Ascend_compiler.Fusion
+module Workload = Ascend_nn.Workload
+
+type t = {
+  pool : Pool.t;
+  cache : (Engine.layer_result, string) result Cache.t;
+}
+
+let create ?jobs ?capacity () =
+  { pool = Pool.create ?jobs (); cache = Cache.create ?capacity () }
+
+let jobs t = Pool.jobs t.pool
+let stats t = Cache.stats t.cache
+let clear t = Cache.clear t.cache
+let shutdown t = Pool.shutdown t.pool
+
+(* --- content addressing ------------------------------------------- *)
+
+let hash_precision h p = Hash.string h (Precision.name p)
+
+let hash_config h (c : Config.t) =
+  let h = Hash.string h c.Config.name in
+  let h = Hash.float h c.Config.frequency_ghz in
+  let h = Hash.int h c.Config.cube.Config.m in
+  let h = Hash.int h c.Config.cube.Config.k in
+  let h = Hash.int h c.Config.cube.Config.n in
+  let h = hash_precision h c.Config.native_precision in
+  let h = Hash.list hash_precision h c.Config.supported_precisions in
+  let h = Hash.int h c.Config.vector_width_bytes in
+  let b = c.Config.buffers in
+  let h = Hash.int h b.Config.l0a_bytes in
+  let h = Hash.int h b.Config.l0b_bytes in
+  let h = Hash.int h b.Config.l0c_bytes in
+  let h = Hash.int h b.Config.l1_bytes in
+  let h = Hash.int h b.Config.ub_bytes in
+  let bw = c.Config.bandwidth in
+  let h = Hash.int h bw.Config.l1_to_l0a in
+  let h = Hash.int h bw.Config.l1_to_l0b in
+  let h = Hash.int h bw.Config.ub_port in
+  let h = Hash.option Hash.float h bw.Config.llc_gb_s in
+  let h = Hash.int h c.Config.scalar_flops_per_cycle in
+  Hash.bool h c.Config.duplex_ub_vector
+
+let hash_options h (o : Codegen.options) =
+  let h = Hash.option Hash.float h o.Codegen.weight_sparsity in
+  let h = Hash.bool h o.Codegen.double_buffer in
+  let h = Hash.bool h o.Codegen.naive_tiling in
+  Hash.int h
+    (match o.Codegen.sync_mode with
+    | Codegen.Flags -> 0
+    | Codegen.Coarse_barriers -> 1)
+
+let hash_gemm h (g : Workload.gemm) =
+  let h = Hash.int h g.Workload.count in
+  let h = Hash.int h g.Workload.m in
+  let h = Hash.int h g.Workload.k in
+  Hash.int h g.Workload.n
+
+(* [Fusion.t.nodes] is deliberately excluded: codegen consumes only the
+   group's workload summary (gemms, vector elements, byte counts,
+   precision, im2col expansion) plus the tag that names the program, so
+   two groups equal on those fields compile to the same program.  The
+   caller's own group record is substituted back into cached results,
+   so even the bookkeeping [nodes] list stays the caller's. *)
+let hash_group h (g : Fusion.t) =
+  let h = Hash.string h g.Fusion.tag in
+  let h =
+    Hash.int h
+      (match g.Fusion.kind with
+      | Fusion.Cube_anchored -> 0
+      | Fusion.Vector_only -> 1)
+  in
+  let h = Hash.list hash_gemm h g.Fusion.gemms in
+  let h = Hash.float h g.Fusion.vector_elems in
+  let h = Hash.int h g.Fusion.input_bytes in
+  let h = Hash.int h g.Fusion.weight_bytes in
+  let h = Hash.int h g.Fusion.output_bytes in
+  let h = Hash.float h g.Fusion.img2col_expansion in
+  hash_precision h g.Fusion.precision
+
+let key ?(options = Codegen.default_options) config group =
+  Hash.to_hex
+    (hash_group (hash_options (hash_config Hash.empty config) options) group)
+
+(* --- execution ----------------------------------------------------- *)
+
+let subst_group g = function
+  | Ok lr -> Ok { lr with Engine.group = g }
+  | Error _ as e -> e
+
+(* Determinism argument (DESIGN.md §8): cache probes and insertions all
+   happen on the submitting domain in submission order; the pool only
+   computes the distinct missing keys and reassembles their results in
+   first-miss order.  Hence outputs, cache contents, counters and
+   eviction order are all independent of worker scheduling and of
+   [jobs]. *)
+let run_groups t ?options config groups =
+  let keys = List.map (fun g -> key ?options config g) groups in
+  let pending = Hashtbl.create 16 in
+  let rev_to_compute = ref [] in
+  let n_compute = ref 0 in
+  let plan =
+    List.map2
+      (fun g k ->
+        match Cache.find t.cache k with
+        | Some v -> `Hit (g, v)
+        | None -> (
+          match Hashtbl.find_opt pending k with
+          | Some slot -> `Slot (g, slot)
+          | None ->
+            let slot = !n_compute in
+            incr n_compute;
+            Hashtbl.add pending k slot;
+            rev_to_compute := (k, g) :: !rev_to_compute;
+            `Slot (g, slot)))
+      groups keys
+  in
+  let to_compute = List.rev !rev_to_compute in
+  let computed =
+    Pool.map t.pool (fun (_, g) -> Engine.run_group ?options config g)
+      to_compute
+  in
+  List.iter2 (fun (k, _) v -> Cache.add t.cache k v) to_compute computed;
+  let computed = Array.of_list computed in
+  List.map
+    (function
+      | `Hit (g, v) -> subst_group g v
+      | `Slot (g, slot) -> subst_group g computed.(slot))
+    plan
+
+let run_inference t ?options config graph =
+  Engine.of_layer_results config
+    (Ascend_nn.Graph.name graph)
+    (run_groups t ?options config (Fusion.partition graph))
+
+let run_training t ?options config graph =
+  Engine.of_layer_results config
+    (Ascend_nn.Graph.name graph ^ ":training")
+    (run_groups t ?options config (Engine.training_groups graph))
+
+(* --- Engine hook --------------------------------------------------- *)
+
+let install t =
+  Engine.group_runner :=
+    Some (fun ?options config groups -> run_groups t ?options config groups)
+
+let uninstall () = Engine.group_runner := None
+
+let default_instance = ref None
+
+let default () =
+  match !default_instance with
+  | Some t -> t
+  | None ->
+    let jobs =
+      match Sys.getenv_opt "ASCEND_JOBS" with
+      | Some s -> (
+        match int_of_string_opt s with Some j when j >= 1 -> Some j | _ -> None)
+      | None -> None
+    in
+    let t = create ?jobs () in
+    default_instance := Some t;
+    t
+
+let install_default () = install (default ())

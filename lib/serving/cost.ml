@@ -1,39 +1,46 @@
 module Engine = Ascend_compiler.Engine
+module Service = Ascend_exec.Service
 
 type entry = { cycles : int; latency_s : float; energy_j : float }
 
+(* One private execution service per oracle: serving sweeps re-price the
+   same handful of (model, batch) pairs thousands of times, and every
+   repeat resolves in the service's content-addressed cache at the
+   fused-group level.  The service is private (not [Service.default])
+   and single-domain so that a [Serve.run] is a pure function of its
+   inputs — counters included — regardless of what else the process ran
+   before. *)
 type t = {
   core : Ascend_arch.Config.t;
-  table : (string * int, (entry, string) result) Hashtbl.t;
+  service : Service.t;
   mutable hits : int;
   mutable misses : int;
 }
 
-let create ~core () = { core; table = Hashtbl.create 16; hits = 0; misses = 0 }
+let create ~core () =
+  { core; service = Service.create ~jobs:1 (); hits = 0; misses = 0 }
 
 let core t = t.core
 
-let lookup t ~model ~build ~batch =
+let lookup t ~model:_ ~build ~batch =
   if batch < 1 then invalid_arg "Cost.lookup: batch < 1";
-  match Hashtbl.find_opt t.table (model, batch) with
-  | Some r ->
-    t.hits <- t.hits + 1;
-    r
-  | None ->
-    t.misses <- t.misses + 1;
-    let r =
-      match Engine.run_inference t.core (build ~batch) with
-      | Error _ as e -> e
-      | Ok nr ->
-        Ok
-          {
-            cycles = nr.Engine.total_cycles;
-            latency_s = Engine.seconds nr;
-            energy_j = nr.Engine.total_energy_j;
-          }
-    in
-    Hashtbl.replace t.table (model, batch) r;
-    r
+  let before = Service.stats t.service in
+  let r =
+    match Service.run_inference t.service t.core (build ~batch) with
+    | Error _ as e -> e
+    | Ok nr ->
+      Ok
+        {
+          cycles = nr.Engine.total_cycles;
+          latency_s = Engine.seconds nr;
+          energy_j = nr.Engine.total_energy_j;
+        }
+  in
+  let after = Service.stats t.service in
+  t.hits <- t.hits + (after.Ascend_exec.Cache.hits - before.Ascend_exec.Cache.hits);
+  t.misses <-
+    t.misses + (after.Ascend_exec.Cache.misses - before.Ascend_exec.Cache.misses);
+  r
 
 let hits t = t.hits
 let misses t = t.misses

@@ -1,12 +1,15 @@
-(** Memoized batch-latency oracle over the real compiler + core
-    simulator path.
+(** Batch-latency oracle over the real compiler + core simulator path,
+    backed by the execution service's content-addressed cache.
 
     A serving sweep dispatches thousands of batches but only ever sees a
     handful of distinct (model, batch-size) pairs on its fixed core
-    version; each pair is compiled and simulated once
-    ({!Ascend_compiler.Engine.run_inference}) and cached, so request-level
-    simulation stays interactive while every latency number still comes
-    from the cycle-level simulator. *)
+    version.  Each pricing call compiles and simulates through a private
+    {!Ascend_exec.Service} whose cache is keyed by (config, fused group,
+    codegen options), so repeated pairs resolve without re-simulation
+    and request-level simulation stays interactive while every latency
+    number still comes from the cycle-level simulator.  The service is
+    private and single-domain, keeping a [Serve.run] — counters included
+    — a pure function of its inputs. *)
 
 type entry = {
   cycles : int;        (** one batch on one core *)
@@ -23,9 +26,11 @@ val core : t -> Ascend_arch.Config.t
 val lookup :
   t -> model:string -> build:(batch:int -> Ascend_nn.Graph.t) -> batch:int ->
   (entry, string) result
-(** Cached by [(model, batch)].  Raises [Invalid_argument] on
-    [batch < 1]. *)
+(** Compile+simulate [build ~batch] through the cached service.  Raises
+    [Invalid_argument] on [batch < 1]. *)
 
 val hits : t -> int
 val misses : t -> int
-(** Cache statistics: [misses] counts actual compile+simulate runs. *)
+(** Fused-group-level cache counters: [misses] counts actual
+    compile+simulate runs, [hits] counts group results served from the
+    content-addressed cache. *)

@@ -1,0 +1,30 @@
+(** Stable 64-bit content hashing (FNV-1a).
+
+    Unlike [Hashtbl.hash], the digest is defined purely by the sequence
+    of folded values — no dependence on heap representation, truncation
+    depth or process state — so it can serve as a content address for
+    compiled artifacts (see [Ascend_exec.Service]).  Collisions are
+    possible in principle (64-bit digest) but never across the few
+    thousand distinct keys a sweep produces in practice. *)
+
+type t
+
+val empty : t
+
+val int : t -> int -> t
+val int64 : t -> int64 -> t
+val float : t -> float -> t
+(** Folds the IEEE-754 bit pattern, so [0.] and [-0.] differ. *)
+
+val bool : t -> bool -> t
+val char : t -> char -> t
+
+val string : t -> string -> t
+(** Length-prefixed: [["ab"; "c"]] and [["a"; "bc"]] fold differently. *)
+
+val option : (t -> 'a -> t) -> t -> 'a option -> t
+val list : (t -> 'a -> t) -> t -> 'a list -> t
+val pair : (t -> 'a -> t) -> (t -> 'b -> t) -> t -> 'a * 'b -> t
+
+val to_hex : t -> string
+(** 16 lowercase hex digits. *)

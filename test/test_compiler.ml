@@ -40,6 +40,110 @@ let test_tiling_prefers_full_tiles () =
   Alcotest.(check bool) "covers problem" true
     (t.Tiling.m_tiles * t.Tiling.mt >= 256)
 
+(* Reference search: the same candidate space and selection rule as
+   [Tiling.choose], but scoring every triple through the public
+   per-call [Tiling.cost].  [choose] hoists the candidate lists and the
+   (mt,kt,nt)-invariant cost terms out of its triple loop; this pins
+   the hoisted path to the straightforward one. *)
+let reference_choose config ~precision ?(img2col_expansion = 1.) ~m ~k ~n () =
+  let div_up a b = (a + b - 1) / b in
+  let dims = Config.cube_dims_at config ~precision in
+  let candidates base limit =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun mult ->
+           let v = base * mult in
+           if v < limit + base then Some (min v (div_up limit base * base))
+           else None)
+         [ 1; 2; 4; 8; 16; 32; 64 ])
+  in
+  let best = ref None in
+  List.iter
+    (fun mt ->
+      List.iter
+        (fun kt ->
+          List.iter
+            (fun nt ->
+              if Tiling.legal config ~precision ~mt ~kt ~nt then
+                let c =
+                  Tiling.cost config ~precision ~img2col_expansion ~m ~k ~n
+                    ~mt ~kt ~nt
+                in
+                match !best with
+                | Some (bc, bmt, bkt, bnt)
+                  when bc < c || (bc = c && bmt * bkt * bnt >= mt * kt * nt) ->
+                  ()
+                | _ -> best := Some (c, mt, kt, nt))
+            (candidates dims.Config.n n))
+        (candidates dims.Config.k k))
+    (candidates dims.Config.m m);
+  match !best with
+  | None -> Alcotest.fail "reference_choose: no legal tiling"
+  | Some (c, mt, kt, nt) -> (mt, kt, nt, c)
+
+let quad = Alcotest.(pair (pair int int) (pair int int))
+let as_quad (t : Tiling.t) =
+  ((t.Tiling.mt, t.Tiling.kt), (t.Tiling.nt, t.Tiling.estimated_cycles))
+
+let test_tiling_choose_matches_reference_on_zoo () =
+  (* every GEMM of every fusion group of the zoo, on every supporting
+     core: the hoisted search picks exactly what the reference picks *)
+  let zoo =
+    [
+      ("gesture", Ascend.Nn.Gesture.build ());
+      ("resnet18", Ascend.Nn.Resnet.v1_5_18 ());
+      ("mobilenet", Ascend.Nn.Mobilenet.v2 ());
+      ("bert-base-s32", Ascend.Nn.Bert.base ~seq_len:32 ());
+    ]
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun config ->
+          if Config.supports config (Graph.dtype g) then
+            List.iter
+              (fun (grp : Fusion.t) ->
+                List.iter
+                  (fun (gemm : Ascend.Nn.Workload.gemm) ->
+                    let precision = grp.Fusion.precision in
+                    let img2col_expansion = grp.Fusion.img2col_expansion in
+                    let m = gemm.Ascend.Nn.Workload.m
+                    and k = gemm.Ascend.Nn.Workload.k
+                    and n = gemm.Ascend.Nn.Workload.n in
+                    incr checked;
+                    let chosen =
+                      Tiling.choose config ~precision ~img2col_expansion ~m ~k
+                        ~n ()
+                    in
+                    let expected =
+                      reference_choose config ~precision ~img2col_expansion ~m
+                        ~k ~n ()
+                    in
+                    Alcotest.check quad
+                      (Printf.sprintf "%s/%s/%s %dx%dx%d" name
+                         config.Config.name grp.Fusion.tag m k n)
+                      (let emt, ekt, ent, ec = expected in
+                       ((emt, ekt), (ent, ec)))
+                      (as_quad chosen))
+                  grp.Fusion.gemms)
+              (Fusion.partition g))
+        Config.all)
+    zoo;
+  Alcotest.(check bool) "covered a real population" true (!checked > 200)
+
+let tiling_choose_matches_reference_prop =
+  QCheck.Test.make ~count:60 ~name:"choose matches per-call cost reference"
+    QCheck.(triple (int_range 1 2048) (int_range 1 2048) (int_range 1 2048))
+    (fun (m, k, n) ->
+      let chosen =
+        Tiling.choose Config.max ~precision:Precision.Fp16 ~m ~k ~n ()
+      in
+      let emt, ekt, ent, ec =
+        reference_choose Config.max ~precision:Precision.Fp16 ~m ~k ~n ()
+      in
+      as_quad chosen = ((emt, ekt), (ent, ec)))
+
 (* ------------------------------------------------------------------ *)
 (* Fusion                                                             *)
 
@@ -475,8 +579,11 @@ let () =
       ( "tiling",
         [
           Alcotest.test_case "full tiles" `Quick test_tiling_prefers_full_tiles;
+          Alcotest.test_case "matches reference on zoo" `Quick
+            test_tiling_choose_matches_reference_on_zoo;
           q tiling_legal_prop;
           q tiling_legal_all_cores_prop;
+          q tiling_choose_matches_reference_prop;
         ] );
       ( "fusion",
         [

@@ -1,0 +1,234 @@
+(* Execution service (lib/exec): content-addressed cache semantics,
+   deterministic parallel fan-out, and byte-identity between cached,
+   uncached and parallel compile+simulate runs. *)
+
+module Config = Ascend.Arch.Config
+module Engine = Ascend.Compiler.Engine
+module Fusion = Ascend.Compiler.Fusion
+module Codegen = Ascend.Compiler.Codegen
+module Cache = Ascend.Exec.Cache
+module Service = Ascend.Exec.Service
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let resnet18 () = Ascend.Nn.Resnet.v1_5_18 ()
+
+let render r = Format.asprintf "%a" Engine.pp_layer_table r
+
+(* ------------------------------------------------------------------ *)
+(* Cache: LRU bookkeeping                                              *)
+
+let test_cache_hit_miss_counters () =
+  let c = Cache.create ~capacity:8 () in
+  Alcotest.(check bool) "miss on empty" true (Cache.find c "k1" = None);
+  Cache.add c "k1" 1;
+  Alcotest.(check bool) "hit after add" true (Cache.find c "k1" = Some 1);
+  ignore (Cache.find c "k2");
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Alcotest.(check int) "misses" 2 s.Cache.misses;
+  Alcotest.(check int) "entries" 1 s.Cache.entries;
+  Alcotest.(check int) "no evictions" 0 s.Cache.evictions
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  ignore (Cache.find c "a");
+  (* recency: a fresher than b *)
+  Cache.add c "c" 3;
+  (* b is the LRU entry *)
+  Alcotest.(check bool) "b evicted" true (Cache.find c "b" = None);
+  Alcotest.(check bool) "a kept" true (Cache.find c "a" = Some 1);
+  Alcotest.(check bool) "c kept" true (Cache.find c "c" = Some 3);
+  let s = Cache.stats c in
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  Alcotest.(check int) "bounded" 2 s.Cache.entries;
+  Alcotest.check_raises "capacity >= 1"
+    (Invalid_argument "Cache.create: capacity < 1") (fun () ->
+      ignore (Cache.create ~capacity:0 ()))
+
+let test_cache_add_is_insert_if_absent () =
+  let c = Cache.create ~capacity:4 () in
+  Cache.add c "k" 1;
+  Cache.add c "k" 2;
+  Alcotest.(check bool) "first insert wins" true (Cache.find c "k" = Some 1);
+  Alcotest.(check int) "one entry" 1 (Cache.stats c).Cache.entries
+
+(* ------------------------------------------------------------------ *)
+(* Keys: the content address covers what shapes the program            *)
+
+let test_key_covers_options_and_config () =
+  let g = resnet18 () in
+  let grp = List.hd (Fusion.partition g) in
+  let default = Service.key Config.max grp in
+  Alcotest.(check string)
+    "pure function of inputs" default (Service.key Config.max grp);
+  Alcotest.(check bool)
+    "double_buffer keyed" true
+    (default
+    <> Service.key
+         ~options:{ Codegen.default_options with Codegen.double_buffer = false }
+         Config.max grp);
+  Alcotest.(check bool)
+    "sync_mode keyed" true
+    (default
+    <> Service.key
+         ~options:
+           { Codegen.default_options with
+             Codegen.sync_mode = Codegen.Coarse_barriers }
+         Config.max grp);
+  Alcotest.(check bool)
+    "core version keyed" true (default <> Service.key Config.lite grp);
+  let other = List.nth (Fusion.partition g) 1 in
+  Alcotest.(check bool)
+    "group keyed" true (default <> Service.key Config.max other)
+
+(* ------------------------------------------------------------------ *)
+(* Service: hit/miss accounting and result reuse                       *)
+
+let test_service_accounting () =
+  let svc = Service.create ~jobs:1 () in
+  let g = resnet18 () in
+  let groups = List.length (Fusion.partition g) in
+  let r1 = ok (Service.run_inference svc Config.max g) in
+  let s1 = Service.stats svc in
+  Alcotest.(check int) "cold: all misses" groups s1.Cache.misses;
+  Alcotest.(check int) "cold: no hits" 0 s1.Cache.hits;
+  Alcotest.(check int) "cold: all stored" groups s1.Cache.entries;
+  let r2 = ok (Service.run_inference svc Config.max g) in
+  let s2 = Service.stats svc in
+  Alcotest.(check int) "warm: all hits" groups (s2.Cache.hits - s1.Cache.hits);
+  Alcotest.(check int) "warm: no new misses" s1.Cache.misses s2.Cache.misses;
+  Alcotest.(check string) "warm result byte-identical" (render r1) (render r2);
+  Service.clear svc;
+  Alcotest.(check int) "clear empties" 0 (Service.stats svc).Cache.entries;
+  Service.shutdown svc
+
+let test_service_matches_serial_engine () =
+  (* the façade installs the default service into Engine.run_groups at
+     link time; compare against the engine's built-in serial path *)
+  let g = resnet18 () in
+  Service.uninstall ();
+  let serial = ok (Engine.run_inference Config.max g) in
+  Service.install_default ();
+  let svc = Service.create ~jobs:4 () in
+  let cold = ok (Service.run_inference svc Config.max g) in
+  let warm = ok (Service.run_inference svc Config.max g) in
+  Service.shutdown svc;
+  Alcotest.(check string)
+    "parallel cold == serial" (render serial) (render cold);
+  Alcotest.(check string) "warm == serial" (render serial) (render warm);
+  Alcotest.(check int)
+    "cycles identical" serial.Engine.total_cycles cold.Engine.total_cycles
+
+let test_service_jobs_invariant () =
+  (* same work on 1 vs 4 domains: identical bytes AND identical counters *)
+  let g = resnet18 () in
+  let run jobs =
+    let svc = Service.create ~jobs () in
+    let r1 = render (ok (Service.run_inference svc Config.max g)) in
+    let r2 = render (ok (Service.run_training svc Config.standard g)) in
+    let s = Service.stats svc in
+    Service.shutdown svc;
+    (r1, r2, s)
+  in
+  let a1, a2, sa = run 1 in
+  let b1, b2, sb = run 4 in
+  Alcotest.(check string) "inference bytes" a1 b1;
+  Alcotest.(check string) "training bytes" a2 b2;
+  Alcotest.(check int) "hits" sa.Cache.hits sb.Cache.hits;
+  Alcotest.(check int) "misses" sa.Cache.misses sb.Cache.misses;
+  Alcotest.(check int) "entries" sa.Cache.entries sb.Cache.entries
+
+let test_service_dedups_within_batch () =
+  (* duplicate groups inside one submission compile once *)
+  let g = resnet18 () in
+  let grp = List.hd (Fusion.partition g) in
+  let svc = Service.create ~jobs:2 () in
+  let rs = Service.run_groups svc Config.max [ grp; grp; grp ] in
+  let s = Service.stats svc in
+  (* probes count per occurrence (all three miss the cold cache), but
+     only one entry is computed and stored *)
+  Alcotest.(check int) "three results" 3 (List.length rs);
+  Alcotest.(check int) "three probes miss" 3 s.Cache.misses;
+  Alcotest.(check int) "one entry stored" 1 s.Cache.entries;
+  let rs2 = Service.run_groups svc Config.max [ grp; grp; grp ] in
+  let s2 = Service.stats svc in
+  Service.shutdown svc;
+  Alcotest.(check int) "warm batch all hits" 3 (s2.Cache.hits - s.Cache.hits);
+  Alcotest.(check int) "no new misses" s.Cache.misses s2.Cache.misses;
+  Alcotest.(check int) "still one entry" 1 s2.Cache.entries;
+  Alcotest.(check bool) "warm results equal" true (rs = rs2);
+  match rs with
+  | [ Ok a; Ok b; Ok c ] ->
+    Alcotest.(check int) "same cycles" a.Engine.cube_cycles b.Engine.cube_cycles;
+    Alcotest.(check int)
+      "same cycles again" b.Engine.cube_cycles c.Engine.cube_cycles
+  | _ -> Alcotest.fail "expected three Ok results"
+
+let test_service_error_propagates () =
+  (* an unsupported dtype fails identically through the service *)
+  let g = Ascend.Nn.Resnet.v1_5_18 ~dtype:Ascend.Arch.Precision.Int4 () in
+  Service.uninstall ();
+  let serial = Engine.run_inference Config.max g in
+  Service.install_default ();
+  let svc = Service.create ~jobs:2 () in
+  let through = Service.run_inference svc Config.max g in
+  Service.shutdown svc;
+  match (serial, through) with
+  | Error a, Error b -> Alcotest.(check string) "same error" a b
+  | _ -> Alcotest.fail "expected both paths to reject int4 on Max"
+
+(* ------------------------------------------------------------------ *)
+(* Cost oracle delegates to the service cache                          *)
+
+let test_cost_counts_service_hits () =
+  let oracle = Ascend.Serving.Cost.create ~core:Config.standard () in
+  let build ~batch = Ascend.Nn.Resnet.v1_5_18 ~batch () in
+  let e1 = ok (Ascend.Serving.Cost.lookup oracle ~model:"r18" ~build ~batch:1) in
+  let cold_misses = Ascend.Serving.Cost.misses oracle in
+  let e2 = ok (Ascend.Serving.Cost.lookup oracle ~model:"r18" ~build ~batch:1) in
+  Alcotest.(check bool) "first call misses" true (cold_misses > 0);
+  Alcotest.(check int)
+    "repeat adds no misses" cold_misses
+    (Ascend.Serving.Cost.misses oracle);
+  Alcotest.(check bool)
+    "repeat hits the cache" true
+    (Ascend.Serving.Cost.hits oracle >= cold_misses);
+  Alcotest.(check int) "same cycles" e1.Ascend.Serving.Cost.cycles
+    e2.Ascend.Serving.Cost.cycles
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss counters" `Quick
+            test_cache_hit_miss_counters;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "insert if absent" `Quick
+            test_cache_add_is_insert_if_absent;
+        ] );
+      ( "key",
+        [
+          Alcotest.test_case "covers options and config" `Quick
+            test_key_covers_options_and_config;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "accounting" `Quick test_service_accounting;
+          Alcotest.test_case "matches serial engine" `Quick
+            test_service_matches_serial_engine;
+          Alcotest.test_case "jobs invariant" `Quick test_service_jobs_invariant;
+          Alcotest.test_case "dedup within batch" `Quick
+            test_service_dedups_within_batch;
+          Alcotest.test_case "error propagation" `Quick
+            test_service_error_propagates;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "delegates to cache" `Quick
+            test_cost_counts_service_hits;
+        ] );
+    ]

@@ -234,6 +234,50 @@ let test_json_deterministic () =
     (Json.to_string ~pretty:true (mk ()))
     (Json.to_string ~pretty:true (mk ()))
 
+(* ------------------------------------------------------------------ *)
+(* Stable_hash                                                        *)
+
+let test_stable_hash_known () =
+  (* FNV-1a reference vectors: the digest must never drift, it is the
+     execution service's cache address *)
+  let hex s = Stable_hash.(to_hex (string empty s)) in
+  Alcotest.(check string)
+    "offset basis" "cbf29ce484222325"
+    Stable_hash.(to_hex empty);
+  Alcotest.(check string)
+    "FNV-1a of 'a'" "af63dc4c8601ec8c"
+    Stable_hash.(to_hex (char empty 'a'));
+  Alcotest.(check bool) "distinct strings" true (hex "abc" <> hex "abd");
+  (* length prefix: concatenation is not ambiguous *)
+  Alcotest.(check bool)
+    "ab+c <> a+bc" true
+    Stable_hash.(
+      to_hex (string (string empty "ab") "c")
+      <> to_hex (string (string empty "a") "bc"))
+
+let test_stable_hash_floats () =
+  let h f = Stable_hash.(to_hex (float empty f)) in
+  Alcotest.(check string) "same float same hash" (h 3.14) (h 3.14);
+  Alcotest.(check bool) "different float" true (h 3.14 <> h 3.15);
+  Alcotest.(check bool) "+0 vs -0 distinct bits" true (h 0. <> h (-0.))
+
+let test_domain_pool_ordered () =
+  let pool = Domain_pool.create ~jobs:4 () in
+  let xs = List.init 100 (fun i -> i) in
+  let ys = Domain_pool.map pool (fun i -> i * i) xs in
+  Domain_pool.shutdown pool;
+  Alcotest.(check (list int)) "submission order" (List.map (fun i -> i * i) xs) ys
+
+let test_domain_pool_exception () =
+  let pool = Domain_pool.create ~jobs:2 () in
+  Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+      ignore (Domain_pool.map pool (fun i -> if i = 3 then failwith "boom" else i)
+                [ 1; 2; 3; 4 ]));
+  (* the pool survives a failed batch *)
+  let ys = Domain_pool.map pool (fun i -> i + 1) [ 1; 2; 3 ] in
+  Domain_pool.shutdown pool;
+  Alcotest.(check (list int)) "reusable after failure" [ 2; 3; 4 ] ys
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "util"
@@ -277,5 +321,15 @@ let () =
           Alcotest.test_case "rendering" `Quick test_json_rendering;
           Alcotest.test_case "float repr" `Quick test_json_float_repr;
           Alcotest.test_case "deterministic" `Quick test_json_deterministic;
+        ] );
+      ( "stable-hash",
+        [
+          Alcotest.test_case "known vectors" `Quick test_stable_hash_known;
+          Alcotest.test_case "floats" `Quick test_stable_hash_floats;
+        ] );
+      ( "domain-pool",
+        [
+          Alcotest.test_case "ordered" `Quick test_domain_pool_ordered;
+          Alcotest.test_case "exception" `Quick test_domain_pool_exception;
         ] );
     ]
