@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench check clean
+.PHONY: all build test lint bench trace check clean
 
 all: build
 
@@ -15,6 +15,11 @@ lint:
 
 bench:
 	dune exec bench/main.exe
+
+# capture a whole-model Chrome trace (open trace.json in Perfetto or
+# chrome://tracing); deterministic to the byte across runs
+trace:
+	dune exec bin/ascend_cli.exe -- trace resnet18 --core standard -o trace.json
 
 check: build test lint
 

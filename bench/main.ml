@@ -1345,6 +1345,61 @@ let compile () =
   Bench_json.record_int "identical" (if identical then 1 else 0)
 
 (* ------------------------------------------------------------------ *)
+(* lib/obs: tracing overhead                                           *)
+
+let trace () =
+  section_header "trace"
+    "observability overhead: per-instruction simulation with the collector \
+     absent vs installed (link-time hook: absent must cost nothing)";
+  let module Obs = Ascend.Obs in
+  let programs =
+    Ascend.Compiler.Codegen.graph_programs Config.max (Ascend.Nn.Mobilenet.v2 ())
+  in
+  let run () =
+    List.fold_left
+      (fun acc (_, p) ->
+        match Simulator.run Config.max p with
+        | Ok r -> acc + r.Simulator.total_cycles
+        | Error e -> failwith e)
+      0 programs
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Obs.Hook.uninstall ();
+  ignore (run ());
+  (* warm *)
+  let cycles_off, off_s = time run in
+  let collector = Obs.Collector.create ~capacity:2_000_000 () in
+  let cycles_on, on_s =
+    time (fun () -> Obs.Hook.with_collector collector run)
+  in
+  let events = Obs.Collector.length collector in
+  let dropped = Obs.Collector.dropped collector in
+  let ratio = on_s /. off_s in
+  let t = Table.create ~header:[ "pass"; "wall s"; "events collected" ] () in
+  Table.add_row t [ "collector absent"; Table.cell_float ~decimals:3 off_s; "0" ];
+  Table.add_row t
+    [ "collector installed"; Table.cell_float ~decimals:3 on_s;
+      string_of_int events ];
+  Table.print ~align:Table.Left t;
+  Format.printf
+    "%d programs, %d events (%d dropped); instrumented/plain wall ratio \
+     %.2fx; simulated cycles identical across passes: %s@."
+    (List.length programs) events dropped ratio
+    (if cycles_off = cycles_on then "yes" else "NO");
+  Bench_json.record_int "programs" (List.length programs);
+  Bench_json.record_int "events" events;
+  Bench_json.record_int "dropped" dropped;
+  Bench_json.record_int "total_cycles" cycles_on;
+  Bench_json.record_float "off_s" off_s;
+  Bench_json.record_float "on_s" on_s;
+  Bench_json.record_float "overhead_ratio" ratio;
+  Bench_json.record_int "cycles_identical" (if cycles_off = cycles_on then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: simulator micro-benchmarks                                *)
 
 let bechamel () =
@@ -1427,6 +1482,7 @@ let sections =
     ("slam", slam);
     ("streams", streams);
     ("compile", compile);
+    ("trace", trace);
     ("bechamel", bechamel);
   ]
 

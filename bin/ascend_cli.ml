@@ -4,7 +4,10 @@
      dune exec bin/ascend_cli.exe -- profile bert-large --core max --training
      dune exec bin/ascend_cli.exe -- disasm mobilenet --core lite --layer 3
      dune exec bin/ascend_cli.exe -- streams siamese --core standard --cores 4
-     dune exec bin/ascend_cli.exe -- list *)
+     dune exec bin/ascend_cli.exe -- trace gesture --core tiny -o trace.json
+     dune exec bin/ascend_cli.exe -- list
+
+   Run with no subcommand for the consolidated usage summary. *)
 
 open Cmdliner
 module Config = Ascend.Arch.Config
@@ -310,6 +313,16 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write the full metrics report as JSON ('-': stdout).")
 
+let serve_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Also capture the run's observability trace (request lifecycle \
+           spans, queue-depth and shed counters, batch spans, cost-oracle \
+           compile+simulate pipe spans) as Chrome trace-event JSON.")
+
 let broadcast ~what n = function
   | [ x ] -> Ok (List.init n (fun _ -> x))
   | l when List.length l = n -> Ok l
@@ -320,7 +333,7 @@ let broadcast ~what n = function
 
 let serve models core cores rates duration batch_max delay_ms queue_depth
     slos priorities process burst_factor burst_period_ms seed closed think_ms
-    bucket_ms json_path =
+    bucket_ms json_path trace_path =
   let n = List.length models in
   let ( let* ) = Result.bind in
   exit_of
@@ -364,13 +377,30 @@ let serve models core cores rates duration batch_max delay_ms queue_depth
          bucket_s = bucket_ms /. 1e3;
        }
      in
-     let* r = Serve.run config specs in
+     let collector =
+       Option.map
+         (fun _ -> Ascend.Obs.Collector.create ~capacity:262144 ())
+         trace_path
+     in
+     let* r =
+       match collector with
+       | None -> Serve.run config specs
+       | Some c ->
+         Ascend.Obs.Hook.with_collector c (fun () -> Serve.run config specs)
+     in
      Format.printf "%a" Serve.pp r;
      (match json_path with
      | None -> ()
      | Some "-" ->
        print_endline (Ascend.Util.Json.to_string ~pretty:true (Serve.to_json r))
      | Some path -> Ascend.Util.Json.write_file path (Serve.to_json r));
+     (match (trace_path, collector) with
+     | Some path, Some c ->
+       Ascend.Obs.Chrome_trace.write_file path c;
+       Format.printf "trace: wrote %s (%d events, %d dropped)@." path
+         (Ascend.Obs.Collector.length c)
+         (Ascend.Obs.Collector.dropped c)
+     | _ -> ());
      Ok ())
 
 let serve_cmd =
@@ -386,7 +416,7 @@ let serve_cmd =
       $ duration_arg $ batch_max_arg $ batch_delay_arg $ queue_depth_arg
       $ slo_arg $ priority_arg $ process_arg $ burst_factor_arg
       $ burst_period_arg $ seed_arg $ closed_arg $ think_arg $ bucket_arg
-      $ json_arg)
+      $ json_arg $ serve_trace_arg)
 
 (* --- lint --------------------------------------------------------- *)
 
@@ -543,6 +573,66 @@ let lint_cmd =
     Term.(const lint $ lint_model_arg $ lint_all_arg $ lint_core_arg
           $ lint_verbose_arg $ lint_jobs_arg)
 
+(* --- trace -------------------------------------------------------- *)
+
+module Exec_trace = Ascend.Exec.Trace
+module Obs = Ascend.Obs
+
+let trace_model_pos =
+  Arg.(value & pos 0 (some named_model_conv) None & info [] ~docv:"MODEL")
+
+let trace_model_opt =
+  Arg.(
+    value
+    & opt (some named_model_conv) None
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:"Model to trace (alternative to the positional argument).")
+
+let trace_output_arg =
+  Arg.(
+    value & opt string "trace.json"
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Chrome trace-event JSON output path.")
+
+let trace model_pos model_opt core batch output =
+  let chosen =
+    match (model_pos, model_opt) with
+    | Some m, None | None, Some m -> Ok m
+    | Some _, Some _ ->
+      Error "pass MODEL either positionally or via --model, not both"
+    | None, None -> Error "pass a MODEL (positionally or via --model)"
+  in
+  match chosen with
+  | Error e ->
+    prerr_endline ("error: " ^ e);
+    2
+  | Ok (name, build) ->
+    exit_of
+      (match Exec_trace.model core (build ~batch) with
+      | Error _ as e -> e
+      | Ok c ->
+        Ascend.Util.Json.write_file output c.Exec_trace.json;
+        print_string (Obs.Summary.render c.Exec_trace.summary);
+        Format.printf "%s on %s (batch %d): %d simulated cycles@." name
+          core.Config.name batch c.Exec_trace.total_cycles;
+        Format.printf "wrote %s (load in Perfetto or chrome://tracing)@."
+          output;
+        Ok ())
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Compile a model and capture its simulation as deterministic Chrome \
+          trace-event JSON (Perfetto / chrome://tracing loadable): \
+          per-instruction pipe spans and barrier instants on one process \
+          lane per fused group, stamped with simulated cycles — the same \
+          bytes on every run and under any --jobs/ASCEND_JOBS setting. Also \
+          prints a per-category self-time summary.")
+    Term.(
+      const trace $ trace_model_pos $ trace_model_opt $ core_arg $ batch_arg
+      $ trace_output_arg)
+
 (* --- list --------------------------------------------------------- *)
 
 let list_all () =
@@ -587,6 +677,64 @@ let list_cmd =
        ~doc:"List available models and the Table-5 core configurations.")
     Term.(const list_all $ const ())
 
+(* --- consolidated usage ------------------------------------------- *)
+
+(* one screen listing every subcommand with its flags; printed when the
+   CLI is invoked without a subcommand (README examples are synced
+   against this block) *)
+let usage =
+  {|ascend_cli - Ascend architectural simulator CLI
+
+usage: ascend_cli COMMAND [OPTIONS]
+
+  list
+      List available models and the Table-5 core configurations.
+
+  simulate MODEL [--core CORE] [--batch N] [--training]
+      Compile and simulate a model on one core.
+
+  profile MODEL [--core CORE] [--batch N] [--training]
+      Per-layer cube/vector cycle profile (paper Figures 4-8).
+
+  disasm MODEL [--core CORE] [--batch N] [--layer I]
+      Disassemble the generated program of one fused layer.
+
+  streams MODEL [--core CORE] [--batch N] [--cores N]
+      Graph-engine stream decomposition scheduled across cores.
+
+  serve MODEL[,MODEL...] [--core CORE] [--cores N] [--rate R[,R...]]
+        [--duration S] [--batch-max B] [--batch-delay-ms MS]
+        [--queue-depth N] [--slo-ms MS[,MS...]] [--priority P[,P...]]
+        [--process uniform|poisson|bursty] [--burst-factor F]
+        [--burst-period-ms MS] [--seed N] [--closed CLIENTS]
+        [--think-ms MS] [--bucket-ms MS] [--json FILE] [--trace FILE]
+      Request-level serving simulation: seeded load, dynamic batching,
+      QoS admission control, SLO metrics; --trace captures the run as
+      Chrome trace-event JSON.
+
+  lint [MODEL | --all] [--core CORE] [--verbose] [--jobs N]
+      Statically verify generated programs (deadlocks, RAW/WAR/WAW
+      hazards, buffer peaks, flag leaks); non-zero exit on findings.
+
+  trace MODEL [--model MODEL] [--core CORE] [--batch N] [-o FILE]
+      Deterministic Chrome trace of the compiled model's simulation
+      (per-instruction pipe spans, barrier instants) plus a
+      per-category self-time summary; byte-identical across runs and
+      --jobs/ASCEND_JOBS settings.
+
+models: resnet50 resnet18 mobilenet vgg16 bert-base bert-large gesture
+        siamese wide-deep pointnet face-detect fpn-detector
+cores:  tiny lite mini standard max   (--core, default: max)
+
+Run 'ascend_cli COMMAND --help' for full option documentation.|}
+
+let usage_term =
+  Term.(
+    const (fun () ->
+        print_endline usage;
+        0)
+    $ const ())
+
 let () =
   let info =
     Cmd.info "ascend_cli" ~version:Ascend.version
@@ -594,6 +742,6 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info
+       (Cmd.group ~default:usage_term info
           [ simulate_cmd; profile_cmd; disasm_cmd; streams_cmd; serve_cmd;
-            lint_cmd; list_cmd ]))
+            lint_cmd; list_cmd; trace_cmd ]))

@@ -15,6 +15,9 @@
       leaks); linking this module installs it as
       [Program.validate ~strict:true]'s checker;
     - {!Memory} — LLC, DRAM/HBM, MPAM/QoS, the memory-wall arithmetic;
+    - {!Obs} — the tracing/profiling hook, bounded event collector and
+      Chrome-trace / summary sinks; instrumented layers emit through
+      {!Obs.Hook} only while a collector is installed;
     - {!Core_sim} — the event-driven single-core simulator;
     - {!Compiler} — fusion, auto-tiling, code generation, memory
       planning, the compile-and-simulate engine;
@@ -50,6 +53,7 @@ module Tensor = Ascend_tensor
 module Nn = Ascend_nn
 module Isa = Ascend_isa
 module Verify = Ascend_verify
+module Obs = Ascend_obs
 module Memory = Ascend_memory
 module Core_sim = Ascend_core_sim
 module Compiler = Ascend_compiler

@@ -4,6 +4,7 @@ module Pipe = Ascend_isa.Pipe
 module Buffer_id = Ascend_isa.Buffer_id
 module Instruction = Ascend_isa.Instruction
 module Program = Ascend_isa.Program
+module Obs = Ascend_obs
 
 type pipe_stats = { busy_cycles : int; instruction_count : int }
 
@@ -49,6 +50,9 @@ type sim_state = {
   mutable macs : int;
   mutable trace_rev : trace_entry list;
   keep_trace : bool;
+  (* obs process lane for this run; -1 when no collector is installed,
+     which keeps every emission below a dead branch (zero allocation) *)
+  obs_pid : int;
 }
 
 let sem_queue st key =
@@ -116,6 +120,32 @@ let push_trace st ~index ~pipe ~start_cycle ~end_cycle instr =
     st.trace_rev <-
       { index; pipe; start_cycle; end_cycle; instr } :: st.trace_rev
 
+(* per-instruction obs span on the executing pipe's thread lane,
+   timestamped in simulated cycles *)
+let obs_span st ~pipe ~start ~finish instr =
+  if st.obs_pid >= 0 then begin
+    let name, args =
+      match instr with
+      | Instruction.Cube_matmul { m; k; n; _ } ->
+        ("cube_matmul", [ ("macs", Obs.Event.Int (m * k * n)) ])
+      | Instruction.Vector_op { op_name; bytes; _ } ->
+        ("vec_" ^ op_name, [ ("bytes", Obs.Event.Int bytes) ])
+      | Instruction.Mte_move { src; dst; bytes; _ } ->
+        ( Printf.sprintf "mte_%s_to_%s" (Buffer_id.name src)
+            (Buffer_id.name dst),
+          [ ("bytes", Obs.Event.Int bytes) ] )
+      | Instruction.Scalar_op _ -> ("scalar_op", [])
+      | Instruction.Set_flag { flag; _ } ->
+        ("set_flag", [ ("flag", Obs.Event.Int flag) ])
+      | Instruction.Wait_flag { flag; _ } ->
+        ("wait_flag", [ ("flag", Obs.Event.Int flag) ])
+      | Instruction.Barrier -> ("barrier", [])
+    in
+    Obs.Hook.span ~args ~cat:(Pipe.name pipe) ~name ~pid:st.obs_pid
+      ~tid:(Pipe.index pipe) ~ts:(float_of_int start)
+      ~dur:(float_of_int (finish - start)) ()
+  end
+
 (* Execute the head of a pipe if possible.  Returns true on progress. *)
 let try_advance st pipe_idx =
   match st.blocked_on_barrier.(pipe_idx) with
@@ -135,6 +165,12 @@ let try_advance st pipe_idx =
         Hashtbl.replace st.barriers id
           (count + 1, max latest st.pipe_time.(pipe_idx));
         st.blocked_on_barrier.(pipe_idx) <- Some id;
+        if st.obs_pid >= 0 then
+          Obs.Hook.instant
+            ~args:[ ("barrier", Obs.Event.Int id) ]
+            ~cat:"sync" ~name:"barrier_arrive" ~pid:st.obs_pid ~tid:pipe_idx
+            ~ts:(float_of_int st.pipe_time.(pipe_idx))
+            ();
         true
       | Instr (index, instr) -> (
         let finish_normal () =
@@ -154,7 +190,8 @@ let try_advance st pipe_idx =
           (match Instruction.pipe_of instr with
           | Some p ->
             push_trace st ~index ~pipe:p ~start_cycle:start ~end_cycle:finish
-              instr
+              instr;
+            obs_span st ~pipe:p ~start ~finish instr
           | None -> ());
           true
         in
@@ -172,6 +209,7 @@ let try_advance st pipe_idx =
             st.count.(pipe_idx) <- st.count.(pipe_idx) + 1;
             push_trace st ~index ~pipe:to_pipe ~start_cycle:start
               ~end_cycle:finish instr;
+            obs_span st ~pipe:to_pipe ~start ~finish instr;
             true
           end
         | _ -> finish_normal ()))
@@ -187,7 +225,12 @@ let release_barriers st =
             match b with
             | Some bid when bid = id ->
               st.blocked_on_barrier.(i) <- None;
-              st.pipe_time.(i) <- max st.pipe_time.(i) latest
+              st.pipe_time.(i) <- max st.pipe_time.(i) latest;
+              if st.obs_pid >= 0 then
+                Obs.Hook.instant
+                  ~args:[ ("barrier", Obs.Event.Int id) ]
+                  ~cat:"sync" ~name:"barrier_release" ~pid:st.obs_pid ~tid:i
+                  ~ts:(float_of_int latest) ()
             | _ -> ())
           st.blocked_on_barrier;
         Hashtbl.remove st.barriers id;
@@ -221,6 +264,19 @@ let run ?(trace = false) ?(validate = true) config (program : Program.t) =
   with
   | Error e -> Error (Printf.sprintf "validation: %s" e)
   | Ok () ->
+    let obs_pid =
+      if not (Obs.Hook.enabled ()) then -1
+      else begin
+        let pid =
+          Obs.Hook.alloc_pid ~name:("core:" ^ program.Program.program_name)
+        in
+        List.iter
+          (fun p ->
+            Obs.Hook.name_thread ~pid ~tid:(Pipe.index p) (Pipe.name p))
+          Pipe.all;
+        pid
+      end
+    in
     let st =
       {
         config;
@@ -237,6 +293,7 @@ let run ?(trace = false) ?(validate = true) config (program : Program.t) =
         macs = 0;
         trace_rev = [];
         keep_trace = trace;
+        obs_pid;
       }
     in
     (* distribute instructions to pipe queues in program order *)

@@ -4,6 +4,9 @@ let render ?(width = 72) (r : Simulator.report) =
   if r.Simulator.trace = [] then
     "(no trace recorded: run the simulator with ~trace:true)\n"
   else begin
+    (* Below 16 columns the chart degenerates (and width <= 0 would
+       crash Array.make / divide_round_up). *)
+    let width = max 16 width in
     let total = max 1 r.Simulator.total_cycles in
     let col cycle = min (width - 1) (cycle * width / total) in
     let rows =
@@ -37,7 +40,7 @@ let utilization_bars (r : Simulator.report) =
   List.iter
     (fun p ->
       let u = Simulator.utilization r p in
-      let filled = int_of_float (u *. 40.) in
+      let filled = max 0 (min 40 (int_of_float (u *. 40.))) in
       Buffer.add_string buf
         (Printf.sprintf "%-5s %5.1f%% |%s%s|\n" (Pipe.name p) (100. *. u)
            (String.make filled '=')

@@ -4,10 +4,12 @@
     Requires the report to have been produced with [~trace:true]. *)
 
 val render : ?width:int -> Simulator.report -> string
-(** [width] is the chart width in characters (default 72).  Busy spans
-    print as ['#'] (['%'] where distinct instructions merge into one
-    column), idle as ['.'].  Returns a note instead of a chart when the
-    trace is empty. *)
+(** [width] is the chart width in characters (default 72, clamped up
+    to 16: narrower charts degenerate and non-positive widths are
+    meaningless).  Busy spans print as ['#'] (['%'] where distinct
+    instructions merge into one column), idle as ['.'].  Returns a
+    note instead of a chart when the trace is empty; single-cycle
+    reports render a one-column-per-cycle chart. *)
 
 val utilization_bars : Simulator.report -> string
 (** One bar per pipe: name, percentage, and a 40-char bar — a compact

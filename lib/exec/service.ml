@@ -10,10 +10,20 @@ module Workload = Ascend_nn.Workload
 type t = {
   pool : Pool.t;
   cache : (Engine.layer_result, string) result Cache.t;
+  (* obs lane state, keyed on the collector it was allocated from so a
+     long-lived service re-registers itself with each new trace: the
+     pid, plus one logical-cycle clock per worker lane (virtual time —
+     job spans are stamped with cumulative simulated cycles, never
+     wall clock, so traces stay byte-identical across [jobs]) *)
+  mutable obs : (Ascend_obs.Collector.t * int * float array) option;
 }
 
 let create ?jobs ?capacity () =
-  { pool = Pool.create ?jobs (); cache = Cache.create ?capacity () }
+  {
+    pool = Pool.create ?jobs ();
+    cache = Cache.create ?capacity ();
+    obs = None;
+  }
 
 let jobs t = Pool.jobs t.pool
 let stats t = Cache.stats t.cache
@@ -88,6 +98,66 @@ let key ?(options = Codegen.default_options) config group =
   Hash.to_hex
     (hash_group (hash_options (hash_config Hash.empty config) options) group)
 
+(* --- observability ------------------------------------------------- *)
+
+module Obs = Ascend_obs
+
+(* Lane context for the currently installed collector (if any),
+   allocated on first use and re-allocated when a different collector
+   is installed.  Emission happens on the submitting domain after
+   [Pool.map] returns, in submission order — the pooled workers never
+   touch the collector, so the event stream is independent of worker
+   scheduling and of [jobs]. *)
+let obs_ctx t =
+  match Obs.Hook.installed () with
+  | None -> None
+  | Some c -> (
+    match t.obs with
+    | Some (c', pid, lanes) when c' == c -> Some (pid, lanes)
+    | _ ->
+      let pid = Obs.Collector.alloc_pid c ~name:"exec-service" in
+      let jobs = Pool.jobs t.pool in
+      for lane = 0 to jobs - 1 do
+        Obs.Collector.name_thread c ~pid ~tid:lane
+          (Printf.sprintf "lane%d" lane)
+      done;
+      let lanes = Array.make (max 1 jobs) 0. in
+      t.obs <- Some (c, pid, lanes);
+      Some (pid, lanes))
+
+(* job spans (one per compiled+simulated group, laid out round-robin on
+   the worker lanes) plus cache hit/miss/eviction counters *)
+let obs_record_batch t to_compute computed =
+  match obs_ctx t with
+  | None -> ()
+  | Some (pid, lanes) ->
+    List.iteri
+      (fun slot ((_, (g : Fusion.t)), v) ->
+        let lane = slot mod Array.length lanes in
+        let dur =
+          match v with
+          | Ok (lr : Engine.layer_result) ->
+            float_of_int
+              lr.Engine.report.Ascend_core_sim.Simulator.total_cycles
+          | Error _ -> 1.
+        in
+        Obs.Hook.span
+          ~args:[ ("slot", Obs.Event.Int slot) ]
+          ~cat:"exec" ~name:g.Fusion.tag ~pid ~tid:lane ~ts:lanes.(lane)
+          ~dur ();
+        lanes.(lane) <- lanes.(lane) +. dur)
+      (List.combine to_compute computed);
+    let s = Cache.stats t.cache in
+    let now = Array.fold_left Float.max 0. lanes in
+    let emit name value =
+      Obs.Hook.counter ~cat:"exec" ~name ~pid ~tid:0 ~ts:now
+        ~value:(float_of_int value) ()
+    in
+    emit "cache_hits" s.Cache.hits;
+    emit "cache_misses" s.Cache.misses;
+    emit "cache_evictions" s.Cache.evictions;
+    emit "cache_entries" s.Cache.entries
+
 (* --- execution ----------------------------------------------------- *)
 
 let subst_group g = function
@@ -127,6 +197,7 @@ let run_groups t ?options config groups =
       to_compute
   in
   List.iter2 (fun (k, _) v -> Cache.add t.cache k v) to_compute computed;
+  obs_record_batch t to_compute computed;
   let computed = Array.of_list computed in
   List.map
     (function

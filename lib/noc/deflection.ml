@@ -1,3 +1,5 @@
+module Obs = Ascend_obs
+
 type packet = { dst_row : int; dst_col : int; born : int; mutable injected : int }
 
 type t = {
@@ -13,7 +15,27 @@ type t = {
   mutable total_latency : int;
   mutable max_latency : int;
   mutable deflections : int;
+  mutable obs_pid : int;  (* lazily allocated obs lane; -1 = none *)
 }
+
+(* flit spans are sampled (1 in 61 by birth order — coprime with the
+   power-of-two-ish mesh sizes) so a saturated mesh doesn't flood the
+   collector; counters sample every 64 NoC cycles *)
+let obs_flit_sample_modulus = 61
+let obs_counter_period = 64
+
+let obs_pid t =
+  if t.obs_pid >= 0 then t.obs_pid
+  else begin
+    let pid =
+      Obs.Hook.alloc_pid ~name:(Printf.sprintf "noc:%dx%d" t.rows t.cols)
+    in
+    if pid >= 0 then begin
+      Obs.Hook.name_thread ~pid ~tid:0 "flits";
+      t.obs_pid <- pid
+    end;
+    pid
+  end
 
 let idx t r c = (r * t.cols) + c
 
@@ -31,6 +53,7 @@ let create ~rows ~cols =
     total_latency = 0;
     max_latency = 0;
     deflections = 0;
+    obs_pid = -1;
   }
 
 let inject t ~src_row ~src_col ~dst_row ~dst_col =
@@ -66,7 +89,20 @@ let step t =
           t.delivered <- t.delivered + 1;
           t.pending <- t.pending - 1;
           t.total_latency <- t.total_latency + lat;
-          t.max_latency <- max t.max_latency lat)
+          t.max_latency <- max t.max_latency lat;
+          if Obs.Hook.enabled () && p.born mod obs_flit_sample_modulus = 0
+          then
+            Obs.Hook.span
+              ~args:
+                [
+                  ("born", Obs.Event.Int p.born);
+                  ("dst_row", Obs.Event.Int r);
+                  ("dst_col", Obs.Event.Int c);
+                ]
+              ~cat:"noc" ~name:"flit" ~pid:(obs_pid t) ~tid:0
+              ~ts:(float_of_int p.injected)
+              ~dur:(float_of_int (max 1 lat))
+              ())
         arriving;
       (* ports that physically exist at this node *)
       let ports =
@@ -126,6 +162,18 @@ let step t =
       end
     done
   done;
+  if Obs.Hook.enabled () && t.clock mod obs_counter_period = 0 then begin
+    let pid = obs_pid t in
+    let ts = float_of_int t.clock in
+    let emit name value =
+      Obs.Hook.counter ~cat:"noc" ~name ~pid ~tid:0 ~ts
+        ~value:(float_of_int value) ()
+    in
+    emit "injected" t.seq;
+    emit "delivered" t.delivered;
+    emit "deflections" t.deflections;
+    emit "pending" t.pending
+  end;
   t.at_node <- next;
   t.clock <- t.clock + 1
 

@@ -134,17 +134,45 @@ let route_flows t flows =
       if step <= 1e-9 then continue_ := false
     end
   done;
-  Array.to_list
-    (Array.mapi
-       (fun i f ->
-         let h = hops f.src f.dst in
-         {
-           flow = f;
-           throughput = rate.(i);
-           hops = h;
-           latency_ns = float_of_int (h + 1) *. t.hop_latency_ns;
-         })
-       flows)
+  let results =
+    Array.to_list
+      (Array.mapi
+         (fun i f ->
+           let h = hops f.src f.dst in
+           {
+             flow = f;
+             throughput = rate.(i);
+             hops = h;
+             latency_ns = float_of_int (h + 1) *. t.hop_latency_ns;
+           })
+         flows)
+  in
+  (* obs: one instant per routed flow (ts = flow index — routing is
+     timeless, the lane is just an ordered inventory) plus the
+     aggregate allocated throughput as a counter sample *)
+  (if Ascend_obs.Hook.enabled () then begin
+     let pid =
+       Ascend_obs.Hook.alloc_pid
+         ~name:(Printf.sprintf "noc-flows:%dx%d" t.mesh_rows t.mesh_cols)
+     in
+     Ascend_obs.Hook.name_thread ~pid ~tid:0 "flows";
+     List.iteri
+       (fun i fr ->
+         Ascend_obs.Hook.instant
+           ~args:
+             [
+               ("throughput_gb_s", Ascend_obs.Event.Float (fr.throughput /. 1e9));
+               ("hops", Ascend_obs.Event.Int fr.hops);
+             ]
+           ~cat:"noc" ~name:"flow" ~pid ~tid:0 ~ts:(float_of_int i) ())
+       results;
+     Ascend_obs.Hook.counter ~cat:"noc" ~name:"flow_throughput_gb_s" ~pid
+       ~tid:0
+       ~ts:(float_of_int (List.length results))
+       ~value:(List.fold_left (fun a fr -> a +. fr.throughput) 0. results /. 1e9)
+       ()
+   end);
+  results
 
 let bisection_bandwidth t =
   (* cut between col c/2-1 and c/2: [rows] links each direction *)

@@ -1,0 +1,63 @@
+module Json = Ascend_util.Json
+
+let args_json args =
+  Json.Obj (List.map (fun (k, a) -> (k, Event.arg_to_json a)) args)
+
+let base (e : Event.t) ph rest =
+  Json.Obj
+    ([
+       ("name", Json.String e.name);
+       ("cat", Json.String e.cat);
+       ("ph", Json.String ph);
+       ("pid", Json.Int e.pid);
+       ("tid", Json.Int e.tid);
+       ("ts", Json.Float e.ts);
+     ]
+    @ rest)
+
+let event_json (e : Event.t) =
+  match e.kind with
+  | Event.Span { dur } ->
+    base e "X" (("dur", Json.Float dur) :: ("args", args_json e.args) :: [])
+  | Event.Instant ->
+    base e "i" [ ("s", Json.String "t"); ("args", args_json e.args) ]
+  | Event.Counter { value } ->
+    (* Chrome counters take their series from args; extra args would
+       become spurious series, so the sample value is the only one. *)
+    base e "C" [ ("args", Json.Obj [ ("value", Json.Float value) ]) ]
+
+let metadata collector =
+  let proc (pid, name) =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+  and thread (pid, tid, name) =
+    Json.Obj
+      [
+        ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+  in
+  List.map proc (Collector.processes collector)
+  @ List.map thread (Collector.threads collector)
+
+let to_json collector =
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          (metadata collector
+          @ List.map event_json (Collector.events collector)) );
+      ("displayTimeUnit", Json.String "ms");
+      ("droppedEvents", Json.Int (Collector.dropped collector));
+    ]
+
+let write_file path collector = Json.write_file path (to_json collector)

@@ -1,0 +1,19 @@
+(** Chrome trace-event JSON sink ([chrome://tracing] / Perfetto
+    loadable).
+
+    Layout: one trace "process" per simulated core or subsystem
+    ([Event.pid]), one "thread" per pipe/queue/worker lane
+    ([Event.tid]).  Spans emit as complete events ([ph:"X"] with
+    [ts]/[dur]), instants as thread-scoped [ph:"i"], counters as
+    [ph:"C"] series.  Process/thread display names from the
+    collector's registries emit first as [ph:"M"] metadata, sorted by
+    lane, then the events in record order — so the document is a pure
+    function of the collected events and renders to the same bytes
+    every time. *)
+
+val to_json : Collector.t -> Ascend_util.Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms",
+    "droppedEvents": n}]. *)
+
+val write_file : string -> Collector.t -> unit
+(** Pretty-printed via [Ascend_util.Json.write_file]. *)

@@ -1,0 +1,65 @@
+type t = {
+  mutex : Mutex.t;
+  capacity : int;
+  mutable events : Event.t list;  (* newest first *)
+  mutable length : int;
+  mutable dropped : int;
+  mutable next_pid : int;
+  mutable procs : (int * string) list;  (* newest first *)
+  mutable thrs : (int * int * string) list;  (* newest first *)
+}
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Collector.create: capacity < 1";
+  {
+    mutex = Mutex.create ();
+    capacity;
+    events = [];
+    length = 0;
+    dropped = 0;
+    next_pid = 1;
+    procs = [];
+    thrs = [];
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let capacity t = t.capacity
+
+let record t e =
+  locked t (fun () ->
+      if t.length >= t.capacity then t.dropped <- t.dropped + 1
+      else begin
+        t.events <- e :: t.events;
+        t.length <- t.length + 1
+      end)
+
+let length t = locked t (fun () -> t.length)
+let dropped t = locked t (fun () -> t.dropped)
+let events t = locked t (fun () -> List.rev t.events)
+
+let alloc_pid t ~name =
+  locked t (fun () ->
+      let pid = t.next_pid in
+      t.next_pid <- pid + 1;
+      t.procs <- (pid, name) :: t.procs;
+      pid)
+
+let name_thread t ~pid ~tid name =
+  locked t (fun () ->
+      t.thrs <-
+        (pid, tid, name)
+        :: List.filter (fun (p, i, _) -> p <> pid || i <> tid) t.thrs)
+
+let processes t =
+  locked t (fun () -> List.sort compare (List.rev t.procs))
+
+let threads t = locked t (fun () -> List.sort compare (List.rev t.thrs))
+
+let clear t =
+  locked t (fun () ->
+      t.events <- [];
+      t.length <- 0;
+      t.dropped <- 0)

@@ -1,0 +1,50 @@
+(** Bounded in-memory event collector.
+
+    Thread-safe (one mutex; emission from pooled exec domains is
+    already serialized by the layers' determinism contracts, but the
+    collector itself must never corrupt under concurrent [record]).
+    Capacity-bounded: once full, new events are {e dropped} and
+    counted — a trace never grows without bound, and the drop count is
+    reported by both sinks so truncation is visible, not silent.
+
+    The collector also owns the lane registries: [pid]s are allocated
+    here (in call order, so a deterministic program gets deterministic
+    lane numbering) and process/thread display names are recorded for
+    the Chrome metadata events. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 65536 events.  Raises [Invalid_argument] on
+    [capacity < 1]. *)
+
+val capacity : t -> int
+
+val record : t -> Event.t -> unit
+(** Append in arrival order; silently counted as dropped when full. *)
+
+val length : t -> int
+(** Events currently held (<= capacity). *)
+
+val dropped : t -> int
+(** Events refused because the collector was full. *)
+
+val events : t -> Event.t list
+(** In record order. *)
+
+val alloc_pid : t -> name:string -> int
+(** Next process lane (starting at 1), registered under [name]. *)
+
+val name_thread : t -> pid:int -> tid:int -> string -> unit
+(** Register a display name for thread lane [tid] of [pid]; the last
+    registration for a given lane wins. *)
+
+val processes : t -> (int * string) list
+(** [(pid, name)] sorted by pid. *)
+
+val threads : t -> (int * int * string) list
+(** [(pid, tid, name)] sorted by (pid, tid). *)
+
+val clear : t -> unit
+(** Drop all events and counters; lane registries are kept (the
+    instrumented layers cache their pids). *)

@@ -1,0 +1,38 @@
+type arg =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+type kind =
+  | Span of { dur : float }
+  | Instant
+  | Counter of { value : float }
+
+type t = {
+  name : string;
+  cat : string;
+  pid : int;
+  tid : int;
+  ts : float;
+  kind : kind;
+  args : (string * arg) list;
+}
+
+let make ?(args = []) ~cat ~name ~pid ~tid ~ts kind =
+  { name; cat; pid; tid; ts; kind; args }
+
+let span ?args ~cat ~name ~pid ~tid ~ts ~dur () =
+  make ?args ~cat ~name ~pid ~tid ~ts (Span { dur })
+
+let instant ?args ~cat ~name ~pid ~tid ~ts () =
+  make ?args ~cat ~name ~pid ~tid ~ts Instant
+
+let counter ?args ~cat ~name ~pid ~tid ~ts ~value () =
+  make ?args ~cat ~name ~pid ~tid ~ts (Counter { value })
+
+let arg_to_json = function
+  | Int i -> Ascend_util.Json.Int i
+  | Float f -> Ascend_util.Json.Float f
+  | String s -> Ascend_util.Json.String s
+  | Bool b -> Ascend_util.Json.Bool b

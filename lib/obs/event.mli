@@ -1,0 +1,67 @@
+(** The typed trace event model shared by every instrumented layer.
+
+    Timestamps are {b virtual time}: simulated cycles, simulated
+    seconds scaled to microseconds, or a logical sequence number —
+    whatever clock the emitting layer already advances
+    deterministically.  Wall-clock time never appears, which is what
+    makes a trace byte-identical across runs and [--jobs] settings.
+    The unit only has to be consistent within one [pid] lane; Chrome's
+    viewer labels the axis "us" but renders any monotone scale. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+type kind =
+  | Span of { dur : float }  (** a named interval: [ts .. ts + dur] *)
+  | Instant  (** a point marker on a thread lane *)
+  | Counter of { value : float }
+      (** one sample of a named series; emit monotone values for
+          cumulative counts (hits, sheds), raw values for gauges
+          (queue depth) *)
+
+type t = {
+  name : string;
+  cat : string;  (** category: aggregation key for {!Summary} *)
+  pid : int;  (** process lane: one simulated core / subsystem *)
+  tid : int;  (** thread lane within [pid]: pipe, queue, worker *)
+  ts : float;  (** virtual timestamp (see above) *)
+  kind : kind;
+  args : (string * arg) list;  (** printed in the given order *)
+}
+
+val span :
+  ?args:(string * arg) list ->
+  cat:string ->
+  name:string ->
+  pid:int ->
+  tid:int ->
+  ts:float ->
+  dur:float ->
+  unit ->
+  t
+
+val instant :
+  ?args:(string * arg) list ->
+  cat:string ->
+  name:string ->
+  pid:int ->
+  tid:int ->
+  ts:float ->
+  unit ->
+  t
+
+val counter :
+  ?args:(string * arg) list ->
+  cat:string ->
+  name:string ->
+  pid:int ->
+  tid:int ->
+  ts:float ->
+  value:float ->
+  unit ->
+  t
+
+val arg_to_json : arg -> Ascend_util.Json.t

@@ -1,0 +1,38 @@
+let collector : Collector.t option ref = ref None
+
+let install c = collector := Some c
+let uninstall () = collector := None
+let installed () = !collector
+let enabled () = Option.is_some !collector
+
+let with_collector c f =
+  let prev = !collector in
+  collector := Some c;
+  Fun.protect ~finally:(fun () -> collector := prev) f
+
+let alloc_pid ~name =
+  match !collector with Some c -> Collector.alloc_pid c ~name | None -> -1
+
+let name_thread ~pid ~tid name =
+  match !collector with
+  | Some c when pid >= 0 -> Collector.name_thread c ~pid ~tid name
+  | _ -> ()
+
+let span ?args ~cat ~name ~pid ~tid ~ts ~dur () =
+  match !collector with
+  | Some c when pid >= 0 ->
+    Collector.record c (Event.span ?args ~cat ~name ~pid ~tid ~ts ~dur ())
+  | _ -> ()
+
+let instant ?args ~cat ~name ~pid ~tid ~ts () =
+  match !collector with
+  | Some c when pid >= 0 ->
+    Collector.record c (Event.instant ?args ~cat ~name ~pid ~tid ~ts ())
+  | _ -> ()
+
+let counter ?args ~cat ~name ~pid ~tid ~ts ~value () =
+  match !collector with
+  | Some c when pid >= 0 ->
+    Collector.record c
+      (Event.counter ?args ~cat ~name ~pid ~tid ~ts ~value ())
+  | _ -> ()

@@ -1,0 +1,185 @@
+module Json = Ascend_util.Json
+
+type row = {
+  cat : string;
+  span_count : int;
+  total : float;
+  self : float;
+  instant_count : int;
+}
+
+type t = {
+  rows : row list;
+  counters : (string * float * float) list;
+  events : int;
+  dropped : int;
+}
+
+type acc = {
+  mutable spans : int;
+  mutable sum : float;
+  mutable self_sum : float;
+  mutable instants : int;
+}
+
+let build collector =
+  let events = Collector.events collector in
+  let cats : (string, acc) Hashtbl.t = Hashtbl.create 16 in
+  let cat_acc c =
+    match Hashtbl.find_opt cats c with
+    | Some a -> a
+    | None ->
+      let a = { spans = 0; sum = 0.; self_sum = 0.; instants = 0 } in
+      Hashtbl.add cats c a;
+      a
+  in
+  (* counters: series -> (last, max), last in record order *)
+  let counters : (string, float * float) Hashtbl.t = Hashtbl.create 16 in
+  (* spans grouped per (pid, tid) lane, keeping record order as a
+     deterministic tie-break for the sort below *)
+  let lanes : (int * int, (int * float * float * string) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iteri
+    (fun seq (e : Event.t) ->
+      match e.kind with
+      | Event.Span { dur } ->
+        let a = cat_acc e.cat in
+        a.spans <- a.spans + 1;
+        a.sum <- a.sum +. dur;
+        a.self_sum <- a.self_sum +. dur;
+        let key = (e.pid, e.tid) in
+        let cell =
+          match Hashtbl.find_opt lanes key with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.add lanes key r;
+            r
+        in
+        cell := (seq, e.ts, dur, e.cat) :: !cell
+      | Event.Instant ->
+        let a = cat_acc e.cat in
+        a.instants <- a.instants + 1
+      | Event.Counter { value } ->
+        let max' =
+          match Hashtbl.find_opt counters e.name with
+          | Some (_, m) -> Float.max m value
+          | None -> value
+        in
+        Hashtbl.replace counters e.name (value, max'))
+    events;
+  (* self time: per-lane stack walk; a span nested inside another
+     subtracts its (clipped) duration from the enclosing span's
+     category *)
+  Hashtbl.iter
+    (fun _ cell ->
+      let spans =
+        List.sort
+          (fun (s1, t1, d1, _) (s2, t2, d2, _) ->
+            if t1 <> t2 then compare t1 t2
+            else if d1 <> d2 then compare d2 d1 (* longer first: outer *)
+            else compare s1 s2)
+          !cell
+      in
+      let stack : (float * string) list ref = ref [] in
+      List.iter
+        (fun (_, ts, dur, cat) ->
+          let rec pop () =
+            match !stack with
+            | (finish, _) :: rest when finish <= ts ->
+              stack := rest;
+              pop ()
+            | _ -> ()
+          in
+          pop ();
+          (match !stack with
+          | (parent_finish, parent_cat) :: _ ->
+            let covered =
+              Float.max 0. (Float.min (ts +. dur) parent_finish -. ts)
+            in
+            let pa = cat_acc parent_cat in
+            pa.self_sum <- pa.self_sum -. covered
+          | [] -> ());
+          stack := (ts +. dur, cat) :: !stack)
+        spans)
+    lanes;
+  let rows =
+    Hashtbl.fold
+      (fun cat a acc ->
+        {
+          cat;
+          span_count = a.spans;
+          total = a.sum;
+          self = Float.max 0. a.self_sum;
+          instant_count = a.instants;
+        }
+        :: acc)
+      cats []
+    |> List.sort (fun a b -> compare a.cat b.cat)
+  in
+  let counter_rows =
+    Hashtbl.fold (fun name (last, mx) acc -> (name, last, mx) :: acc)
+      counters []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  {
+    rows;
+    counters = counter_rows;
+    events = List.length events;
+    dropped = Collector.dropped collector;
+  }
+
+let to_json t =
+  Json.Obj
+    [
+      ( "categories",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("cat", Json.String r.cat);
+                   ("spans", Json.Int r.span_count);
+                   ("total", Json.Float r.total);
+                   ("self", Json.Float r.self);
+                   ("instants", Json.Int r.instant_count);
+                 ])
+             t.rows) );
+      ( "counters",
+        Json.List
+          (List.map
+             (fun (name, last, mx) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("last", Json.Float last);
+                   ("max", Json.Float mx);
+                 ])
+             t.counters) );
+      ("events", Json.Int t.events);
+      ("dropped", Json.Int t.dropped);
+    ]
+
+let render t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-16s %8s %14s %14s %9s\n" "category" "spans" "total"
+       "self" "instants");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-16s %8d %14.1f %14.1f %9d\n" r.cat r.span_count
+           r.total r.self r.instant_count))
+    t.rows;
+  if t.counters <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun (name, last, mx) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-24s last %14.1f  max %14.1f\n" name last mx))
+      t.counters
+  end;
+  Buffer.add_string buf
+    (Printf.sprintf "%d events (%d dropped)\n" t.events t.dropped);
+  Buffer.contents buf

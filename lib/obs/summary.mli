@@ -1,0 +1,32 @@
+(** Aggregated per-category summary — the second sink: what the trace
+    says, without opening a viewer.
+
+    Span self-time is computed per (pid, tid) lane: spans sorted by
+    start time (outermost first on ties) are walked with a stack, and
+    each span's duration is charged to its own category minus the time
+    covered by its nested children — the standard flame-graph
+    "self" column.  Counters report the last and maximum sample per
+    series name. *)
+
+type row = {
+  cat : string;
+  span_count : int;
+  total : float;  (** summed span durations (virtual units) *)
+  self : float;  (** total minus time covered by nested spans *)
+  instant_count : int;
+}
+
+type t = {
+  rows : row list;  (** sorted by category name *)
+  counters : (string * float * float) list;
+      (** (series, last sample, max sample), sorted by series *)
+  events : int;
+  dropped : int;
+}
+
+val build : Collector.t -> t
+
+val to_json : t -> Ascend_util.Json.t
+
+val render : t -> string
+(** Plain-text table. *)

@@ -1,27 +1,42 @@
 type t = {
+  label : string;
   max_batch : int;
   max_delay_s : float;
   queue_depth : int;
   queue : Request.t Queue.t;
+  mutable sheds : int;
 }
 
 type verdict = Admitted | Shed
 
-let create ~max_batch ~max_delay_s ~queue_depth () =
+let create ?(label = "queue") ~max_batch ~max_delay_s ~queue_depth () =
   if max_batch < 1 then invalid_arg "Batcher.create: max_batch < 1";
   if queue_depth < 1 then invalid_arg "Batcher.create: queue_depth < 1";
   if max_delay_s < 0. then invalid_arg "Batcher.create: negative max_delay";
-  { max_batch; max_delay_s; queue_depth; queue = Queue.create () }
+  {
+    label;
+    max_batch;
+    max_delay_s;
+    queue_depth;
+    queue = Queue.create ();
+    sheds = 0;
+  }
 
+let label t = t.label
 let max_batch t = t.max_batch
 let queue_depth t = t.queue_depth
 
 let offer t r =
-  if Queue.length t.queue >= t.queue_depth then Shed
+  if Queue.length t.queue >= t.queue_depth then begin
+    t.sheds <- t.sheds + 1;
+    Shed
+  end
   else begin
     Queue.push r t.queue;
     Admitted
   end
+
+let sheds t = t.sheds
 
 let length t = Queue.length t.queue
 

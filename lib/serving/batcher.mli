@@ -13,15 +13,22 @@ type t
 type verdict = Admitted | Shed
 
 val create :
+  ?label:string ->
   max_batch:int -> max_delay_s:float -> queue_depth:int -> unit -> t
-(** Raises [Invalid_argument] on [max_batch < 1], [queue_depth < 1] or
-    negative [max_delay_s]. *)
+(** [label] (default ["queue"]) names the queue in observability output
+    — the serving loop uses the model name.  Raises [Invalid_argument]
+    on [max_batch < 1], [queue_depth < 1] or negative [max_delay_s]. *)
 
+val label : t -> string
 val max_batch : t -> int
 val queue_depth : t -> int
 
 val offer : t -> Request.t -> verdict
 (** FIFO enqueue; [Shed] when [length t = queue_depth]. *)
+
+val sheds : t -> int
+(** Monotonic count of offers shed since creation (the obs shed-counter
+    series). *)
 
 val length : t -> int
 

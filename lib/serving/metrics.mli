@@ -12,6 +12,13 @@ type model_summary = {
   rejected : int;
   mean_ms : float;
   p50_ms : float;
+      (** Latency percentiles use {!Ascend_util.Stats.percentile}'s
+          nearest-rank semantics: the smallest observed latency with at
+          least [ceil (p/100 * n)] of the sample at or below it — always
+          an actually observed latency, never an interpolated one.  A
+          single completion is its own p50/p95/p99; with two completions
+          [a <= b], p50 is [a] and p95/p99 are [b].  All percentiles are
+          0 when nothing completed. *)
   p95_ms : float;
   p99_ms : float;
   max_ms : float;           (** 0 when nothing completed *)

@@ -2,6 +2,7 @@ module Scheduler = Ascend_runtime.Scheduler
 module Prng = Ascend_util.Prng
 module Units = Ascend_util.Units
 module Json = Ascend_util.Json
+module Obs = Ascend_obs
 
 type workload =
   | Open_loop of Load_gen.t
@@ -101,11 +102,32 @@ let run config specs =
   in
   let queues =
     Array.map
-      (fun _ ->
-        Batcher.create ~max_batch:config.max_batch
+      (fun s ->
+        Batcher.create ~label:s.name ~max_batch:config.max_batch
           ~max_delay_s:config.max_delay_s ~queue_depth:config.queue_depth ())
       specs
   in
+  (* obs lanes: one thread per model queue, then one per core.
+     Timestamps are simulated seconds scaled to microseconds — virtual
+     time, so a traced run stays byte-reproducible. *)
+  let obs_pid =
+    if not (Obs.Hook.enabled ()) then -1
+    else begin
+      let pid =
+        Obs.Hook.alloc_pid
+          ~name:("serve:" ^ config.core.Ascend_arch.Config.name)
+      in
+      Array.iteri
+        (fun i s -> Obs.Hook.name_thread ~pid ~tid:i ("model:" ^ s.name))
+        specs;
+      for c = 0 to config.cores - 1 do
+        Obs.Hook.name_thread ~pid ~tid:(n_models + c)
+          (Printf.sprintf "core%d" c)
+      done;
+      pid
+    end
+  in
+  let us t = t *. 1e6 in
   let think_rng =
     Array.map
       (fun s ->
@@ -182,6 +204,12 @@ let run config specs =
         (fun i q ->
           while Batcher.ready q ~now do
             let reqs = Batcher.take q in
+            if obs_pid >= 0 then
+              Obs.Hook.counter ~cat:"serving"
+                ~name:("queue_depth:" ^ specs.(i).name) ~pid:obs_pid ~tid:i
+                ~ts:(us now)
+                ~value:(float_of_int (Batcher.length q))
+                ();
             let entry = price i ~batch:(List.length reqs) in
             ready := (i, reqs, entry) :: !ready
           done)
@@ -241,6 +269,18 @@ let run config specs =
                 bx_cycles = entry.Cost.cycles;
               }
               :: !batches;
+            if obs_pid >= 0 then
+              Obs.Hook.span
+                ~args:
+                  [
+                    ("size", Obs.Event.Int size);
+                    ("cycles", Obs.Event.Int entry.Cost.cycles);
+                    ("priority", Obs.Event.Int specs.(i).priority);
+                  ]
+                ~cat:"batch" ~name:specs.(i).name ~pid:obs_pid
+                ~tid:(n_models + core) ~ts:(us start_s)
+                ~dur:(us (finish_s -. start_s))
+                ();
             List.iter
               (fun r ->
                 records :=
@@ -253,6 +293,35 @@ let run config specs =
                     core;
                   }
                   :: !records;
+                (* request lifecycle on the model lane:
+                   arrival -> (queued) -> dispatched -> (execute) -> done *)
+                if obs_pid >= 0 then begin
+                  let arr = r.Request.arrival_s in
+                  Obs.Hook.span
+                    ~args:
+                      [
+                        ("id", Obs.Event.Int r.Request.id);
+                        ("batch", Obs.Event.Int size);
+                        ("core", Obs.Event.Int core);
+                      ]
+                    ~cat:"request" ~name:specs.(i).name ~pid:obs_pid ~tid:i
+                    ~ts:(us arr)
+                    ~dur:(us (finish_s -. arr))
+                    ();
+                  Obs.Hook.span
+                    ~cat:"request" ~name:"queued" ~pid:obs_pid ~tid:i
+                    ~ts:(us arr)
+                    ~dur:(us (start_s -. arr))
+                    ();
+                  Obs.Hook.span ~cat:"request" ~name:"execute" ~pid:obs_pid
+                    ~tid:i ~ts:(us start_s)
+                    ~dur:(us (finish_s -. start_s))
+                    ();
+                  Obs.Hook.instant
+                    ~args:[ ("id", Obs.Event.Int r.Request.id) ]
+                    ~cat:"request" ~name:"done" ~pid:obs_pid ~tid:i
+                    ~ts:(us finish_s) ()
+                end;
                 reissue i ~finish_s)
               reqs)
           sched.Scheduler.placements
@@ -266,8 +335,26 @@ let run config specs =
         pending := rest;
         let i = Hashtbl.find spec_index r.Request.model in
         (match Batcher.offer queues.(i) r with
-        | Batcher.Admitted -> ()
-        | Batcher.Shed -> records := Request.rejected r :: !records);
+        | Batcher.Admitted ->
+          if obs_pid >= 0 then
+            Obs.Hook.counter ~cat:"serving"
+              ~name:("queue_depth:" ^ r.Request.model) ~pid:obs_pid ~tid:i
+              ~ts:(us r.Request.arrival_s)
+              ~value:(float_of_int (Batcher.length queues.(i)))
+              ()
+        | Batcher.Shed ->
+          records := Request.rejected r :: !records;
+          if obs_pid >= 0 then begin
+            Obs.Hook.instant
+              ~args:[ ("id", Obs.Event.Int r.Request.id) ]
+              ~cat:"request" ~name:"shed" ~pid:obs_pid ~tid:i
+              ~ts:(us r.Request.arrival_s) ();
+            Obs.Hook.counter ~cat:"serving"
+              ~name:("sheds:" ^ r.Request.model) ~pid:obs_pid ~tid:i
+              ~ts:(us r.Request.arrival_s)
+              ~value:(float_of_int (Batcher.sheds queues.(i)))
+              ()
+          end);
         go ()
       | _ -> ()
     in

@@ -16,8 +16,31 @@ type t =
   | Obj of (string * t) list
       (** Fields print in the given order — no reordering. *)
 
+val escape : string -> string
+(** JSON string-body escaping: quotes and backslashes get a backslash,
+    [\n]/[\r]/[\t] their two-character forms, and every other byte
+    below [0x20] a [\u00XX] escape.  Bytes [>= 0x20] pass through
+    unchanged (the printer treats strings as opaque UTF-8). *)
+
+val float_repr : float -> string
+(** The deterministic float rendering used by {!to_string}: non-finite
+    values print as [null] (JSON has no inf/nan); integral values of
+    magnitude below 1e15 print with a forced [.1f] decimal (["2.0"],
+    not ["2"], so a float never reparses as an [Int]); everything else
+    prints as [%.9g]. *)
+
 val to_string : ?pretty:bool -> t -> string
 (** Compact by default; [~pretty:true] indents with two spaces. *)
+
+val of_string : string -> (t, string) result
+(** Strict JSON parser (recursive descent, no dependency) for
+    round-trip checks on documents this module emits.  Numbers written
+    without a fraction or exponent parse as [Int] when they fit in an
+    OCaml [int], everything else as [Float]; [\uXXXX] escapes (and
+    surrogate pairs) decode to UTF-8.  [of_string (to_string t)]
+    recovers [t] exactly, except that non-finite floats were printed
+    as [null] and reparse as [Null].  [Error] carries a message with a
+    byte offset. *)
 
 val write_file : string -> t -> unit
 (** Pretty-printed, with a trailing newline. *)

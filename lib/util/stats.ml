@@ -21,16 +21,16 @@ let stddev = function
 let percentile p = function
   | [] -> invalid_arg "Stats.percentile: empty list"
   | xs ->
+    if p < 0. || p > 100. then
+      invalid_arg "Stats.percentile: p outside [0,100]";
     let arr = Array.of_list xs in
     Array.sort compare arr;
     let n = Array.length arr in
-    if n = 1 then arr.(0)
-    else
-      let rank = p /. 100. *. float_of_int (n - 1) in
-      let lo = int_of_float (Float.floor rank) in
-      let hi = min (lo + 1) (n - 1) in
-      let frac = rank -. float_of_int lo in
-      (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+    (* Nearest-rank: the smallest order statistic with at least
+       ceil(p/100 * n) of the sample at or below it; p = 0 is the
+       minimum.  Always returns an element of [xs]. *)
+    let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
+    arr.(max 0 (min (n - 1) (rank - 1)))
 
 let minimum = function
   | [] -> invalid_arg "Stats.minimum: empty list"

@@ -11,8 +11,15 @@ val stddev : float list -> float
 (** Population standard deviation. *)
 
 val percentile : float -> float list -> float
-(** [percentile p xs] with [p] in [0,100], linear interpolation between
-    order statistics.  Raises [Invalid_argument] on the empty list. *)
+(** [percentile p xs] with [p] in [0,100]: the {b nearest-rank}
+    percentile, i.e. the smallest order statistic with at least
+    [ceil (p/100 * n)] of the sample at or below it ([p = 0] is the
+    minimum).  Always returns an element of [xs] — no interpolation —
+    so a tail percentile of a latency list is an actually observed
+    latency.  Singleton lists return their element for every [p];
+    with two samples [a <= b], any [p <= 50] gives [a] and any
+    [p > 50] gives [b].  Raises [Invalid_argument] on the empty list
+    or [p] outside [0,100]. *)
 
 val minimum : float list -> float
 val maximum : float list -> float

@@ -207,6 +207,53 @@ let test_timeline () =
       (String.length (Timeline.render r) > 0
       && not (String.contains (Timeline.render r) '#'))
 
+let test_timeline_degenerate () =
+  (* degenerate inputs must render, never raise: tiny widths clamp to
+     16, a single-cycle trace gets a one-column chart, and utilization
+     bars stay within their 40-char budget *)
+  (match
+     Simulator.run ~trace:true Config.max
+       (Program.make ~name:"t" [ cube 16 16 16; vec 256 ])
+   with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    let w40 = Timeline.render ~width:40 r in
+    List.iter
+      (fun w ->
+        let s = Timeline.render ~width:w r in
+        Alcotest.(check bool)
+          (Printf.sprintf "width %d clamps to 16" w)
+          true
+          (s = Timeline.render ~width:16 r);
+        Alcotest.(check bool)
+          (Printf.sprintf "width %d renders busy marks" w)
+          true (String.contains s '#'))
+      [ -5; 0; 1; 15 ];
+    Alcotest.(check bool) "wide differs from clamped" true
+      (w40 <> Timeline.render ~width:16 r));
+  (* single-cycle program: one scalar op of one cycle *)
+  (match
+     Simulator.run ~trace:true Config.max
+       (Program.make ~name:"one" [ Instruction.Scalar_op { cycles = 1 } ])
+   with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    let s = Timeline.render ~width:16 r in
+    Alcotest.(check bool) "single-cycle renders" true
+      (String.contains s '#');
+    let bars = Timeline.utilization_bars r in
+    String.split_on_char '\n' bars
+    |> List.iter (fun line ->
+           Alcotest.(check bool) "bar within budget" true
+             (String.length line <= 80)));
+  (* empty program: no trace entries at all *)
+  match Simulator.run ~trace:true Config.max (Program.make ~name:"e" []) with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check bool) "empty trace -> note" true
+      (String.length (Timeline.render ~width:1 r) > 0
+      && not (String.contains (Timeline.render ~width:1 r) '#'))
+
 let test_dispatch_rate () =
   (* the PSQ dispatches one instruction per cycle: instruction i cannot
      start before cycle i *)
@@ -284,5 +331,7 @@ let () =
           Alcotest.test_case "energy" `Quick test_energy_positive_and_scales;
           Alcotest.test_case "trace" `Quick test_trace;
           Alcotest.test_case "timeline" `Quick test_timeline;
+          Alcotest.test_case "timeline degenerate" `Quick
+            test_timeline_degenerate;
         ] );
     ]

@@ -172,11 +172,12 @@ let test_metrics_hand_computed () =
   Alcotest.(check int) "completed" 10 s.Metrics.completed;
   Alcotest.(check int) "rejected" 1 s.Metrics.rejected;
   Alcotest.(check (float 1e-9)) "mean" 5.5 s.Metrics.mean_ms;
-  (* Stats.percentile interpolates rank p/100 * (n-1) over the order
-     statistics: n=10 gives p50 = 5.5, p95 = 9.55, p99 = 9.91 *)
-  Alcotest.(check (float 1e-9)) "p50" 5.5 s.Metrics.p50_ms;
-  Alcotest.(check (float 1e-9)) "p95" 9.55 s.Metrics.p95_ms;
-  Alcotest.(check (float 1e-9)) "p99" 9.91 s.Metrics.p99_ms;
+  (* Stats.percentile is nearest-rank (value at rank ceil(p/100 * n)):
+     n=10 over 1..10 ms gives p50 = 5 (rank 5), p95 = p99 = 10
+     (ranks 10) — always an observed latency, never interpolated *)
+  Alcotest.(check (float 1e-9)) "p50" 5. s.Metrics.p50_ms;
+  Alcotest.(check (float 1e-9)) "p95" 10. s.Metrics.p95_ms;
+  Alcotest.(check (float 1e-9)) "p99" 10. s.Metrics.p99_ms;
   Alcotest.(check (float 1e-9)) "max" 10. s.Metrics.max_ms;
   (* 6 of 10 completions landed within the 6 ms SLO *)
   Alcotest.(check (float 1e-9)) "slo attainment" 0.6 s.Metrics.slo_attainment;

@@ -78,6 +78,40 @@ let test_stats () =
     "Stats.divide_round_up: non-positive divisor") (fun () ->
       ignore (Stats.divide_round_up 1 0))
 
+let test_percentile_nearest_rank () =
+  (* pinned semantics: nearest-rank, value at rank ceil(p/100 * n) —
+     always an element of the sample *)
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.percentile: empty list") (fun () ->
+      ignore (Stats.percentile 50. []));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p outside [0,100]") (fun () ->
+      ignore (Stats.percentile 101. [ 1. ]));
+  (* singleton: every p returns the element *)
+  List.iter
+    (fun p -> check_float "singleton" 7. (Stats.percentile p [ 7. ]))
+    [ 0.; 1.; 50.; 99.; 100. ];
+  (* two samples: p <= 50 -> first, p > 50 -> second *)
+  check_float "two p0" 10. (Stats.percentile 0. [ 20.; 10. ]);
+  check_float "two p50" 10. (Stats.percentile 50. [ 20.; 10. ]);
+  check_float "two p50.1" 20. (Stats.percentile 50.1 [ 20.; 10. ]);
+  check_float "two p75" 20. (Stats.percentile 75. [ 20.; 10. ]);
+  check_float "two p100" 20. (Stats.percentile 100. [ 20.; 10. ]);
+  (* n=10 over 1..10: p95 is the 10th order statistic, not 9.55 *)
+  let xs = List.init 10 (fun i -> float_of_int (i + 1)) in
+  check_float "ten p50" 5. (Stats.percentile 50. xs);
+  check_float "ten p90" 9. (Stats.percentile 90. xs);
+  check_float "ten p95" 10. (Stats.percentile 95. xs);
+  check_float "ten p99" 10. (Stats.percentile 99. xs)
+
+let percentile_member_prop =
+  QCheck.Test.make ~count:500
+    ~name:"nearest-rank percentile is an element of the sample"
+    QCheck.(
+      pair (float_range 0. 100.)
+        (list_of_size (Gen.int_range 1 20) (float_range (-50.) 50.)))
+    (fun (p, xs) -> List.mem (Stats.percentile p xs) xs)
+
 let div_up_prop =
   QCheck.Test.make ~count:500 ~name:"divide_round_up is a ceiling"
     QCheck.(pair (int_range 0 100000) (int_range 1 1000))
@@ -220,6 +254,67 @@ let test_json_float_repr () =
   Alcotest.(check string) "nan -> null" "null" (s Float.nan);
   Alcotest.(check string) "inf -> null" "null" (s Float.infinity)
 
+let test_json_escape_goldens () =
+  (* pinned escaping table: named short escapes for the common control
+     characters, \u00XX for the rest, and nothing else is touched *)
+  Alcotest.(check string) "quote" {|a\"b|} (Json.escape "a\"b");
+  Alcotest.(check string) "backslash" {|a\\b|} (Json.escape "a\\b");
+  Alcotest.(check string) "newline" {|\n|} (Json.escape "\n");
+  Alcotest.(check string) "carriage return" {|\r|} (Json.escape "\r");
+  Alcotest.(check string) "tab" {|\t|} (Json.escape "\t");
+  Alcotest.(check string) "SOH" {|\u0001|} (Json.escape "\x01");
+  Alcotest.(check string) "backspace" {|\u0008|} (Json.escape "\b");
+  Alcotest.(check string) "form feed" {|\u000c|} (Json.escape "\x0c");
+  Alcotest.(check string) "unit sep" {|\u001f|} (Json.escape "\x1f");
+  Alcotest.(check string) "0x20 untouched" " ~" (Json.escape " ~");
+  (* bytes >= 0x80 pass through: UTF-8 payloads survive unmangled *)
+  Alcotest.(check string) "utf8 passthrough" "caf\xc3\xa9"
+    (Json.escape "caf\xc3\xa9")
+
+let test_json_float_repr_goldens () =
+  (* pinned boundary behaviour of the %.1f / %.9g switchover at 1e15 *)
+  Alcotest.(check string) "below cutoff keeps .0" "999999999999999.0"
+    (Json.float_repr 999999999999999.0);
+  Alcotest.(check string) "at cutoff uses %.9g" "1e+15"
+    (Json.float_repr 1e15);
+  Alcotest.(check string) "tiny" "1e-300" (Json.float_repr 1e-300);
+  Alcotest.(check string) "neg inf -> null" "null"
+    (Json.float_repr Float.neg_infinity);
+  Alcotest.(check string) "agrees with renderer" (Json.float_repr 0.25)
+    (Json.to_string (Json.Float 0.25))
+
+let test_json_parse_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\nd\t\x01 caf\xc3\xa9");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 0.125);
+        ("flags", Json.List [ Json.Bool true; Json.Bool false; Json.Null ]);
+        ("nested", Json.Obj [ ("xs", Json.List [ Json.Int 1; Json.Int 2 ]) ]);
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+      ]
+  in
+  (match Json.of_string (Json.to_string doc) with
+  | Ok doc' -> Alcotest.(check bool) "compact round-trip" true (doc = doc')
+  | Error e -> Alcotest.fail ("parse failed: " ^ e));
+  (match Json.of_string (Json.to_string ~pretty:true doc) with
+  | Ok doc' -> Alcotest.(check bool) "pretty round-trip" true (doc = doc')
+  | Error e -> Alcotest.fail ("pretty parse failed: " ^ e));
+  (* \uXXXX escapes decode to UTF-8, including surrogate pairs *)
+  (match Json.of_string {|"\u00e9 \ud83d\ude00"|} with
+  | Ok (Json.String s) ->
+    Alcotest.(check string) "unicode escapes" "\xc3\xa9 \xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "unicode escape parse failed");
+  (* malformed inputs are errors, not exceptions *)
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok _ -> Alcotest.fail ("accepted malformed input: " ^ bad)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; {|{"a":1,}|}; "tru"; {|"\ud800"|}; "1 2"; "nan" ]
+
 let test_json_deterministic () =
   (* field order is the construction order: two structurally equal
      documents print identically — the serving layer's byte-identical
@@ -294,6 +389,9 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "descriptive" `Quick test_stats;
+          Alcotest.test_case "percentile nearest-rank" `Quick
+            test_percentile_nearest_rank;
+          q percentile_member_prop;
           q div_up_prop;
         ] );
       ( "prng",
@@ -320,6 +418,11 @@ let () =
         [
           Alcotest.test_case "rendering" `Quick test_json_rendering;
           Alcotest.test_case "float repr" `Quick test_json_float_repr;
+          Alcotest.test_case "escape goldens" `Quick test_json_escape_goldens;
+          Alcotest.test_case "float repr goldens" `Quick
+            test_json_float_repr_goldens;
+          Alcotest.test_case "parse round-trip" `Quick
+            test_json_parse_roundtrip;
           Alcotest.test_case "deterministic" `Quick test_json_deterministic;
         ] );
       ( "stable-hash",
