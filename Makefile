@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench trace check clean
+.PHONY: all build test lint sanitize differential bench trace check clean
 
 all: build
 
@@ -13,6 +13,19 @@ test:
 lint:
 	dune exec bin/ascend_cli.exe -- lint --all
 
+# replay the whole zoo through the shadow-state sanitizer (non-zero exit
+# on errors; --strict would fail on warnings too)
+sanitize:
+	dune exec bin/ascend_cli.exe -- sanitize --all
+
+# differential gate: the static whole-SoC lint and the dynamic sanitizer
+# must agree byte-for-byte on the zoo-wide findings document
+differential:
+	dune exec bin/ascend_cli.exe -- lint --all --soc --json lint_soc.json
+	dune exec bin/ascend_cli.exe -- sanitize --all --json sanitize.json
+	cmp lint_soc.json sanitize.json
+	@echo "differential gate: lint --soc and sanitize agree"
+
 bench:
 	dune exec bench/main.exe
 
@@ -21,7 +34,7 @@ bench:
 trace:
 	dune exec bin/ascend_cli.exe -- trace resnet18 --core standard -o trace.json
 
-check: build test lint
+check: build test lint sanitize
 
 clean:
 	dune clean

@@ -1448,6 +1448,117 @@ let bechamel () =
   Table.print ~align:Table.Left t
 
 (* ------------------------------------------------------------------ *)
+(* Verification throughput: static lint, whole-SoC analysis and the    *)
+(* shadow-state sanitizer, serial vs service fan-out                   *)
+
+let lint_bench () =
+  section_header "lint"
+    "static lint + whole-SoC analysis + shadow-state sanitizer throughput, \
+     serial vs execution-service fan-out";
+  let module Service = Ascend.Exec.Service in
+  let module Verify = Ascend.Verify in
+  let module Sanitizer = Ascend.Core_sim.Sanitizer in
+  let module Soc_schedule = Ascend.Compiler.Soc_schedule in
+  let module Codegen = Ascend.Compiler.Codegen in
+  let workload =
+    List.concat_map
+      (fun (name, g) ->
+        List.filter_map
+          (fun config ->
+            if Config.supports config (Ascend.Nn.Graph.dtype g) then
+              Some (name, config, g)
+            else None)
+          Config.all)
+      [
+        ("gesture", Ascend.Nn.Gesture.build ());
+        ("resnet18", Ascend.Nn.Resnet.v1_5_18 ());
+        ("resnet50", Ascend.Nn.Resnet.v1_5 ());
+        ("mobilenet", Ascend.Nn.Mobilenet.v2 ());
+        ("bert-base-s32", Ascend.Nn.Bert.base ~seq_len:32 ());
+      ]
+  in
+  let compiled =
+    List.concat_map
+      (fun (_, config, g) ->
+        List.map (fun (_, p) -> (config, p)) (Codegen.graph_programs config g))
+      workload
+  in
+  let n_programs = List.length compiled in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let lint_counts items =
+    List.map (fun (config, p) -> List.length (Verify.analyze config p)) items
+  in
+  let serial_counts, serial_s = time (fun () -> lint_counts compiled) in
+  let jobs = max 4 (Ascend.Util.Domain_pool.default_jobs ()) in
+  let svc = Service.create ~jobs () in
+  let parallel_counts, parallel_s =
+    time (fun () ->
+        Service.map svc
+          (fun (config, p) -> List.length (Verify.analyze config p))
+          compiled)
+  in
+  Service.shutdown svc;
+  let findings = List.fold_left ( + ) 0 serial_counts in
+  let identical = serial_counts = parallel_counts in
+  let san_instrs, sanitize_s =
+    time (fun () ->
+        List.fold_left
+          (fun acc (config, p) ->
+            acc + (Sanitizer.run config p).Sanitizer.instructions_executed)
+          0 compiled)
+  in
+  let soc_findings, soc_s =
+    time (fun () ->
+        List.fold_left
+          (fun acc (_, config, g) ->
+            let plan, _ = Soc_schedule.build config g in
+            acc + List.length (Ascend.Verify.Soc.analyze plan))
+          0 workload)
+  in
+  let rate denom_s = float_of_int n_programs /. denom_s in
+  let t =
+    Table.create ~header:[ "pass"; "items"; "wall s"; "items/s" ] ()
+  in
+  Table.add_rows t
+    [
+      [ "lint serial"; string_of_int n_programs;
+        Table.cell_float ~decimals:3 serial_s;
+        Table.cell_float ~decimals:0 (rate serial_s) ];
+      [ Printf.sprintf "lint --jobs %d" jobs; string_of_int n_programs;
+        Table.cell_float ~decimals:3 parallel_s;
+        Table.cell_float ~decimals:0 (rate parallel_s) ];
+      [ "sanitize serial"; string_of_int n_programs;
+        Table.cell_float ~decimals:3 sanitize_s;
+        Table.cell_float ~decimals:0 (rate sanitize_s) ];
+      [ "soc analyze"; string_of_int (List.length workload);
+        Table.cell_float ~decimals:3 soc_s;
+        Table.cell_float ~decimals:0
+          (float_of_int (List.length workload) /. soc_s) ];
+    ];
+  Table.print t;
+  Format.printf
+    "%d program(s), %d static finding(s), %d soc finding(s), %d sanitizer \
+     instruction(s) replayed; parallel output identical: %b@."
+    n_programs findings soc_findings san_instrs identical;
+  Bench_json.record_int "programs" n_programs;
+  Bench_json.record_int "static_findings" findings;
+  Bench_json.record_int "soc_findings" soc_findings;
+  Bench_json.record_int "sanitizer_instructions" san_instrs;
+  Bench_json.record_int "jobs" jobs;
+  Bench_json.record_float "lint_serial_s" serial_s;
+  Bench_json.record_float "lint_parallel_s" parallel_s;
+  Bench_json.record_float "lint_serial_programs_per_s" (rate serial_s);
+  Bench_json.record_float "lint_parallel_programs_per_s" (rate parallel_s);
+  Bench_json.record_float "sanitize_s" sanitize_s;
+  Bench_json.record_float "sanitize_programs_per_s" (rate sanitize_s);
+  Bench_json.record_float "soc_analyze_s" soc_s;
+  Bench_json.record "parallel_identical" (Ascend.Util.Json.Bool identical)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1482,6 +1593,7 @@ let sections =
     ("slam", slam);
     ("streams", streams);
     ("compile", compile);
+    ("lint", lint_bench);
     ("trace", trace);
     ("bechamel", bechamel);
   ]

@@ -418,11 +418,14 @@ let serve_cmd =
       $ burst_period_arg $ seed_arg $ closed_arg $ think_arg $ bucket_arg
       $ json_arg $ serve_trace_arg)
 
-(* --- lint --------------------------------------------------------- *)
+(* --- lint / sanitize ---------------------------------------------- *)
 
 module Codegen = Ascend.Compiler.Codegen
 module Fusion = Ascend.Compiler.Fusion
+module Soc_schedule = Ascend.Compiler.Soc_schedule
 module Verify = Ascend.Verify
+module Finding = Ascend.Verify.Finding
+module Sanitizer = Ascend.Core_sim.Sanitizer
 
 (* every codegen option combination: sync mode x double-buffering x
    weight sparsity — the axes of paper Figure 3's ablations *)
@@ -452,93 +455,264 @@ let describe_options (o : Codegen.options) =
 (* each combo renders its findings into its own buffer so combos can be
    verified on worker domains and the reports printed in submission
    order — `--jobs N` output is byte-identical to `--jobs 1` *)
+type combo_report = {
+  model : string;
+  core : string;
+  options : Codegen.options option;
+      (* None for the per-(model, core) soc/sanitize sweeps, which run
+         default codegen options only *)
+  text : string;
+  findings : Finding.t list;
+}
+
+let severity_counts findings =
+  List.fold_left
+    (fun (e, w) (f : Finding.t) ->
+      match f.Finding.severity with
+      | Finding.Error -> (e + 1, w)
+      | Finding.Warning -> (e, w + 1))
+    (0, 0) findings
+
 let lint_one ~verbose config options name graph =
   let buf = Buffer.create 256 in
   let ppf = Format.formatter_of_buffer buf in
-  let n_findings = ref 0 in
+  let findings = ref [] in
   let n_programs = ref 0 in
   (try
      List.iter
-       (fun (grp, p) ->
+       (fun ((grp : Fusion.t), p) ->
          incr n_programs;
          match Verify.analyze config p with
          | [] -> ()
-         | findings ->
-           n_findings := !n_findings + List.length findings;
+         | fs ->
+           findings := !findings @ fs;
            Format.fprintf ppf "%s / %s / %s / %s:@." name config.Config.name
              (describe_options options) grp.Fusion.tag;
-           Format.fprintf ppf "%a" Verify.pp_report findings)
+           Format.fprintf ppf "%a" Verify.pp_report fs)
        (Codegen.graph_programs ~options config graph)
    with Invalid_argument e ->
-     incr n_findings;
+     findings :=
+       !findings @ [ Finding.make Finding.Malformed ("codegen rejected: " ^ e) ];
      Format.fprintf ppf "%s / %s / %s: codegen rejected: %s@." name
        config.Config.name (describe_options options) e);
-  if verbose && !n_findings = 0 then
+  if verbose && !findings = [] then
     Format.fprintf ppf "%s / %s / %s: %d program(s) clean@." name
       config.Config.name (describe_options options) !n_programs;
   Format.pp_print_flush ppf ();
-  (Buffer.contents buf, !n_findings)
+  { model = name; core = config.Config.name; options = Some options;
+    text = Buffer.contents buf; findings = !findings }
 
-let lint model_opt all core_opt verbose jobs =
-  let selected_models =
-    match (model_opt, all) with
-    | Some (name, build), _ -> [ (name, build) ]
-    | None, true -> models
-    | None, false ->
-      prerr_endline "error: pass a MODEL or --all";
-      exit 2
+(* --soc: one combo per (model, core) at default codegen options — the
+   per-program lint plus the whole-SoC schedule analysis (cross-core
+   races, dependency cycles, optional LLC/HBM capacity) over the same
+   compiled artifacts *)
+let lint_soc_one ~verbose ?llc_bytes ?hbm_bytes ~cores:soc_cores config name
+    graph =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let findings = ref [] in
+  let n_programs = ref 0 in
+  (try
+     let plan, programs =
+       Soc_schedule.build ~cores:soc_cores ?llc_bytes ?hbm_bytes config graph
+     in
+     List.iter
+       (fun ((grp : Fusion.t), p) ->
+         incr n_programs;
+         match Verify.analyze config p with
+         | [] -> ()
+         | fs ->
+           findings := !findings @ fs;
+           Format.fprintf ppf "%s / %s / %s:@." name config.Config.name
+             grp.Fusion.tag;
+           Format.fprintf ppf "%a" Verify.pp_report fs)
+       programs;
+     match Verify.Soc.analyze plan with
+     | [] -> ()
+     | fs ->
+       findings := !findings @ fs;
+       Format.fprintf ppf "%s / %s / soc schedule (%d cores):@." name
+         config.Config.name soc_cores;
+       Format.fprintf ppf "%a" Verify.pp_report fs
+   with Invalid_argument e ->
+     findings :=
+       !findings @ [ Finding.make Finding.Malformed ("codegen rejected: " ^ e) ];
+     Format.fprintf ppf "%s / %s: codegen rejected: %s@." name
+       config.Config.name e);
+  if verbose && !findings = [] then
+    Format.fprintf ppf "%s / %s: %d program(s) + soc schedule clean@." name
+      config.Config.name !n_programs;
+  Format.pp_print_flush ppf ();
+  { model = name; core = config.Config.name; options = None;
+    text = Buffer.contents buf; findings = !findings }
+
+(* the dynamic half of the differential gate: replay every generated
+   program (default codegen options, same combo iteration as
+   `lint --soc`) through the shadow-state sanitizer *)
+let sanitize_one ~verbose config name graph =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let findings = ref [] in
+  let n_programs = ref 0 in
+  let n_instrs = ref 0 in
+  (try
+     List.iter
+       (fun ((grp : Fusion.t), p) ->
+         incr n_programs;
+         let r = Sanitizer.run config p in
+         n_instrs := !n_instrs + r.Sanitizer.instructions_executed;
+         match r.Sanitizer.findings with
+         | [] -> ()
+         | fs ->
+           findings := !findings @ fs;
+           Format.fprintf ppf "%s / %s / %s:@." name config.Config.name
+             grp.Fusion.tag;
+           Format.fprintf ppf "%a" Verify.pp_report fs)
+       (Codegen.graph_programs config graph)
+   with Invalid_argument e ->
+     findings :=
+       !findings @ [ Finding.make Finding.Malformed ("codegen rejected: " ^ e) ];
+     Format.fprintf ppf "%s / %s: codegen rejected: %s@." name
+       config.Config.name e);
+  if verbose && !findings = [] then
+    Format.fprintf ppf
+      "%s / %s: %d program(s) clean (%d instruction(s) replayed)@." name
+      config.Config.name !n_programs !n_instrs;
+  Format.pp_print_flush ppf ();
+  { model = name; core = config.Config.name; options = None;
+    text = Buffer.contents buf; findings = !findings }
+
+(* the differential-gate document: `lint --soc --json` and
+   `sanitize --json` emit the same combo iteration and field order, so
+   two sweeps that agree are byte-identical and CI can `cmp` them *)
+let sweep_json results =
+  let module J = Ascend.Util.Json in
+  let combo r =
+    J.Obj
+      ([ ("model", J.String r.model); ("core", J.String r.core) ]
+      @ (match r.options with
+        | None -> []
+        | Some o -> [ ("options", J.String (describe_options o)) ])
+      @ [
+          ("verdict", J.String (if r.findings = [] then "clean" else "dirty"));
+          ("findings",
+           J.List
+             (List.map Finding.to_json (List.sort Finding.compare r.findings)));
+        ])
   in
-  let selected_cores =
-    match core_opt with Some c -> [ c ] | None -> List.map snd cores
-  in
-  let combo_list =
-    List.concat_map
-      (fun (name, build) ->
-        let graph = build ~batch:1 in
-        List.concat_map
-          (fun config ->
-            if Config.supports config (Graph.dtype graph) then
-              List.map
-                (fun options -> (name, graph, config, options))
-                lint_option_combos
-            else [])
-          selected_cores)
-      selected_models
-  in
-  let pool =
-    Ascend.Util.Domain_pool.create
+  J.Obj
+    [
+      ("combos", J.List (List.map combo results));
+      ("combinations", J.Int (List.length results));
+      ("dirty",
+       J.Int (List.length (List.filter (fun r -> r.findings <> []) results)));
+    ]
+
+let write_sweep_json path results =
+  match path with
+  | None -> ()
+  | Some "-" ->
+    print_endline (Ascend.Util.Json.to_string ~pretty:true (sweep_json results))
+  | Some p -> Ascend.Util.Json.write_file p (sweep_json results)
+
+let select_models model_opt all =
+  match (model_opt, all) with
+  | Some (name, build), _ -> [ (name, build) ]
+  | None, true -> models
+  | None, false ->
+    prerr_endline "error: pass a MODEL or --all";
+    exit 2
+
+let select_cores core_opt =
+  match core_opt with Some c -> [ c ] | None -> List.map snd cores
+
+(* the per-(model, core) combo list shared by `lint --soc` and
+   `sanitize`: same model order, same dtype gating — agreement here is
+   what makes the two JSON sweeps comparable *)
+let model_core_combos selected_models selected_cores =
+  List.concat_map
+    (fun (name, build) ->
+      let graph = build ~batch:1 in
+      List.filter_map
+        (fun config ->
+          if Config.supports config (Graph.dtype graph) then
+            Some (name, graph, config)
+          else None)
+        selected_cores)
+    selected_models
+
+(* combos fan out over the execution service's worker pool; results
+   come back in submission order, so reports and JSON stay
+   byte-identical across --jobs *)
+let run_combos ~jobs f combo_list =
+  let service =
+    Ascend.Exec.Service.create
       ?jobs:(if jobs <= 0 then None else Some jobs)
       ()
   in
-  let results =
-    Ascend.Util.Domain_pool.map pool
-      (fun (name, graph, config, options) ->
-        lint_one ~verbose config options name graph)
-      combo_list
-  in
-  Ascend.Util.Domain_pool.shutdown pool;
-  let total = ref 0 in
-  let combos = ref (List.length combo_list) in
-  List.iter
-    (fun (output, n) ->
-      print_string output;
-      total := !total + n)
-    results;
-  if !combos = 0 then begin
+  let results = Ascend.Exec.Service.map service f combo_list in
+  Ascend.Exec.Service.shutdown service;
+  results
+
+let finish ~what ~strict ~json_path results =
+  List.iter (fun r -> print_string r.text) results;
+  write_sweep_json json_path results;
+  let all = List.concat_map (fun r -> r.findings) results in
+  let errors, warnings = severity_counts all in
+  let combos = List.length results in
+  if combos = 0 then begin
     prerr_endline
-      "error: nothing to lint (selected core does not support the model's \
-       dtype)";
+      (Printf.sprintf
+         "error: nothing to %s (selected core does not support the model's \
+          dtype)"
+         what);
     2
   end
-  else if !total = 0 then begin
-    Format.printf "lint: %d model/core/option combination(s) clean@." !combos;
+  else if all = [] then begin
+    Format.printf "%s: %d combination(s) clean@." what combos;
     0
   end
   else begin
-    Format.printf "lint: %d finding(s) across %d combination(s)@." !total
-      !combos;
-    1
+    Format.printf
+      "%s: %d finding(s) (%d error(s), %d warning(s)) across %d \
+       combination(s)@."
+      what (List.length all) errors warnings combos;
+    if errors > 0 || strict then 1 else 0
   end
+
+let lint model_opt all core_opt soc soc_cores llc_mb hbm_mb verbose strict
+    json_path jobs =
+  let selected_models = select_models model_opt all in
+  let selected_cores = select_cores core_opt in
+  let results =
+    if soc then
+      let llc_bytes = Option.map (fun mb -> mb * 1024 * 1024) llc_mb in
+      let hbm_bytes = Option.map (fun mb -> mb * 1024 * 1024) hbm_mb in
+      run_combos ~jobs
+        (fun (name, graph, config) ->
+          lint_soc_one ~verbose ?llc_bytes ?hbm_bytes ~cores:soc_cores config
+            name graph)
+        (model_core_combos selected_models selected_cores)
+    else
+      run_combos ~jobs
+        (fun (name, graph, config, options) ->
+          lint_one ~verbose config options name graph)
+        (List.concat_map
+           (fun (name, graph, config) ->
+             List.map
+               (fun options -> (name, graph, config, options))
+               lint_option_combos)
+           (model_core_combos selected_models selected_cores))
+  in
+  finish ~what:"lint" ~strict ~json_path results
+
+let sanitize model_opt all core_opt verbose strict json_path jobs =
+  let results =
+    run_combos ~jobs
+      (fun (name, graph, config) -> sanitize_one ~verbose config name graph)
+      (model_core_combos (select_models model_opt all) (select_cores core_opt))
+  in
+  finish ~what:"sanitize" ~strict ~json_path results
 
 let lint_model_arg =
   Arg.(value & pos 0 (some named_model_conv) None & info [] ~docv:"MODEL")
@@ -552,15 +726,53 @@ let lint_core_arg =
        & info [ "core" ] ~docv:"CORE"
            ~doc:"Restrict to one core version (default: all Table-5 cores).")
 
+let lint_soc_arg =
+  Arg.(value & flag
+       & info [ "soc" ]
+           ~doc:"Lift the analysis to the whole-SoC fused-group schedule: one \
+                 combination per model/core at default codegen options, \
+                 checking cross-core races and dependency cycles (plus \
+                 LLC/HBM overcommit with --llc-mb/--hbm-mb) on top of the \
+                 per-program lint.")
+
+let lint_soc_cores_arg =
+  Arg.(value & opt int Soc_schedule.default_cores
+       & info [ "cores" ] ~docv:"N"
+           ~doc:"SoC core count for the --soc schedule.")
+
+let lint_llc_arg =
+  Arg.(value & opt (some int) None
+       & info [ "llc-mb" ] ~docv:"MB"
+           ~doc:"Enable the --soc LLC concurrent-working-set check with this \
+                 capacity (MiB).")
+
+let lint_hbm_arg =
+  Arg.(value & opt (some int) None
+       & info [ "hbm-mb" ] ~docv:"MB"
+           ~doc:"Enable the --soc HBM residency check with this capacity \
+                 (MiB).")
+
 let lint_verbose_arg =
   Arg.(value & flag & info [ "verbose" ] ~doc:"Report clean combinations too.")
+
+let strict_arg =
+  Arg.(value & flag
+       & info [ "strict" ]
+           ~doc:"Exit non-zero on warnings too, not just errors.")
+
+let findings_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the findings as deterministic JSON ('-': stdout); \
+                 lint --soc and sanitize emit the same document shape, so \
+                 sweeps that agree compare byte-equal.")
 
 let lint_jobs_arg =
   Arg.(value & opt int 0
        & info [ "jobs"; "j" ] ~docv:"N"
-           ~doc:"Verify combinations on $(docv) domains (0 = one per \
-                 recommended domain). Output is byte-identical regardless \
-                 of $(docv).")
+           ~doc:"Verify combinations on $(docv) worker domains of the \
+                 execution service (0 = one per recommended domain). Output \
+                 is byte-identical regardless of $(docv).")
 
 let lint_cmd =
   Cmd.v
@@ -568,10 +780,32 @@ let lint_cmd =
        ~doc:
          "Statically verify generated programs (happens-before deadlock \
           analysis, RAW/WAR/WAW buffer hazards, buffer-peak cross-checks, \
-          flag leaks) across codegen option combinations. Exits non-zero on \
-          any finding.")
+          flag leaks) across codegen option combinations; --soc lifts the \
+          analysis to the whole-SoC fused-group schedule (cross-core races, \
+          schedule deadlock cycles, LLC/HBM capacity overcommit). Exits \
+          non-zero on errors (--strict: on any finding).")
     Term.(const lint $ lint_model_arg $ lint_all_arg $ lint_core_arg
-          $ lint_verbose_arg $ lint_jobs_arg)
+          $ lint_soc_arg $ lint_soc_cores_arg $ lint_llc_arg $ lint_hbm_arg
+          $ lint_verbose_arg $ strict_arg $ findings_json_arg $ lint_jobs_arg)
+
+let sanitize_all_arg =
+  Arg.(value & flag
+       & info [ "all" ]
+           ~doc:"Sanitize every model in the zoo (default cores: all).")
+
+let sanitize_cmd =
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:
+         "Replay each generated program through the dynamic shadow-state \
+          sanitizer: uninitialized reads, footprint overflows, \
+          unsynchronised cross-pipe accesses, runtime buffer capacity, flag \
+          leaks and replay deadlocks, tracked per (buffer, slot) with \
+          vector clocks — the dynamic half of the differential \
+          lint-vs-sanitize gate. Exits non-zero on errors (--strict: on any \
+          finding).")
+    Term.(const sanitize $ lint_model_arg $ sanitize_all_arg $ lint_core_arg
+          $ lint_verbose_arg $ strict_arg $ findings_json_arg $ lint_jobs_arg)
 
 (* --- trace -------------------------------------------------------- *)
 
@@ -712,9 +946,20 @@ usage: ascend_cli COMMAND [OPTIONS]
       QoS admission control, SLO metrics; --trace captures the run as
       Chrome trace-event JSON.
 
-  lint [MODEL | --all] [--core CORE] [--verbose] [--jobs N]
+  lint [MODEL | --all] [--core CORE] [--soc] [--cores N] [--llc-mb MB]
+       [--hbm-mb MB] [--json FILE] [--strict] [--verbose] [--jobs N]
       Statically verify generated programs (deadlocks, RAW/WAR/WAW
-      hazards, buffer peaks, flag leaks); non-zero exit on findings.
+      hazards, buffer peaks, flag leaks); --soc lifts the analysis to
+      the whole-SoC fused-group schedule (cross-core races, schedule
+      deadlocks, LLC/HBM overcommit). Non-zero exit on errors
+      (--strict: on any finding).
+
+  sanitize [MODEL | --all] [--core CORE] [--json FILE] [--strict]
+           [--verbose] [--jobs N]
+      Replay generated programs through the dynamic shadow-state
+      sanitizer (uninitialized reads, footprint overflows, cross-pipe
+      hazards, runtime capacity, flag leaks); emits the same JSON
+      shape as lint --soc, so sweeps that agree compare byte-equal.
 
   trace MODEL [--model MODEL] [--core CORE] [--batch N] [-o FILE]
       Deterministic Chrome trace of the compiled model's simulation
@@ -744,4 +989,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default:usage_term info
           [ simulate_cmd; profile_cmd; disasm_cmd; streams_cmd; serve_cmd;
-            lint_cmd; list_cmd; trace_cmd ]))
+            lint_cmd; sanitize_cmd; list_cmd; trace_cmd ]))

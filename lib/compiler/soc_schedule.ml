@@ -1,0 +1,190 @@
+(** Build a whole-SoC schedule ([Ascend_verify.Soc.plan]) from a model
+    graph — the bridge between the compiler and the SoC-level static
+    race detector.
+
+    Tasks are the fused groups, pinned to cores by the same greedy
+    chain-cover the stream scheduler uses (stream mod cores).  Byte
+    footprints come from two places cross-checked against each other:
+    the memory planner's activation-arena offsets give each node's
+    HBM region, and the compiled instruction streams give the External
+    traffic totals.  Edges are (a) the group-level data dependencies the
+    graph implies, resolved transitively through bookkeeping nodes, and
+    (b) memory-reuse anti-dependencies: the planner reuses offsets
+    across disjoint live ranges, so two groups on different cores whose
+    regions overlap must be serialised even when no data flows between
+    them.  By construction the resulting plan is race-free — which is
+    exactly what [Soc.analyze] verifies, and what the mutation tests
+    falsify by dropping an edge. *)
+
+module Graph = Ascend_nn.Graph
+module Soc = Ascend_verify.Soc
+module Instruction = Ascend_isa.Instruction
+module Buffer_id = Ascend_isa.Buffer_id
+module Program = Ascend_isa.Program
+
+let default_cores = 4
+
+(* total External-buffer traffic of a compiled program, from its
+   instruction accesses *)
+let external_traffic (p : Program.t) =
+  List.fold_left
+    (fun (r, w) instr ->
+      List.fold_left
+        (fun (r, w) (a : Instruction.access) ->
+          if Buffer_id.equal a.buffer Buffer_id.External then
+            match a.kind with
+            | Instruction.Read -> (r + a.bytes, w)
+            | Instruction.Write -> (r, w + a.bytes)
+          else (r, w))
+        (r, w) (Instruction.accesses instr))
+    (0, 0) p.Program.instructions
+
+let build ?options ?(cores = default_cores) ?llc_bytes ?hbm_bytes config graph
+    =
+  if cores <= 0 then invalid_arg "Soc_schedule.build: non-positive cores";
+  let compiled = Codegen.graph_programs ?options config graph in
+  let mem = Memory_planner.plan graph in
+  let alloc_of = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Memory_planner.allocation) ->
+      Hashtbl.replace alloc_of a.node_id a)
+    mem.Memory_planner.allocations;
+  let region_of node_id =
+    match Hashtbl.find_opt alloc_of node_id with
+    | Some a ->
+      Some
+        ( a.Memory_planner.node_name,
+          { Soc.base = a.Memory_planner.offset;
+            bytes = a.Memory_planner.size_bytes } )
+    | None -> None
+  in
+  (* node id -> group index *)
+  let node_group = Hashtbl.create 64 in
+  List.iteri
+    (fun gi ((g : Fusion.t), _) ->
+      List.iter
+        (fun (n : Graph.node) -> Hashtbl.replace node_group n.id gi)
+        g.nodes)
+    compiled;
+  (* group-level data deps, resolved transitively through bookkeeping
+     nodes exactly like the stream scheduler *)
+  let rec resolve_groups input =
+    match Hashtbl.find_opt node_group input with
+    | Some gj -> [ gj ]
+    | None ->
+      List.concat_map resolve_groups (Graph.find graph input).Graph.inputs
+  in
+  let data_deps gi (g : Fusion.t) =
+    List.concat_map
+      (fun (n : Graph.node) ->
+        List.concat_map resolve_groups n.inputs
+        |> List.filter (fun gj -> gj <> gi))
+      g.nodes
+    |> List.sort_uniq compare
+  in
+  (* greedy chain cover for core assignment: extend the most recent
+     producer's stream when this group is the first to consume its
+     tail; core = stream mod cores *)
+  let stream_of = Hashtbl.create 16 in
+  let stream_tail = Hashtbl.create 16 in
+  let next_stream = ref 0 in
+  let rows =
+    List.mapi
+      (fun gi ((g : Fusion.t), p) ->
+        let deps = data_deps gi g in
+        let chosen =
+          List.find_map
+            (fun dep ->
+              match Hashtbl.find_opt stream_of dep with
+              | Some s when Hashtbl.find_opt stream_tail s = Some dep -> Some s
+              | _ -> None)
+            (List.rev deps)
+        in
+        let stream =
+          match chosen with
+          | Some s -> s
+          | None ->
+            let s = !next_stream in
+            incr next_stream;
+            s
+        in
+        Hashtbl.replace stream_of gi stream;
+        Hashtbl.replace stream_tail stream gi;
+        (gi, g, p, deps, stream mod cores))
+      compiled
+  in
+  let writes_of (g : Fusion.t) =
+    List.filter_map (fun (n : Graph.node) -> region_of n.id) g.nodes
+  in
+  let reads_of gi (g : Fusion.t) =
+    List.concat_map
+      (fun (n : Graph.node) ->
+        List.filter_map
+          (fun input ->
+            if Hashtbl.find_opt node_group input = Some gi then None
+            else region_of input)
+          n.Graph.inputs)
+      g.nodes
+  in
+  let proto =
+    List.map
+      (fun (gi, (g : Fusion.t), p, deps, core) ->
+        let ext_read_bytes, ext_write_bytes = external_traffic p in
+        {
+          Soc.id = gi;
+          core;
+          tag = g.Fusion.tag;
+          deps;
+          reads = reads_of gi g;
+          writes = writes_of g;
+          ext_read_bytes;
+          ext_write_bytes;
+          working_set_bytes =
+            g.Fusion.input_bytes + g.Fusion.weight_bytes
+            + g.Fusion.output_bytes;
+        })
+      rows
+  in
+  (* memory-reuse anti-dependencies: serialise every cross-core pair
+     whose regions conflict (write/write, write/read or read/write) and
+     that data deps leave unordered.  The planner's offset reuse makes
+     these conflicts routine on branchy graphs; without the edges they
+     would be reported as races — correctly, because nothing would
+     order them on real hardware either. *)
+  let arr = Array.of_list proto in
+  let conflicts (a : Soc.task) (b : Soc.task) =
+    let touch xs ys =
+      List.exists
+        (fun (_, r) ->
+          List.exists (fun (_, s) -> Soc.region_overlaps r s) ys)
+        xs
+    in
+    touch a.Soc.writes b.Soc.writes
+    || touch a.Soc.writes b.Soc.reads
+    || touch a.Soc.reads b.Soc.writes
+  in
+  let n = Array.length arr in
+  for j = 0 to n - 1 do
+    for i = 0 to j - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if a.Soc.core <> b.Soc.core && conflicts a b
+         && not (List.mem a.Soc.id b.Soc.deps)
+      then arr.(j) <- { b with Soc.deps = a.Soc.id :: b.Soc.deps }
+    done
+  done;
+  let tasks =
+    Array.to_list arr
+    |> List.map (fun (t : Soc.task) ->
+           { t with Soc.deps = List.sort_uniq compare t.Soc.deps })
+  in
+  let plan =
+    {
+      Soc.soc_name = Printf.sprintf "%s@%s" (Graph.name graph) config.Ascend_arch.Config.name;
+      cores;
+      llc_bytes;
+      hbm_bytes;
+      weight_resident_bytes = mem.Memory_planner.weight_bytes;
+      tasks;
+    }
+  in
+  (plan, compiled)

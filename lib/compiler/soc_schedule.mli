@@ -1,0 +1,32 @@
+(** Build a whole-SoC schedule for the static race detector.
+
+    Lowers a model graph to an [Ascend_verify.Soc.plan]: one task per
+    fused group, pinned to a core by the greedy chain-cover stream
+    assignment (stream mod cores), with HBM byte-range footprints from
+    the memory planner's activation arena and External traffic totals
+    from the compiled instruction streams.
+
+    Edges combine the graph's group-level data dependencies (resolved
+    transitively through bookkeeping nodes) with memory-reuse
+    anti-dependencies wherever the planner's offset reuse makes two
+    unordered cross-core tasks touch overlapping regions — so a built
+    plan is race-free by construction and [Soc.analyze] returns [] on
+    it; mutation tests drop an edge to prove the detector live. *)
+
+val default_cores : int
+(** 4 — the paper's multi-core SoC baseline. *)
+
+val build :
+  ?options:Codegen.options ->
+  ?cores:int ->
+  ?llc_bytes:int ->
+  ?hbm_bytes:int ->
+  Ascend_arch.Config.t ->
+  Ascend_nn.Graph.t ->
+  Ascend_verify.Soc.plan * (Fusion.t * Ascend_isa.Program.t) list
+(** Also returns the compiled per-group programs so callers can run the
+    per-core lint (or the sanitizer) on the same artifacts without
+    recompiling.  [llc_bytes]/[hbm_bytes] default to [None]: capacity
+    checks are opt-in.  Raises [Invalid_argument] if the graph's
+    precision is unsupported on [config] (mirror of
+    [Codegen.group_program]) or [cores <= 0]. *)

@@ -1,0 +1,427 @@
+(** Dynamic shadow-state sanitizer: an opt-in replay mode that executes
+    a program's synchronisation skeleton (no latencies) while keeping
+    shadow init/ownership state per (buffer, slot).
+
+    The replay mirrors [Simulator]'s queue semantics exactly — per-pipe
+    issue queues filled in program order, counting semaphores per
+    [(from_pipe, to_pipe, flag)] triple, all-pipe barriers — but each
+    executed instruction also carries a per-pipe vector clock, so every
+    access is checked against the shadow state *with the ordering the
+    synchronisation actually establishes*, not the ordering one lucky
+    interleaving happened to produce.  Because the clocks derive from
+    the same sync edges as the static happens-before graph, the verdict
+    is interleaving-independent: a program is sanitizer-clean iff every
+    conflicting access pair is separated by a satisfied flag or barrier.
+
+    Checks (all reported through {!Ascend_verify.Finding}):
+    - [Uninit_read] — a (buffer, slot) read before any write established
+      it, or a read of more bytes than were ever written there;
+    - [Hazard] RAW/WAR/WAW — conflicting accesses the clocks leave
+      unordered: slot reuse without an intervening satisfied
+      [Wait_flag];
+    - [Slot_overflow] — an in-place write past the footprint the slot's
+      allocating write established;
+    - [Capacity_overflow] — live shadow footprints of a buffer exceed
+      the config's capacity at some instant of the replay;
+    - [Flag_leak] — semaphore entries left when the replay drains;
+    - [Peak_mismatch] — the shadow footprint high-water mark disagrees
+      with the program's declared [buffer_peak];
+    - [Deadlock] — the replay wedges (every pipe blocked).
+
+    Mirroring the static checker's severities and end-state checks is
+    what makes the differential gate meaningful: for every mutation
+    class the static analyzer detects, the sanitizer detects the same
+    class dynamically, and vice versa. *)
+
+module Config = Ascend_arch.Config
+module Pipe = Ascend_isa.Pipe
+module Buffer_id = Ascend_isa.Buffer_id
+module Instruction = Ascend_isa.Instruction
+module Program = Ascend_isa.Program
+module Finding = Ascend_verify.Finding
+
+type report = { findings : Finding.t list; instructions_executed : int }
+
+type item = Instr of int * Instruction.t | Bar of int
+
+(* one recorded access: the executing pipe, its vector-clock snapshot,
+   the instruction index and the byte count *)
+type stamp = { pipe : int; vc : int array; index : int; bytes : int }
+
+type slot_shadow = {
+  mutable footprint : int;  (* bytes the allocating write established *)
+  mutable max_footprint : int;  (* high-water mark across all allocs *)
+  mutable writer : stamp option;
+  mutable readers : stamp list;  (* reads since the last write *)
+}
+
+type state = {
+  config : Config.t;
+  queues : item Queue.t array;
+  (* flag semaphores carry the setter's vector-clock snapshot *)
+  sems : (Pipe.t * Pipe.t * int, int array Queue.t) Hashtbl.t;
+  barriers : (int, int) Hashtbl.t;  (* barrier id -> arrival count *)
+  blocked_on_barrier : int option array;
+  clock : int array array;  (* per-pipe vector clock *)
+  shadow : (Buffer_id.t * int, slot_shadow) Hashtbl.t;
+  live : int array;  (* per-buffer current live footprint sum *)
+  mutable executed : int;
+  mutable findings_rev : Finding.t list;
+  seen : (string, unit) Hashtbl.t;  (* dedup key -> () *)
+}
+
+let sem_queue st key =
+  match Hashtbl.find_opt st.sems key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace st.sems key q;
+    q
+
+let slot_shadow st key =
+  match Hashtbl.find_opt st.shadow key with
+  | Some s -> s
+  | None ->
+    let s = { footprint = 0; max_footprint = 0; writer = None; readers = [] } in
+    Hashtbl.replace st.shadow key s;
+    s
+
+(* report once per (kind, buffer, slot): streaming loops would otherwise
+   repeat one root cause thousands of times *)
+let emit st ?severity ?index ?pipe ?buffer ~slot kind message =
+  let key =
+    Printf.sprintf "%s/%s/%d" (Finding.kind_name kind)
+      (match buffer with Some b -> Buffer_id.name b | None -> "-")
+      slot
+  in
+  if not (Hashtbl.mem st.seen key) then begin
+    Hashtbl.replace st.seen key ();
+    st.findings_rev <-
+      Finding.make ?severity ?index ?pipe ?buffer kind message
+      :: st.findings_rev
+  end
+
+(* did the event stamped [s] happen before the current instant of pipe
+   [p]?  standard vector-clock test: s's own component is included in
+   p's view *)
+let ordered_before st (s : stamp) p = s.vc.(s.pipe) <= st.clock.(p).(s.pipe)
+
+let pipe_nth i = List.nth Pipe.all i
+
+let check_access st ~pipe_idx ~index (a : Instruction.access) =
+  if not (Buffer_id.equal a.Instruction.buffer Buffer_id.External) then begin
+    let buf = a.Instruction.buffer in
+    let sh = slot_shadow st (buf, a.Instruction.slot) in
+    let stamp () =
+      {
+        pipe = pipe_idx;
+        vc = Array.copy st.clock.(pipe_idx);
+        index;
+        bytes = a.Instruction.bytes;
+      }
+    in
+    let pipe = pipe_nth pipe_idx in
+    match a.Instruction.kind with
+    | Instruction.Read ->
+      (match sh.writer with
+      | None ->
+        if a.Instruction.bytes > 0 then
+          emit st ~index ~pipe ~buffer:buf ~slot:a.Instruction.slot
+            Finding.Uninit_read
+            (Printf.sprintf
+               "instruction %d reads %d B from %s slot %d before any write \
+                established it"
+               index a.Instruction.bytes (Buffer_id.name buf)
+               a.Instruction.slot)
+      | Some w ->
+        if a.Instruction.exact && a.Instruction.bytes > sh.footprint then
+          emit st ~index ~pipe ~buffer:buf ~slot:a.Instruction.slot
+            Finding.Uninit_read
+            (Printf.sprintf
+               "instruction %d reads %d B from %s slot %d but only %d B were \
+                written"
+               index a.Instruction.bytes (Buffer_id.name buf)
+               a.Instruction.slot sh.footprint);
+        if not (ordered_before st w pipe_idx) then
+          emit st ~index ~pipe ~buffer:buf ~slot:a.Instruction.slot
+            (Finding.Hazard { dep = "RAW" })
+            (Printf.sprintf
+               "replay race on %s slot %d: instruction %d reads bytes \
+                instruction %d is writing — no satisfied flag or barrier \
+                orders them"
+               (Buffer_id.name buf) a.Instruction.slot index w.index));
+      sh.readers <- stamp () :: sh.readers
+    | Instruction.Write ->
+      (match sh.writer with
+      | Some w when not (ordered_before st w pipe_idx) ->
+        emit st ~index ~pipe ~buffer:buf ~slot:a.Instruction.slot
+          (Finding.Hazard { dep = "WAW" })
+          (Printf.sprintf
+             "replay race on %s slot %d: instruction %d overwrites bytes \
+              instruction %d is writing — slot reused without a satisfied \
+              wait"
+             (Buffer_id.name buf) a.Instruction.slot index w.index)
+      | _ -> ());
+      List.iter
+        (fun r ->
+          if not (ordered_before st r pipe_idx) then
+            emit st ~index ~pipe ~buffer:buf ~slot:a.Instruction.slot
+              (Finding.Hazard { dep = "WAR" })
+              (Printf.sprintf
+                 "replay race on %s slot %d: instruction %d overwrites bytes \
+                  instruction %d is still reading — slot reused without a \
+                  satisfied wait"
+                 (Buffer_id.name buf) a.Instruction.slot index r.index))
+        sh.readers;
+      if a.Instruction.alloc then begin
+        let bi = Buffer_id.index buf in
+        st.live.(bi) <- st.live.(bi) - sh.footprint + a.Instruction.bytes;
+        sh.footprint <- a.Instruction.bytes;
+        if sh.footprint > sh.max_footprint then
+          sh.max_footprint <- sh.footprint;
+        (match Buffer_id.capacity_bytes st.config buf with
+        | Some cap when st.live.(bi) > cap ->
+          emit st ~index ~pipe ~buffer:buf ~slot:(-1)
+            Finding.Capacity_overflow
+            (Printf.sprintf
+               "buffer %s: live footprint %d B exceeds %s's %d B capacity at \
+                instruction %d"
+               (Buffer_id.name buf) st.live.(bi) st.config.Config.name cap
+               index)
+        | _ -> ())
+      end
+      else if a.Instruction.exact && a.Instruction.bytes > sh.footprint then
+        emit st ~index ~pipe ~buffer:buf ~slot:a.Instruction.slot
+          Finding.Slot_overflow
+          (Printf.sprintf
+             "instruction %d writes %d B in place into %s slot %d whose \
+              allocating write established only %d B"
+             index a.Instruction.bytes (Buffer_id.name buf)
+             a.Instruction.slot sh.footprint);
+      sh.writer <- Some (stamp ());
+      sh.readers <- []
+  end
+
+(* Execute the head of a pipe if possible.  Returns true on progress. *)
+let try_advance st pipe_idx =
+  match st.blocked_on_barrier.(pipe_idx) with
+  | Some _ -> false
+  | None -> (
+    let q = st.queues.(pipe_idx) in
+    if Queue.is_empty q then false
+    else
+      match Queue.peek q with
+      | Bar id ->
+        ignore (Queue.pop q);
+        let count =
+          match Hashtbl.find_opt st.barriers id with Some c -> c | None -> 0
+        in
+        Hashtbl.replace st.barriers id (count + 1);
+        st.blocked_on_barrier.(pipe_idx) <- Some id;
+        true
+      | Instr (index, instr) -> (
+        let tick () =
+          st.clock.(pipe_idx).(pipe_idx) <- st.clock.(pipe_idx).(pipe_idx) + 1;
+          st.executed <- st.executed + 1
+        in
+        match instr with
+        | Instruction.Wait_flag { from_pipe; to_pipe; flag } ->
+          let sem = sem_queue st (from_pipe, to_pipe, flag) in
+          if Queue.is_empty sem then false
+          else begin
+            ignore (Queue.pop q);
+            tick ();
+            let setter_vc = Queue.pop sem in
+            Array.iteri
+              (fun i v ->
+                if v > st.clock.(pipe_idx).(i) then
+                  st.clock.(pipe_idx).(i) <- v)
+              setter_vc;
+            true
+          end
+        | _ ->
+          ignore (Queue.pop q);
+          tick ();
+          (match instr with
+          | Instruction.Set_flag { from_pipe; to_pipe; flag } ->
+            Queue.push
+              (Array.copy st.clock.(pipe_idx))
+              (sem_queue st (from_pipe, to_pipe, flag))
+          | _ -> ());
+          let reads, writes =
+            List.partition
+              (fun (a : Instruction.access) -> a.Instruction.kind = Read)
+              (Instruction.accesses instr)
+          in
+          (* reads of an instruction logically precede its writes *)
+          List.iter (check_access st ~pipe_idx ~index) reads;
+          List.iter (check_access st ~pipe_idx ~index) writes;
+          true))
+
+let release_barriers st =
+  let released = ref false in
+  Hashtbl.iter
+    (fun id count ->
+      if count = Pipe.count then begin
+        (* a barrier joins every pipe's clock and restarts all pipes *)
+        let join = Array.make Pipe.count 0 in
+        Array.iter
+          (fun vc -> Array.iteri (fun i v -> if v > join.(i) then join.(i) <- v) vc)
+          st.clock;
+        Array.iteri (fun p _ -> st.clock.(p) <- Array.copy join) st.clock;
+        Array.iteri
+          (fun i b ->
+            match b with
+            | Some bid when bid = id -> st.blocked_on_barrier.(i) <- None
+            | _ -> ())
+          st.blocked_on_barrier;
+        Hashtbl.remove st.barriers id;
+        released := true
+      end)
+    st.barriers;
+  !released
+
+let describe_stuck st =
+  let parts = ref [] in
+  Array.iteri
+    (fun i q ->
+      if not (Queue.is_empty q) then
+        let head =
+          match Queue.peek q with
+          | Bar id -> Printf.sprintf "barrier %d" id
+          | Instr (idx, instr) ->
+            Format.asprintf "#%d %a" idx Instruction.pp instr
+        in
+        parts :=
+          Printf.sprintf "%s stuck at %s" (Pipe.name (pipe_nth i)) head
+          :: !parts)
+    st.queues;
+  String.concat "; " (List.rev !parts)
+
+(* end-of-run checks, mirroring the static analyzer's *)
+let end_state_findings st (program : Program.t) =
+  let leaks = ref [] in
+  Hashtbl.iter
+    (fun (f, t, flag) q ->
+      let n = Queue.length q in
+      if n > 0 then
+        leaks :=
+          Finding.make ~pipe:f Finding.Flag_leak
+            (Printf.sprintf
+               "flag %s->%s #%d ends the replay with %d set(s) never \
+                consumed; a following program's first wait on this triple \
+                would pass spuriously"
+               (Pipe.name f) (Pipe.name t) flag n)
+          :: !leaks)
+    st.sems;
+  let peaks =
+    List.concat_map
+      (fun buf ->
+        if Buffer_id.equal buf Buffer_id.External then []
+        else begin
+          (* per-slot maxima, matching [Program.derived_buffer_peak] *)
+          let slot_max = Hashtbl.create 8 in
+          Hashtbl.iter
+            (fun (b, slot) (sh : slot_shadow) ->
+              if Buffer_id.equal b buf then
+                let cur =
+                  match Hashtbl.find_opt slot_max slot with
+                  | Some v -> v
+                  | None -> 0
+                in
+                if sh.max_footprint > cur then
+                  Hashtbl.replace slot_max slot sh.max_footprint)
+            st.shadow;
+          let shadow_peak = Hashtbl.fold (fun _ v acc -> acc + v) slot_max 0 in
+          let declared =
+            match List.assoc_opt buf program.Program.buffer_peak with
+            | Some v -> v
+            | None -> 0
+          in
+          if declared < shadow_peak then
+            [
+              Finding.make ~buffer:buf Finding.Peak_mismatch
+                (Printf.sprintf
+                   "buffer %s: declared peak %d B understates the %d B the \
+                    replay's shadow state reached"
+                   (Buffer_id.name buf) declared shadow_peak);
+            ]
+          else if declared > shadow_peak then
+            [
+              Finding.make ~severity:Finding.Warning ~buffer:buf
+                Finding.Peak_mismatch
+                (Printf.sprintf
+                   "buffer %s: declared peak %d B overstates the %d B the \
+                    replay's shadow state reached"
+                   (Buffer_id.name buf) declared shadow_peak);
+            ]
+          else []
+        end)
+      Buffer_id.all
+  in
+  List.rev !leaks @ peaks
+
+let run (config : Config.t) (program : Program.t) =
+  let st =
+    {
+      config;
+      queues = Array.init Pipe.count (fun _ -> Queue.create ());
+      sems = Hashtbl.create 32;
+      barriers = Hashtbl.create 8;
+      blocked_on_barrier = Array.make Pipe.count None;
+      clock = Array.init Pipe.count (fun _ -> Array.make Pipe.count 0);
+      shadow = Hashtbl.create 64;
+      live = Array.make Buffer_id.count 0;
+      executed = 0;
+      findings_rev = [];
+      seen = Hashtbl.create 32;
+    }
+  in
+  let barrier_id = ref 0 in
+  let malformed = ref [] in
+  List.iteri
+    (fun index instr ->
+      match instr with
+      | Instruction.Barrier ->
+        let id = !barrier_id in
+        incr barrier_id;
+        Array.iter (fun q -> Queue.push (Bar id) q) st.queues
+      | _ -> (
+        match Instruction.pipe_of instr with
+        | Some p -> Queue.push (Instr (index, instr)) st.queues.(Pipe.index p)
+        | None ->
+          malformed :=
+            Finding.make ~index Finding.Malformed
+              "instruction maps to no pipe (illegal MTE move)"
+            :: !malformed))
+    program.Program.instructions;
+  let rec loop () =
+    let progress = ref false in
+    for i = 0 to Pipe.count - 1 do
+      while try_advance st i do
+        progress := true
+      done
+    done;
+    if release_barriers st then progress := true;
+    let done_ =
+      Array.for_all Queue.is_empty st.queues
+      && Array.for_all (fun b -> b = None) st.blocked_on_barrier
+    in
+    if done_ then []
+    else if !progress then loop ()
+    else
+      [
+        Finding.make Finding.Deadlock
+          (Printf.sprintf "replay wedged with work outstanding: %s"
+             (describe_stuck st));
+      ]
+  in
+  let deadlocks = loop () in
+  let findings =
+    List.rev !malformed @ List.rev st.findings_rev @ deadlocks
+    @ end_state_findings st program
+  in
+  { findings; instructions_executed = st.executed }
+
+let errors (r : report) = List.filter Finding.is_error r.findings
+let clean (r : report) = r.findings = []

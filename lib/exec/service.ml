@@ -26,6 +26,11 @@ let create ?jobs ?capacity () =
   }
 
 let jobs t = Pool.jobs t.pool
+
+(* ordered fan-out over the service's worker pool, for sweeps that are
+   not group-shaped (lint/sanitize combos): results come back in
+   submission order, so output is byte-identical across [jobs] *)
+let map t f xs = Pool.map t.pool f xs
 let stats t = Cache.stats t.cache
 let clear t = Cache.clear t.cache
 let shutdown t = Pool.shutdown t.pool

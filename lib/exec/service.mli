@@ -31,6 +31,12 @@ val create : ?jobs:int -> ?capacity:int -> unit -> t
 
 val jobs : t -> int
 
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Ordered fan-out over the service's worker pool, for sweeps that are
+    not group-shaped (the lint and sanitize combo sweeps).  Results
+    return in submission order, so output stays byte-identical across
+    [jobs]; does not touch the cache. *)
+
 val stats : t -> Cache.stats
 (** Hit/miss/eviction counters and current entry count. *)
 

@@ -105,7 +105,13 @@ let source_bytes = function
    Ascend_verify and the derived buffer peaks are both built on this
    single model.  [alloc] marks the write that establishes a slot's
    footprint; in-place updates (accumulating matmuls, read-modify-write
-   vector passes on one slot) are writes but not allocations. *)
+   vector passes on one slot) are writes but not allocations.  [exact]
+   marks accesses whose byte count is a real footprint claim: an
+   in-place vector pass carries a *work* amount (a fused elementwise
+   chain sweeps the same tile several times), so its bytes drive
+   latency and energy but are bounded in memory by the slot's
+   established footprint — the shadow-state sanitizer must not
+   bounds-check them. *)
 
 type access_kind = Read | Write
 
@@ -115,6 +121,7 @@ type access = {
   bytes : int;
   kind : access_kind;
   alloc : bool;
+  exact : bool;
 }
 
 let accesses instr =
@@ -123,8 +130,9 @@ let accesses instr =
   | Mte_move { src; dst; src_slot; dst_slot; bytes; _ } ->
     [
       { buffer = src; slot = src_slot; bytes = source_bytes instr; kind = Read;
-        alloc = false };
-      { buffer = dst; slot = dst_slot; bytes; kind = Write; alloc = true };
+        alloc = false; exact = true };
+      { buffer = dst; slot = dst_slot; bytes; kind = Write; alloc = true;
+        exact = true };
     ]
   | Cube_matmul { m; k; n; precision; accumulate; l0a_slot; l0b_slot; l0c_slot }
     ->
@@ -136,28 +144,32 @@ let accesses instr =
     let out = bytes_of (m * n) acc in
     [
       { buffer = Buffer_id.L0a; slot = l0a_slot; bytes = bytes_of (m * k) src;
-        kind = Read; alloc = false };
+        kind = Read; alloc = false; exact = true };
       { buffer = Buffer_id.L0b; slot = l0b_slot; bytes = bytes_of (k * n) src;
-        kind = Read; alloc = false };
+        kind = Read; alloc = false; exact = true };
     ]
     @ (if accumulate then
          [ { buffer = Buffer_id.L0c; slot = l0c_slot; bytes = out; kind = Read;
-             alloc = false } ]
+             alloc = false; exact = true } ]
        else [])
     @ [
         { buffer = Buffer_id.L0c; slot = l0c_slot; bytes = out; kind = Write;
-          alloc = not accumulate };
+          alloc = not accumulate; exact = true };
       ]
   | Vector_op { bytes; reads_ub; writes_ub; ub_in_slot; ub_out_slot; _ } ->
+    (* vector bytes are work amounts, never footprint claims: a fused
+       elementwise chain sweeps a tile several times, and a gather reads
+       a small index list while producing a large output *)
     (if reads_ub then
        [ { buffer = Buffer_id.Ub; slot = ub_in_slot; bytes; kind = Read;
-           alloc = false } ]
+           alloc = false; exact = false } ]
      else [])
     @
     if writes_ub then
       [ { buffer = Buffer_id.Ub; slot = ub_out_slot; bytes; kind = Write;
           (* writing the slot just read is an in-place update *)
-          alloc = (not reads_ub) || ub_out_slot <> ub_in_slot } ]
+          alloc = (not reads_ub) || ub_out_slot <> ub_in_slot;
+          exact = false } ]
     else []
   | Scalar_op _ | Set_flag _ | Wait_flag _ | Barrier -> []
 

@@ -91,6 +91,14 @@ type access = {
       (** true when this write establishes the slot's footprint; false
           for in-place updates (accumulating matmul, read-modify-write
           vector pass on a single slot) and for all reads *)
+  exact : bool;
+      (** true when [bytes] is an exact footprint claim the shadow-state
+          sanitizer may bounds-check against the slot's established
+          footprint.  False for every vector-op access, whose [bytes] is
+          a work amount: a fused elementwise chain sweeps the same tile
+          several times, and a gather reads a small index list while
+          producing a large output — the figure drives latency and
+          energy but is bounded in memory by whatever the slot holds *)
 }
 
 val accesses : t -> access list

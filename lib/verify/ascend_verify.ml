@@ -18,6 +18,7 @@
 open Ascend_isa
 module Finding = Finding
 module Hb = Hb
+module Soc = Soc
 
 let kind_str = function
   | Instruction.Read -> "read"
@@ -46,7 +47,7 @@ let hazard_findings (g : Hb.t) =
       if g.Hb.lane.(i) >= 0 then List.nth_opt Pipe.all g.Hb.lane.(i) else None
     in
     findings :=
-      Finding.make ~index:i ?pipe (Finding.Hazard { dep })
+      Finding.make ~index:i ?pipe ~buffer:a.buffer (Finding.Hazard { dep })
         (Printf.sprintf
            "%s hazard on %s slot %d: instruction %d %ss it but is not \
             ordered after instruction %d's %s — no flag or barrier \
@@ -111,7 +112,7 @@ let peak_findings (config : Ascend_arch.Config.t) (p : Program.t) =
       let under =
         if decl < d then
           [
-            Finding.make Finding.Peak_mismatch
+            Finding.make ~buffer:buf Finding.Peak_mismatch
               (Printf.sprintf
                  "buffer %s: declared peak %d B understates the %d B the \
                   instruction stream actually allocates"
@@ -119,7 +120,8 @@ let peak_findings (config : Ascend_arch.Config.t) (p : Program.t) =
           ]
         else if decl > d then
           [
-            Finding.make ~severity:Finding.Warning Finding.Peak_mismatch
+            Finding.make ~severity:Finding.Warning ~buffer:buf
+              Finding.Peak_mismatch
               (Printf.sprintf
                  "buffer %s: declared peak %d B overstates the %d B the \
                   instruction stream allocates"
@@ -131,7 +133,7 @@ let peak_findings (config : Ascend_arch.Config.t) (p : Program.t) =
         match Buffer_id.capacity_bytes config buf with
         | Some cap when d > cap ->
           [
-            Finding.make Finding.Capacity_overflow
+            Finding.make ~buffer:buf Finding.Capacity_overflow
               (Printf.sprintf
                  "buffer %s: recomputed footprint %d B exceeds %s's %d B \
                   capacity"

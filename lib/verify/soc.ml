@@ -1,0 +1,356 @@
+(** Whole-SoC static race detector over a fused-group schedule.
+
+    The per-program analysis ([Ascend_verify.analyze]) proves each core
+    program internally race-free; this module lifts the same
+    happens-before reasoning one level up, to the compiler's multi-core
+    schedule of fused groups.  Tasks are compiled group programs pinned
+    to cores; edges are the inter-core dependencies the memory planner
+    and graph engine imply (producer->consumer data edges, memory-reuse
+    anti-dependencies, same-core issue order).  The checks:
+
+    - {b cross-core RAW/WAR/WAW races}: two tasks on different cores
+      whose HBM byte-range footprints overlap and that no edge orders;
+    - {b cross-core deadlock}: a cycle in the schedule's dependency
+      graph (or a dependency on a task that does not exist);
+    - {b LLC/HBM capacity overcommit}: resident weights plus peak live
+      activation regions against HBM capacity (error), and the largest
+      concurrent per-wave working set against LLC capacity (warning).
+
+    The schedule representation is deliberately neutral — plain ids,
+    byte ranges and tags — so this library needs no dependency on the
+    compiler; [Ascend_compiler.Soc_schedule] builds plans from real
+    model graphs, and tests build mutated ones by hand. *)
+
+type region = { base : int; bytes : int }
+
+type task = {
+  id : int;
+  core : int;
+  tag : string;
+  deps : int list;
+  reads : (string * region) list;
+  writes : (string * region) list;
+  ext_read_bytes : int;
+  ext_write_bytes : int;
+  working_set_bytes : int;
+}
+
+type plan = {
+  soc_name : string;
+  cores : int;
+  llc_bytes : int option;
+  hbm_bytes : int option;
+  weight_resident_bytes : int;
+  tasks : task list;
+}
+
+let region_overlaps a b =
+  a.bytes > 0 && b.bytes > 0
+  && a.base < b.base + b.bytes
+  && b.base < a.base + a.bytes
+
+(* ------------------------------------------------------------------ *)
+(* Happens-before over tasks: same-core issue order + dependency edges,
+   with per-core vector clocks exactly like the per-program [Hb] graph
+   (lane = core, seq = issue position on that core). *)
+
+type hb = {
+  order : task array;  (* listing order = the serial reference schedule *)
+  pos_of : (int, int) Hashtbl.t;  (* task id -> position *)
+  lane : int array;
+  seq : int array;
+  vc : int array array;
+  cycle_findings : Finding.t list;
+}
+
+let build_hb (p : plan) =
+  let order = Array.of_list p.tasks in
+  let n = Array.length order in
+  let pos_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i t -> Hashtbl.replace pos_of t.id i) order;
+  let succs = Array.make n [] in
+  let indeg = Array.make n 0 in
+  let findings = ref [] in
+  let add_edge a b =
+    succs.(a) <- b :: succs.(a);
+    indeg.(b) <- indeg.(b) + 1
+  in
+  (* same-core issue order *)
+  let last_on_core = Hashtbl.create 8 in
+  let lane = Array.make n 0 in
+  let seq = Array.make n 0 in
+  let next_seq = Hashtbl.create 8 in
+  Array.iteri
+    (fun i t ->
+      lane.(i) <- t.core;
+      let s =
+        match Hashtbl.find_opt next_seq t.core with Some s -> s | None -> 0
+      in
+      seq.(i) <- s;
+      Hashtbl.replace next_seq t.core (s + 1);
+      (match Hashtbl.find_opt last_on_core t.core with
+      | Some j -> add_edge j i
+      | None -> ());
+      Hashtbl.replace last_on_core t.core i)
+    order;
+  (* dependency edges *)
+  Array.iteri
+    (fun i t ->
+      List.iter
+        (fun d ->
+          match Hashtbl.find_opt pos_of d with
+          | Some j -> if j <> i then add_edge j i
+          | None ->
+            findings :=
+              Finding.make ~index:t.id Finding.Soc_deadlock
+                (Printf.sprintf
+                   "task %s (core %d) depends on task id %d which is not in \
+                    the schedule"
+                   t.tag t.core d)
+              :: !findings)
+        t.deps)
+    order;
+  let cores = max 1 p.cores in
+  let vc = Array.make n [||] in
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let processed = Array.make n false in
+  let n_processed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    processed.(i) <- true;
+    incr n_processed;
+    if Array.length vc.(i) = 0 then vc.(i) <- Array.make cores (-1);
+    if lane.(i) < cores then
+      vc.(i).(lane.(i)) <- max vc.(i).(lane.(i)) seq.(i);
+    List.iter
+      (fun j ->
+        if Array.length vc.(j) = 0 then vc.(j) <- Array.make cores (-1);
+        Array.iteri (fun c v -> if v > vc.(j).(c) then vc.(j).(c) <- v) vc.(i);
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      succs.(i)
+  done;
+  if !n_processed < n then begin
+    let stuck =
+      Array.to_list order
+      |> List.filteri (fun i _ -> not processed.(i))
+      |> List.map (fun t -> Printf.sprintf "%s(core %d)" t.tag t.core)
+    in
+    findings :=
+      Finding.make Finding.Soc_deadlock
+        (Printf.sprintf
+           "schedule dependency graph is cyclic: %d task(s) can never start \
+            (%s)"
+           (n - !n_processed)
+           (String.concat ", " stuck))
+      :: !findings
+  end;
+  { order; pos_of; lane; seq; vc; cycle_findings = List.rev !findings }
+
+(* position [a] happens before (or is) position [b] *)
+let hb_query g a b =
+  a = b
+  || Array.length g.vc.(b) > 0
+     && g.lane.(a) < Array.length g.vc.(b)
+     && g.seq.(a) <= g.vc.(b).(g.lane.(a))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-core races: every unordered pair of tasks on different cores
+   with overlapping byte-range footprints.  The listing order is the
+   serial reference schedule, so the earlier task's access names the
+   dependence direction (RAW: earlier writes, later reads). *)
+
+let race_findings g =
+  let n = Array.length g.order in
+  let findings = ref [] in
+  let report dep (a : task) (b : task) name_a name_b (ra : region) =
+    findings :=
+      Finding.make ~index:b.id (Finding.Soc_race { dep })
+        (Printf.sprintf
+           "%s race between core %d task %s (%s) and core %d task %s (%s) on \
+            HBM bytes [%d..%d): no schedule edge orders them"
+           dep a.core a.tag name_a b.core b.tag name_b ra.base
+           (ra.base + ra.bytes))
+      :: !findings
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = g.order.(i) and b = g.order.(j) in
+      if a.core <> b.core && not (hb_query g i j) && not (hb_query g j i)
+      then begin
+        (* earlier write vs later read: RAW *)
+        List.iter
+          (fun (na, ra) ->
+            List.iter
+              (fun (nb, rb) ->
+                if region_overlaps ra rb then report "RAW" a b na nb ra)
+              b.reads)
+          a.writes;
+        (* earlier read vs later write: WAR *)
+        List.iter
+          (fun (na, ra) ->
+            List.iter
+              (fun (nb, rb) ->
+                if region_overlaps ra rb then report "WAR" a b na nb ra)
+              b.writes)
+          a.reads;
+        (* write vs write: WAW *)
+        List.iter
+          (fun (na, ra) ->
+            List.iter
+              (fun (nb, rb) ->
+                if region_overlaps ra rb then report "WAW" a b na nb ra)
+              b.writes)
+          a.writes
+      end
+    done
+  done;
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* Capacity: HBM residency (weights + live activation regions, an
+   error: the plan cannot execute) and LLC working set per concurrent
+   wave (a warning: it executes, but thrashes the shared cache). *)
+
+let capacity_findings g (p : plan) =
+  let n = Array.length g.order in
+  let findings = ref [] in
+  (match p.hbm_bytes with
+  | None -> ()
+  | Some cap ->
+    (* a write region is live from its producer's position to its last
+       reader's position *)
+    let last_reader = Hashtbl.create 32 in
+    Array.iteri
+      (fun i (t : task) ->
+        List.iter
+          (fun (_, (r : region)) ->
+            List.iteri
+              (fun j (u : task) ->
+                if j >= i then
+                  let reads_it =
+                    List.exists (fun (_, ru) -> region_overlaps r ru) u.reads
+                  in
+                  if reads_it then Hashtbl.replace last_reader (i, r.base) j)
+              (Array.to_list g.order))
+          t.writes)
+      g.order;
+    let peak = ref 0 in
+    let peak_pos = ref 0 in
+    for pos = 0 to n - 1 do
+      let live = ref 0 in
+      Array.iteri
+        (fun i (t : task) ->
+          List.iter
+            (fun (_, (r : region)) ->
+              let last =
+                match Hashtbl.find_opt last_reader (i, r.base) with
+                | Some j -> j
+                | None -> i
+              in
+              if i <= pos && pos <= last then live := !live + r.bytes)
+            t.writes)
+        g.order;
+      if !live > !peak then begin
+        peak := !live;
+        peak_pos := pos
+      end
+    done;
+    let total = p.weight_resident_bytes + !peak in
+    if total > cap then
+      findings :=
+        Finding.make
+          ~index:g.order.(!peak_pos).id
+          (Finding.Soc_overcommit { resource = "HBM" })
+          (Printf.sprintf
+             "resident weights %d B + peak live activations %d B (at task \
+              %s) = %d B exceed the %d B HBM capacity"
+             p.weight_resident_bytes !peak g.order.(!peak_pos).tag total cap)
+        :: !findings);
+  (match p.llc_bytes with
+  | None -> ()
+  | Some cap ->
+    (* ASAP wave levels over the edge set; within a wave at most
+       [cores] tasks run concurrently, so charge the largest [cores]
+       working sets *)
+    let level = Array.make n 0 in
+    Array.iteri
+      (fun i (t : task) ->
+        let dep_level =
+          List.fold_left
+            (fun acc d ->
+              match Hashtbl.find_opt g.pos_of d with
+              | Some j when j < i -> max acc (level.(j) + 1)
+              | _ -> acc)
+            0 t.deps
+        in
+        (* same-core predecessor also precedes *)
+        let core_level = ref dep_level in
+        for j = 0 to i - 1 do
+          if g.order.(j).core = t.core then
+            core_level := max !core_level (level.(j) + 1)
+        done;
+        level.(i) <- !core_level)
+      g.order;
+    let by_level = Hashtbl.create 16 in
+    Array.iteri
+      (fun i (t : task) ->
+        let cur =
+          match Hashtbl.find_opt by_level level.(i) with
+          | Some l -> l
+          | None -> []
+        in
+        Hashtbl.replace by_level level.(i) (t :: cur))
+      g.order;
+    let worst = ref 0 and worst_level = ref 0 in
+    Hashtbl.iter
+      (fun lvl tasks ->
+        let sets =
+          List.map (fun (t : task) -> t.working_set_bytes) tasks
+          |> List.sort (fun a b -> compare b a)
+        in
+        let rec take k = function
+          | x :: rest when k > 0 -> x + take (k - 1) rest
+          | _ -> 0
+        in
+        let ws = take (max 1 p.cores) sets in
+        if ws > !worst then begin
+          worst := ws;
+          worst_level := lvl
+        end)
+      by_level;
+    if !worst > cap then
+      findings :=
+        Finding.make ~severity:Finding.Warning
+          (Finding.Soc_overcommit { resource = "LLC" })
+          (Printf.sprintf
+             "concurrent wave %d holds a %d B working set across %d core(s), \
+              exceeding the %d B LLC — expect thrashing"
+             !worst_level !worst (max 1 p.cores) cap)
+        :: !findings);
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+
+let analyze (p : plan) =
+  match p.tasks with
+  | [] -> []
+  | _ ->
+    let g = build_hb p in
+    (* race results are only meaningful on an acyclic schedule: a stuck
+       task never runs, so racing with it is moot *)
+    let races = if g.cycle_findings = [] then race_findings g else [] in
+    g.cycle_findings @ races @ capacity_findings g p
+
+let pp_plan ppf (p : plan) =
+  Format.fprintf ppf "soc plan %s: %d cores, %d tasks, %d B weights@."
+    p.soc_name p.cores (List.length p.tasks) p.weight_resident_bytes;
+  List.iter
+    (fun t ->
+      Format.fprintf ppf "  c%d #%-3d %-28s r:%d w:%d ext %d/%d B%s@." t.core
+        t.id t.tag (List.length t.reads) (List.length t.writes)
+        t.ext_read_bytes t.ext_write_bytes
+        (if t.deps = [] then ""
+         else " <- " ^ String.concat "," (List.map string_of_int t.deps)))
+    p.tasks

@@ -301,6 +301,245 @@ let monotone_bytes_prop =
       let t bytes = (run_ok [ vec bytes ]).Simulator.total_cycles in
       t small <= t big)
 
+(* ------------------------------------------------------------------ *)
+(* Shadow-state sanitizer                                              *)
+
+module Sanitizer = Ascend.Core_sim.Sanitizer
+module Finding = Ascend.Verify.Finding
+module Verify = Ascend.Verify
+module Codegen = Ascend.Compiler.Codegen
+
+let san_classes (r : Sanitizer.report) =
+  List.sort_uniq compare
+    (List.map
+       (fun (f : Finding.t) -> Finding.kind_name f.Finding.kind)
+       r.Sanitizer.findings)
+
+let mte ?src_slot ?dst_slot src dst bytes =
+  Instruction.mte_move ~src ~dst ?src_slot ?dst_slot ~bytes ()
+
+let sanitize ?(config = Config.max) ?buffer_peak instrs =
+  Sanitizer.run config (Program.make ~name:"t" ?buffer_peak instrs)
+
+let test_sanitizer_zoo_clean () =
+  List.iter
+    (fun g ->
+      List.iter
+        (fun config ->
+          if Config.supports config (Ascend.Nn.Graph.dtype g) then
+            List.iter
+              (fun options ->
+                List.iter
+                  (fun ((grp : Ascend.Compiler.Fusion.t), p) ->
+                    let r = Sanitizer.run config p in
+                    if not (Sanitizer.clean r) then
+                      Alcotest.failf "%s / %s: %s" config.Config.name
+                        grp.Ascend.Compiler.Fusion.tag
+                        (String.concat "," (san_classes r)))
+                  (Codegen.graph_programs ~options config g))
+              [
+                Codegen.default_options;
+                { Codegen.default_options with
+                  Codegen.sync_mode = Codegen.Coarse_barriers;
+                  double_buffer = false };
+              ])
+        [ Config.tiny; Config.max ])
+    [ Ascend.Nn.Resnet.v1_5_18 (); Ascend.Nn.Gesture.build () ]
+
+let test_sanitizer_uninit_read () =
+  (* a slot is read before any write established it *)
+  let r =
+    sanitize
+      ~buffer_peak:[ (Buffer_id.L0a, 512) ]
+      [ mte Buffer_id.L1 Buffer_id.L0a 512 ]
+  in
+  Alcotest.(check (list string)) "read before write" [ "uninit-read" ]
+    (san_classes r);
+  (* extent: 100 B written, then 512 B moved out of the slot *)
+  let r2 =
+    sanitize
+      ~buffer_peak:[ (Buffer_id.L1, 100); (Buffer_id.L0a, 512) ]
+      [
+        mte Buffer_id.External Buffer_id.L1 100;
+        Instruction.Barrier;
+        mte Buffer_id.L1 Buffer_id.L0a 512;
+      ]
+  in
+  Alcotest.(check (list string)) "read past the written extent"
+    [ "uninit-read" ] (san_classes r2)
+
+let test_sanitizer_slot_overflow () =
+  (* a 32x32 accumulating matmul lands in an L0C slot whose allocating
+     16x16 write established only 1 KiB: the in-place write overflows
+     the slot and its accumulate read runs past the written extent *)
+  let r =
+    sanitize
+      ~buffer_peak:
+        [
+          (Buffer_id.L1, 4096); (Buffer_id.L0a, 2048); (Buffer_id.L0b, 2048);
+          (Buffer_id.L0c, 1024);
+        ]
+      [
+        mte Buffer_id.External Buffer_id.L1 4096;
+        Instruction.Barrier;
+        mte Buffer_id.L1 Buffer_id.L0a 2048;
+        mte Buffer_id.L1 Buffer_id.L0b 2048;
+        Instruction.Barrier;
+        cube 16 16 16;
+        cube ~accumulate:true 32 32 32;
+      ]
+  in
+  Alcotest.(check (list string)) "overflow and extent read"
+    [ "slot-overflow"; "uninit-read" ]
+    (san_classes r)
+
+let test_sanitizer_hazard_and_ordering () =
+  (* cross-pipe slot reuse: MTE2 fills UB, MTE3 drains it — racy
+     without a flag, proven ordered with one *)
+  let fill = mte Buffer_id.External Buffer_id.Ub 1024 in
+  let drain = mte Buffer_id.Ub Buffer_id.External 1024 in
+  let peaks = [ (Buffer_id.Ub, 1024) ] in
+  let racy = sanitize ~buffer_peak:peaks [ fill; drain ] in
+  Alcotest.(check (list string)) "unordered cross-pipe reuse"
+    [ "hazard/RAW" ] (san_classes racy);
+  let ordered =
+    sanitize ~buffer_peak:peaks
+      [ fill; set Pipe.Mte2 Pipe.Mte3 0; wait Pipe.Mte2 Pipe.Mte3 0; drain ]
+  in
+  Alcotest.(check (list string)) "a satisfied flag orders them" []
+    (san_classes ordered)
+
+let test_sanitizer_deadlock () =
+  let r = sanitize [ wait Pipe.Cube Pipe.Vector 0 ] in
+  Alcotest.(check (list string)) "wedged replay" [ "deadlock" ]
+    (san_classes r)
+
+let test_sanitizer_flag_leak () =
+  let r = sanitize [ set Pipe.Cube Pipe.Vector 0 ] in
+  Alcotest.(check (list string)) "unconsumed set" [ "flag-leak" ]
+    (san_classes r)
+
+let test_sanitizer_capacity () =
+  let big = Config.max.Config.buffers.Config.ub_bytes + 16 in
+  let r =
+    sanitize
+      ~buffer_peak:[ (Buffer_id.Ub, big) ]
+      [ mte Buffer_id.External Buffer_id.Ub big ]
+  in
+  Alcotest.(check bool) "runtime capacity overflow" true
+    (List.mem "capacity-overflow" (san_classes r))
+
+let test_sanitizer_peak_mismatch () =
+  let fill = mte Buffer_id.External Buffer_id.Ub 1000 in
+  let under = sanitize ~buffer_peak:[ (Buffer_id.Ub, 500) ] [ fill ] in
+  Alcotest.(check (list string)) "understate" [ "peak-mismatch" ]
+    (san_classes under);
+  Alcotest.(check bool) "understate is an error" true
+    (List.for_all Finding.is_error under.Sanitizer.findings);
+  let over = sanitize ~buffer_peak:[ (Buffer_id.Ub, 2000) ] [ fill ] in
+  Alcotest.(check (list string)) "overstate" [ "peak-mismatch" ]
+    (san_classes over);
+  Alcotest.(check bool) "overstate is a warning" true
+    (List.for_all
+       (fun f -> not (Finding.is_error f))
+       over.Sanitizer.findings)
+
+(* ------------------------------------------------------------------ *)
+(* Differential property: for every mutation class, the static         *)
+(* analyzer and the sanitizer reach the same verdict                   *)
+
+let compiled_program () =
+  let g = Ascend.Nn.Resnet.v1_5_18 () in
+  let programs = Codegen.graph_programs Config.max g in
+  List.fold_left
+    (fun best (_, p) ->
+      if Program.length p > Program.length best then p else best)
+    (snd (List.hd programs))
+    programs
+
+let test_differential_clean_agreement () =
+  let p = compiled_program () in
+  Alcotest.(check bool) "static clean" true (Verify.analyze Config.max p = []);
+  Alcotest.(check bool) "sanitizer clean" true
+    (Sanitizer.clean (Sanitizer.run Config.max p))
+
+let drop_nth n instrs = List.filteri (fun i _ -> i <> n) instrs
+
+let positions_of pred instrs =
+  List.mapi (fun i x -> (i, x)) instrs
+  |> List.filter_map (fun (i, x) -> if pred x then Some i else None)
+
+let pick seed = function
+  | [] -> None
+  | xs -> Some (List.nth xs (seed mod List.length xs))
+
+let has_kind k fs = List.exists (fun (f : Finding.t) -> f.Finding.kind = k) fs
+
+let differential_prop name ~count mutate check_static check_dynamic =
+  QCheck.Test.make ~count ~name
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let p = compiled_program () in
+      match mutate seed p with
+      | None -> QCheck.assume_fail ()
+      | Some m ->
+        let static_findings = Verify.analyze Config.max m in
+        let dynamic = Sanitizer.run Config.max m in
+        static_findings <> []
+        && (not (Sanitizer.clean dynamic))
+        && check_static static_findings
+        && check_dynamic dynamic.Sanitizer.findings)
+
+let drop_set_differential =
+  differential_prop
+    "skipping a slot's flag-set: both checkers report, static as deadlock"
+    ~count:15
+    (fun seed p ->
+      Option.map
+        (fun n ->
+          { p with Program.instructions = drop_nth n p.Program.instructions })
+        (pick seed
+           (positions_of
+              (function Instruction.Set_flag _ -> true | _ -> false)
+              p.Program.instructions)))
+    (has_kind Finding.Deadlock)
+    (fun _ -> true)
+
+let drop_wait_differential =
+  differential_prop
+    "dropping a wait: both checkers report the unsynchronised reuse"
+    ~count:15
+    (fun seed p ->
+      Option.map
+        (fun n ->
+          { p with Program.instructions = drop_nth n p.Program.instructions })
+        (pick seed
+           (positions_of
+              (function Instruction.Wait_flag _ -> true | _ -> false)
+              p.Program.instructions)))
+    (fun _ -> true)
+    (fun _ -> true)
+
+let shrink_peak_differential =
+  differential_prop
+    "shrinking a declared footprint: both checkers report a peak mismatch"
+    ~count:15
+    (fun seed p ->
+      match p.Program.buffer_peak with
+      | [] -> None
+      | peaks ->
+        let n = seed mod List.length peaks in
+        Some
+          { p with
+            Program.buffer_peak =
+              List.mapi
+                (fun i (b, v) ->
+                  if i = n then (b, max 0 ((v / 2) - 1)) else (b, v))
+                peaks;
+          })
+    (has_kind Finding.Peak_mismatch)
+    (has_kind Finding.Peak_mismatch)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "core_sim"
@@ -333,5 +572,28 @@ let () =
           Alcotest.test_case "timeline" `Quick test_timeline;
           Alcotest.test_case "timeline degenerate" `Quick
             test_timeline_degenerate;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "zoo programs clean" `Slow
+            test_sanitizer_zoo_clean;
+          Alcotest.test_case "uninit read" `Quick test_sanitizer_uninit_read;
+          Alcotest.test_case "slot overflow" `Quick
+            test_sanitizer_slot_overflow;
+          Alcotest.test_case "hazard and ordering" `Quick
+            test_sanitizer_hazard_and_ordering;
+          Alcotest.test_case "deadlock" `Quick test_sanitizer_deadlock;
+          Alcotest.test_case "flag leak" `Quick test_sanitizer_flag_leak;
+          Alcotest.test_case "runtime capacity" `Quick test_sanitizer_capacity;
+          Alcotest.test_case "peak mismatch" `Quick
+            test_sanitizer_peak_mismatch;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "clean agreement" `Quick
+            test_differential_clean_agreement;
+          q drop_set_differential;
+          q drop_wait_differential;
+          q shrink_peak_differential;
         ] );
     ]

@@ -18,7 +18,12 @@ let classes findings =
          | Finding.Peak_mismatch -> "peak"
          | Finding.Capacity_overflow -> "capacity"
          | Finding.Flag_leak -> "leak"
-         | Finding.Malformed -> "malformed")
+         | Finding.Malformed -> "malformed"
+         | Finding.Soc_race { dep } -> "soc-race/" ^ dep
+         | Finding.Soc_deadlock -> "soc-deadlock"
+         | Finding.Soc_overcommit { resource } -> "soc-overcommit/" ^ resource
+         | Finding.Uninit_read -> "uninit-read"
+         | Finding.Slot_overflow -> "slot-overflow")
        findings)
 
 let report findings = Format.asprintf "%a" Verify.pp_report findings
@@ -311,6 +316,186 @@ let test_capacity_overflow_detected () =
     (List.mem "capacity" cls)
 
 (* ------------------------------------------------------------------ *)
+(* Whole-SoC schedule analysis                                         *)
+
+module Soc = Ascend.Verify.Soc
+module Soc_schedule = Ascend.Compiler.Soc_schedule
+
+let region base bytes = { Soc.base; bytes }
+
+let task ?(deps = []) ?(reads = []) ?(writes = []) ?(working_set = 0) id core
+    tag =
+  {
+    Soc.id;
+    core;
+    tag;
+    deps;
+    reads;
+    writes;
+    ext_read_bytes = 0;
+    ext_write_bytes = 0;
+    working_set_bytes = working_set;
+  }
+
+let plan ?(cores = 2) ?llc_bytes ?hbm_bytes ?(weights = 0) tasks =
+  {
+    Soc.soc_name = "test";
+    cores;
+    llc_bytes;
+    hbm_bytes;
+    weight_resident_bytes = weights;
+    tasks;
+  }
+
+let test_soc_zoo_plans_race_free () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun config ->
+          if Config.supports config (Ascend.Nn.Graph.dtype g) then
+            let p, _ = Soc_schedule.build config g in
+            match Soc.analyze p with
+            | [] -> ()
+            | fs ->
+              Alcotest.failf "%s / %s: %s" name config.Config.name (report fs))
+        Config.all)
+    (zoo ())
+
+let test_soc_cross_core_races () =
+  let w = task 0 0 "w" ~writes:[ ("a", region 0 100) ] in
+  let r1 = task 1 1 "r" ~reads:[ ("a", region 0 100) ] in
+  Alcotest.(check (list string)) "RAW" [ "soc-race/RAW" ]
+    (classes (Soc.analyze (plan [ w; r1 ])));
+  Alcotest.(check (list string)) "dep edge orders them" []
+    (classes (Soc.analyze (plan [ w; { r1 with Soc.deps = [ 0 ] } ])));
+  Alcotest.(check (list string)) "same core is program order" []
+    (classes (Soc.analyze (plan [ w; { r1 with Soc.core = 0 } ])));
+  let w2 = task 1 1 "w2" ~writes:[ ("b", region 50 100) ] in
+  Alcotest.(check (list string)) "WAW" [ "soc-race/WAW" ]
+    (classes (Soc.analyze (plan [ w; w2 ])));
+  let rd = task 0 0 "rd" ~reads:[ ("a", region 0 100) ] in
+  Alcotest.(check (list string)) "WAR" [ "soc-race/WAR" ]
+    (classes (Soc.analyze (plan [ rd; w2 ])));
+  Alcotest.(check (list string)) "disjoint regions never race" []
+    (classes
+       (Soc.analyze
+          (plan [ w; task 1 1 "far" ~writes:[ ("c", region 1000 8) ] ])))
+
+let test_soc_transitive_order () =
+  (* ordering propagates through the dependency graph: t0 -> t1 -> t2
+     orders t0 and t2 even though no direct edge connects them *)
+  let t0 = task 0 0 "t0" ~writes:[ ("a", region 0 100) ] in
+  let t1 = task 1 1 "t1" ~deps:[ 0 ] in
+  let t2 = task 2 2 "t2" ~deps:[ 1 ] ~reads:[ ("a", region 0 100) ] in
+  Alcotest.(check (list string)) "transitive edge orders the pair" []
+    (classes (Soc.analyze (plan ~cores:3 [ t0; t1; t2 ])))
+
+let test_soc_deadlock () =
+  let a = task 0 0 "a" ~deps:[ 1 ] in
+  let b = task 1 1 "b" ~deps:[ 0 ] in
+  Alcotest.(check (list string)) "cycle" [ "soc-deadlock" ]
+    (classes (Soc.analyze (plan [ a; b ])));
+  Alcotest.(check (list string)) "missing dependency" [ "soc-deadlock" ]
+    (classes (Soc.analyze (plan [ task 0 0 "x" ~deps:[ 9 ] ])))
+
+let test_soc_overcommit () =
+  let w = task 0 0 "p" ~writes:[ ("a", region 0 1000) ] in
+  let r = task 1 1 "c" ~deps:[ 0 ] ~reads:[ ("a", region 0 1000) ] in
+  let fs = Soc.analyze (plan ~hbm_bytes:512 ~weights:100 [ w; r ]) in
+  Alcotest.(check (list string)) "HBM" [ "soc-overcommit/HBM" ] (classes fs);
+  Alcotest.(check bool) "HBM overcommit is an error" true
+    (List.for_all Finding.is_error fs);
+  Alcotest.(check (list string)) "fits: no finding" []
+    (classes (Soc.analyze (plan ~hbm_bytes:4096 ~weights:100 [ w; r ])));
+  let b0 = task 0 0 "b0" ~working_set:600 in
+  let b1 = task 1 1 "b1" ~working_set:600 in
+  let fs2 = Soc.analyze (plan ~llc_bytes:1000 [ b0; b1 ]) in
+  Alcotest.(check (list string)) "LLC" [ "soc-overcommit/LLC" ] (classes fs2);
+  Alcotest.(check bool) "LLC overcommit is a warning" true
+    (List.for_all (fun f -> not (Finding.is_error f)) fs2)
+
+(* the ISSUE's headline mutation: built plans are race-free by
+   construction, and dropping a cross-core dependency edge between two
+   footprint-conflicting tasks exposes a Soc_race *)
+let test_soc_drop_edge_mutation () =
+  let overlap xs ys =
+    List.exists
+      (fun (_, r1) ->
+        List.exists (fun (_, r2) -> Soc.region_overlaps r1 r2) ys)
+      xs
+  in
+  let conflicts (a : Soc.task) (b : Soc.task) =
+    overlap a.Soc.writes b.Soc.writes
+    || overlap a.Soc.writes b.Soc.reads
+    || overlap a.Soc.reads b.Soc.writes
+  in
+  let raced_drops = ref 0 in
+  List.iter
+    (fun g ->
+      let p, _ = Soc_schedule.build Config.max g in
+      let by_id = Hashtbl.create 64 in
+      List.iter
+        (fun (t : Soc.task) -> Hashtbl.replace by_id t.Soc.id t)
+        p.Soc.tasks;
+      List.iter
+        (fun (t : Soc.task) ->
+          List.iter
+            (fun d ->
+              match Hashtbl.find_opt by_id d with
+              | Some dt when dt.Soc.core <> t.Soc.core && conflicts dt t ->
+                let tasks =
+                  List.map
+                    (fun (u : Soc.task) ->
+                      if u.Soc.id = t.Soc.id then
+                        { u with
+                          Soc.deps = List.filter (fun x -> x <> d) u.Soc.deps
+                        }
+                      else u)
+                    p.Soc.tasks
+                in
+                if
+                  List.exists
+                    (fun (f : Finding.t) ->
+                      match f.Finding.kind with
+                      | Finding.Soc_race _ -> true
+                      | _ -> false)
+                    (Soc.analyze { p with Soc.tasks })
+                then incr raced_drops
+              | _ -> ())
+            t.Soc.deps)
+        p.Soc.tasks)
+    [ Ascend.Nn.Siamese.build (); Ascend.Nn.Fpn_detector.build () ];
+  Alcotest.(check bool)
+    (Printf.sprintf "some dropped cross-core edge races (got %d)" !raced_drops)
+    true (!raced_drops > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Finding rendering goldens (pinned: the differential CI gate         *)
+(* byte-compares documents built from these)                           *)
+
+let test_finding_goldens () =
+  let f =
+    Finding.make ~index:3 ~pipe:Pipe.Vector ~buffer:Buffer_id.Ub
+      (Finding.Hazard { dep = "RAW" })
+      "msg"
+  in
+  Alcotest.(check string) "pp includes pipe and buffer"
+    "[error] hazard/RAW @3 (V, UB): msg" (Finding.to_string f);
+  Alcotest.(check string) "json field order pinned"
+    "{\"kind\":\"hazard/RAW\",\"severity\":\"error\",\"index\":3,\"pipe\":\"V\",\"buffer\":\"UB\",\"message\":\"msg\"}"
+    (Ascend.Util.Json.to_string (Finding.to_json f));
+  let warn =
+    Finding.make ~severity:Finding.Warning ~buffer:Buffer_id.L1
+      (Finding.Soc_overcommit { resource = "LLC" })
+      "m"
+  in
+  Alcotest.(check string) "warning pp omits unknown parts"
+    "[warning] soc-overcommit/LLC (L1): m" (Finding.to_string warn);
+  Alcotest.(check string) "null fields serialise as null"
+    "{\"kind\":\"soc-overcommit/LLC\",\"severity\":\"warning\",\"index\":null,\"pipe\":null,\"buffer\":\"L1\",\"message\":\"m\"}"
+    (Ascend.Util.Json.to_string (Finding.to_json warn))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
@@ -345,4 +530,16 @@ let () =
           quick "derived peak" test_derived_buffer_peak;
           quick "capacity overflow" test_capacity_overflow_detected;
         ] );
+      ( "soc",
+        [
+          Alcotest.test_case "zoo plans race-free" `Slow
+            test_soc_zoo_plans_race_free;
+          quick "cross-core races" test_soc_cross_core_races;
+          quick "transitive order" test_soc_transitive_order;
+          quick "deadlock" test_soc_deadlock;
+          quick "overcommit" test_soc_overcommit;
+          quick "drop-edge mutation" test_soc_drop_edge_mutation;
+        ] );
+      ( "finding",
+        [ quick "pp and json goldens" test_finding_goldens ] );
     ]
