@@ -1,4 +1,4 @@
-.PHONY: all build test lint sanitize differential bench trace check clean
+.PHONY: all build test lint sanitize differential bench trace fleet check clean
 
 all: build
 
@@ -33,6 +33,13 @@ bench:
 # chrome://tracing); deterministic to the byte across runs
 trace:
 	dune exec bin/ascend_cli.exe -- trace resnet18 --core standard -o trace.json
+
+# simulate the multi-node inference fleet (deterministic to the byte
+# across runs and ASCEND_JOBS; see `ascend_cli fleet --help` for the
+# routing / replication / colocation knobs)
+fleet:
+	dune exec bin/ascend_cli.exe -- fleet gesture,face-detect --core tiny \
+	  --nodes 4 --replicas 0,1 --train-nodes 2
 
 check: build test lint sanitize
 

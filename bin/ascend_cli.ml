@@ -418,6 +418,177 @@ let serve_cmd =
       $ burst_period_arg $ seed_arg $ closed_arg $ think_arg $ bucket_arg
       $ json_arg $ serve_trace_arg)
 
+(* --- fleet -------------------------------------------------------- *)
+
+module Fleet = Ascend.Fleet.Fleet
+module Router = Ascend.Fleet.Router
+
+let fleet_models_arg =
+  Arg.(
+    required
+    & pos 0 (some (list named_model_conv)) None
+    & info [] ~docv:"MODEL[,MODEL...]"
+        ~doc:"Comma-separated list of models the fleet serves.")
+
+let nodes_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "nodes" ] ~docv:"N" ~doc:"Number of server nodes in the fleet.")
+
+let cores_per_node_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "cores-per-node" ] ~docv:"N"
+        ~doc:"Cores per server node (default: the 910 server's 8 chips).")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (enum Router.policies) Router.Least_loaded
+    & info [ "policy" ] ~docv:"P"
+        ~doc:"Routing policy: round-robin, least-loaded or affinity.")
+
+let replicas_arg =
+  Arg.(
+    value
+    & opt (list int) [ 0 ]
+    & info [ "replicas" ] ~docv:"R"
+        ~doc:
+          "Resident replicas per model for the placement plan (a single \
+           value applies to all): 0 replicates on every node (hot), 1 pins \
+           to the home node (cold, pays a page-in when routed elsewhere).")
+
+let train_nodes_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "train-nodes" ] ~docv:"K"
+        ~doc:
+          "Colocate a data-parallel training job on the first K nodes; its \
+           gradient all-reduce competes with inference page-ins for \
+           interconnect bandwidth (0: no training).")
+
+let train_model_arg =
+  Arg.(
+    value
+    & opt (some named_model_conv) None
+    & info [ "train-model" ] ~docv:"MODEL"
+        ~doc:"Model the colocated trainer runs (default: the first served \
+              model).")
+
+let train_batch_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "train-batch" ] ~docv:"N"
+        ~doc:"Per-node batch of the colocated training job.")
+
+let fleet models core nodes cores_per_node policy replicas rates duration
+    batch_max delay_ms queue_depth slos priorities process burst_factor
+    burst_period_ms seed closed think_ms bucket_ms train_nodes train_model
+    train_batch json_path trace_path =
+  let n = List.length models in
+  let ( let* ) = Result.bind in
+  exit_of
+    (let* rates = broadcast ~what:"--rate" n rates in
+     let* slos = broadcast ~what:"--slo-ms" n slos in
+     let* priorities = broadcast ~what:"--priority" n priorities in
+     let* replicas = broadcast ~what:"--replicas" n replicas in
+     let process =
+       match process with
+       | `Uniform -> Load_gen.Uniform
+       | `Poisson -> Load_gen.Poisson
+       | `Bursty ->
+         Load_gen.Bursty
+           { factor = burst_factor; period_s = burst_period_ms /. 1e3 }
+     in
+     let specs =
+       List.mapi
+         (fun i ((name, build), (rate, (slo_ms, (priority, replicas)))) ->
+           let model_seed = seed + (7919 * i) in
+           let workload =
+             if closed > 0 then
+               Serve.Closed_loop
+                 { clients = closed; think_s = think_ms /. 1e3;
+                   seed = model_seed }
+             else
+               Serve.Open_loop
+                 (Load_gen.create ~process ~rate_per_s:rate
+                    ~duration_s:duration ~seed:model_seed ())
+           in
+           { Fleet.name; build; priority; slo_ms; workload; replicas })
+         (List.combine models
+            (List.combine rates
+               (List.combine slos (List.combine priorities replicas))))
+     in
+     let config =
+       {
+         (Fleet.default_config ~core ~nodes) with
+         Fleet.cores_per_node;
+         max_batch = batch_max;
+         max_delay_s = delay_ms /. 1e3;
+         queue_depth;
+         duration_s = duration;
+         bucket_s = bucket_ms /. 1e3;
+         policy;
+       }
+     in
+     let train =
+       if train_nodes <= 0 then None
+       else
+         let tj_model, tj_build =
+           match train_model with
+           | Some (name, build) -> (name, build)
+           | None -> List.hd models
+         in
+         Some
+           { Fleet.tj_model; tj_build; tj_batch = train_batch;
+             tj_nodes = train_nodes }
+     in
+     let collector =
+       Option.map
+         (fun _ -> Ascend.Obs.Collector.create ~capacity:262144 ())
+         trace_path
+     in
+     let* r =
+       match collector with
+       | None -> Fleet.run ?train config specs
+       | Some c ->
+         Ascend.Obs.Hook.with_collector c (fun () ->
+             Fleet.run ?train config specs)
+     in
+     Format.printf "%a" Fleet.pp r;
+     (match json_path with
+     | None -> ()
+     | Some "-" ->
+       print_endline (Ascend.Util.Json.to_string ~pretty:true (Fleet.to_json r))
+     | Some path -> Ascend.Util.Json.write_file path (Fleet.to_json r));
+     (match (trace_path, collector) with
+     | Some path, Some c ->
+       Ascend.Obs.Chrome_trace.write_file path c;
+       Format.printf "trace: wrote %s (%d events, %d dropped)@." path
+         (Ascend.Obs.Collector.length c)
+         (Ascend.Obs.Collector.dropped c)
+     | _ -> ());
+     Ok ())
+
+let fleet_cmd =
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Simulate a multi-node inference fleet: a router places requests \
+          across N server nodes by policy against a replication/placement \
+          plan (cold models pay an HBM page-in over the server \
+          interconnect), optionally colocated with training jobs competing \
+          for that bandwidth; reports per-node utilization, cross-node \
+          tail latency and the breakdown by routing decision.")
+    Term.(
+      const fleet $ fleet_models_arg $ core_arg $ nodes_arg
+      $ cores_per_node_arg $ policy_arg $ replicas_arg $ rate_arg
+      $ duration_arg $ batch_max_arg $ batch_delay_arg $ queue_depth_arg
+      $ slo_arg $ priority_arg $ process_arg $ burst_factor_arg
+      $ burst_period_arg $ seed_arg $ closed_arg $ think_arg $ bucket_arg
+      $ train_nodes_arg $ train_model_arg $ train_batch_arg $ json_arg
+      $ serve_trace_arg)
+
 (* --- lint / sanitize ---------------------------------------------- *)
 
 module Codegen = Ascend.Compiler.Codegen
@@ -946,6 +1117,16 @@ usage: ascend_cli COMMAND [OPTIONS]
       QoS admission control, SLO metrics; --trace captures the run as
       Chrome trace-event JSON.
 
+  fleet MODEL[,MODEL...] [--core CORE] [--nodes N] [--cores-per-node N]
+        [--policy round-robin|least-loaded|affinity] [--replicas R[,R...]]
+        [--rate R[,R...]] [--duration S] [--slo-ms MS[,MS...]]
+        [--priority P[,P...]] [--train-nodes K] [--train-model MODEL]
+        [--train-batch N] [--seed N] [--json FILE] [--trace FILE]
+      Multi-node inference fleet: policy routing against a
+      replication/placement plan (cold models page in over the server
+      interconnect), optional colocated training competing for
+      bandwidth, per-node and cross-node SLO metrics.
+
   lint [MODEL | --all] [--core CORE] [--soc] [--cores N] [--llc-mb MB]
        [--hbm-mb MB] [--json FILE] [--strict] [--verbose] [--jobs N]
       Statically verify generated programs (deadlocks, RAW/WAR/WAW
@@ -989,4 +1170,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default:usage_term info
           [ simulate_cmd; profile_cmd; disasm_cmd; streams_cmd; serve_cmd;
-            lint_cmd; sanitize_cmd; list_cmd; trace_cmd ]))
+            fleet_cmd; lint_cmd; sanitize_cmd; list_cmd; trace_cmd ]))

@@ -65,6 +65,7 @@ module Cluster = Ascend_cluster
 module Baselines = Ascend_baselines
 module Runtime = Ascend_runtime
 module Serving = Ascend_serving
+module Fleet = Ascend_fleet
 module Vector_core = Ascend_vector_core
 
 (* make [Program.validate ~strict:true] work out of the box for every

@@ -18,12 +18,18 @@ type t = {
   mutable obs : (Ascend_obs.Collector.t * int * float array) option;
 }
 
-let create ?jobs ?capacity () =
-  {
-    pool = Pool.create ?jobs ();
-    cache = Cache.create ?capacity ();
-    obs = None;
-  }
+let create ?jobs ?capacity ?dir () =
+  let t =
+    {
+      pool = Pool.create ?jobs ();
+      cache = Cache.create ?capacity ?dir ();
+      obs = None;
+    }
+  in
+  (* persistent services flush on exit so plain CLI runs (which never
+     call shutdown) still leave their compile results behind *)
+  if dir <> None then at_exit (fun () -> Cache.flush t.cache);
+  t
 
 let jobs t = Pool.jobs t.pool
 
@@ -33,7 +39,11 @@ let jobs t = Pool.jobs t.pool
 let map t f xs = Pool.map t.pool f xs
 let stats t = Cache.stats t.cache
 let clear t = Cache.clear t.cache
-let shutdown t = Pool.shutdown t.pool
+let flush t = Cache.flush t.cache
+
+let shutdown t =
+  Cache.flush t.cache;
+  Pool.shutdown t.pool
 
 (* --- content addressing ------------------------------------------- *)
 
@@ -161,7 +171,8 @@ let obs_record_batch t to_compute computed =
     emit "cache_hits" s.Cache.hits;
     emit "cache_misses" s.Cache.misses;
     emit "cache_evictions" s.Cache.evictions;
-    emit "cache_entries" s.Cache.entries
+    emit "cache_entries" s.Cache.entries;
+    if Cache.dir t.cache <> None then emit "cache_disk_hits" s.Cache.disk_hits
 
 (* --- execution ----------------------------------------------------- *)
 
@@ -240,7 +251,15 @@ let default () =
         match int_of_string_opt s with Some j when j >= 1 -> Some j | _ -> None)
       | None -> None
     in
-    let t = create ?jobs () in
+    (* opt-in disk tier: persistence changes hit/miss counters between a
+       cold and a warm run, and the default service's counters flow into
+       traces — so it only turns on when the environment asks for it *)
+    let dir =
+      match Sys.getenv_opt "ASCEND_CACHE_DIR" with
+      | Some d when d <> "" -> Some d
+      | _ -> None
+    in
+    let t = create ?jobs ?dir () in
     default_instance := Some t;
     t
 

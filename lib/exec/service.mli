@@ -23,11 +23,14 @@
 
 type t
 
-val create : ?jobs:int -> ?capacity:int -> unit -> t
+val create : ?jobs:int -> ?capacity:int -> ?dir:string -> unit -> t
 (** [jobs] defaults to {!Ascend_util.Domain_pool.default_jobs};
     [capacity] is the cache bound in entries (default 4096).  Worker
     domains spawn lazily on first use; [jobs = 1] never spawns and runs
-    inline. *)
+    inline.  [dir] enables the cache's disk tier (see {!Cache}): compile
+    results load from and — on {!flush}, {!shutdown} or process exit —
+    persist to content-addressed files under it, so warm-cache results
+    survive across runs. *)
 
 val jobs : t -> int
 
@@ -38,10 +41,17 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     [jobs]; does not touch the cache. *)
 
 val stats : t -> Cache.stats
-(** Hit/miss/eviction counters and current entry count. *)
+(** Hit/miss/eviction counters and current entry count; memory and disk
+    hits are distinguished. *)
 
 val clear : t -> unit
+
+val flush : t -> unit
+(** Persist entries added since the last flush to the disk tier; no-op
+    without one. *)
+
 val shutdown : t -> unit
+(** Flushes the disk tier, then stops the worker domains. *)
 
 val key :
   ?options:Ascend_compiler.Codegen.options -> Ascend_arch.Config.t ->
@@ -83,7 +93,10 @@ val uninstall : unit -> unit
 val default : unit -> t
 (** The process-wide service (created on first use).  Worker count
     honours the [ASCEND_JOBS] environment variable when set to a
-    positive integer. *)
+    positive integer; setting [ASCEND_CACHE_DIR] to a non-empty path
+    (e.g. [_build/ascend-cache]) enables the persistent disk tier for
+    this service.  Persistence is opt-in because a warm disk changes
+    hit/miss counters between otherwise identical runs. *)
 
 val install_default : unit -> unit
 (** [install (default ())] — done at link time by the [ascend] façade. *)

@@ -1,0 +1,144 @@
+(** The simulated inference fleet: N server nodes (each an
+    {!Ascend_cluster.Server} hosting per-model
+    {!Ascend_serving.Batcher}s and the QoS dispatch of
+    {!Ascend_serving.Serve} over its cores), fronted by a {!Router}
+    that places every request against a {!Placement} plan.
+
+    Semantics, relative to single-node serving:
+
+    - {b routing}: each arrival is routed to one node by the configured
+      policy, then flows through that node's batcher/scheduler exactly
+      as in [Serve.run];
+    - {b page-in}: dispatching a model's first batch on a node where the
+      placement plan did not make it resident stalls the batch for
+      [weight_bytes / interconnect bandwidth] — the weights stream in
+      over the server's inter-group bus ({!Ascend_cluster.Server.link_bandwidth})
+      — after which the model is resident on that node;
+    - {b training colocation}: an optional data-parallel training job
+      occupies the first [tj_nodes] nodes ({!Ascend_cluster.Training});
+      the fraction of each training step spent in gradient all-reduce
+      is interconnect bandwidth inference page-ins no longer get, so
+      page-ins on those nodes run proportionally slower;
+    - {b determinism}: one shared single-domain {!Ascend_serving.Cost}
+      oracle prices every batch, so a run — counters included — is a
+      pure function of specs + seeds: byte-identical {!to_json} across
+      runs and [ASCEND_JOBS] values. *)
+
+type model_spec = {
+  name : string;
+  build : batch:int -> Ascend_nn.Graph.t;
+  priority : int;  (** QoS priority, higher wins under contention *)
+  slo_ms : float;
+  workload : Ascend_serving.Serve.workload;
+  replicas : int;
+      (** resident copies per the placement plan; [<= 0] or [>= nodes]
+          replicates everywhere (hot), [1] pins to the home node (cold) *)
+}
+
+type train_job = {
+  tj_model : string;
+  tj_build : batch:int -> Ascend_nn.Graph.t;
+  tj_batch : int;
+  tj_nodes : int;  (** the first [tj_nodes] nodes colocate the trainer *)
+}
+
+type config = {
+  core : Ascend_arch.Config.t;
+  server : Ascend_cluster.Server.t;
+  nodes : int;
+  cores_per_node : int;
+  max_batch : int;
+  max_delay_s : float;
+  queue_depth : int;
+  duration_s : float;
+  bucket_s : float;
+  policy : Router.policy;
+}
+
+val default_config :
+  core:Ascend_arch.Config.t -> nodes:int -> config
+(** Ascend 910 servers, [cores_per_node] = the server's chip count (8),
+    batching bounds as {!Ascend_serving.Serve.default_config}, policy
+    {!Router.Least_loaded}. *)
+
+type batch_exec = {
+  bx_model : string;
+  bx_priority : int;
+  bx_size : int;
+  bx_node : int;
+  bx_core : int;        (** core index local to the node *)
+  bx_start_s : float;
+  bx_finish_s : float;
+  bx_cycles : int;      (** compute cycles, excluding any page-in stall *)
+  bx_paged : bool;      (** this batch paid the node's page-in *)
+}
+
+type node_report = {
+  node : int;
+  colocated_training : bool;
+  train_interconnect_util : float;
+      (** fraction of the node's interconnect consumed by the colocated
+          trainer's gradient all-reduce; 0 on inference-only nodes *)
+  routed : int;         (** requests the router sent here *)
+  completed : int;
+  rejected : int;
+  page_ins : int;
+  page_in_s : float;    (** total weight-streaming stall *)
+  slo_attainment : float;
+  node_metrics : Ascend_serving.Metrics.t;  (** cores = cores_per_node *)
+}
+
+type route_cell = {
+  rc_node : int;
+  rc_model : string;
+  rc_routed : int;
+  rc_completed : int;
+  rc_rejected : int;
+  rc_paged : bool;      (** this (node, model) paid a page-in *)
+  rc_p50_ms : float;
+  rc_p95_ms : float;
+  rc_p99_ms : float;
+}
+
+type train_report = {
+  tr_model : string;
+  tr_batch : int;
+  tr_nodes : int;
+  tr_step_s : float;
+  tr_images_per_s : float;       (** per colocated node *)
+  tr_interconnect_util : float;
+}
+
+type result = {
+  fleet_config : config;
+  placement : Placement.t;
+  records : (int * Ascend_serving.Request.record) list;
+      (** (node, record), in request-id order *)
+  batches : batch_exec list;     (** in dispatch order *)
+  fleet_metrics : Ascend_serving.Metrics.t;
+      (** over all [nodes * cores_per_node] cores; request latencies are
+          the cross-node percentiles *)
+  node_reports : node_report list;
+  routes : route_cell list;
+      (** tail-latency breakdown by routing decision, (node, model)
+          cells in node-major order *)
+  training : train_report option;
+  slo_attainment : float;        (** fleet-wide, over completed requests *)
+  total_page_ins : int;
+  cost_hits : int;
+  cost_misses : int;
+}
+
+val run :
+  ?train:train_job -> config -> model_spec list -> (result, string) Stdlib.result
+(** Raises [Invalid_argument] on malformed config (non-positive nodes /
+    cores / duration, duplicate models, empty specs, closed-loop with
+    [clients < 1], train job outside [0, nodes]).  Returns [Error] when
+    a model fails to compile on the configured core. *)
+
+val to_json : result -> Ascend_util.Json.t
+(** Deterministic: same specs + seeds => byte-identical output. *)
+
+val pp : Format.formatter -> result -> unit
+(** Fleet-wide SLO table, per-node utilization/page-in table and the
+    per-routing-decision tail-latency breakdown. *)

@@ -1,0 +1,36 @@
+(** The fleet's replication/placement plan: which server nodes hold each
+    model's weights resident at t = 0.
+
+    Hot models are replicated across several (or all) nodes; cold models
+    live on a single home node.  A request routed to a node where the
+    model is {e not} resident pays a one-time HBM page-in penalty (the
+    weights stream in over the server interconnect, see {!Fleet}) after
+    which the model is resident there for the rest of the run.
+
+    Everything is a pure function of the (model, weight-bytes, replica
+    count) list and the node count — no randomness — so placement never
+    perturbs the determinism contract. *)
+
+type entry = {
+  model : string;
+  weight_bytes : int;   (** resident weight footprint, from the fused graph *)
+  home : int;           (** primary replica, a stable hash of the name *)
+  replicas : int list;  (** sorted node indices resident at t = 0 *)
+}
+
+type t = { nodes : int; entries : entry list }
+
+val build : nodes:int -> (string * int * int) list -> t
+(** [build ~nodes specs] with [specs] listing (model, weight_bytes,
+    replicas).  A replica count [<= 0] or [>= nodes] replicates on every
+    node (hot); [1] pins the model to its home node only (cold); [r]
+    spreads over [r] consecutive nodes starting at the home.  Raises
+    [Invalid_argument] on [nodes < 1], duplicate model names or negative
+    weight bytes. *)
+
+val find : t -> string -> entry
+(** Raises [Invalid_argument] on an unknown model. *)
+
+val resident : t -> model:string -> node:int -> bool
+
+val to_json : t -> Ascend_util.Json.t

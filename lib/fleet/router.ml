@@ -1,0 +1,40 @@
+type policy = Round_robin | Least_loaded | Model_affinity
+
+let policies =
+  [
+    ("round-robin", Round_robin);
+    ("least-loaded", Least_loaded);
+    ("affinity", Model_affinity);
+  ]
+
+let policy_name p = fst (List.find (fun (_, p') -> p' = p) policies)
+
+type t = { policy : policy; nodes : int; mutable rotor : int }
+
+let create ?(policy = Least_loaded) ~nodes () =
+  if nodes < 1 then invalid_arg "Router.create: nodes < 1";
+  { policy; nodes; rotor = 0 }
+
+let policy t = t.policy
+
+(* lowest-index argmin over a candidate list: ties break to the lowest
+   node so the decision is a pure function of the depth snapshot *)
+let least_loaded depths candidates =
+  match candidates with
+  | [] -> invalid_arg "Router.route: no candidate nodes"
+  | first :: rest ->
+    List.fold_left
+      (fun best n -> if depths.(n) < depths.(best) then n else best)
+      first rest
+
+let route t ~placement ~model ~depths =
+  if Array.length depths <> t.nodes then
+    invalid_arg "Router.route: depth snapshot size mismatch";
+  match t.policy with
+  | Round_robin ->
+    let n = t.rotor mod t.nodes in
+    t.rotor <- t.rotor + 1;
+    n
+  | Least_loaded -> least_loaded depths (List.init t.nodes Fun.id)
+  | Model_affinity ->
+    least_loaded depths (Placement.find placement model).Placement.replicas

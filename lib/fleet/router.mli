@@ -1,0 +1,35 @@
+(** The fleet front door: picks a server node for each arriving request.
+
+    Three policies, all deterministic:
+
+    - {b round-robin}: a global rotating counter, blind to load and
+      placement — the baseline that maximizes spread and pays the most
+      page-ins;
+    - {b least-loaded}: the node with the fewest queued requests (ties
+      to the lowest index) — load-aware, placement-blind;
+    - {b model-affinity}: least-loaded {e restricted to the nodes where
+      the model is resident} per the placement plan — never pays a
+      page-in and maximizes batch coalescing, at the cost of load
+      spread for cold models. *)
+
+type policy = Round_robin | Least_loaded | Model_affinity
+
+val policies : (string * policy) list
+(** Names for CLI parsing: ["round-robin"], ["least-loaded"],
+    ["affinity"]. *)
+
+val policy_name : policy -> string
+
+type t
+
+val create : ?policy:policy -> nodes:int -> unit -> t
+(** Default policy {!Least_loaded}.  Raises [Invalid_argument] on
+    [nodes < 1]. *)
+
+val policy : t -> policy
+
+val route :
+  t -> placement:Placement.t -> model:string -> depths:int array -> int
+(** Pick a node for one request; [depths.(n)] is the total number of
+    requests currently queued on node [n].  Round-robin advances the
+    rotor; the other policies are pure reads of the snapshot. *)

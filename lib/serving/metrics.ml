@@ -166,7 +166,7 @@ let pp ppf t =
     Table.create
       ~header:
         [ "model"; "prio"; "slo ms"; "offered"; "done"; "rej"; "rej%";
-          "p50 ms"; "p95 ms"; "p99 ms"; "goodput/s"; "batch" ]
+          "p50 ms"; "p95 ms"; "p99 ms"; "slo%"; "goodput/s"; "batch" ]
       ()
   in
   List.iter
@@ -183,6 +183,7 @@ let pp ppf t =
           Table.cell_float s.p50_ms;
           Table.cell_float s.p95_ms;
           Table.cell_float s.p99_ms;
+          Printf.sprintf "%.1f%%" (100. *. s.slo_attainment);
           Table.cell_float ~decimals:1 s.goodput_per_s;
           Table.cell_float ~decimals:1 s.mean_batch;
         ])

@@ -23,6 +23,50 @@ let test_server_allreduce_scales () =
   Alcotest.(check bool) "roughly linear" true
     (Float.abs ((t 2e9 /. t 1e9) -. 2.) < 0.05)
 
+(* chip-pair generator over the 910 server's index space *)
+let chip_pair =
+  let s = Server.ascend910_server in
+  QCheck.(pair (int_bound (s.Server.chips - 1)) (int_bound (s.Server.chips - 1)))
+
+let link_bandwidth_symmetric_prop =
+  QCheck.Test.make ~count:200 ~name:"link_bandwidth is symmetric" chip_pair
+    (fun (a, b) ->
+      let s = Server.ascend910_server in
+      Server.link_bandwidth s ~src:a ~dst:b
+      = Server.link_bandwidth s ~src:b ~dst:a)
+
+let link_bandwidth_group_prop =
+  QCheck.Test.make ~count:200
+    ~name:"link_bandwidth follows the group structure" chip_pair
+    (fun (a, b) ->
+      let s = Server.ascend910_server in
+      let bw = Server.link_bandwidth s ~src:a ~dst:b in
+      if Server.same_group s a b then bw = s.Server.hccs_bytes_per_s
+      else bw = s.Server.pcie_bytes_per_s)
+
+let same_group_equivalence_prop =
+  QCheck.Test.make ~count:200 ~name:"same_group is an equivalence"
+    (QCheck.triple
+       (QCheck.int_bound 7) (QCheck.int_bound 7) (QCheck.int_bound 7))
+    (fun (a, b, c) ->
+      let s = Server.ascend910_server in
+      let sg = Server.same_group s in
+      sg a a
+      && sg a b = sg b a
+      && ((not (sg a b && sg b c)) || sg a c)
+      (* and it is exactly the chips-per-group partition *)
+      && sg a b = (a / Server.chips_per_group s = b / Server.chips_per_group s))
+
+let intra_allreduce_monotone_prop =
+  QCheck.Test.make ~count:200
+    ~name:"intra-server allreduce monotone in bytes"
+    QCheck.(pair (float_range 0. 1e10) (float_range 0. 1e10))
+    (fun (a, b) ->
+      let s = Server.ascend910_server in
+      let lo = Float.min a b and hi = Float.max a b in
+      Server.intra_server_allreduce_seconds s ~bytes:lo
+      <= Server.intra_server_allreduce_seconds s ~bytes:hi)
+
 (* ------------------------------------------------------------------ *)
 (* Collectives                                                        *)
 
@@ -176,6 +220,10 @@ let () =
         [
           Alcotest.test_case "topology" `Quick test_server_topology;
           Alcotest.test_case "allreduce scales" `Quick test_server_allreduce_scales;
+          q link_bandwidth_symmetric_prop;
+          q link_bandwidth_group_prop;
+          q same_group_equivalence_prop;
+          q intra_allreduce_monotone_prop;
         ] );
       ( "collective",
         [

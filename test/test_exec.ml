@@ -56,6 +56,70 @@ let test_cache_add_is_insert_if_absent () =
   Alcotest.(check int) "one entry" 1 (Cache.stats c).Cache.entries
 
 (* ------------------------------------------------------------------ *)
+(* Cache: disk tier                                                    *)
+
+(* unique scratch directory without depending on Unix *)
+let temp_dir () =
+  let f = Filename.temp_file "ascend_cache" "" in
+  Sys.remove f;
+  f
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let test_cache_disk_roundtrip () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let c1 = Cache.create ~dir () in
+  Cache.add c1 "k1" 41;
+  Cache.add c1 "k2" 42;
+  Alcotest.(check int) "nothing written before flush" 0
+    (Cache.stats c1).Cache.disk_writes;
+  Cache.flush c1;
+  let s1 = Cache.stats c1 in
+  Alcotest.(check int) "two files written" 2 s1.Cache.disk_writes;
+  Alcotest.(check int) "indexed" 2 s1.Cache.disk_entries;
+  Cache.flush c1;
+  Alcotest.(check int) "flush is idempotent" 2
+    (Cache.stats c1).Cache.disk_writes;
+  (* a fresh cache over the same directory starts warm *)
+  let c2 = Cache.create ~dir () in
+  Alcotest.(check int) "index scanned at create" 2
+    (Cache.stats c2).Cache.disk_entries;
+  Alcotest.(check bool) "value survives" true (Cache.find c2 "k1" = Some 41);
+  let s2 = Cache.stats c2 in
+  Alcotest.(check int) "counted as a disk hit" 1 s2.Cache.disk_hits;
+  Alcotest.(check int) "not as a memory hit" 0 s2.Cache.hits;
+  Alcotest.(check int) "not as a miss" 0 s2.Cache.misses;
+  (* the probe promoted the entry, so the next one hits memory *)
+  Alcotest.(check bool) "promoted" true (Cache.find c2 "k1" = Some 41);
+  let s3 = Cache.stats c2 in
+  Alcotest.(check int) "second probe hits memory" 1 s3.Cache.hits;
+  Alcotest.(check int) "disk tier untouched" 1 s3.Cache.disk_hits
+
+let test_cache_disk_corrupt_entry_is_a_miss () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let c1 = Cache.create ~dir () in
+  Cache.add c1 "good" 7;
+  Cache.flush c1;
+  let oc = open_out_bin (Filename.concat dir "bad") in
+  output_string oc "not a marshaled value";
+  close_out oc;
+  let c2 = Cache.create ~dir () in
+  Alcotest.(check int) "both indexed" 2 (Cache.stats c2).Cache.disk_entries;
+  Alcotest.(check bool) "corrupt entry misses" true (Cache.find c2 "bad" = None);
+  let s = Cache.stats c2 in
+  Alcotest.(check int) "a plain miss" 1 s.Cache.misses;
+  Alcotest.(check int) "no disk hit" 0 s.Cache.disk_hits;
+  Alcotest.(check int) "dropped from the index" 1 s.Cache.disk_entries;
+  Alcotest.(check bool) "good entry still loads" true
+    (Cache.find c2 "good" = Some 7)
+
+(* ------------------------------------------------------------------ *)
 (* Keys: the content address covers what shapes the program            *)
 
 let test_key_covers_options_and_config () =
@@ -167,6 +231,28 @@ let test_service_dedups_within_batch () =
       "same cycles again" b.Engine.cube_cycles c.Engine.cube_cycles
   | _ -> Alcotest.fail "expected three Ok results"
 
+let test_service_disk_warm_start () =
+  (* a second service over the same cache directory compiles nothing *)
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let g = Ascend.Nn.Gesture.build ~batch:1 () in
+  let groups = List.length (Fusion.partition g) in
+  let svc1 = Service.create ~jobs:1 ~dir () in
+  let r1 = ok (Service.run_inference svc1 Config.tiny g) in
+  Service.shutdown svc1;
+  (* shutdown flushes the disk tier *)
+  Alcotest.(check bool) "entries persisted" true
+    ((Service.stats svc1).Cache.disk_writes > 0);
+  let svc2 = Service.create ~jobs:1 ~dir () in
+  let r2 = ok (Service.run_inference svc2 Config.tiny g) in
+  let s2 = Service.stats svc2 in
+  Service.shutdown svc2;
+  Alcotest.(check int) "warm start: no recompilation" 0 s2.Cache.misses;
+  Alcotest.(check bool) "disk tier served" true (s2.Cache.disk_hits > 0);
+  Alcotest.(check int) "every group served from a tier" groups
+    (s2.Cache.disk_hits + s2.Cache.hits);
+  Alcotest.(check string) "byte-identical result" (render r1) (render r2)
+
 let test_service_error_propagates () =
   (* an unsupported dtype fails identically through the service *)
   let g = Ascend.Nn.Resnet.v1_5_18 ~dtype:Ascend.Arch.Precision.Int4 () in
@@ -209,6 +295,9 @@ let () =
           Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "insert if absent" `Quick
             test_cache_add_is_insert_if_absent;
+          Alcotest.test_case "disk roundtrip" `Quick test_cache_disk_roundtrip;
+          Alcotest.test_case "disk corruption" `Quick
+            test_cache_disk_corrupt_entry_is_a_miss;
         ] );
       ( "key",
         [
@@ -223,6 +312,8 @@ let () =
           Alcotest.test_case "jobs invariant" `Quick test_service_jobs_invariant;
           Alcotest.test_case "dedup within batch" `Quick
             test_service_dedups_within_batch;
+          Alcotest.test_case "disk warm start" `Quick
+            test_service_disk_warm_start;
           Alcotest.test_case "error propagation" `Quick
             test_service_error_propagates;
         ] );

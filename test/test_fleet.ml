@@ -1,0 +1,238 @@
+(* Fleet serving (lib/fleet): placement plan structure, router policy
+   semantics, end-to-end conservation laws, page-in behaviour, training
+   colocation and byte-identical determinism. *)
+
+module Config = Ascend.Arch.Config
+module Fleet = Ascend.Fleet.Fleet
+module Router = Ascend.Fleet.Router
+module Placement = Ascend.Fleet.Placement
+module Serve = Ascend.Serving.Serve
+module Load_gen = Ascend.Serving.Load_gen
+module Request = Ascend.Serving.Request
+module Metrics = Ascend.Serving.Metrics
+module Json = Ascend.Util.Json
+
+(* ------------------------------------------------------------------ *)
+(* Placement                                                           *)
+
+let test_placement_structure () =
+  let p =
+    Placement.build ~nodes:4 [ ("hot", 10, 0); ("cold", 20, 1); ("warm", 5, 2) ]
+  in
+  let hot = Placement.find p "hot" in
+  Alcotest.(check (list int)) "hot everywhere" [ 0; 1; 2; 3 ]
+    hot.Placement.replicas;
+  let cold = Placement.find p "cold" in
+  Alcotest.(check int) "cold on one node" 1 (List.length cold.Placement.replicas);
+  Alcotest.(check (list int)) "cold pinned to home" [ cold.Placement.home ]
+    cold.Placement.replicas;
+  let warm = Placement.find p "warm" in
+  Alcotest.(check int) "warm on two nodes" 2 (List.length warm.Placement.replicas);
+  Alcotest.(check bool) "home is a replica" true
+    (List.mem warm.Placement.home warm.Placement.replicas);
+  List.iter
+    (fun n -> Alcotest.(check bool) "replica in range" true (n >= 0 && n < 4))
+    warm.Placement.replicas;
+  Alcotest.(check bool) "resident matches replicas" true
+    (Placement.resident p ~model:"cold" ~node:cold.Placement.home);
+  (* a second build is byte-identical: placement is pure *)
+  let p2 =
+    Placement.build ~nodes:4 [ ("hot", 10, 0); ("cold", 20, 1); ("warm", 5, 2) ]
+  in
+  Alcotest.(check string) "pure function of specs"
+    (Json.to_string (Placement.to_json p))
+    (Json.to_string (Placement.to_json p2));
+  Alcotest.check_raises "duplicate models rejected"
+    (Invalid_argument "Placement.build: duplicate model names") (fun () ->
+      ignore (Placement.build ~nodes:2 [ ("m", 1, 0); ("m", 1, 0) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                              *)
+
+let test_router_policies () =
+  let p = Placement.build ~nodes:4 [ ("cold", 8, 1); ("hot", 8, 0) ] in
+  let rr = Router.create ~policy:Router.Round_robin ~nodes:4 () in
+  let picks =
+    List.init 5 (fun _ ->
+        Router.route rr ~placement:p ~model:"hot" ~depths:[| 9; 9; 9; 9 |])
+  in
+  Alcotest.(check (list int)) "round-robin cycles" [ 0; 1; 2; 3; 0 ] picks;
+  let ll = Router.create ~policy:Router.Least_loaded ~nodes:4 () in
+  Alcotest.(check int) "least-loaded picks the min" 2
+    (Router.route ll ~placement:p ~model:"hot" ~depths:[| 3; 2; 1; 2 |]);
+  Alcotest.(check int) "ties break to the lowest index" 1
+    (Router.route ll ~placement:p ~model:"hot" ~depths:[| 3; 1; 1; 1 |]);
+  let af = Router.create ~policy:Router.Model_affinity ~nodes:4 () in
+  let home = (Placement.find p "cold").Placement.home in
+  Alcotest.(check int) "affinity sticks to the replica set" home
+    (Router.route af ~placement:p ~model:"cold" ~depths:[| 0; 0; 0; 0 |])
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end fleet runs (tiny core + int8 nets: fast to compile)      *)
+
+let gesture ~batch = Ascend.Nn.Gesture.build ~batch ()
+let face_detect ~batch = Ascend.Nn.Face_detect.build ~batch ()
+
+let open_spec ?(rate = 300.) ?(replicas = 0) ?(seed = 3) name build =
+  {
+    Fleet.name;
+    build;
+    priority = 0;
+    slo_ms = 50.;
+    replicas;
+    workload =
+      Serve.Open_loop
+        (Load_gen.create ~rate_per_s:rate ~duration_s:0.2 ~seed ());
+  }
+
+let small_config ?(nodes = 4) ?(policy = Router.Least_loaded) () =
+  {
+    (Fleet.default_config ~core:Config.tiny ~nodes) with
+    Fleet.cores_per_node = 2;
+    duration_s = 0.2;
+    max_batch = 4;
+    policy;
+  }
+
+let run_ok ?train config specs =
+  match Fleet.run ?train config specs with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_fleet_conservation () =
+  let r =
+    run_ok
+      (small_config ~policy:Router.Round_robin ())
+      [ open_spec "gesture" gesture; open_spec "face-detect" face_detect ]
+  in
+  let total = List.length r.Fleet.records in
+  Alcotest.(check bool) "requests flowed" true (total > 0);
+  (* every record was routed somewhere, and per-node counts add up *)
+  let routed_sum =
+    List.fold_left (fun a nr -> a + nr.Fleet.routed) 0 r.Fleet.node_reports
+  in
+  Alcotest.(check int) "routed covers every request" total routed_sum;
+  let completed (m : Metrics.t) =
+    List.fold_left (fun a s -> a + s.Metrics.completed) 0 m.Metrics.summaries
+  in
+  let node_completed =
+    List.fold_left
+      (fun a nr -> a + nr.Fleet.completed)
+      0 r.Fleet.node_reports
+  in
+  Alcotest.(check int) "fleet completions = sum of node completions"
+    (completed r.Fleet.fleet_metrics)
+    node_completed;
+  let route_routed =
+    List.fold_left (fun a rc -> a + rc.Fleet.rc_routed) 0 r.Fleet.routes
+  in
+  Alcotest.(check int) "routing breakdown covers every request" total
+    route_routed;
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "offered = completed + rejected" s.Metrics.offered
+        (s.Metrics.completed + s.Metrics.rejected))
+    r.Fleet.fleet_metrics.Metrics.summaries;
+  (* the breakdown has one cell per (node, model) *)
+  Alcotest.(check int) "cells" (4 * 2) (List.length r.Fleet.routes)
+
+let test_fleet_deterministic () =
+  let run () =
+    run_ok
+      (small_config ~policy:Router.Round_robin ())
+      [
+        open_spec "gesture" gesture;
+        open_spec ~replicas:1 "face-detect" face_detect;
+      ]
+  in
+  let a = Json.to_string (Fleet.to_json (run ())) in
+  let b = Json.to_string (Fleet.to_json (run ())) in
+  Alcotest.(check string) "byte-identical across runs" a b;
+  (* and a different seed is a different run *)
+  let c =
+    Json.to_string
+      (Fleet.to_json
+         (run_ok
+            (small_config ~policy:Router.Round_robin ())
+            [
+              open_spec ~seed:11 "gesture" gesture;
+              open_spec ~replicas:1 ~seed:12 "face-detect" face_detect;
+            ]))
+  in
+  Alcotest.(check bool) "seed changes the run" true (a <> c)
+
+let test_cold_model_pages_in () =
+  (* round-robin spreads the cold model over nodes that don't hold its
+     weights: every non-home node pays exactly one page-in *)
+  let specs =
+    [ open_spec "gesture" gesture;
+      open_spec ~replicas:1 "face-detect" face_detect ]
+  in
+  let rr = run_ok (small_config ~policy:Router.Round_robin ()) specs in
+  Alcotest.(check bool) "round-robin pages the cold model in" true
+    (rr.Fleet.total_page_ins > 0);
+  Alcotest.(check bool) "at most one page-in per (node, model)" true
+    (rr.Fleet.total_page_ins <= 4);
+  List.iter
+    (fun rc ->
+      if rc.Fleet.rc_model = "gesture" then
+        Alcotest.(check bool) "hot model never pages" false rc.Fleet.rc_paged)
+    rr.Fleet.routes;
+  (* affinity routes only to resident nodes: no page-in ever *)
+  let af = run_ok (small_config ~policy:Router.Model_affinity ()) specs in
+  Alcotest.(check int) "affinity never pages" 0 af.Fleet.total_page_ins
+
+let test_training_colocation () =
+  let train =
+    { Fleet.tj_model = "gesture"; tj_build = gesture; tj_batch = 8; tj_nodes = 2 }
+  in
+  let r = run_ok ~train (small_config ()) [ open_spec "gesture" gesture ] in
+  (match r.Fleet.training with
+  | None -> Alcotest.fail "expected a training report"
+  | Some t ->
+    Alcotest.(check bool) "step time positive" true (t.Fleet.tr_step_s > 0.);
+    Alcotest.(check bool) "interconnect share in (0, 0.95]" true
+      (t.Fleet.tr_interconnect_util > 0.
+      && t.Fleet.tr_interconnect_util <= 0.95));
+  List.iter
+    (fun nr ->
+      let expect_training = nr.Fleet.node < 2 in
+      Alcotest.(check bool) "colocation on the first K nodes" expect_training
+        nr.Fleet.colocated_training;
+      Alcotest.(check bool) "contention only where colocated" expect_training
+        (nr.Fleet.train_interconnect_util > 0.))
+    r.Fleet.node_reports
+
+let test_fleet_json_shape () =
+  let r =
+    run_ok
+      (small_config ())
+      [ open_spec "gesture" gesture ]
+  in
+  match Json.of_string (Json.to_string (Fleet.to_json r)) with
+  | Error e -> Alcotest.fail e
+  | Ok (Json.Obj fields) ->
+    List.iter
+      (fun k ->
+        Alcotest.(check bool) ("has " ^ k) true (List.mem_assoc k fields))
+      [ "config"; "placement"; "training"; "fleet"; "nodes"; "routing";
+        "batches"; "cost_cache" ]
+  | Ok _ -> Alcotest.fail "expected a JSON object"
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "placement",
+        [ Alcotest.test_case "structure" `Quick test_placement_structure ] );
+      ( "router",
+        [ Alcotest.test_case "policies" `Quick test_router_policies ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "conservation" `Quick test_fleet_conservation;
+          Alcotest.test_case "deterministic" `Quick test_fleet_deterministic;
+          Alcotest.test_case "page-in" `Quick test_cold_model_pages_in;
+          Alcotest.test_case "training colocation" `Quick
+            test_training_colocation;
+          Alcotest.test_case "json shape" `Quick test_fleet_json_shape;
+        ] );
+    ]

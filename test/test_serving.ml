@@ -193,7 +193,16 @@ let test_metrics_hand_computed () =
   (* bucket 0: core0 busy, core1 idle -> mean 0.5; bucket 1: idle *)
   Alcotest.(check (float 1e-9)) "occupancy bucket0" 0.5
     m.Metrics.occupancy.(0);
-  Alcotest.(check (float 1e-9)) "occupancy bucket1" 0. m.Metrics.occupancy.(1)
+  Alcotest.(check (float 1e-9)) "occupancy bucket1" 0. m.Metrics.occupancy.(1);
+  (* the ASCII table carries the SLO attainment column *)
+  let ascii = Format.asprintf "%a" Metrics.pp m in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "slo%% column" true (contains ascii "slo%");
+  Alcotest.(check bool) "slo%% value" true (contains ascii "60.0%")
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end serve runs (tiny core + gesture net: fast to compile)    *)
