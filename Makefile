@@ -1,4 +1,5 @@
-.PHONY: all build test lint sanitize differential bench trace fleet check clean
+.PHONY: all build test lint sanitize differential bench trace fleet calibrate \
+	check clean
 
 all: build
 
@@ -40,6 +41,12 @@ trace:
 fleet:
 	dune exec bin/ascend_cli.exe -- fleet gesture,face-detect --core tiny \
 	  --nodes 4 --replicas 0,1 --train-nodes 2
+
+# score the batch-latency surrogate against the exact cycle-level oracle
+# for every model/core combination in the zoo (non-zero exit when any
+# model's max cycle error exceeds the 5% budget)
+calibrate:
+	dune exec bin/ascend_cli.exe -- calibrate --all --json calibrate.json
 
 check: build test lint sanitize
 

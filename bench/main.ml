@@ -1020,7 +1020,7 @@ let edge () =
 (* ------------------------------------------------------------------ *)
 (* Request-level serving (lib/serving over the §5.2 scheduler)         *)
 
-let serving () =
+let rec serving () =
   section_header "serving"
     "request-level serving: seeded load, dynamic batching, QoS admission, \
      SLO metrics (2-core Standard SoC under mixed-priority overload)";
@@ -1069,7 +1069,101 @@ let serving () =
         Bench_json.record_float
           (s.Ascend.Serving.Metrics.model ^ "_goodput_per_s")
           s.Ascend.Serving.Metrics.goodput_per_s)
-      r.Serve.metrics.Ascend.Serving.Metrics.summaries
+      r.Serve.metrics.Ascend.Serving.Metrics.summaries;
+    two_tier_costing ()
+
+(* ------------------------------------------------------------------ *)
+(* Two-tier costing: the same closed-loop workload priced by the exact
+   compile+simulate oracle and by the calibrated surrogate             *)
+
+and two_tier_costing () =
+  let module Serve = Ascend.Serving.Serve in
+  let module Calibration = Ascend.Cost.Calibration in
+  Format.printf
+    "@.two-tier costing: 32 closed-loop bert-base clients on a 2-core Max \
+     SoC; every dispatched batch pays one Cost.lookup, so the pricing tier \
+     dominates the wall clock@.";
+  let build ~batch = Ascend.Nn.Bert.base ~batch ~seq_len:128 () in
+  let max_batch = 4 in
+  let specs =
+    [
+      {
+        Serve.name = "bert-base";
+        build;
+        priority = 0;
+        slo_ms = 500.;
+        workload = Serve.Closed_loop { clients = 32; think_s = 0.; seed = 31 };
+      };
+    ]
+  in
+  let config =
+    { (Serve.default_config ~core:Config.max ~cores:2) with
+      Serve.duration_s = 400.; queue_depth = 64; max_batch }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let completed (r : Serve.result) =
+    List.fold_left
+      (fun acc (s : Ascend.Serving.Metrics.model_summary) ->
+        acc + s.Ascend.Serving.Metrics.completed)
+      0 r.Serve.metrics.Ascend.Serving.Metrics.summaries
+  in
+  let run costing =
+    match time (fun () -> Serve.run { config with Serve.costing } specs) with
+    | Ok r, wall_s -> (r, wall_s)
+    | Error e, _ -> failwith ("two-tier costing: " ^ e)
+  in
+  let exact, exact_wall_s = run `Exact in
+  let surrogate, surrogate_wall_s = run `Surrogate in
+  if completed exact <> completed surrogate then
+    failwith "two-tier costing: tiers served different request counts";
+  let exact_rps = float_of_int (completed exact) /. exact_wall_s in
+  let surrogate_rps =
+    float_of_int (completed surrogate) /. surrogate_wall_s
+  in
+  let speedup = exact_wall_s /. surrogate_wall_s in
+  let t =
+    Table.create
+      ~header:[ "costing"; "completed"; "batches"; "wall s"; "req/s (wall)" ]
+      ()
+  in
+  let row name (r : Serve.result) wall_s rps =
+    [ name;
+      string_of_int (completed r);
+      string_of_int (List.length r.Serve.batches);
+      Printf.sprintf "%.2f" wall_s;
+      Printf.sprintf "%.0f" rps ]
+  in
+  Table.add_rows t
+    [
+      row "exact" exact exact_wall_s exact_rps;
+      row "surrogate" surrogate surrogate_wall_s surrogate_rps;
+    ];
+  Table.print t;
+  (* the surrogate's honesty check: re-run the calibration protocol and
+     report its worst cycle error against the oracle *)
+  let service = Ascend.Exec.Service.create ~jobs:1 () in
+  let report =
+    match
+      Calibration.run ~service ~core:Config.max ~model:"bert-base" ~build
+        ~max_batch ()
+    with
+    | Ok report -> report
+    | Error e -> failwith ("two-tier costing: calibration: " ^ e)
+  in
+  Ascend.Exec.Service.shutdown service;
+  Format.printf "%a" (Calibration.pp ()) report;
+  Format.printf "surrogate speedup: %.1fx requests/sec at %.2f%% max cycle \
+     error@."
+    speedup report.Calibration.max_abs_pct_error;
+  Bench_json.record_float "exact_requests_per_wall_s" exact_rps;
+  Bench_json.record_float "surrogate_requests_per_wall_s" surrogate_rps;
+  Bench_json.record_float "surrogate_speedup" speedup;
+  Bench_json.record_float "surrogate_max_abs_pct_error"
+    report.Calibration.max_abs_pct_error
 
 (* ------------------------------------------------------------------ *)
 (* Fleet serving (lib/fleet over the cluster substrate)                *)

@@ -313,6 +313,17 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write the full metrics report as JSON ('-': stdout).")
 
+let costing_arg =
+  Arg.(
+    value
+    & opt (enum [ ("exact", `Exact); ("surrogate", `Surrogate) ]) `Exact
+    & info [ "costing" ] ~docv:"TIER"
+        ~doc:
+          "Batch pricing tier: 'exact' prices every distinct (model, batch) \
+           through the cycle-level compile+simulate path; 'surrogate' \
+           interpolates a per-model piecewise-linear table calibrated on \
+           anchor batch sizes (validate with the 'calibrate' command).")
+
 let serve_trace_arg =
   Arg.(
     value
@@ -333,7 +344,7 @@ let broadcast ~what n = function
 
 let serve models core cores rates duration batch_max delay_ms queue_depth
     slos priorities process burst_factor burst_period_ms seed closed think_ms
-    bucket_ms json_path trace_path =
+    bucket_ms costing json_path trace_path =
   let n = List.length models in
   let ( let* ) = Result.bind in
   exit_of
@@ -375,6 +386,7 @@ let serve models core cores rates duration batch_max delay_ms queue_depth
          queue_depth;
          duration_s = duration;
          bucket_s = bucket_ms /. 1e3;
+         costing;
        }
      in
      let collector =
@@ -416,7 +428,7 @@ let serve_cmd =
       $ duration_arg $ batch_max_arg $ batch_delay_arg $ queue_depth_arg
       $ slo_arg $ priority_arg $ process_arg $ burst_factor_arg
       $ burst_period_arg $ seed_arg $ closed_arg $ think_arg $ bucket_arg
-      $ json_arg $ serve_trace_arg)
+      $ costing_arg $ json_arg $ serve_trace_arg)
 
 (* --- fleet -------------------------------------------------------- *)
 
@@ -484,7 +496,7 @@ let train_batch_arg =
 let fleet models core nodes cores_per_node policy replicas rates duration
     batch_max delay_ms queue_depth slos priorities process burst_factor
     burst_period_ms seed closed think_ms bucket_ms train_nodes train_model
-    train_batch json_path trace_path =
+    train_batch costing json_path trace_path =
   let n = List.length models in
   let ( let* ) = Result.bind in
   exit_of
@@ -529,6 +541,7 @@ let fleet models core nodes cores_per_node policy replicas rates duration
          duration_s = duration;
          bucket_s = bucket_ms /. 1e3;
          policy;
+         costing;
        }
      in
      let train =
@@ -586,8 +599,8 @@ let fleet_cmd =
       $ duration_arg $ batch_max_arg $ batch_delay_arg $ queue_depth_arg
       $ slo_arg $ priority_arg $ process_arg $ burst_factor_arg
       $ burst_period_arg $ seed_arg $ closed_arg $ think_arg $ bucket_arg
-      $ train_nodes_arg $ train_model_arg $ train_batch_arg $ json_arg
-      $ serve_trace_arg)
+      $ train_nodes_arg $ train_model_arg $ train_batch_arg $ costing_arg
+      $ json_arg $ serve_trace_arg)
 
 (* --- lint / sanitize ---------------------------------------------- *)
 
@@ -1020,6 +1033,12 @@ let trace model_pos model_opt core batch output =
         print_string (Obs.Summary.render c.Exec_trace.summary);
         Format.printf "%s on %s (batch %d): %d simulated cycles@." name
           core.Config.name batch c.Exec_trace.total_cycles;
+        (* the capture itself is deliberately serial (never the pooled
+           service), so these counters are the process-wide default
+           service's — all zero unless ASCEND_CACHE_DIR points at a
+           populated persistent tier *)
+        Format.printf "exec cache: %a@." Ascend.Exec.Cache.pp_stats
+          (Ascend.Exec.Service.stats (Ascend.Exec.Service.default ()));
         Format.printf "wrote %s (load in Perfetto or chrome://tracing)@."
           output;
         Ok ())
@@ -1037,6 +1056,162 @@ let trace_cmd =
     Term.(
       const trace $ trace_model_pos $ trace_model_opt $ core_arg $ batch_arg
       $ trace_output_arg)
+
+(* --- calibrate ---------------------------------------------------- *)
+
+module Calibration = Ascend.Cost.Calibration
+
+(* same model order and dtype gating as [model_core_combos], but keeps
+   the graph builder (calibration prices many batch sizes, not one
+   batch-1 graph) *)
+let calibrate_combos selected_models selected_cores =
+  List.concat_map
+    (fun (name, build) ->
+      let dtype = Graph.dtype (build ~batch:1) in
+      List.filter_map
+        (fun config ->
+          if Config.supports config dtype then Some (name, build, config)
+          else None)
+        selected_cores)
+    selected_models
+
+let calibrate model_opt all core_opt max_batch fail_above verbose json_path
+    jobs =
+  let selected_models = select_models model_opt all in
+  let selected_cores = select_cores core_opt in
+  let combos = calibrate_combos selected_models selected_cores in
+  if combos = [] then begin
+    prerr_endline
+      "error: nothing to calibrate (selected core does not support the \
+       model's dtype)";
+    2
+  end
+  else begin
+    let service =
+      Ascend.Exec.Service.create
+        ?jobs:(if jobs <= 0 then None else Some jobs)
+        ()
+    in
+    let results =
+      List.map
+        (fun (name, build, config) ->
+          ( name,
+            config,
+            Calibration.run ~budget_pct:fail_above ~service ~core:config
+              ~model:name ~build ~max_batch () ))
+        combos
+    in
+    Ascend.Exec.Service.shutdown service;
+    let errors =
+      List.filter_map
+        (fun (name, (config : Config.t), r) ->
+          match r with
+          | Error e -> Some (name ^ " on " ^ config.Config.name ^ ": " ^ e)
+          | Ok _ -> None)
+        results
+    in
+    match errors with
+    | e :: _ ->
+      prerr_endline ("error: " ^ e);
+      1
+    | [] ->
+      let reports =
+        List.filter_map
+          (fun (_, _, r) -> Result.to_option r)
+          results
+      in
+      List.iter
+        (fun r -> Format.printf "%a" (Calibration.pp ~verbose ()) r)
+        reports;
+      let worst =
+        List.fold_left
+          (fun acc (r : Calibration.report) ->
+            Float.max acc r.Calibration.max_abs_pct_error)
+          0. reports
+      in
+      let over =
+        List.filter
+          (fun (r : Calibration.report) ->
+            r.Calibration.max_abs_pct_error > fail_above)
+          reports
+      in
+      (match json_path with
+      | None -> ()
+      | Some path ->
+        let doc =
+          Ascend.Util.Json.Obj
+            [
+              ("max_batch", Ascend.Util.Json.Int max_batch);
+              ("fail_above_pct", Ascend.Util.Json.Float fail_above);
+              ("worst_max_abs_pct_error", Ascend.Util.Json.Float worst);
+              ( "combos",
+                Ascend.Util.Json.List (List.map Calibration.to_json reports)
+              );
+            ]
+        in
+        if path = "-" then
+          print_endline (Ascend.Util.Json.to_string ~pretty:true doc)
+        else Ascend.Util.Json.write_file path doc);
+      Format.printf
+        "calibrate: %d combination(s), worst max |err| %.2f%% (budget \
+         %.2f%%)@."
+        (List.length reports) worst fail_above;
+      if over = [] then 0
+      else begin
+        List.iter
+          (fun (r : Calibration.report) ->
+            Format.printf "over budget: %s on %s (max |err| %.2f%%)@."
+              r.Calibration.model r.Calibration.core
+              r.Calibration.max_abs_pct_error)
+          over;
+        1
+      end
+  end
+
+let calibrate_all_arg =
+  Arg.(
+    value & flag
+    & info [ "all" ]
+        ~doc:"Calibrate every model in the zoo (default cores: all).")
+
+let calibrate_max_batch_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "max-batch" ] ~docv:"N"
+        ~doc:
+          "Largest batch size: anchors span 1..N and every batch in \
+           between is scored against the oracle.")
+
+let fail_above_arg =
+  Arg.(
+    value & opt float 5.
+    & info [ "fail-above" ] ~docv:"PCT"
+        ~doc:
+          "Exit non-zero when any combination's max absolute cycle error \
+           exceeds this percentage.")
+
+let calibrate_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Also write the per-batch error report as JSON ('-': stdout).")
+
+let calibrate_cmd =
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Fit the per-model piecewise-linear batch-cost surrogate on anchor \
+          batch sizes priced through the cycle-level simulator, then score \
+          every batch in 1..max-batch through both tiers and report the \
+          surrogate's cycle error (mean and max absolute percentage, per \
+          model/core). Non-zero exit when any model exceeds the error \
+          budget — the CI gate that keeps '--costing surrogate' honest.")
+    Term.(
+      const calibrate $ lint_model_arg $ calibrate_all_arg $ lint_core_arg
+      $ calibrate_max_batch_arg $ fail_above_arg $ lint_verbose_arg
+      $ calibrate_json_arg $ lint_jobs_arg)
 
 (* --- list --------------------------------------------------------- *)
 
@@ -1112,16 +1287,20 @@ usage: ascend_cli COMMAND [OPTIONS]
         [--queue-depth N] [--slo-ms MS[,MS...]] [--priority P[,P...]]
         [--process uniform|poisson|bursty] [--burst-factor F]
         [--burst-period-ms MS] [--seed N] [--closed CLIENTS]
-        [--think-ms MS] [--bucket-ms MS] [--json FILE] [--trace FILE]
+        [--think-ms MS] [--bucket-ms MS] [--costing exact|surrogate]
+        [--json FILE] [--trace FILE]
       Request-level serving simulation: seeded load, dynamic batching,
-      QoS admission control, SLO metrics; --trace captures the run as
-      Chrome trace-event JSON.
+      QoS admission control, SLO metrics; --costing surrogate prices
+      batches by the calibrated interpolation table instead of the
+      cycle-level path; --trace captures the run as Chrome trace-event
+      JSON.
 
   fleet MODEL[,MODEL...] [--core CORE] [--nodes N] [--cores-per-node N]
         [--policy round-robin|least-loaded|affinity] [--replicas R[,R...]]
         [--rate R[,R...]] [--duration S] [--slo-ms MS[,MS...]]
         [--priority P[,P...]] [--train-nodes K] [--train-model MODEL]
-        [--train-batch N] [--seed N] [--json FILE] [--trace FILE]
+        [--train-batch N] [--seed N] [--costing exact|surrogate]
+        [--json FILE] [--trace FILE]
       Multi-node inference fleet: policy routing against a
       replication/placement plan (cold models page in over the server
       interconnect), optional colocated training competing for
@@ -1141,6 +1320,13 @@ usage: ascend_cli COMMAND [OPTIONS]
       sanitizer (uninitialized reads, footprint overflows, cross-pipe
       hazards, runtime capacity, flag leaks); emits the same JSON
       shape as lint --soc, so sweeps that agree compare byte-equal.
+
+  calibrate [MODEL | --all] [--core CORE] [--max-batch N]
+            [--fail-above PCT] [--json FILE] [--verbose] [--jobs N]
+      Fit the per-model batch-cost surrogate on cycle-level anchor
+      prices and score every batch 1..max-batch against the oracle;
+      non-zero exit when any model's max cycle error exceeds the
+      budget (default 5%).
 
   trace MODEL [--model MODEL] [--core CORE] [--batch N] [-o FILE]
       Deterministic Chrome trace of the compiled model's simulation
@@ -1170,4 +1356,5 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default:usage_term info
           [ simulate_cmd; profile_cmd; disasm_cmd; streams_cmd; serve_cmd;
-            fleet_cmd; lint_cmd; sanitize_cmd; list_cmd; trace_cmd ]))
+            fleet_cmd; lint_cmd; sanitize_cmd; calibrate_cmd; list_cmd;
+            trace_cmd ]))

@@ -31,6 +31,10 @@
     - {!Cluster} — servers, collectives, distributed training;
     - {!Baselines} — systolic array, SIMT GPU, CPU comparators;
     - {!Runtime} — the app/stream/task/block scheduler;
+    - {!Cost} — the two-tier batch-pricing layer: a per-model
+      piecewise-linear surrogate over anchor batch sizes
+      ({!Cost.Surrogate}) with the cycle-level path as its calibration
+      oracle and error reporter ({!Cost.Calibration});
     - {!Serving} — request-level serving: seeded load generation,
       dynamic batching, QoS admission control and SLO metrics over the
       multi-core scheduler;
@@ -64,6 +68,7 @@ module Soc = Ascend_soc
 module Cluster = Ascend_cluster
 module Baselines = Ascend_baselines
 module Runtime = Ascend_runtime
+module Cost = Ascend_cost
 module Serving = Ascend_serving
 module Fleet = Ascend_fleet
 module Vector_core = Ascend_vector_core

@@ -1,0 +1,96 @@
+module Json = Ascend_util.Json
+
+type entry = { cycles : int; latency_s : float; energy_j : float }
+
+type t = {
+  model : string;
+  (* sorted by batch, distinct; invariant established by [fit] *)
+  table : (int * entry) array;
+}
+
+let anchor_batches ~max_batch =
+  if max_batch < 1 then invalid_arg "Surrogate.anchor_batches: max_batch < 1";
+  let rec powers b acc = if b > max_batch then acc else powers (2 * b) (b :: acc) in
+  List.sort_uniq compare (max_batch :: powers 1 [])
+
+let fit ~model ~anchors =
+  match anchors with
+  | [] -> Error (model ^ ": no anchors")
+  | _ when List.exists (fun (b, _) -> b < 1) anchors ->
+    Error (model ^ ": anchor batch < 1")
+  | _ ->
+    let table =
+      Array.of_list (List.sort (fun (a, _) (b, _) -> compare a b) anchors)
+    in
+    let dup = ref false in
+    Array.iteri
+      (fun i (b, _) -> if i > 0 && fst table.(i - 1) = b then dup := true)
+      table;
+    if !dup then Error (model ^ ": duplicate anchor batch")
+    else Ok { model; table }
+
+let calibrate ~model ~batches ~price =
+  let rec go acc = function
+    | [] -> fit ~model ~anchors:(List.rev acc)
+    | b :: rest -> (
+      match price ~batch:b with
+      | Ok e -> go ((b, e) :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] (List.sort_uniq compare batches)
+
+let model t = t.model
+let anchors t = Array.to_list t.table
+let min_batch t = fst t.table.(0)
+let max_batch t = fst t.table.(Array.length t.table - 1)
+let in_range t ~batch = batch >= min_batch t && batch <= max_batch t
+
+(* largest index whose batch is <= [batch]; the caller has checked
+   range, so the bracket [i, i+1] always exists when batch is not an
+   anchor *)
+let bracket t batch =
+  let lo = ref 0 and hi = ref (Array.length t.table - 1) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.table.(mid) <= batch then lo := mid else hi := mid
+  done;
+  if fst t.table.(!hi) <= batch then !hi else !lo
+
+let lookup t ~batch =
+  if batch < 1 then invalid_arg "Surrogate.lookup: batch < 1";
+  if not (in_range t ~batch) then None
+  else
+    let i = bracket t batch in
+    let b0, e0 = t.table.(i) in
+    if b0 = batch then Some e0
+    else
+      let b1, e1 = t.table.(i + 1) in
+      let w = float_of_int (batch - b0) /. float_of_int (b1 - b0) in
+      let lerp a b = a +. ((b -. a) *. w) in
+      Some
+        {
+          cycles =
+            (let c =
+               lerp (float_of_int e0.cycles) (float_of_int e1.cycles)
+             in
+             max 1 (int_of_float (Float.round c)));
+          latency_s = lerp e0.latency_s e1.latency_s;
+          energy_j = lerp e0.energy_j e1.energy_j;
+        }
+
+let to_json t =
+  Json.Obj
+    [
+      ("model", Json.String t.model);
+      ( "anchors",
+        Json.List
+          (Array.to_list t.table
+          |> List.map (fun (b, e) ->
+                 Json.Obj
+                   [
+                     ("batch", Json.Int b);
+                     ("cycles", Json.Int e.cycles);
+                     ("latency_s", Json.Float e.latency_s);
+                     ("energy_j", Json.Float e.energy_j);
+                   ])) );
+    ]

@@ -1,0 +1,67 @@
+(** Tier A of the two-tier batch-latency oracle: a per-model
+    piecewise-linear surrogate over anchor batch sizes.
+
+    The serving loop prices every dispatched batch; the exact path
+    rebuilds the model graph, partitions it into fused groups and hashes
+    every group into the content-addressed cache on each call — cheap
+    next to compilation, but it is the per-lookup floor that caps
+    simulated traffic.  The surrogate removes it: a handful of anchor
+    batch sizes are priced {e once} through the cycle-level path, and
+    every later lookup interpolates linearly between the bracketing
+    anchors in O(log anchors) with zero graph construction.
+
+    Fidelity is the calibration oracle's business ({!Calibration}
+    measures it, CI bounds it); this module only promises two structural
+    properties: anchors are reproduced exactly, and interpolation
+    between monotone anchors is monotone in the batch size (linear
+    interpolation cannot overshoot its endpoints).
+
+    The surrogate reports its own confidence range: a batch outside
+    [[min_batch, max_batch]] would be an extrapolation, so {!lookup}
+    returns [None] and the caller falls back to Tier B (the exact
+    path). *)
+
+type entry = {
+  cycles : int;        (** one batch on one core *)
+  latency_s : float;
+  energy_j : float;
+}
+
+type t
+
+val anchor_batches : max_batch:int -> int list
+(** The default anchor schedule: 1 and every power of two up to
+    [max_batch], plus [max_batch] itself; sorted, distinct.  Raises
+    [Invalid_argument] on [max_batch < 1]. *)
+
+val fit : model:string -> anchors:(int * entry) list -> (t, string) result
+(** Build the table from already-priced anchors.  [Error] on an empty
+    list, a batch below 1, or duplicate batches; order is irrelevant. *)
+
+val calibrate :
+  model:string ->
+  batches:int list ->
+  price:(batch:int -> (entry, string) result) ->
+  (t, string) result
+(** Price each anchor batch through [price] (Tier B) and {!fit} the
+    table.  The first pricing error aborts calibration. *)
+
+val model : t -> string
+
+val anchors : t -> (int * entry) list
+(** Sorted by batch. *)
+
+val min_batch : t -> int
+val max_batch : t -> int
+
+val in_range : t -> batch:int -> bool
+(** Whether [lookup] answers — i.e. the batch needs no extrapolation. *)
+
+val lookup : t -> batch:int -> entry option
+(** O(log anchors), no compilation: the anchor entry itself at an anchor
+    batch, linear interpolation of cycles (rounded), latency and energy
+    between the bracketing anchors otherwise, and [None] outside
+    [[min_batch, max_batch]].  Raises [Invalid_argument] on
+    [batch < 1]. *)
+
+val to_json : t -> Ascend_util.Json.t

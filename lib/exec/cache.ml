@@ -196,6 +196,13 @@ let stats t =
         disk_entries = Hashtbl.length t.on_disk;
       })
 
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d memory hit(s), %d disk hit(s), %d miss(es), %d eviction(s), %d \
+     entr(ies) in memory; disk tier: %d write(s), %d file(s)"
+    s.hits s.disk_hits s.misses s.evictions s.entries s.disk_writes
+    s.disk_entries
+
 let clear t =
   locked t (fun () ->
       Hashtbl.reset t.table;

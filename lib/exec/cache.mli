@@ -53,6 +53,13 @@ val flush : 'v t -> unit
 (** Write queued entries to [dir]; a no-op without a disk tier. *)
 
 val stats : 'v t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One line covering both tiers — memory hits/misses/evictions/entries
+    plus disk hits/writes/files — the single formatter every
+    user-visible summary ([serve], [fleet], [trace]) prints, so the
+    disk-tier counters are never silently collected-but-unshown. *)
+
 val clear : 'v t -> unit
 (** Reset the memory tier and all counters.  Disk entries survive (and
     remain probeable): clearing drops state, not the persistent store. *)

@@ -241,24 +241,26 @@ let uninstall () = Engine.group_runner := None
 
 let default_instance = ref None
 
+let env_jobs () =
+  match Sys.getenv_opt "ASCEND_JOBS" with
+  | Some s -> (
+    match int_of_string_opt s with Some j when j >= 1 -> Some j | _ -> None)
+  | None -> None
+
+(* opt-in disk tier: persistence changes hit/miss counters between a
+   cold and a warm run, and the default service's counters flow into
+   traces — so it only turns on when the environment asks for it *)
+let env_cache_dir () =
+  match Sys.getenv_opt "ASCEND_CACHE_DIR" with
+  | Some d when d <> "" -> Some d
+  | _ -> None
+
 let default () =
   match !default_instance with
   | Some t -> t
   | None ->
-    let jobs =
-      match Sys.getenv_opt "ASCEND_JOBS" with
-      | Some s -> (
-        match int_of_string_opt s with Some j when j >= 1 -> Some j | _ -> None)
-      | None -> None
-    in
-    (* opt-in disk tier: persistence changes hit/miss counters between a
-       cold and a warm run, and the default service's counters flow into
-       traces — so it only turns on when the environment asks for it *)
-    let dir =
-      match Sys.getenv_opt "ASCEND_CACHE_DIR" with
-      | Some d when d <> "" -> Some d
-      | _ -> None
-    in
+    let jobs = env_jobs () in
+    let dir = env_cache_dir () in
     let t = create ?jobs ?dir () in
     default_instance := Some t;
     t

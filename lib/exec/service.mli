@@ -98,5 +98,14 @@ val default : unit -> t
     this service.  Persistence is opt-in because a warm disk changes
     hit/miss counters between otherwise identical runs. *)
 
+val env_jobs : unit -> int option
+(** [ASCEND_JOBS] when set to a positive integer; [None] otherwise. *)
+
+val env_cache_dir : unit -> string option
+(** [ASCEND_CACHE_DIR] when set and non-empty; [None] otherwise.  Shared
+    by {!default} and by the serving cost oracle's private services, so
+    one environment variable opts the whole process into disk-tier
+    persistence. *)
+
 val install_default : unit -> unit
 (** [install (default ())] — done at link time by the [ascend] façade. *)

@@ -42,6 +42,7 @@ type config = {
   duration_s : float;
   bucket_s : float;
   policy : Router.policy;
+  costing : Cost.costing;
 }
 
 let default_config ~core ~nodes =
@@ -57,7 +58,10 @@ let default_config ~core ~nodes =
     duration_s = 1.;
     bucket_s = 50e-3;
     policy = Router.Least_loaded;
+    costing = `Exact;
   }
+
+let costing_name = function `Exact -> "exact" | `Surrogate -> "surrogate"
 
 type batch_exec = {
   bx_model : string;
@@ -118,6 +122,9 @@ type result = {
   total_page_ins : int;
   cost_hits : int;
   cost_misses : int;
+  cost_interpolated : int;
+  cost_fallbacks : int;
+  cost_stats : Ascend_exec.Cache.stats;
 }
 
 exception Cost_error of string
@@ -215,7 +222,10 @@ let run ?train config specs_list =
   let n_models = Array.length specs in
   let nodes = config.nodes in
   let cpn = config.cores_per_node in
-  let cost = Cost.create ~core:config.core () in
+  let cost =
+    Cost.create ~costing:config.costing ~max_batch:config.max_batch
+      ~core:config.core ()
+  in
   let s_of_cycles c =
     Units.seconds_of_cycles ~cycles:c
       ~frequency_ghz:config.core.Ascend_arch.Config.frequency_ghz
@@ -348,11 +358,10 @@ let run ?train config specs_list =
       | Ok e -> e
       | Error e -> raise (Cost_error (s.name ^ ": " ^ e))
     in
+    let node_cores = List.init cpn Fun.id in
     let dispatch_node now n =
       let idle =
-        List.filter
-          (fun c -> core_free.(n).(c) <= now +. eps)
-          (List.init cpn Fun.id)
+        List.filter (fun c -> core_free.(n).(c) <= now +. eps) node_cores
       in
       if idle <> [] then begin
         (* drain every ready batch, spec order for determinism; a batch
@@ -681,6 +690,9 @@ let run ?train config specs_list =
         total_page_ins = Array.fold_left ( + ) 0 page_ins;
         cost_hits = Cost.hits cost;
         cost_misses = Cost.misses cost;
+        cost_interpolated = Cost.interpolated cost;
+        cost_fallbacks = Cost.fallbacks cost;
+        cost_stats = Cost.stats cost;
       }
 
 (* --- export -------------------------------------------------------- *)
@@ -701,6 +713,7 @@ let to_json r =
             ("max_delay_ms", Json.Float (1e3 *. c.max_delay_s));
             ("queue_depth", Json.Int c.queue_depth);
             ("duration_s", Json.Float c.duration_s);
+            ("costing", Json.String (costing_name c.costing));
           ] );
       ("placement", Placement.to_json r.placement);
       ( "training",
@@ -769,8 +782,17 @@ let to_json r =
           ] );
       ( "cost_cache",
         Json.Obj
-          [ ("hits", Json.Int r.cost_hits); ("misses", Json.Int r.cost_misses) ]
-      );
+          [
+            ("hits", Json.Int r.cost_hits);
+            ("misses", Json.Int r.cost_misses);
+            ("interpolated", Json.Int r.cost_interpolated);
+            ("fallbacks", Json.Int r.cost_fallbacks);
+            ("disk_hits", Json.Int r.cost_stats.Ascend_exec.Cache.disk_hits);
+            ( "disk_writes",
+              Json.Int r.cost_stats.Ascend_exec.Cache.disk_writes );
+            ( "disk_entries",
+              Json.Int r.cost_stats.Ascend_exec.Cache.disk_entries );
+          ] );
     ]
 
 let mean_utilization (m : Metrics.t) =
@@ -847,4 +869,9 @@ let pp ppf r =
     "fleet SLO attainment %.1f%%; %d batches (%d page-ins); latency cache: \
      %d compile+simulate runs, %d cached lookups@."
     (100. *. r.slo_attainment)
-    (List.length r.batches) r.total_page_ins r.cost_misses r.cost_hits
+    (List.length r.batches) r.total_page_ins r.cost_misses r.cost_hits;
+  if r.fleet_config.costing = `Surrogate then
+    Format.fprintf ppf
+      "surrogate: %d interpolated lookups, %d out-of-range fallbacks@."
+      r.cost_interpolated r.cost_fallbacks;
+  Format.fprintf ppf "exec cache: %a@." Ascend_exec.Cache.pp_stats r.cost_stats

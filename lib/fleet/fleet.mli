@@ -53,13 +53,18 @@ type config = {
   duration_s : float;
   bucket_s : float;
   policy : Router.policy;
+  costing : Ascend_serving.Cost.costing;
+      (** [`Exact] prices every batch through the cycle-level path;
+          [`Surrogate] interpolates per-model tables calibrated on
+          anchor batches up to [max_batch]
+          (see {!Ascend_serving.Cost}). *)
 }
 
 val default_config :
   core:Ascend_arch.Config.t -> nodes:int -> config
 (** Ascend 910 servers, [cores_per_node] = the server's chip count (8),
     batching bounds as {!Ascend_serving.Serve.default_config}, policy
-    {!Router.Least_loaded}. *)
+    {!Router.Least_loaded}, exact costing. *)
 
 type batch_exec = {
   bx_model : string;
@@ -127,6 +132,10 @@ type result = {
   total_page_ins : int;
   cost_hits : int;
   cost_misses : int;
+  cost_interpolated : int;  (** surrogate-answered lookups *)
+  cost_fallbacks : int;     (** surrogate out-of-range, priced exactly *)
+  cost_stats : Ascend_exec.Cache.stats;
+      (** the cost oracle's private service cache, disk tier included *)
 }
 
 val run :

@@ -28,9 +28,71 @@ type live_stream = {
   ls_app : string;
   ls_name : string;
   ls_priority : int;
+  ls_index : int;  (* declaration order, the final tiebreak *)
   mutable remaining : task list;
   mutable ready : int;  (* previous task's completion *)
 }
+
+(* strict total order for stream selection: highest priority first, then
+   smallest ready time, then declaration order *)
+let precedes a b =
+  a.ls_priority > b.ls_priority
+  || (a.ls_priority = b.ls_priority
+     && (a.ready < b.ready || (a.ready = b.ready && a.ls_index < b.ls_index)))
+
+(* array-backed binary heap under [precedes].  A stream's [ready] only
+   mutates while it is popped out of the heap, so the invariant holds. *)
+module Heap = struct
+  type t = { mutable a : live_stream array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+
+  let swap h i j =
+    let t = h.a.(i) in
+    h.a.(i) <- h.a.(j);
+    h.a.(j) <- t
+
+  let rec up h i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if precedes h.a.(i) h.a.(p) then begin
+        swap h i p;
+        up h p
+      end
+    end
+
+  let rec down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = ref i in
+    if l < h.n && precedes h.a.(l) h.a.(!m) then m := l;
+    if r < h.n && precedes h.a.(r) h.a.(!m) then m := r;
+    if !m <> i then begin
+      swap h i !m;
+      down h !m
+    end
+
+  let push h s =
+    if h.n = Array.length h.a then begin
+      let a = Array.make (max 4 (2 * h.n)) s in
+      Array.blit h.a 0 a 0 h.n;
+      h.a <- a
+    end;
+    h.a.(h.n) <- s;
+    h.n <- h.n + 1;
+    up h (h.n - 1)
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      if h.n > 0 then begin
+        h.a.(0) <- h.a.(h.n);
+        down h 0
+      end;
+      Some top
+    end
+end
 
 let validate_inputs ~cores apps =
   if cores <= 0 then invalid_arg "Scheduler.run: non-positive cores";
@@ -50,12 +112,15 @@ let validate_inputs ~cores apps =
 let run ~cores apps =
   validate_inputs ~cores apps;
   let streams =
+    let ix = ref (-1) in
     List.concat_map
       (fun a ->
         List.map
           (fun s ->
+            incr ix;
             { ls_app = a.app_name; ls_name = s.stream_name;
-              ls_priority = a.priority; remaining = s.tasks; ready = 0 })
+              ls_priority = a.priority; ls_index = !ix; remaining = s.tasks;
+              ready = 0 })
           a.streams)
       apps
   in
@@ -63,24 +128,14 @@ let run ~cores apps =
   let core_busy = Array.make cores 0 in
   let placements = ref [] in
   let tasks_done = ref 0 in
+  (* streams with work, selected in [precedes] order.  The heap keeps
+     per-task selection at O(log streams); a linear scan here made
+     one-task-per-stream workloads — the serving loops' offline repack
+     dispatches one stream per batch — quadratic in batch count. *)
+  let heap = Heap.create () in
+  List.iter (fun s -> if s.remaining <> [] then Heap.push heap s) streams;
   let rec next_stream () =
-    (* stream with work: highest priority first, then smallest ready time
-       (ties: declaration order) *)
-    let better s b =
-      s.ls_priority > b.ls_priority
-      || (s.ls_priority = b.ls_priority && s.ready < b.ready)
-    in
-    let best =
-      List.fold_left
-        (fun acc s ->
-          if s.remaining = [] then acc
-          else
-            match acc with
-            | None -> Some s
-            | Some b -> if better s b then Some s else acc)
-        None streams
-    in
-    match best with
+    match Heap.pop heap with
     | None -> ()
     | Some s ->
       (match s.remaining with
@@ -106,7 +161,8 @@ let run ~cores apps =
             :: !placements
         done;
         s.ready <- !finish;
-        incr tasks_done);
+        incr tasks_done;
+        if s.remaining <> [] then Heap.push heap s);
       next_stream ()
   in
   next_stream ();

@@ -1,7 +1,14 @@
 module Engine = Ascend_compiler.Engine
 module Service = Ascend_exec.Service
+module Surrogate = Ascend_cost.Surrogate
 
-type entry = { cycles : int; latency_s : float; energy_j : float }
+type entry = Surrogate.entry = {
+  cycles : int;
+  latency_s : float;
+  energy_j : float;
+}
+
+type costing = [ `Exact | `Surrogate ]
 
 (* One private execution service per oracle: serving sweeps re-price the
    same handful of (model, batch) pairs thousands of times, and every
@@ -9,21 +16,41 @@ type entry = { cycles : int; latency_s : float; energy_j : float }
    fused-group level.  The service is private (not [Service.default])
    and single-domain so that a [Serve.run] is a pure function of its
    inputs — counters included — regardless of what else the process ran
-   before. *)
+   before.  ([ASCEND_CACHE_DIR] is the one documented exception: it
+   opts the private service into the persistent disk tier, so a warm
+   directory trades some of that purity for cross-process reuse.) *)
 type t = {
   core : Ascend_arch.Config.t;
   service : Service.t;
+  costing : costing;
+  max_batch : int;
+  fits : (string, Surrogate.t) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  mutable interpolated : int;
+  mutable fallbacks : int;
 }
 
-let create ~core () =
-  { core; service = Service.create ~jobs:1 (); hits = 0; misses = 0 }
+let create ?(costing = `Exact) ?(max_batch = 8) ~core () =
+  if max_batch < 1 then invalid_arg "Cost.create: max_batch < 1";
+  {
+    core;
+    service = Service.create ~jobs:1 ?dir:(Service.env_cache_dir ()) ();
+    costing;
+    max_batch;
+    fits = Hashtbl.create 8;
+    hits = 0;
+    misses = 0;
+    interpolated = 0;
+    fallbacks = 0;
+  }
 
 let core t = t.core
+let costing t = t.costing
 
-let lookup t ~model:_ ~build ~batch =
-  if batch < 1 then invalid_arg "Cost.lookup: batch < 1";
+(* Tier B: the exact compile+simulate path, with hit/miss deltas folded
+   into the oracle's own counters *)
+let exact t ~build ~batch =
   let before = Service.stats t.service in
   let r =
     match Service.run_inference t.service t.core (build ~batch) with
@@ -42,5 +69,46 @@ let lookup t ~model:_ ~build ~batch =
     t.misses + (after.Ascend_exec.Cache.misses - before.Ascend_exec.Cache.misses);
   r
 
+(* budget-driven refined fit (see {!Ascend_cost.Calibration}): prices
+   every batch in 1..max_batch once through Tier B, then keeps the
+   sparsest anchor set whose interpolation stays within the default 5%
+   cycle-error budget — the same table the [calibrate] CLI reports on *)
+let fit t ~model ~build =
+  match Hashtbl.find_opt t.fits model with
+  | Some f -> Ok f
+  | None -> (
+    let r =
+      Ascend_cost.Calibration.fit ~model
+        ~price:(fun ~batch -> exact t ~build ~batch)
+        ~max_batch:t.max_batch ()
+    in
+    match r with
+    | Ok f ->
+      Hashtbl.replace t.fits model f;
+      r
+    | Error _ -> r)
+
+let lookup t ~model ~build ~batch =
+  if batch < 1 then invalid_arg "Cost.lookup: batch < 1";
+  match t.costing with
+  | `Exact -> exact t ~build ~batch
+  | `Surrogate -> (
+    match fit t ~model ~build with
+    | Error _ as e -> e
+    | Ok f -> (
+      match Surrogate.lookup f ~batch with
+      | Some e ->
+        t.interpolated <- t.interpolated + 1;
+        Ok e
+      | None ->
+        (* out of the surrogate's confidence range: extrapolating past
+           the largest anchor could be arbitrarily wrong, so fall back
+           to the oracle *)
+        t.fallbacks <- t.fallbacks + 1;
+        exact t ~build ~batch))
+
 let hits t = t.hits
 let misses t = t.misses
+let interpolated t = t.interpolated
+let fallbacks t = t.fallbacks
+let stats t = Service.stats t.service

@@ -1,36 +1,69 @@
-(** Batch-latency oracle over the real compiler + core simulator path,
-    backed by the execution service's content-addressed cache.
+(** The two-tier batch-latency oracle behind the serving loops.
 
-    A serving sweep dispatches thousands of batches but only ever sees a
-    handful of distinct (model, batch-size) pairs on its fixed core
-    version.  Each pricing call compiles and simulates through a private
+    Tier B (the default, [`Exact]) prices every batch over the real
+    compiler + core-simulator path through a private
     {!Ascend_exec.Service} whose cache is keyed by (config, fused group,
-    codegen options), so repeated pairs resolve without re-simulation
-    and request-level simulation stays interactive while every latency
-    number still comes from the cycle-level simulator.  The service is
-    private and single-domain, keeping a [Serve.run] — counters included
-    — a pure function of its inputs. *)
+    codegen options) — repeated (model, batch) pairs resolve without
+    re-simulation, but each call still rebuilds the model graph,
+    partitions it and hashes every group.  Tier A ([`Surrogate]) removes
+    that per-lookup floor: on a model's first pricing, batches
+    [1 .. max_batch] are priced through Tier B and fitted into a
+    piecewise-linear table by the budget-driven refinement of
+    {!Ascend_cost.Calibration.fit} (sparse geometric anchors where
+    cycles scale smoothly, denser where tiling makes them step — max
+    cycle error within the 5% budget by construction); every later
+    lookup interpolates in O(1) with zero graph construction.  A batch
+    beyond the largest anchor is outside the
+    surrogate's confidence range and falls back to Tier B (counted in
+    {!fallbacks}).
 
-type entry = {
+    Both tiers are deterministic: same inputs, same costing, same
+    answers — counters included.  [`Exact] stays the default so the CI
+    byte-identity gates are untouched; [`Surrogate] runs pin their own
+    outputs.  The private service is single-domain, keeping a
+    [Serve.run] a pure function of its inputs; the one documented
+    exception is [ASCEND_CACHE_DIR], which opts the private service into
+    the persistent disk tier ({!stats} exposes its counters). *)
+
+type entry = Ascend_cost.Surrogate.entry = {
   cycles : int;        (** one batch on one core *)
   latency_s : float;
   energy_j : float;
 }
 
+type costing = [ `Exact | `Surrogate ]
+
 type t
 
-val create : core:Ascend_arch.Config.t -> unit -> t
+val create :
+  ?costing:costing -> ?max_batch:int -> core:Ascend_arch.Config.t -> unit -> t
+(** [costing] defaults to [`Exact]; [max_batch] (default 8) bounds the
+    surrogate's anchor schedule — lookups beyond it fall back to the
+    exact tier.  Raises [Invalid_argument] on [max_batch < 1]. *)
 
 val core : t -> Ascend_arch.Config.t
+val costing : t -> costing
 
 val lookup :
   t -> model:string -> build:(batch:int -> Ascend_nn.Graph.t) -> batch:int ->
   (entry, string) result
-(** Compile+simulate [build ~batch] through the cached service.  Raises
-    [Invalid_argument] on [batch < 1]. *)
+(** Price [build ~batch].  [`Exact]: compile+simulate through the cached
+    service.  [`Surrogate]: calibrate the model's table on first use,
+    then interpolate.  Raises [Invalid_argument] on [batch < 1]. *)
 
 val hits : t -> int
 val misses : t -> int
-(** Fused-group-level cache counters: [misses] counts actual
-    compile+simulate runs, [hits] counts group results served from the
-    content-addressed cache. *)
+(** Fused-group-level cache counters of the exact tier: [misses] counts
+    actual compile+simulate runs, [hits] counts group results served
+    from the content-addressed cache.  Surrogate-mode calibration flows
+    through the same counters; interpolated lookups touch neither. *)
+
+val interpolated : t -> int
+(** Lookups answered by the surrogate table (always 0 under [`Exact]). *)
+
+val fallbacks : t -> int
+(** Surrogate-mode lookups beyond the largest anchor, answered by the
+    exact tier. *)
+
+val stats : t -> Ascend_exec.Cache.stats
+(** The private service's cache counters, disk tier included. *)

@@ -24,6 +24,7 @@ type config = {
   queue_depth : int;
   duration_s : float;
   bucket_s : float;
+  costing : Cost.costing;
 }
 
 let default_config ~core ~cores =
@@ -35,7 +36,10 @@ let default_config ~core ~cores =
     queue_depth = 64;
     duration_s = 1.;
     bucket_s = 50e-3;
+    costing = `Exact;
   }
+
+let costing_name = function `Exact -> "exact" | `Surrogate -> "surrogate"
 
 type batch_exec = {
   bx_model : string;
@@ -56,6 +60,9 @@ type result = {
   offline_utilization : float;
   cost_hits : int;
   cost_misses : int;
+  cost_interpolated : int;
+  cost_fallbacks : int;
+  cost_stats : Ascend_exec.Cache.stats;
 }
 
 exception Cost_error of string
@@ -95,7 +102,10 @@ let run config specs =
   validate config specs;
   let specs = Array.of_list specs in
   let n_models = Array.length specs in
-  let cost = Cost.create ~core:config.core () in
+  let cost =
+    Cost.create ~costing:config.costing ~max_batch:config.max_batch
+      ~core:config.core ()
+  in
   let s_of_cycles c =
     Units.seconds_of_cycles ~cycles:c
       ~frequency_ghz:config.core.Ascend_arch.Config.frequency_ghz
@@ -191,12 +201,9 @@ let run config specs =
     | Ok e -> e
     | Error e -> raise (Cost_error (s.name ^ ": " ^ e))
   in
+  let all_cores = List.init config.cores Fun.id in
   let dispatch now =
-    let idle =
-      List.filter
-        (fun c -> core_free.(c) <= now +. eps)
-        (List.init config.cores Fun.id)
-    in
+    let idle = List.filter (fun c -> core_free.(c) <= now +. eps) all_cores in
     if idle <> [] then begin
       (* drain every ready batch, spec order for determinism *)
       let ready = ref [] in
@@ -430,6 +437,9 @@ let run config specs =
         offline_utilization = Scheduler.utilization offline;
         cost_hits = Cost.hits cost;
         cost_misses = Cost.misses cost;
+        cost_interpolated = Cost.interpolated cost;
+        cost_fallbacks = Cost.fallbacks cost;
+        cost_stats = Cost.stats cost;
       }
   | exception Cost_error e -> Error e
 
@@ -474,6 +484,7 @@ let to_json r =
             ("max_delay_ms", Json.Float (1e3 *. c.max_delay_s));
             ("queue_depth", Json.Int c.queue_depth);
             ("duration_s", Json.Float c.duration_s);
+            ("costing", Json.String (costing_name c.costing));
           ] );
       ("metrics", Metrics.to_json r.metrics);
       ( "batches",
@@ -485,8 +496,17 @@ let to_json r =
           ] );
       ( "cost_cache",
         Json.Obj
-          [ ("hits", Json.Int r.cost_hits); ("misses", Json.Int r.cost_misses) ]
-      );
+          [
+            ("hits", Json.Int r.cost_hits);
+            ("misses", Json.Int r.cost_misses);
+            ("interpolated", Json.Int r.cost_interpolated);
+            ("fallbacks", Json.Int r.cost_fallbacks);
+            ("disk_hits", Json.Int r.cost_stats.Ascend_exec.Cache.disk_hits);
+            ( "disk_writes",
+              Json.Int r.cost_stats.Ascend_exec.Cache.disk_writes );
+            ( "disk_entries",
+              Json.Int r.cost_stats.Ascend_exec.Cache.disk_entries );
+          ] );
     ]
 
 let pp ppf r =
@@ -498,4 +518,9 @@ let pp ppf r =
     (100. *. r.offline_utilization);
   Format.fprintf ppf
     "latency cache: %d compile+simulate runs, %d cached lookups@."
-    r.cost_misses r.cost_hits
+    r.cost_misses r.cost_hits;
+  if r.served_config.costing = `Surrogate then
+    Format.fprintf ppf
+      "surrogate: %d interpolated lookups, %d out-of-range fallbacks@."
+      r.cost_interpolated r.cost_fallbacks;
+  Format.fprintf ppf "exec cache: %a@." Ascend_exec.Cache.pp_stats r.cost_stats

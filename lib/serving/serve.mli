@@ -39,11 +39,15 @@ type config = {
   queue_depth : int;
   duration_s : float;  (** load window; queued work drains past it *)
   bucket_s : float;    (** occupancy-series bucket width *)
+  costing : Cost.costing;
+      (** [`Exact] prices every batch through the cycle-level path;
+          [`Surrogate] interpolates a per-model table calibrated on
+          anchor batches up to [max_batch] (see {!Cost}). *)
 }
 
 val default_config : core:Ascend_arch.Config.t -> cores:int -> config
 (** max_batch 8, max_delay 2 ms, queue_depth 64, duration 1 s,
-    bucket 50 ms. *)
+    bucket 50 ms, exact costing. *)
 
 type batch_exec = {
   bx_model : string;
@@ -67,6 +71,10 @@ type result = {
   offline_utilization : float;
   cost_hits : int;
   cost_misses : int;
+  cost_interpolated : int;  (** surrogate-answered lookups *)
+  cost_fallbacks : int;     (** surrogate out-of-range, priced exactly *)
+  cost_stats : Ascend_exec.Cache.stats;
+      (** the cost oracle's private service cache, disk tier included *)
 }
 
 val run : config -> model_spec list -> (result, string) Stdlib.result

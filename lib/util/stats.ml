@@ -18,19 +18,28 @@ let stddev = function
     let sq = List.map (fun x -> (x -. m) ** 2.) xs in
     sqrt (mean sq)
 
+(* Nearest-rank: the smallest order statistic with at least
+   ceil(p/100 * n) of the sample at or below it; p = 0 is the
+   minimum.  Always returns an element of the sample. *)
+let percentile_of_sorted p arr =
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Stats.percentile_of_sorted: empty array";
+  if p < 0. || p > 100. then
+    invalid_arg "Stats.percentile_of_sorted: p outside [0,100]";
+  let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
+  arr.(max 0 (min (n - 1) (rank - 1)))
+
+let sorted_of_list xs =
+  let arr = Array.of_list xs in
+  Array.sort Float.compare arr;
+  arr
+
 let percentile p = function
   | [] -> invalid_arg "Stats.percentile: empty list"
   | xs ->
     if p < 0. || p > 100. then
       invalid_arg "Stats.percentile: p outside [0,100]";
-    let arr = Array.of_list xs in
-    Array.sort compare arr;
-    let n = Array.length arr in
-    (* Nearest-rank: the smallest order statistic with at least
-       ceil(p/100 * n) of the sample at or below it; p = 0 is the
-       minimum.  Always returns an element of [xs]. *)
-    let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
-    arr.(max 0 (min (n - 1) (rank - 1)))
+    percentile_of_sorted p (sorted_of_list xs)
 
 let minimum = function
   | [] -> invalid_arg "Stats.minimum: empty list"
@@ -44,6 +53,19 @@ let ratio num den =
   if den = 0. then if num = 0. then 0. else infinity else num /. den
 
 let clamp ~lo ~hi x = Float.max lo (Float.min hi x)
+
+let abs_pct_error ~reference ~estimate =
+  100. *. ratio (Float.abs (estimate -. reference)) (Float.abs reference)
+
+let abs_pct_errors pairs =
+  List.map (fun (reference, estimate) -> abs_pct_error ~reference ~estimate)
+    pairs
+
+let mean_abs_pct_error pairs = mean (abs_pct_errors pairs)
+
+let max_abs_pct_error = function
+  | [] -> 0.
+  | pairs -> maximum (abs_pct_errors pairs)
 
 let divide_round_up a b =
   if b <= 0 then invalid_arg "Stats.divide_round_up: non-positive divisor";

@@ -21,12 +21,36 @@ val percentile : float -> float list -> float
     [p > 50] gives [b].  Raises [Invalid_argument] on the empty list
     or [p] outside [0,100]. *)
 
+val sorted_of_list : float list -> float array
+(** The sample as a freshly sorted array — the one-time cost that
+    {!percentile_of_sorted} amortises across repeated queries. *)
+
+val percentile_of_sorted : float -> float array -> float
+(** {!percentile} over an already-sorted array, so a caller taking
+    several percentiles of the same sample (p50/p95/p99 of a latency
+    trace) sorts once instead of once per query.  Raises
+    [Invalid_argument] on the empty array or [p] outside [0,100]. *)
+
 val minimum : float list -> float
 val maximum : float list -> float
 
 val ratio : float -> float -> float
 (** [ratio num den] is [num /. den], infinity when [den = 0] and [num > 0],
     and 0 when both are 0. *)
+
+val abs_pct_error : reference:float -> estimate:float -> float
+(** [100 *. |estimate - reference| / |reference|].  A zero reference
+    gives 0 when the estimate is also zero and infinity otherwise
+    (the {!ratio} convention), so a surrogate that nails a degenerate
+    point is not penalised and one that invents work is. *)
+
+val mean_abs_pct_error : (float * float) list -> float
+(** Mean of {!abs_pct_error} over [(reference, estimate)] pairs; 0 on
+    the empty list. *)
+
+val max_abs_pct_error : (float * float) list -> float
+(** Maximum of {!abs_pct_error} over [(reference, estimate)] pairs; 0 on
+    the empty list. *)
 
 val clamp : lo:float -> hi:float -> float -> float
 

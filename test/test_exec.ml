@@ -28,7 +28,12 @@ let test_cache_hit_miss_counters () =
   Alcotest.(check int) "hits" 1 s.Cache.hits;
   Alcotest.(check int) "misses" 2 s.Cache.misses;
   Alcotest.(check int) "entries" 1 s.Cache.entries;
-  Alcotest.(check int) "no evictions" 0 s.Cache.evictions
+  Alcotest.(check int) "no evictions" 0 s.Cache.evictions;
+  (* the one-line render the serving summaries embed, disk tier included *)
+  Alcotest.(check string) "pp_stats"
+    "1 memory hit(s), 0 disk hit(s), 2 miss(es), 0 eviction(s), 1 entr(ies) \
+     in memory; disk tier: 0 write(s), 0 file(s)"
+    (Format.asprintf "%a" Cache.pp_stats s)
 
 let test_cache_lru_eviction () =
   let c = Cache.create ~capacity:2 () in

@@ -303,7 +303,18 @@ let test_serve_closed_loop_deterministic () =
   let s = List.hd a.Serve.metrics.Metrics.summaries in
   Alcotest.(check bool) "clients kept the loop busy" true
     (s.Metrics.completed > 3);
-  Alcotest.(check int) "closed loop never sheds" 0 s.Metrics.rejected
+  Alcotest.(check int) "closed loop never sheds" 0 s.Metrics.rejected;
+  (* the summary surfaces the cost service's cache, disk tier included *)
+  let rendered = Format.asprintf "%a" Serve.pp a in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "exec cache line" true
+    (contains rendered "exec cache:");
+  Alcotest.(check bool) "disk tier counters" true
+    (contains rendered "disk tier:")
 
 let test_serve_qos_under_overload () =
   (* one tiny core, two identical models, heavy load: the
