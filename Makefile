@@ -1,5 +1,5 @@
-.PHONY: all build test lint sanitize differential bench trace fleet calibrate \
-	check clean
+.PHONY: all build test lint lint-cluster sanitize differential bench trace \
+	fleet calibrate check clean
 
 all: build
 
@@ -14,18 +14,42 @@ test:
 lint:
 	dune exec bin/ascend_cli.exe -- lint --all
 
+# static cluster-collective verification: expand ring / halving-doubling /
+# intra-server / hierarchical all-reduce into per-chip step schedules,
+# check matching / deadlock / link overcommit / completeness, and hold
+# the schedule-derived time within 1e-6 of the closed-form cost model
+lint-cluster:
+	dune exec bin/ascend_cli.exe -- lint --cluster
+
 # replay the whole zoo through the shadow-state sanitizer (non-zero exit
 # on errors; --strict would fail on warnings too)
 sanitize:
 	dune exec bin/ascend_cli.exe -- sanitize --all
 
-# differential gate: the static whole-SoC lint and the dynamic sanitizer
-# must agree byte-for-byte on the zoo-wide findings document
+# differential gates: (a) the static whole-SoC lint and the dynamic
+# sanitizer agree byte-for-byte on the zoo-wide findings document;
+# (b) closed-form and schedule-derived collective times agree to three
+# significant digits; (c) statically predicted page-in counts equal
+# what the fleet run observes
 differential:
 	dune exec bin/ascend_cli.exe -- lint --all --soc --json lint_soc.json
 	dune exec bin/ascend_cli.exe -- sanitize --all --json sanitize.json
 	cmp lint_soc.json sanitize.json
 	@echo "differential gate: lint --soc and sanitize agree"
+	dune exec bin/ascend_cli.exe -- lint --cluster --times closed \
+	  --json times_closed.json
+	dune exec bin/ascend_cli.exe -- lint --cluster --times schedule \
+	  --json times_schedule.json
+	cmp times_closed.json times_schedule.json
+	@echo "differential gate: closed-form and schedule-derived times agree"
+	dune exec bin/ascend_cli.exe -- lint --placement gesture,face-detect \
+	  --replicas 0,1 --nodes 3 --policy round-robin \
+	  --pagein-json pagein_predicted.json
+	dune exec bin/ascend_cli.exe -- fleet gesture,face-detect --core tiny \
+	  --nodes 3 --policy round-robin --replicas 0,1 --rate 300 \
+	  --duration 0.2 --pagein-json pagein_observed.json
+	cmp pagein_predicted.json pagein_observed.json
+	@echo "differential gate: predicted and observed page-ins agree"
 
 bench:
 	dune exec bench/main.exe
@@ -48,7 +72,7 @@ fleet:
 calibrate:
 	dune exec bin/ascend_cli.exe -- calibrate --all --json calibrate.json
 
-check: build test lint sanitize
+check: build test lint lint-cluster sanitize
 
 clean:
 	dune clean

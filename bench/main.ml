@@ -1718,6 +1718,39 @@ let lint_bench () =
             acc + List.length (Ascend.Verify.Soc.analyze plan))
           0 workload)
   in
+  (* cluster collective-schedule verification: expand the lint
+     --cluster sweep's schedules and time Verify.Cluster.analyze *)
+  let cluster_schedules =
+    let module Sched = Ascend.Cluster.Collective_schedule in
+    let module Fat_tree = Ascend.Noc.Fat_tree in
+    let nic = Fat_tree.server_bandwidth Fat_tree.ascend_cluster in
+    let server = Ascend.Cluster.Server.ascend910_server in
+    let bytes_axis = [ 1e6; 1e8 ] in
+    List.concat_map
+      (fun nodes ->
+        List.concat_map
+          (fun bytes ->
+            [ Sched.ring ~bytes ~nodes ~bandwidth:nic ();
+              Sched.halving_doubling ~bytes ~nodes ~bandwidth:nic () ])
+          bytes_axis)
+      [ 2; 3; 4; 5; 8; 16; 17 ]
+    @ List.map (fun bytes -> Sched.intra_server ~server ~bytes) bytes_axis
+    @ List.concat_map
+        (fun servers ->
+          let network = Fat_tree.create ~servers () in
+          List.map
+            (fun bytes -> Sched.hierarchical ~server ~network ~servers ~bytes)
+            bytes_axis)
+        [ 2; 4; 8; 16 ]
+  in
+  let n_schedules = List.length cluster_schedules in
+  let cluster_findings, cluster_s =
+    time (fun () ->
+        List.fold_left
+          (fun acc s ->
+            acc + List.length (Ascend.Verify.Cluster.analyze s))
+          0 cluster_schedules)
+  in
   let rate denom_s = float_of_int n_programs /. denom_s in
   let t =
     Table.create ~header:[ "pass"; "items"; "wall s"; "items/s" ] ()
@@ -1737,12 +1770,17 @@ let lint_bench () =
         Table.cell_float ~decimals:3 soc_s;
         Table.cell_float ~decimals:0
           (float_of_int (List.length workload) /. soc_s) ];
+      [ "cluster analyze"; string_of_int n_schedules;
+        Table.cell_float ~decimals:3 cluster_s;
+        Table.cell_float ~decimals:0 (float_of_int n_schedules /. cluster_s) ];
     ];
   Table.print t;
   Format.printf
-    "%d program(s), %d static finding(s), %d soc finding(s), %d sanitizer \
-     instruction(s) replayed; parallel output identical: %b@."
-    n_programs findings soc_findings san_instrs identical;
+    "%d program(s), %d static finding(s), %d soc finding(s), %d cluster \
+     finding(s) over %d schedule(s), %d sanitizer instruction(s) replayed; \
+     parallel output identical: %b@."
+    n_programs findings soc_findings cluster_findings n_schedules san_instrs
+    identical;
   Bench_json.record_int "programs" n_programs;
   Bench_json.record_int "static_findings" findings;
   Bench_json.record_int "soc_findings" soc_findings;
@@ -1755,6 +1793,11 @@ let lint_bench () =
   Bench_json.record_float "sanitize_s" sanitize_s;
   Bench_json.record_float "sanitize_programs_per_s" (rate sanitize_s);
   Bench_json.record_float "soc_analyze_s" soc_s;
+  Bench_json.record_int "cluster_schedules" n_schedules;
+  Bench_json.record_int "cluster_findings" cluster_findings;
+  Bench_json.record_float "cluster_analyze_s" cluster_s;
+  Bench_json.record_float "cluster_schedules_per_s"
+    (float_of_int n_schedules /. cluster_s);
   Bench_json.record "parallel_identical" (Ascend.Util.Json.Bool identical)
 
 (* ------------------------------------------------------------------ *)

@@ -470,6 +470,18 @@ let replicas_arg =
            value applies to all): 0 replicates on every node (hot), 1 pins \
            to the home node (cold, pays a page-in when routed elsewhere).")
 
+let pagein_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pagein-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the page-in differential document ('-': stdout): on \
+           $(b,fleet) the per-node page-in counts the run observed, on \
+           $(b,lint --placement) the counts the static verifier predicts \
+           for the plan — the two sides of the CI gate serialise through \
+           one shape, so agreement is a byte comparison.")
+
 let train_nodes_arg =
   Arg.(
     value & opt int 0
@@ -496,7 +508,7 @@ let train_batch_arg =
 let fleet models core nodes cores_per_node policy replicas rates duration
     batch_max delay_ms queue_depth slos priorities process burst_factor
     burst_period_ms seed closed think_ms bucket_ms train_nodes train_model
-    train_batch costing json_path trace_path =
+    train_batch costing json_path pagein_path trace_path =
   let n = List.length models in
   let ( let* ) = Result.bind in
   exit_of
@@ -574,6 +586,16 @@ let fleet models core nodes cores_per_node policy replicas rates duration
      | Some "-" ->
        print_endline (Ascend.Util.Json.to_string ~pretty:true (Fleet.to_json r))
      | Some path -> Ascend.Util.Json.write_file path (Fleet.to_json r));
+     (match pagein_path with
+     | None -> ()
+     | Some path ->
+       let doc =
+         Fleet.pagein_json ~policy ~placement:r.Fleet.placement
+           ~counts:(Fleet.observed_page_ins r)
+       in
+       if path = "-" then
+         print_endline (Ascend.Util.Json.to_string ~pretty:true doc)
+       else Ascend.Util.Json.write_file path doc);
      (match (trace_path, collector) with
      | Some path, Some c ->
        Ascend.Obs.Chrome_trace.write_file path c;
@@ -600,7 +622,7 @@ let fleet_cmd =
       $ slo_arg $ priority_arg $ process_arg $ burst_factor_arg
       $ burst_period_arg $ seed_arg $ closed_arg $ think_arg $ bucket_arg
       $ train_nodes_arg $ train_model_arg $ train_batch_arg $ costing_arg
-      $ json_arg $ serve_trace_arg)
+      $ json_arg $ pagein_json_arg $ serve_trace_arg)
 
 (* --- lint / sanitize ---------------------------------------------- *)
 
@@ -864,8 +886,327 @@ let finish ~what ~strict ~json_path results =
     if errors > 0 || strict then 1 else 0
   end
 
-let lint model_opt all core_opt soc soc_cores llc_mb hbm_mb verbose strict
+(* --- lint --cluster / --placement ---------------------------------- *)
+
+module Vcluster = Ascend.Verify.Cluster
+module Collective = Ascend.Cluster.Collective
+module Coll_sched = Ascend.Cluster.Collective_schedule
+module Cserver = Ascend.Cluster.Server
+module Fat_tree = Ascend.Noc.Fat_tree
+module Placement = Ascend.Fleet.Placement
+
+(* one cluster combination: a closed-form time and the thunk expanding
+   the same (algorithm, topology, bytes) point into an explicit
+   schedule — [lint_cluster_one] analyzes the schedule and holds the
+   two times within 1e-6 relative (the differential gate) *)
+type cluster_combo = {
+  cc_algorithm : string;
+  cc_peers : int;
+  cc_bytes : float;
+  cc_closed : float;
+  cc_build : unit -> Vcluster.schedule;
+}
+
+type cluster_report = {
+  cl_name : string;  (** the schedule's own name, e.g. "ring(n=4)" *)
+  cl_algorithm : string;
+  cl_peers : int;
+  cl_bytes : float;
+  cl_closed : float;
+  cl_derived : float;
+  cl_rel_err : float;
+  cl_gate_ok : bool;
+  cl_text : string;
+  cl_findings : Finding.t list;
+}
+
+let cluster_gate_rel = 1e-6
+
+(* the sweep: every collective builder at several node counts
+   (power-of-two and not) and message sizes, over the real topologies —
+   flat algorithms on the fat-tree NIC rate, the intra-server hierarchy
+   on the 910 board, and the full hierarchical cluster collective *)
+let cluster_combos =
+  let nic = Fat_tree.server_bandwidth Fat_tree.ascend_cluster in
+  let server = Cserver.ascend910_server in
+  let bytes_axis = [ 1e6; 1e8 ] in
+  let flat =
+    List.concat_map
+      (fun nodes ->
+        List.concat_map
+          (fun bytes ->
+            [
+              { cc_algorithm = "ring"; cc_peers = nodes; cc_bytes = bytes;
+                cc_closed =
+                  Collective.ring_allreduce_seconds ~bytes ~nodes
+                    ~bandwidth:nic ();
+                cc_build =
+                  (fun () ->
+                    Coll_sched.ring ~bytes ~nodes ~bandwidth:nic ()) };
+              { cc_algorithm = "halving-doubling"; cc_peers = nodes;
+                cc_bytes = bytes;
+                cc_closed =
+                  Collective.halving_doubling_seconds ~bytes ~nodes
+                    ~bandwidth:nic ();
+                cc_build =
+                  (fun () ->
+                    Coll_sched.halving_doubling ~bytes ~nodes ~bandwidth:nic
+                      ()) };
+            ])
+          bytes_axis)
+      [ 2; 3; 4; 5; 8; 16; 17 ]
+  in
+  let intra =
+    List.map
+      (fun bytes ->
+        { cc_algorithm = "intra-server"; cc_peers = server.Cserver.chips;
+          cc_bytes = bytes;
+          cc_closed = Cserver.intra_server_allreduce_seconds server ~bytes;
+          cc_build = (fun () -> Coll_sched.intra_server ~server ~bytes) })
+      bytes_axis
+  in
+  let hier =
+    List.concat_map
+      (fun servers ->
+        let network = Fat_tree.create ~servers () in
+        List.map
+          (fun bytes ->
+            { cc_algorithm = "hierarchical"; cc_peers = servers;
+              cc_bytes = bytes;
+              cc_closed =
+                Collective.hierarchical_allreduce_seconds ~server ~network
+                  ~servers ~bytes;
+              cc_build =
+                (fun () ->
+                  Coll_sched.hierarchical ~server ~network ~servers ~bytes) })
+          bytes_axis)
+      [ 1; 2; 3; 4; 8; 16 ]
+  in
+  flat @ intra @ hier
+
+let lint_cluster_one ~verbose combo =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let sched = combo.cc_build () in
+  let findings = Vcluster.analyze sched in
+  let derived = Vcluster.schedule_seconds sched in
+  let closed = combo.cc_closed in
+  let rel_err =
+    Float.abs (derived -. closed) /. Float.max (Float.abs closed) 1e-300
+  in
+  let gate_ok = rel_err <= cluster_gate_rel in
+  let label =
+    Printf.sprintf "%s / %.1e B" sched.Vcluster.sched_name combo.cc_bytes
+  in
+  if findings <> [] then begin
+    Format.fprintf ppf "%s:@." label;
+    Format.fprintf ppf "%a" Verify.pp_report findings
+  end;
+  if not gate_ok then
+    Format.fprintf ppf
+      "%s: differential gate FAILED: closed-form %.9e s vs schedule-derived \
+       %.9e s (rel err %.3e > %.0e)@."
+      label closed derived rel_err cluster_gate_rel;
+  if verbose && findings = [] && gate_ok then
+    Format.fprintf ppf "%s: clean (closed %.9e s, schedule %.9e s)@." label
+      closed derived;
+  Format.pp_print_flush ppf ();
+  { cl_name = sched.Vcluster.sched_name; cl_algorithm = combo.cc_algorithm;
+    cl_peers = combo.cc_peers; cl_bytes = combo.cc_bytes; cl_closed = closed;
+    cl_derived = derived; cl_rel_err = rel_err; cl_gate_ok = gate_ok;
+    cl_text = Buffer.contents buf; cl_findings = findings }
+
+let cluster_sweep_json results =
+  let module J = Ascend.Util.Json in
+  let combo r =
+    J.Obj
+      [
+        ("schedule", J.String r.cl_name);
+        ("algorithm", J.String r.cl_algorithm);
+        ("peers", J.Int r.cl_peers);
+        ("bytes", J.Float r.cl_bytes);
+        ("closed_form_s", J.Float r.cl_closed);
+        ("schedule_s", J.Float r.cl_derived);
+        ("rel_err", J.String (Printf.sprintf "%.3e" r.cl_rel_err));
+        ("gate", J.String (if r.cl_gate_ok then "ok" else "failed"));
+        ("verdict",
+         J.String (if r.cl_findings = [] then "clean" else "dirty"));
+        ("findings",
+         J.List
+           (List.map Finding.to_json (List.sort Finding.compare r.cl_findings)));
+      ]
+  in
+  J.Obj
+    [
+      ("combos", J.List (List.map combo results));
+      ("combinations", J.Int (List.length results));
+      ("dirty",
+       J.Int
+         (List.length (List.filter (fun r -> r.cl_findings <> []) results)));
+      ("gate_failures",
+       J.Int (List.length (List.filter (fun r -> not r.cl_gate_ok) results)));
+    ]
+
+(* the closed-vs-schedule differential document: `--times closed` and
+   `--times schedule` print the same combos, labels and field order
+   with the selected side's seconds rounded to %.3e — when the gate
+   holds the two files are byte-identical, so CI can `cmp` them *)
+let cluster_times_json which results =
+  let module J = Ascend.Util.Json in
+  let row r =
+    J.Obj
+      [
+        ("schedule", J.String r.cl_name);
+        ("bytes", J.String (Printf.sprintf "%.1e" r.cl_bytes));
+        ("seconds",
+         J.String
+           (Printf.sprintf "%.3e"
+              (match which with
+              | `Closed -> r.cl_closed
+              | `Schedule -> r.cl_derived)));
+      ]
+  in
+  J.Obj
+    [
+      ("times", J.List (List.map row results));
+      ("combinations", J.Int (List.length results));
+    ]
+
+let lint_cluster ~verbose ~strict ~json_path ~times ~jobs =
+  let results = run_combos ~jobs (lint_cluster_one ~verbose) cluster_combos in
+  List.iter (fun r -> print_string r.cl_text) results;
+  (let doc =
+     match times with
+     | Some which -> Some (cluster_times_json which results)
+     | None when json_path <> None -> Some (cluster_sweep_json results)
+     | None -> None
+   in
+   match (doc, json_path) with
+   | None, _ -> ()
+   | Some doc, (None | Some "-") ->
+     print_endline (Ascend.Util.Json.to_string ~pretty:true doc)
+   | Some doc, Some path -> Ascend.Util.Json.write_file path doc);
+  let all = List.concat_map (fun r -> r.cl_findings) results in
+  let errors, warnings = severity_counts all in
+  let gate_failures =
+    List.length (List.filter (fun r -> not r.cl_gate_ok) results)
+  in
+  let combos = List.length results in
+  if all = [] && gate_failures = 0 then begin
+    Format.printf
+      "lint --cluster: %d combination(s) clean, closed-form and \
+       schedule-derived times within %.0e relative@."
+      combos cluster_gate_rel;
+    0
+  end
+  else begin
+    Format.printf
+      "lint --cluster: %d finding(s) (%d error(s), %d warning(s)), %d gate \
+       failure(s) across %d combination(s)@."
+      (List.length all) errors warnings gate_failures combos;
+    if errors > 0 || gate_failures > 0 || strict then 1 else 0
+  end
+
+(* --placement: lint a fleet placement plan statically — per-node HBM
+   overcommit against the policy-reachable resident set, plus the
+   predicted page-in counts the CI gate compares against `fleet
+   --pagein-json` *)
+let lint_placement_mode models ~nodes ~policy ~replicas ~hbm_gb ~pagein_path
+    ~strict ~json_path =
+  let n = List.length models in
+  match broadcast ~what:"--replicas" n replicas with
+  | Error e ->
+    prerr_endline ("error: " ^ e);
+    2
+  | Ok replicas -> (
+    let hbm_bytes_per_node =
+      Option.map (fun gb -> int_of_float (gb *. 1e9)) hbm_gb
+    in
+    let policy_name = Router.policy_name policy in
+    try
+      (* capacity goes to the verifier, not to [build]: the lint mode
+         reports HBM overflow as a finding instead of raising *)
+      let placement =
+        Placement.build ~nodes
+          (List.map2
+             (fun (name, build) r -> (name, Fleet.model_weight_bytes build, r))
+             models replicas)
+      in
+      let plan =
+        Placement.verify_plan ?hbm_bytes_per_node ~policy:policy_name
+          placement
+      in
+      let findings = Vcluster.lint_placement plan in
+      let predicted = Vcluster.predicted_page_ins plan in
+      let pagein_doc =
+        Fleet.pagein_json ~policy ~placement ~counts:predicted
+      in
+      (match pagein_path with
+      | None -> ()
+      | Some "-" ->
+        print_endline (Ascend.Util.Json.to_string ~pretty:true pagein_doc)
+      | Some path -> Ascend.Util.Json.write_file path pagein_doc);
+      (match json_path with
+      | None -> ()
+      | Some path ->
+        let module J = Ascend.Util.Json in
+        let doc =
+          J.Obj
+            [
+              ("plan", J.String plan.Vcluster.plan_name);
+              ("policy", J.String policy_name);
+              ("nodes", J.Int nodes);
+              ("placement", Placement.to_json placement);
+              ("predicted_page_ins",
+               J.List
+                 (Array.to_list (Array.map (fun c -> J.Int c) predicted)));
+              ("verdict",
+               J.String (if findings = [] then "clean" else "dirty"));
+              ("findings",
+               J.List
+                 (List.map Finding.to_json (List.sort Finding.compare findings)));
+            ]
+        in
+        if path = "-" then print_endline (J.to_string ~pretty:true doc)
+        else J.write_file path doc);
+      if findings <> [] then begin
+        Format.printf "%s (%s):@." plan.Vcluster.plan_name policy_name;
+        Format.printf "%a" Verify.pp_report findings
+      end;
+      let errors, warnings = severity_counts findings in
+      Format.printf
+        "lint --placement: %s, %s routing: predicted page-ins per node [%s] \
+         (total %d)@."
+        plan.Vcluster.plan_name policy_name
+        (String.concat "; "
+           (Array.to_list (Array.map string_of_int predicted)))
+        (Array.fold_left ( + ) 0 predicted);
+      if findings = [] then begin
+        Format.printf "lint --placement: plan clean@.";
+        0
+      end
+      else begin
+        Format.printf "lint --placement: %d finding(s) (%d error(s), %d \
+                       warning(s))@."
+          (List.length findings) errors warnings;
+        if errors > 0 || strict then 1 else 0
+      end
+    with Invalid_argument e ->
+      prerr_endline ("error: " ^ e);
+      1)
+
+let lint model_opt all core_opt soc soc_cores llc_mb hbm_mb cluster times
+    placement_models nodes policy replicas hbm_gb pagein_path verbose strict
     json_path jobs =
+  match placement_models with
+  | Some models ->
+    lint_placement_mode models ~nodes ~policy ~replicas ~hbm_gb ~pagein_path
+      ~strict ~json_path
+  | None when cluster -> lint_cluster ~verbose ~strict ~json_path ~times ~jobs
+  | None when times <> None ->
+    prerr_endline "error: --times requires --cluster";
+    2
+  | None ->
   let selected_models = select_models model_opt all in
   let selected_cores = select_cores core_opt in
   let results =
@@ -936,6 +1277,48 @@ let lint_hbm_arg =
            ~doc:"Enable the --soc HBM residency check with this capacity \
                  (MiB).")
 
+let lint_cluster_arg =
+  Arg.(value & flag
+       & info [ "cluster" ]
+           ~doc:"Lift the analysis to cluster-level collective schedules: \
+                 expand ring, halving/doubling, intra-server and \
+                 hierarchical all-reduce into explicit per-chip step \
+                 schedules over the real HCCS/PCI-E/NIC links at several \
+                 node counts and message sizes, check matching, deadlock \
+                 freedom, link-capacity overcommit and reduction \
+                 completeness, and hold the schedule-derived time within \
+                 1e-6 relative of the closed-form cost model (the \
+                 differential gate).")
+
+let lint_times_arg =
+  Arg.(value
+       & opt (some (enum [ ("closed", `Closed); ("schedule", `Schedule) ]))
+           None
+       & info [ "times" ] ~docv:"SIDE"
+           ~doc:"With --cluster: emit the per-combo times of one side of \
+                 the differential gate ($(docv) is 'closed' or 'schedule') \
+                 as the --json document, seconds rounded to three \
+                 significant digits — the two sides compare byte-equal \
+                 when the gate holds, so CI can cmp them.")
+
+let lint_placement_arg =
+  Arg.(value
+       & opt (some (list named_model_conv)) None
+       & info [ "placement" ] ~docv:"MODEL[,MODEL...]"
+           ~doc:"Lint a fleet placement plan instead of generated programs: \
+                 build the plan for these models (weights from the fused \
+                 graphs, replica counts from --replicas, node count from \
+                 --nodes), check per-node HBM overcommit of the \
+                 policy-reachable resident set against --hbm-gb, and \
+                 predict per-node page-in counts (--pagein-json) for the \
+                 --policy routing.")
+
+let lint_hbm_gb_arg =
+  Arg.(value & opt (some float) None
+       & info [ "hbm-gb" ] ~docv:"GB"
+           ~doc:"Per-node HBM capacity for the --placement overcommit \
+                 check (GB; omit to skip the capacity check).")
+
 let lint_verbose_arg =
   Arg.(value & flag & info [ "verbose" ] ~doc:"Report clean combinations too.")
 
@@ -966,11 +1349,19 @@ let lint_cmd =
           analysis, RAW/WAR/WAW buffer hazards, buffer-peak cross-checks, \
           flag leaks) across codegen option combinations; --soc lifts the \
           analysis to the whole-SoC fused-group schedule (cross-core races, \
-          schedule deadlock cycles, LLC/HBM capacity overcommit). Exits \
-          non-zero on errors (--strict: on any finding).")
+          schedule deadlock cycles, LLC/HBM capacity overcommit); --cluster \
+          to collective schedules over the server/fat-tree links \
+          (unmatched transfers, deadlock, link overcommit, reduction \
+          completeness, plus the closed-form differential gate); \
+          --placement lints a fleet placement plan (HBM overcommit, \
+          predicted page-ins). Exits non-zero on errors (--strict: on any \
+          finding).")
     Term.(const lint $ lint_model_arg $ lint_all_arg $ lint_core_arg
           $ lint_soc_arg $ lint_soc_cores_arg $ lint_llc_arg $ lint_hbm_arg
-          $ lint_verbose_arg $ strict_arg $ findings_json_arg $ lint_jobs_arg)
+          $ lint_cluster_arg $ lint_times_arg $ lint_placement_arg
+          $ nodes_arg $ policy_arg $ replicas_arg $ lint_hbm_gb_arg
+          $ pagein_json_arg $ lint_verbose_arg $ strict_arg
+          $ findings_json_arg $ lint_jobs_arg)
 
 let sanitize_all_arg =
   Arg.(value & flag
@@ -1300,19 +1691,29 @@ usage: ascend_cli COMMAND [OPTIONS]
         [--rate R[,R...]] [--duration S] [--slo-ms MS[,MS...]]
         [--priority P[,P...]] [--train-nodes K] [--train-model MODEL]
         [--train-batch N] [--seed N] [--costing exact|surrogate]
-        [--json FILE] [--trace FILE]
+        [--json FILE] [--pagein-json FILE] [--trace FILE]
       Multi-node inference fleet: policy routing against a
       replication/placement plan (cold models page in over the server
       interconnect), optional colocated training competing for
-      bandwidth, per-node and cross-node SLO metrics.
+      bandwidth, per-node and cross-node SLO metrics; --pagein-json
+      emits the observed per-node page-in counts for the differential
+      gate against lint --placement.
 
   lint [MODEL | --all] [--core CORE] [--soc] [--cores N] [--llc-mb MB]
-       [--hbm-mb MB] [--json FILE] [--strict] [--verbose] [--jobs N]
+       [--hbm-mb MB] [--cluster] [--times closed|schedule]
+       [--placement MODEL[,MODEL...]] [--nodes N] [--policy P]
+       [--replicas R[,R...]] [--hbm-gb G] [--pagein-json FILE]
+       [--json FILE] [--strict] [--verbose] [--jobs N]
       Statically verify generated programs (deadlocks, RAW/WAR/WAW
       hazards, buffer peaks, flag leaks); --soc lifts the analysis to
       the whole-SoC fused-group schedule (cross-core races, schedule
-      deadlocks, LLC/HBM overcommit). Non-zero exit on errors
-      (--strict: on any finding).
+      deadlocks, LLC/HBM overcommit); --cluster verifies collective
+      step schedules over the server/fat-tree links (send/recv
+      matching, deadlock, link overcommit, reduction completeness)
+      and holds schedule-derived times within 1e-6 of the closed
+      forms (--times emits either side for cmp); --placement lints a
+      fleet placement plan (HBM overcommit, predicted page-ins).
+      Non-zero exit on errors (--strict: on any finding).
 
   sanitize [MODEL | --all] [--core CORE] [--json FILE] [--strict]
            [--verbose] [--jobs N]

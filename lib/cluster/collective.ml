@@ -6,19 +6,27 @@ let ring_allreduce_seconds ~bytes ~nodes ~bandwidth ?(latency_s = 5e-6) () =
     (2. *. (n -. 1.) /. n *. bytes /. bandwidth)
     +. (2. *. (n -. 1.) *. latency_s)
 
-let rec ceil_log2 n = if n <= 1 then 0 else 1 + ceil_log2 ((n + 1) / 2)
+let rec floor_log2 n = if n <= 1 then 0 else 1 + floor_log2 (n / 2)
 
+let pow2_floor n = 1 lsl floor_log2 n
+
+(* Recursive halving/doubling over the largest power of two p <= nodes.
+   The r = nodes - p extra nodes first fold their whole buffer into a
+   base node (one full-buffer step) and receive the result back at the
+   end (another) — the standard non-power-of-two scheme, and exactly
+   what [Collective_schedule.halving_doubling] expands step by step:
+   the differential gate holds this formula to the schedule. *)
 let halving_doubling_seconds ~bytes ~nodes ~bandwidth ?(latency_s = 5e-6) () =
   if bytes < 0. then invalid_arg "Collective: negative bytes";
   if nodes <= 1 then 0.
   else begin
-    let n = float_of_int nodes in
-    let steps = 2 * ceil_log2 nodes in
-    let power_of_two = nodes land (nodes - 1) = 0 in
+    let p = float_of_int (pow2_floor nodes) in
+    let steps = 2 * floor_log2 nodes in
     let fold_penalty =
-      if power_of_two then 0. else (bytes /. bandwidth) +. latency_s
+      if pow2_floor nodes = nodes then 0.
+      else 2. *. ((bytes /. bandwidth) +. latency_s)
     in
-    (2. *. (n -. 1.) /. n *. bytes /. bandwidth)
+    (2. *. (p -. 1.) /. p *. bytes /. bandwidth)
     +. (float_of_int steps *. latency_s)
     +. fold_penalty
   end
@@ -43,6 +51,12 @@ let hierarchical_allreduce_seconds ~server ~network ~servers ~bytes =
   in
   intra +. inter
 
-let allreduce_efficiency ~seconds ~bytes ~bandwidth =
-  if seconds <= 0. || bandwidth <= 0. then 0.
-  else 2. *. bytes /. seconds /. bandwidth
+(* algorithm bandwidth: an all-reduce must move 2(n-1)/n * bytes over
+   the busiest link, so the achievable floor is that over the nominal
+   bandwidth — 1.0 means latency-free ring at the wire rate, and no
+   schedule can beat it *)
+let allreduce_efficiency ~seconds ~bytes ~nodes ~bandwidth =
+  if seconds <= 0. || bandwidth <= 0. || nodes <= 1 then 0.
+  else
+    let n = float_of_int nodes in
+    2. *. (n -. 1.) /. n *. bytes /. seconds /. bandwidth

@@ -3,7 +3,19 @@
     Ring all-reduce moves [2(n-1)/n] times the buffer over the slowest
     link; the hierarchical variant reduces inside each server first
     (HCCS), rings across servers on the fat-tree, then broadcasts back —
-    the standard scheme for the paper's server/cluster topology. *)
+    the standard scheme for the paper's server/cluster topology.
+
+    Each closed form corresponds to an explicit per-chip step schedule
+    built by {!Collective_schedule}; [ascend_cli lint --cluster] holds
+    the two within 1e-6 relative of each other (the differential
+    gate). *)
+
+val floor_log2 : int -> int
+(** [floor_log2 n] for [n >= 1]; 0 for smaller inputs. *)
+
+val pow2_floor : int -> int
+(** Largest power of two [<= n] ([1] for [n <= 1]) — the base set of
+    the halving/doubling algorithm. *)
 
 val ring_allreduce_seconds :
   bytes:float -> nodes:int -> bandwidth:float -> ?latency_s:float -> unit ->
@@ -13,9 +25,12 @@ val ring_allreduce_seconds :
 val halving_doubling_seconds :
   bytes:float -> nodes:int -> bandwidth:float -> ?latency_s:float -> unit ->
   float
-(** Recursive halving/doubling: the same 2(n-1)/n bandwidth term but only
-    2*ceil(log2 n) latency steps — wins on small messages and large node
-    counts.  Non-power-of-two node counts pay one extra fold step. *)
+(** Recursive halving/doubling over the largest power of two [p <=
+    nodes]: the [2(p-1)/p] bandwidth term with only [2*log2 p] latency
+    steps — wins on small messages and large node counts.  The [nodes
+    - p] extra nodes fold their whole buffer into a base node up front
+    and receive the result back at the end, so non-power-of-two counts
+    pay [2 * (bytes/bandwidth + latency_s)] extra. *)
 
 val best_allreduce_seconds :
   bytes:float -> nodes:int -> bandwidth:float -> ?latency_s:float -> unit ->
@@ -30,5 +45,9 @@ val hierarchical_allreduce_seconds :
     [server.chips] chips each. *)
 
 val allreduce_efficiency :
-  seconds:float -> bytes:float -> bandwidth:float -> float
-(** Achieved algorithm bandwidth over the nominal link bandwidth. *)
+  seconds:float -> bytes:float -> nodes:int -> bandwidth:float -> float
+(** Achieved algorithm bandwidth over the nominal link bandwidth: an
+    all-reduce over [nodes] must move [2(n-1)/n * bytes] over the
+    busiest link, so a latency-free ring at the wire rate scores
+    exactly 1.0 and nothing scores higher.  0 when degenerate
+    ([nodes <= 1], non-positive [seconds] or [bandwidth]). *)

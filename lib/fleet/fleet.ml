@@ -697,6 +697,23 @@ let run ?train config specs_list =
 
 (* --- export -------------------------------------------------------- *)
 
+let observed_page_ins r =
+  Array.of_list (List.map (fun nr -> nr.page_ins) r.node_reports)
+
+(* one document shape for both sides of the page-in differential gate:
+   the static prediction (Verify.Cluster.predicted_page_ins) and the
+   counts a run observes must serialise byte-identically *)
+let pagein_json ~policy ~placement ~counts =
+  Json.Obj
+    [
+      ("policy", Json.String (Router.policy_name policy));
+      ("nodes", Json.Int placement.Placement.nodes);
+      ("placement", Placement.to_json placement);
+      ( "page_ins",
+        Json.List (Array.to_list (Array.map (fun c -> Json.Int c) counts)) );
+      ("total", Json.Int (Array.fold_left ( + ) 0 counts));
+    ]
+
 let to_json r =
   let c = r.fleet_config in
   Json.Obj

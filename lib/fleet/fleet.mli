@@ -145,6 +145,23 @@ val run :
     [clients < 1], train job outside [0, nodes]).  Returns [Error] when
     a model fails to compile on the configured core. *)
 
+val model_weight_bytes : (batch:int -> Ascend_nn.Graph.t) -> int
+(** Resident weight footprint of a model: the fused graph's weight
+    bytes at batch 1 (weights are batch-invariant) — the same number
+    [run] hands to {!Placement.build}, so a statically built plan and
+    the fleet's own agree exactly. *)
+
+val observed_page_ins : result -> int array
+(** Per-node page-in counts as the run observed them, node order. *)
+
+val pagein_json :
+  policy:Router.policy -> placement:Placement.t -> counts:int array ->
+  Ascend_util.Json.t
+(** The page-in differential document: both sides of the CI gate —
+    [Verify.Cluster.predicted_page_ins] on a {!Placement.verify_plan}
+    and {!observed_page_ins} from a run — serialise through this one
+    shape, so agreement is a byte comparison. *)
+
 val to_json : result -> Ascend_util.Json.t
 (** Deterministic: same specs + seeds => byte-identical output. *)
 

@@ -19,7 +19,7 @@ let stable_home ~nodes name =
     name;
   !h mod nodes
 
-let build ~nodes specs =
+let build ?hbm_bytes_per_node ~nodes specs =
   if nodes < 1 then invalid_arg "Placement.build: nodes < 1";
   let names = List.map (fun (m, _, _) -> m) specs in
   if List.length (List.sort_uniq compare names) <> List.length names then
@@ -29,6 +29,16 @@ let build ~nodes specs =
       (fun (model, weight_bytes, replicas) ->
         if weight_bytes < 0 then
           invalid_arg "Placement.build: negative weight bytes";
+        (match hbm_bytes_per_node with
+        | Some cap when weight_bytes > cap ->
+          (* no replica choice can serve this model: its weights alone
+             overflow every node's HBM *)
+          invalid_arg
+            (Printf.sprintf
+               "Placement.build: model %s weights (%d B) exceed a node's \
+                %d B HBM — unservable on any node"
+               model weight_bytes cap)
+        | _ -> ());
         let home = stable_home ~nodes model in
         let count =
           if replicas <= 0 || replicas >= nodes then nodes else replicas
@@ -40,6 +50,20 @@ let build ~nodes specs =
       specs
   in
   { nodes; entries }
+
+(* the verifier's neutral placement type: same (model, weight, replica
+   set) triples, plus the routing policy that decides which nodes a
+   model can page in on *)
+let verify_plan ?hbm_bytes_per_node ~policy t =
+  {
+    Ascend_verify.Cluster.plan_name =
+      Printf.sprintf "%d-node fleet placement" t.nodes;
+    nodes = t.nodes;
+    hbm_bytes_per_node;
+    policy;
+    models =
+      List.map (fun e -> (e.model, e.weight_bytes, e.replicas)) t.entries;
+  }
 
 let find t model =
   match List.find_opt (fun e -> e.model = model) t.entries with

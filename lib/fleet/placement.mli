@@ -20,13 +20,24 @@ type entry = {
 
 type t = { nodes : int; entries : entry list }
 
-val build : nodes:int -> (string * int * int) list -> t
+val build :
+  ?hbm_bytes_per_node:int -> nodes:int -> (string * int * int) list -> t
 (** [build ~nodes specs] with [specs] listing (model, weight_bytes,
     replicas).  A replica count [<= 0] or [>= nodes] replicates on every
     node (hot); [1] pins the model to its home node only (cold); [r]
     spreads over [r] consecutive nodes starting at the home.  Raises
-    [Invalid_argument] on [nodes < 1], duplicate model names or negative
-    weight bytes. *)
+    [Invalid_argument] on [nodes < 1], duplicate model names, negative
+    weight bytes, or — when [hbm_bytes_per_node] is given — a single
+    model whose weights alone exceed a node's HBM (unservable on any
+    node; whole-plan overcommit is {!verify_plan}'s job). *)
+
+val verify_plan :
+  ?hbm_bytes_per_node:int -> policy:string -> t ->
+  Ascend_verify.Cluster.placement
+(** The plan in the static verifier's neutral representation, ready for
+    [Verify.Cluster.lint_placement] / [predicted_page_ins].  [policy]
+    is a {!Router.policy_name} ("round-robin", "least-loaded",
+    "affinity"). *)
 
 val find : t -> string -> entry
 (** Raises [Invalid_argument] on an unknown model. *)

@@ -19,6 +19,7 @@ open Ascend_isa
 module Finding = Finding
 module Hb = Hb
 module Soc = Soc
+module Cluster = Cluster
 
 let kind_str = function
   | Instruction.Read -> "read"

@@ -37,6 +37,19 @@ type kind =
   | Slot_overflow
       (** dynamic: an in-place write touches more bytes than the slot's
           allocating write established *)
+  | Coll_unmatched
+      (** a collective-schedule step contains a send with no mirroring
+          recv (or vice versa) — the transfer can never complete *)
+  | Coll_deadlock
+      (** the collective schedule's step dependency graph has a cycle,
+          or a dependency on a step that does not exist *)
+  | Coll_overcommit of { resource : string }
+      (** claimed bandwidth on one link within one step exceeds its
+          capacity ([resource] = "link"), or a placement's resident
+          weights exceed a node's HBM ([resource] = "HBM") *)
+  | Coll_incomplete
+      (** all-reduce correctness violated: some chip's contribution to
+          some chunk never reaches some other chip *)
 
 type t = {
   kind : kind;
@@ -62,6 +75,10 @@ let kind_name = function
   | Soc_overcommit { resource } -> "soc-overcommit/" ^ resource
   | Uninit_read -> "uninit-read"
   | Slot_overflow -> "slot-overflow"
+  | Coll_unmatched -> "coll-unmatched"
+  | Coll_deadlock -> "coll-deadlock"
+  | Coll_overcommit { resource } -> "coll-overcommit/" ^ resource
+  | Coll_incomplete -> "coll-incomplete"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 

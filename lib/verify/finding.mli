@@ -49,6 +49,21 @@ type kind =
   | Slot_overflow
       (** dynamic: an in-place write touches more bytes than the slot's
           allocating write established *)
+  | Coll_unmatched
+      (** a collective-schedule step contains a send with no mirroring
+          recv (or vice versa): same link, byte count, chunk range and
+          reduce/copy mode — the transfer can never complete *)
+  | Coll_deadlock
+      (** the collective schedule's step dependency graph has a cycle,
+          or a dependency on a step that does not exist *)
+  | Coll_overcommit of { resource : string }
+      (** claimed bandwidth on one link within one step exceeds its
+          capacity ([resource] = ["link"]), or a fleet placement's
+          policy-reachable resident weights exceed a node's HBM
+          ([resource] = ["HBM"]) *)
+  | Coll_incomplete
+      (** all-reduce correctness violated: some chip's contribution to
+          some chunk never reaches some other chip *)
 
 type t = {
   kind : kind;

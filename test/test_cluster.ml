@@ -158,6 +158,51 @@ let allreduce_monotone_prop =
       in
       t lo <= t hi)
 
+let test_halving_doubling_non_pow2_pinned () =
+  (* n = 5 folds the extra node's whole buffer in and out: p = 4, so
+     2*(3/4)*B/bw + 4*lat + 2*(B/bw + lat) — 3.1e-4 s at 1 MB over the
+     fat-tree NIC rate *)
+  let t =
+    Collective.halving_doubling_seconds ~bytes:1e6 ~nodes:5 ~bandwidth:12.5e9
+      ~latency_s:5e-6 ()
+  in
+  Alcotest.(check (float 1e-12)) "pinned" 3.1e-4 t
+
+let test_allreduce_efficiency_regression () =
+  (* an all-reduce over n peers only needs to move 2(n-1)/n * bytes over
+     the busiest link, so a latency-free ring at the wire rate scores
+     exactly 1.0 — the old 2*bytes/seconds/bandwidth normalisation
+     scored it n/(n-1) (2.0 at n = 2), claiming better-than-wire-rate *)
+  let bw = 10e9 and bytes = 1e9 in
+  let seconds =
+    Collective.ring_allreduce_seconds ~bytes ~nodes:2 ~bandwidth:bw
+      ~latency_s:0. ()
+  in
+  Alcotest.(check (float 1e-9)) "ideal ring scores exactly 1.0" 1.0
+    (Collective.allreduce_efficiency ~seconds ~bytes ~nodes:2 ~bandwidth:bw);
+  Alcotest.(check (float 1e-12)) "degenerate single node scores 0" 0.
+    (Collective.allreduce_efficiency ~seconds:1. ~bytes ~nodes:1 ~bandwidth:bw)
+
+let allreduce_efficiency_bounded_prop =
+  QCheck.Test.make ~count:200 ~name:"allreduce efficiency in [0, 1]"
+    QCheck.(
+      triple (2 -- 64) (float_range 1e3 1e10) (float_range 1e-6 1e-3))
+    (fun (nodes, bytes, latency_s) ->
+      let bw = 12.5e9 in
+      List.for_all
+        (fun seconds ->
+          let e =
+            Collective.allreduce_efficiency ~seconds ~bytes ~nodes
+              ~bandwidth:bw
+          in
+          e >= 0. && e <= 1. +. 1e-9)
+        [
+          Collective.ring_allreduce_seconds ~bytes ~nodes ~bandwidth:bw
+            ~latency_s ();
+          Collective.halving_doubling_seconds ~bytes ~nodes ~bandwidth:bw
+            ~latency_s ();
+        ])
+
 (* ------------------------------------------------------------------ *)
 (* Distributed training                                               *)
 
@@ -236,6 +281,11 @@ let () =
           Alcotest.test_case "algorithm picker" `Quick
             test_best_allreduce_picks_minimum;
           q allreduce_monotone_prop;
+          Alcotest.test_case "non-pow2 pinned" `Quick
+            test_halving_doubling_non_pow2_pinned;
+          Alcotest.test_case "efficiency regression" `Quick
+            test_allreduce_efficiency_regression;
+          q allreduce_efficiency_bounded_prop;
         ] );
       ( "training",
         [

@@ -46,6 +46,24 @@ let test_placement_structure () =
     (Invalid_argument "Placement.build: duplicate model names") (fun () ->
       ignore (Placement.build ~nodes:2 [ ("m", 1, 0); ("m", 1, 0) ]))
 
+let test_placement_hbm_capacity () =
+  (* a model whose weights alone overflow a node's HBM is unservable on
+     any node — build refuses the plan outright *)
+  Alcotest.check_raises "oversized model rejected"
+    (Invalid_argument
+       "Placement.build: model big weights (100 B) exceed a node's 10 B HBM \
+        — unservable on any node")
+    (fun () ->
+      ignore
+        (Placement.build ~hbm_bytes_per_node:10 ~nodes:2
+           [ ("small", 5, 0); ("big", 100, 1) ]));
+  (* fitting weights build fine with the capacity given *)
+  let p =
+    Placement.build ~hbm_bytes_per_node:10 ~nodes:2
+      [ ("small", 5, 0); ("other", 10, 1) ]
+  in
+  Alcotest.(check int) "both placed" 2 (List.length p.Placement.entries)
+
 (* ------------------------------------------------------------------ *)
 (* Router                                                              *)
 
@@ -182,6 +200,37 @@ let test_cold_model_pages_in () =
   let af = run_ok (small_config ~policy:Router.Model_affinity ()) specs in
   Alcotest.(check int) "affinity never pages" 0 af.Fleet.total_page_ins
 
+let test_predicted_page_ins_match_observed () =
+  (* the static verifier's per-node page-in prediction on the run's own
+     placement plan equals what the run observes — the page-in half of
+     the lint --cluster differential gate (odd node count, so the
+     round-robin rotor visits every node for every model) *)
+  let specs =
+    [ open_spec "gesture" gesture;
+      open_spec ~replicas:1 "face-detect" face_detect ]
+  in
+  List.iter
+    (fun policy ->
+      let r = run_ok (small_config ~nodes:3 ~policy ()) specs in
+      let plan =
+        Placement.verify_plan ~policy:(Router.policy_name policy)
+          r.Fleet.placement
+      in
+      let predicted = Ascend.Verify.Cluster.predicted_page_ins plan in
+      let observed = Fleet.observed_page_ins r in
+      Alcotest.(check (array int))
+        ("prediction matches the run under " ^ Router.policy_name policy)
+        predicted observed;
+      (* and the two sides of the CI gate serialise byte-identically *)
+      Alcotest.(check string) "differential document agrees"
+        (Json.to_string
+           (Fleet.pagein_json ~policy ~placement:r.Fleet.placement
+              ~counts:predicted))
+        (Json.to_string
+           (Fleet.pagein_json ~policy ~placement:r.Fleet.placement
+              ~counts:observed)))
+    [ Router.Round_robin; Router.Model_affinity ]
+
 let test_training_colocation () =
   let train =
     { Fleet.tj_model = "gesture"; tj_build = gesture; tj_batch = 8; tj_nodes = 2 }
@@ -223,7 +272,10 @@ let () =
   Alcotest.run "fleet"
     [
       ( "placement",
-        [ Alcotest.test_case "structure" `Quick test_placement_structure ] );
+        [
+          Alcotest.test_case "structure" `Quick test_placement_structure;
+          Alcotest.test_case "hbm capacity" `Quick test_placement_hbm_capacity;
+        ] );
       ( "router",
         [ Alcotest.test_case "policies" `Quick test_router_policies ] );
       ( "fleet",
@@ -231,6 +283,8 @@ let () =
           Alcotest.test_case "conservation" `Quick test_fleet_conservation;
           Alcotest.test_case "deterministic" `Quick test_fleet_deterministic;
           Alcotest.test_case "page-in" `Quick test_cold_model_pages_in;
+          Alcotest.test_case "predicted page-ins" `Quick
+            test_predicted_page_ins_match_observed;
           Alcotest.test_case "training colocation" `Quick
             test_training_colocation;
           Alcotest.test_case "json shape" `Quick test_fleet_json_shape;

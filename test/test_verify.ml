@@ -23,7 +23,11 @@ let classes findings =
          | Finding.Soc_deadlock -> "soc-deadlock"
          | Finding.Soc_overcommit { resource } -> "soc-overcommit/" ^ resource
          | Finding.Uninit_read -> "uninit-read"
-         | Finding.Slot_overflow -> "slot-overflow")
+         | Finding.Slot_overflow -> "slot-overflow"
+         | Finding.Coll_unmatched -> "coll-unmatched"
+         | Finding.Coll_deadlock -> "coll-deadlock"
+         | Finding.Coll_overcommit { resource } -> "coll-overcommit/" ^ resource
+         | Finding.Coll_incomplete -> "coll-incomplete")
        findings)
 
 let report findings = Format.asprintf "%a" Verify.pp_report findings
