@@ -1,5 +1,5 @@
 .PHONY: all build test lint lint-cluster sanitize differential bench trace \
-	fleet calibrate check clean
+	fleet decode calibrate calibrate-decode check clean
 
 all: build
 
@@ -72,7 +72,20 @@ fleet:
 calibrate:
 	dune exec bin/ascend_cli.exe -- calibrate --all --json calibrate.json
 
-check: build test lint lint-cluster sanitize
+# score the 2-D (batch x cache-length) decode-step surrogate against the
+# exact oracle on every fp16-capable core (non-zero exit past the 5% budget)
+calibrate-decode:
+	dune exec bin/ascend_cli.exe -- calibrate --decode \
+	  --json calibrate_decode.json
+
+# LLM decode serving under prefill pressure: continuous vs static
+# batching on the same seeded trace, with the goodput speedup reported
+# (deterministic to the byte across runs and ASCEND_JOBS)
+decode:
+	dune exec bin/ascend_cli.exe -- decode --core lite --rate 2000 \
+	  --duration 0.05 --mode compare
+
+check: build test lint lint-cluster sanitize decode calibrate-decode
 
 clean:
 	dune clean

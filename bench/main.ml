@@ -1185,6 +1185,7 @@ let fleet () =
       priority = 0;
       slo_ms = 50.;
       replicas;
+      kv_bytes = 0;
       workload =
         Serve.Open_loop
           (Load_gen.create ~process:Load_gen.Poisson ~rate_per_s:rate
@@ -1272,6 +1273,68 @@ let fleet () =
     "affinity avoids every page-in by construction; round-robin pays the \
      cold model's weight streaming on every non-home node — the routing \
      policy is a bandwidth decision, not just a load-balancing one@."
+
+(* ------------------------------------------------------------------ *)
+(* LLM decode serving (lib/decode: continuous vs static batching)      *)
+
+let decode_bench () =
+  section_header "decode"
+    "LLM decode serving: continuous vs static batching under prefill \
+     pressure (tiny decoder on the Lite core, phase-aware exact costing)";
+  let module Engine = Ascend.Decode.Engine in
+  let module Request = Ascend.Decode.Request in
+  let module Metrics = Ascend.Decode.Metrics in
+  let module Load_gen = Ascend.Serving.Load_gen in
+  let requests =
+    Request.of_load_gen
+      ~gen:(Load_gen.create ~rate_per_s:2000. ~duration_s:0.05 ~seed:3 ())
+      ~prompt:(Load_gen.Geometric { mean = 12.; max_len = 24 })
+      ~output:(Load_gen.Geometric { mean = 8.; max_len = 16 })
+  in
+  let run mode =
+    let config =
+      { (Engine.default_config ~core:Config.lite ()) with Engine.mode }
+    in
+    let t0 = Unix.gettimeofday () in
+    match Engine.run config requests with
+    | Error e -> failwith e
+    | Ok r -> (r, Unix.gettimeofday () -. t0)
+  in
+  let continuous, wall_c = run Engine.Continuous in
+  let static, wall_s = run Engine.Static in
+  let t =
+    Table.create
+      ~header:[ "mode"; "completed"; "tokens/s"; "ttft p99 ms"; "itl p99 ms";
+                "mean batch"; "wall s" ]
+      ()
+  in
+  List.iter
+    (fun (name, (r : Engine.result), wall) ->
+      let m = r.Engine.metrics in
+      Table.add_row t
+        [
+          name;
+          string_of_int m.Metrics.completed;
+          Table.cell_float ~decimals:0 m.Metrics.tokens_per_s;
+          Table.cell_float m.Metrics.ttft_p99_ms;
+          Table.cell_float m.Metrics.itl_p99_ms;
+          Table.cell_float m.Metrics.mean_decode_batch;
+          Table.cell_float ~decimals:3 wall;
+        ];
+      Bench_json.record_float (name ^ "_tokens_per_s") m.Metrics.tokens_per_s;
+      Bench_json.record_float (name ^ "_ttft_p99_ms") m.Metrics.ttft_p99_ms;
+      Bench_json.record_float (name ^ "_itl_p99_ms") m.Metrics.itl_p99_ms;
+      Bench_json.record_float (name ^ "_mean_decode_batch")
+        m.Metrics.mean_decode_batch)
+    [ ("continuous", continuous, wall_c); ("static", static, wall_s) ];
+  Table.print ~align:Table.Left t;
+  let speedup = Engine.speedup ~continuous ~static in
+  Bench_json.record_float "continuous_over_static_speedup" speedup;
+  Format.printf
+    "continuous batching refills decode slots the moment a sequence \
+     retires (%.2fx the static lockstep goodput here) and prefills new \
+     arrivals between decode steps instead of waiting for a full group@."
+    speedup
 
 let compression () =
   section_header "compression"
@@ -1831,6 +1894,7 @@ let sections =
     ("edge", edge);
     ("serving", serving);
     ("fleet", fleet);
+    ("decode", decode_bench);
     ("compression", compression);
     ("ablations", ablations);
     ("slam", slam);

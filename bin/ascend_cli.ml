@@ -28,6 +28,12 @@ let models : (string * (batch:int -> Graph.t)) list =
     ("pointnet", fun ~batch -> Ascend.Nn.Pointnet.build ~batch ());
     ("face-detect", fun ~batch -> Ascend.Nn.Face_detect.build ~batch ());
     ("fpn-detector", fun ~batch -> Ascend.Nn.Fpn_detector.build ~batch ());
+    ( "llm-prefill",
+      fun ~batch ->
+        Ascend.Nn.Llm.prefill ~batch ~seq_len:64 Ascend.Nn.Llm.tiny_config );
+    ( "llm-decode",
+      fun ~batch ->
+        Ascend.Nn.Llm.decode ~batch ~cache_len:128 Ascend.Nn.Llm.tiny_config );
   ]
 
 let cores =
@@ -430,6 +436,211 @@ let serve_cmd =
       $ burst_period_arg $ seed_arg $ closed_arg $ think_arg $ bucket_arg
       $ costing_arg $ json_arg $ serve_trace_arg)
 
+(* --- decode ------------------------------------------------------- *)
+
+module Decode_engine = Ascend.Decode.Engine
+module Decode_request = Ascend.Decode.Request
+
+let decode_rate_arg =
+  Arg.(
+    value & opt float 40.
+    & info [ "rate" ] ~docv:"R"
+        ~doc:"Open-loop arrival rate in requests/s.")
+
+let prompt_mean_arg =
+  Arg.(
+    value & opt float 16.
+    & info [ "prompt-mean" ] ~docv:"TOK"
+        ~doc:"Mean prompt length (geometric distribution).")
+
+let prompt_max_arg =
+  Arg.(
+    value & opt int 48
+    & info [ "prompt-max" ] ~docv:"TOK" ~doc:"Prompt length cap.")
+
+let output_mean_arg =
+  Arg.(
+    value & opt float 8.
+    & info [ "output-mean" ] ~docv:"TOK"
+        ~doc:"Mean output length (geometric distribution).")
+
+let output_max_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "output-max" ] ~docv:"TOK" ~doc:"Output length cap.")
+
+let fixed_prompt_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fixed-prompt" ] ~docv:"TOK"
+        ~doc:"Use a fixed prompt length instead of the geometric draw \
+              (0: geometric).")
+
+let fixed_output_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fixed-output" ] ~docv:"TOK"
+        ~doc:"Use a fixed output length instead of the geometric draw \
+              (0: geometric).")
+
+let hbm_mb_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "hbm-mb" ] ~docv:"MB"
+        ~doc:"HBM budget for weights + live KV caches; requests whose cache \
+              could never fit are shed.")
+
+let max_cache_len_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-cache-len" ] ~docv:"TOK"
+        ~doc:"Surrogate grid bound on the cache-length axis (decode steps \
+              beyond it fall back to the exact tier).")
+
+let decode_mode_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("continuous", `Continuous); ("static", `Static);
+             ("compare", `Compare) ])
+        `Continuous
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Batching discipline: 'continuous' (join/leave at token \
+           boundaries), 'static' (lockstep groups, padding included) or \
+           'compare' (run both on the same trace and report the goodput \
+           speedup).")
+
+let small_llm_arg =
+  Arg.(
+    value & flag
+    & info [ "small-llm" ]
+        ~doc:"Use the 4-layer small LLM config instead of the tiny one.")
+
+let decode_requests ~rate ~duration ~seed ~process ~prompt_mean ~prompt_max
+    ~output_mean ~output_max ~fixed_prompt ~fixed_output =
+  let gen =
+    Load_gen.create ~process ~rate_per_s:rate ~duration_s:duration ~seed ()
+  in
+  let prompt =
+    if fixed_prompt > 0 then Load_gen.Fixed fixed_prompt
+    else Load_gen.Geometric { mean = prompt_mean; max_len = prompt_max }
+  in
+  let output =
+    if fixed_output > 0 then Load_gen.Fixed fixed_output
+    else Load_gen.Geometric { mean = output_mean; max_len = output_max }
+  in
+  Decode_request.of_load_gen ~gen ~prompt ~output
+
+let decode core rate duration seed process burst_factor burst_period_ms
+    prompt_mean prompt_max output_mean output_max fixed_prompt fixed_output
+    batch_max hbm_mb max_cache_len mode small_llm costing json_path trace_path
+    =
+  exit_of
+    (let process =
+       match process with
+       | `Uniform -> Load_gen.Uniform
+       | `Poisson -> Load_gen.Poisson
+       | `Bursty ->
+         Load_gen.Bursty
+           { factor = burst_factor; period_s = burst_period_ms /. 1e3 }
+     in
+     let requests =
+       decode_requests ~rate ~duration ~seed ~process ~prompt_mean
+         ~prompt_max ~output_mean ~output_max ~fixed_prompt ~fixed_output
+     in
+     let config mode =
+       {
+         (Decode_engine.default_config ~core ()) with
+         Decode_engine.llm =
+           (if small_llm then Ascend.Nn.Llm.small_config
+            else Ascend.Nn.Llm.tiny_config);
+         mode;
+         costing;
+         max_batch = batch_max;
+         hbm_bytes = hbm_mb * Ascend.Util.Units.mib;
+         max_cache_len;
+       }
+     in
+     let collector =
+       Option.map
+         (fun _ -> Ascend.Obs.Collector.create ~capacity:262144 ())
+         trace_path
+     in
+     let with_obs f =
+       match collector with
+       | None -> f ()
+       | Some c -> Ascend.Obs.Hook.with_collector c f
+     in
+     let ( let* ) = Result.bind in
+     let* doc =
+       match mode with
+       | `Continuous | `Static ->
+         let m = if mode = `Static then Decode_engine.Static
+                 else Decode_engine.Continuous in
+         let* r = with_obs (fun () -> Decode_engine.run (config m) requests) in
+         Format.printf "%a" Decode_engine.pp r;
+         Ok (Decode_engine.to_json r)
+       | `Compare ->
+         let* c, s =
+           with_obs (fun () ->
+               match Decode_engine.run (config Decode_engine.Continuous)
+                       requests with
+               | Error _ as e -> e
+               | Ok c -> (
+                 match Decode_engine.run (config Decode_engine.Static)
+                         requests with
+                 | Error _ as e -> e
+                 | Ok s -> Ok (c, s)))
+         in
+         let speedup = Decode_engine.speedup ~continuous:c ~static:s in
+         Format.printf "%a@.%a" Decode_engine.pp c Decode_engine.pp s;
+         Format.printf
+           "continuous over static: %.2fx goodput (%.1f vs %.1f tok/s)@."
+           speedup c.Decode_engine.metrics.Ascend.Decode.Metrics.tokens_per_s
+           s.Decode_engine.metrics.Ascend.Decode.Metrics.tokens_per_s;
+         Ok
+           (Ascend.Util.Json.Obj
+              [
+                ("continuous", Decode_engine.to_json c);
+                ("static", Decode_engine.to_json s);
+                ("speedup", Ascend.Util.Json.Float speedup);
+              ])
+     in
+     (match json_path with
+     | None -> ()
+     | Some "-" ->
+       print_endline (Ascend.Util.Json.to_string ~pretty:true doc)
+     | Some path -> Ascend.Util.Json.write_file path doc);
+     (match (trace_path, collector) with
+     | Some path, Some c ->
+       Ascend.Obs.Chrome_trace.write_file path c;
+       Format.printf "trace: wrote %s (%d events, %d dropped)@." path
+         (Ascend.Obs.Collector.length c)
+         (Ascend.Obs.Collector.dropped c)
+     | _ -> ());
+     Ok ())
+
+let decode_cmd =
+  Cmd.v
+    (Cmd.info "decode"
+       ~doc:
+         "Simulate LLM decode serving: a seeded open-loop trace of \
+          generation requests (geometric or fixed prompt/output lengths) \
+          served by the continuous batcher — requests join and leave the \
+          running batch at token boundaries, prefill interleaved with \
+          in-flight decode steps, KV caches budgeted against HBM — with \
+          per-token SLO metrics (TTFT p50/p95/p99, inter-token latency, \
+          tokens/s goodput) and a static-batching baseline for comparison.")
+    Term.(
+      const decode $ core_arg $ decode_rate_arg $ duration_arg $ seed_arg
+      $ process_arg $ burst_factor_arg $ burst_period_arg $ prompt_mean_arg
+      $ prompt_max_arg $ output_mean_arg $ output_max_arg $ fixed_prompt_arg
+      $ fixed_output_arg $ batch_max_arg $ hbm_mb_arg $ max_cache_len_arg
+      $ decode_mode_arg $ small_llm_arg $ costing_arg $ json_arg
+      $ serve_trace_arg)
+
 (* --- fleet -------------------------------------------------------- *)
 
 module Fleet = Ascend.Fleet.Fleet
@@ -482,6 +693,17 @@ let pagein_json_arg =
            for the plan — the two sides of the CI gate serialise through \
            one shape, so agreement is a byte comparison.")
 
+let node_hbm_gb_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "node-hbm-gb" ] ~docv:"G"
+        ~doc:
+          "Per-node HBM capacity: every node must hold its resident \
+           models' weights plus their reserved KV-cache working sets \
+           (decode-class models); unservable models and overcommitted \
+           plans fail fast.")
+
 let train_nodes_arg =
   Arg.(
     value & opt int 0
@@ -508,7 +730,7 @@ let train_batch_arg =
 let fleet models core nodes cores_per_node policy replicas rates duration
     batch_max delay_ms queue_depth slos priorities process burst_factor
     burst_period_ms seed closed think_ms bucket_ms train_nodes train_model
-    train_batch costing json_path pagein_path trace_path =
+    train_batch node_hbm_gb costing json_path pagein_path trace_path =
   let n = List.length models in
   let ( let* ) = Result.bind in
   exit_of
@@ -538,7 +760,18 @@ let fleet models core nodes cores_per_node policy replicas rates duration
                  (Load_gen.create ~process ~rate_per_s:rate
                     ~duration_s:duration ~seed:model_seed ())
            in
-           { Fleet.name; build; priority; slo_ms; workload; replicas })
+           (* decode-class models reserve KV-cache working set on every
+              resident node: enough for a full batch of max-position
+              sequences; stateless classes reserve nothing *)
+           let kv_bytes =
+             if String.starts_with ~prefix:"llm" name then
+               batch_max
+               * Ascend.Nn.Llm.kv_cache_bytes Ascend.Nn.Llm.tiny_config
+                   ~tokens:Ascend.Nn.Llm.tiny_config.Ascend.Nn.Llm.max_position
+             else 0
+           in
+           { Fleet.name; build; priority; slo_ms; workload; replicas;
+             kv_bytes })
          (List.combine models
             (List.combine rates
                (List.combine slos (List.combine priorities replicas))))
@@ -554,6 +787,8 @@ let fleet models core nodes cores_per_node policy replicas rates duration
          bucket_s = bucket_ms /. 1e3;
          policy;
          costing;
+         hbm_bytes_per_node =
+           Option.map (fun gb -> int_of_float (gb *. 1e9)) node_hbm_gb;
        }
      in
      let train =
@@ -574,11 +809,15 @@ let fleet models core nodes cores_per_node policy replicas rates duration
          trace_path
      in
      let* r =
-       match collector with
-       | None -> Fleet.run ?train config specs
-       | Some c ->
-         Ascend.Obs.Hook.with_collector c (fun () ->
-             Fleet.run ?train config specs)
+       (* Placement.build raises on unservable models (weights + reserved
+          KV cache over a node's HBM); surface that as a clean CLI error *)
+       try
+         match collector with
+         | None -> Fleet.run ?train config specs
+         | Some c ->
+           Ascend.Obs.Hook.with_collector c (fun () ->
+               Fleet.run ?train config specs)
+       with Invalid_argument msg -> Error msg
      in
      Format.printf "%a" Fleet.pp r;
      (match json_path with
@@ -621,7 +860,8 @@ let fleet_cmd =
       $ duration_arg $ batch_max_arg $ batch_delay_arg $ queue_depth_arg
       $ slo_arg $ priority_arg $ process_arg $ burst_factor_arg
       $ burst_period_arg $ seed_arg $ closed_arg $ think_arg $ bucket_arg
-      $ train_nodes_arg $ train_model_arg $ train_batch_arg $ costing_arg
+      $ train_nodes_arg $ train_model_arg $ train_batch_arg $ node_hbm_gb_arg
+      $ costing_arg
       $ json_arg $ pagein_json_arg $ serve_trace_arg)
 
 (* --- lint / sanitize ---------------------------------------------- *)
@@ -1129,7 +1369,8 @@ let lint_placement_mode models ~nodes ~policy ~replicas ~hbm_gb ~pagein_path
       let placement =
         Placement.build ~nodes
           (List.map2
-             (fun (name, build) r -> (name, Fleet.model_weight_bytes build, r))
+             (fun (name, build) r ->
+               (name, Fleet.model_weight_bytes build, 0, r))
              models replicas)
       in
       let plan =
@@ -1466,7 +1707,106 @@ let calibrate_combos selected_models selected_cores =
         selected_cores)
     selected_models
 
-let calibrate model_opt all core_opt max_batch fail_above verbose json_path
+module Calibration2d = Ascend.Cost.Calibration2d
+
+(* --decode: the 2-D (batch x cache-length) protocol over the LLM
+   decode step, one report per fp16-capable selected core *)
+let calibrate_decode core_opt max_batch max_len fail_above verbose json_path
+    jobs =
+  let llm = Ascend.Nn.Llm.tiny_config in
+  let selected_cores =
+    List.filter
+      (fun config -> Config.supports config Ascend.Arch.Precision.Fp16)
+      (select_cores core_opt)
+  in
+  if selected_cores = [] then begin
+    prerr_endline
+      "error: nothing to calibrate (selected core does not support fp16)";
+    2
+  end
+  else begin
+    let service =
+      Ascend.Exec.Service.create
+        ?jobs:(if jobs <= 0 then None else Some jobs)
+        ()
+    in
+    let results =
+      List.map
+        (fun config ->
+          ( config,
+            Calibration2d.run ~budget_pct:fail_above ~service ~core:config
+              ~model:"llm-decode"
+              ~build:(fun ~batch ~cache_len ->
+                Ascend.Nn.Llm.decode ~batch ~cache_len llm)
+              ~max_batch ~max_len () ))
+        selected_cores
+    in
+    Ascend.Exec.Service.shutdown service;
+    match
+      List.filter_map
+        (fun ((config : Config.t), r) ->
+          match r with
+          | Error e -> Some (config.Config.name ^ ": " ^ e)
+          | Ok _ -> None)
+        results
+    with
+    | e :: _ ->
+      prerr_endline ("error: " ^ e);
+      1
+    | [] ->
+      let reports =
+        List.filter_map (fun (_, r) -> Result.to_option r) results
+      in
+      List.iter
+        (fun r -> Format.printf "%a" (Calibration2d.pp ~verbose ()) r)
+        reports;
+      let worst =
+        List.fold_left
+          (fun acc (r : Calibration2d.report) ->
+            Float.max acc r.Calibration2d.max_abs_pct_error)
+          0. reports
+      in
+      (match json_path with
+      | None -> ()
+      | Some path ->
+        let doc =
+          Ascend.Util.Json.Obj
+            [
+              ("max_batch", Ascend.Util.Json.Int max_batch);
+              ("max_len", Ascend.Util.Json.Int max_len);
+              ("fail_above_pct", Ascend.Util.Json.Float fail_above);
+              ("worst_max_abs_pct_error", Ascend.Util.Json.Float worst);
+              ( "combos",
+                Ascend.Util.Json.List
+                  (List.map Calibration2d.to_json reports) );
+            ]
+        in
+        if path = "-" then
+          print_endline (Ascend.Util.Json.to_string ~pretty:true doc)
+        else Ascend.Util.Json.write_file path doc);
+      Format.printf
+        "calibrate --decode: %d core(s), worst max |err| %.2f%% (budget \
+         %.2f%%)@."
+        (List.length reports) worst fail_above;
+      let over =
+        List.filter
+          (fun (r : Calibration2d.report) ->
+            r.Calibration2d.max_abs_pct_error > fail_above)
+          reports
+      in
+      if over = [] then 0
+      else begin
+        List.iter
+          (fun (r : Calibration2d.report) ->
+            Format.printf "over budget: %s on %s (max |err| %.2f%%)@."
+              r.Calibration2d.model r.Calibration2d.core
+              r.Calibration2d.max_abs_pct_error)
+          over;
+        1
+      end
+  end
+
+let calibrate_1d model_opt all core_opt max_batch fail_above verbose json_path
     jobs =
   let selected_models = select_models model_opt all in
   let selected_cores = select_cores core_opt in
@@ -1559,6 +1899,15 @@ let calibrate model_opt all core_opt max_batch fail_above verbose json_path
       end
   end
 
+let calibrate model_opt all core_opt max_batch max_len decode_flag fail_above
+    verbose json_path jobs =
+  if decode_flag then
+    calibrate_decode core_opt max_batch max_len fail_above verbose json_path
+      jobs
+  else
+    calibrate_1d model_opt all core_opt max_batch fail_above verbose json_path
+      jobs
+
 let calibrate_all_arg =
   Arg.(
     value & flag
@@ -1581,6 +1930,23 @@ let fail_above_arg =
           "Exit non-zero when any combination's max absolute cycle error \
            exceeds this percentage.")
 
+let calibrate_decode_arg =
+  Arg.(
+    value & flag
+    & info [ "decode" ]
+        ~doc:
+          "Calibrate the 2-D (batch x cache-length) decode-step surrogate \
+           of the tiny LLM instead of the 1-D model zoo tables (fp16 cores \
+           only).")
+
+let calibrate_max_len_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "max-len" ] ~docv:"TOK"
+        ~doc:
+          "--decode: largest cache length; anchors and validation probes \
+           span 1..N.")
+
 let calibrate_json_arg =
   Arg.(
     value
@@ -1601,8 +1967,8 @@ let calibrate_cmd =
           budget — the CI gate that keeps '--costing surrogate' honest.")
     Term.(
       const calibrate $ lint_model_arg $ calibrate_all_arg $ lint_core_arg
-      $ calibrate_max_batch_arg $ fail_above_arg $ lint_verbose_arg
-      $ calibrate_json_arg $ lint_jobs_arg)
+      $ calibrate_max_batch_arg $ calibrate_max_len_arg $ calibrate_decode_arg
+      $ fail_above_arg $ lint_verbose_arg $ calibrate_json_arg $ lint_jobs_arg)
 
 (* --- list --------------------------------------------------------- *)
 
@@ -1686,6 +2052,20 @@ usage: ascend_cli COMMAND [OPTIONS]
       cycle-level path; --trace captures the run as Chrome trace-event
       JSON.
 
+  decode [--core CORE] [--rate R] [--duration S] [--seed N]
+         [--process uniform|poisson|bursty] [--prompt-mean TOK]
+         [--prompt-max TOK] [--output-mean TOK] [--output-max TOK]
+         [--fixed-prompt TOK] [--fixed-output TOK] [--batch-max B]
+         [--hbm-mb MB] [--max-cache-len TOK]
+         [--mode continuous|static|compare] [--small-llm]
+         [--costing exact|surrogate] [--json FILE] [--trace FILE]
+      LLM decode serving: seeded generation requests (geometric or
+      fixed prompt/output lengths) through the continuous batcher —
+      join/leave at token boundaries, prefill interleaved with decode
+      steps, KV caches budgeted against HBM — with TTFT/ITL
+      percentiles and tokens/s goodput; --mode compare also runs the
+      static-batching baseline and reports the speedup.
+
   fleet MODEL[,MODEL...] [--core CORE] [--nodes N] [--cores-per-node N]
         [--policy round-robin|least-loaded|affinity] [--replicas R[,R...]]
         [--rate R[,R...]] [--duration S] [--slo-ms MS[,MS...]]
@@ -1722,12 +2102,15 @@ usage: ascend_cli COMMAND [OPTIONS]
       hazards, runtime capacity, flag leaks); emits the same JSON
       shape as lint --soc, so sweeps that agree compare byte-equal.
 
-  calibrate [MODEL | --all] [--core CORE] [--max-batch N]
-            [--fail-above PCT] [--json FILE] [--verbose] [--jobs N]
+  calibrate [MODEL | --all | --decode] [--core CORE] [--max-batch N]
+            [--max-len TOK] [--fail-above PCT] [--json FILE]
+            [--verbose] [--jobs N]
       Fit the per-model batch-cost surrogate on cycle-level anchor
       prices and score every batch 1..max-batch against the oracle;
       non-zero exit when any model's max cycle error exceeds the
-      budget (default 5%).
+      budget (default 5%).  --decode calibrates the 2-D
+      (batch x cache-length) decode-step grid of the tiny LLM
+      instead, validated over anchor lengths and bracket midpoints.
 
   trace MODEL [--model MODEL] [--core CORE] [--batch N] [-o FILE]
       Deterministic Chrome trace of the compiled model's simulation
@@ -1757,5 +2140,5 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default:usage_term info
           [ simulate_cmd; profile_cmd; disasm_cmd; streams_cmd; serve_cmd;
-            fleet_cmd; lint_cmd; sanitize_cmd; calibrate_cmd; list_cmd;
-            trace_cmd ]))
+            decode_cmd; fleet_cmd; lint_cmd; sanitize_cmd; calibrate_cmd;
+            list_cmd; trace_cmd ]))

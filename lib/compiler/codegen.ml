@@ -382,8 +382,16 @@ let group_program ?(options = default_options) (config : Config.t)
     let post_bytes_per_tile =
       if total_out_tiles = 0 then 0 else total_post_bytes / total_out_tiles
     in
-    List.iter
-      (fun g ->
+    List.iteri
+      (fun i g ->
+        if i > 0 then begin
+          (* a multi-GEMM group (kv attention's scores + context) reuses
+             every ring slot with counters starting over; drain the
+             outstanding flags and erect a full barrier so the next GEMM
+             begins from the same clean state a fresh program has *)
+          drain b;
+          barrier b
+        end;
         emit_gemm b config ~options ~precision:group.precision
           ~expansion:group.img2col_expansion ~post_bytes_per_tile g)
       group.gemms

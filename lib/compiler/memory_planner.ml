@@ -95,6 +95,36 @@ let total_activation_bytes g =
     (fun acc (n : Graph.node) -> acc + Shape.bytes n.out_shape ~dtype:n.dtype)
     0 (Graph.nodes g)
 
+(* KV-cache residency implied by the graph's attention nodes: every
+   Kv_attention holds a per-layer cache of (cache_len + tokens) K and V
+   rows in device memory across serving steps — state that outlives the
+   activation plan and must be budgeted against HBM alongside weights *)
+let kv_cache_bytes g =
+  List.fold_left
+    (fun acc (n : Graph.node) ->
+      match n.op with
+      | Op.Kv_attention { cache_len; _ } -> (
+        match Shape.to_list n.out_shape with
+        | [ b; t; h ] ->
+          acc + (2 * Shape.bytes (Shape.of_list [ b; cache_len + t; h ])
+                     ~dtype:n.dtype)
+        | _ -> acc)
+      | _ -> acc)
+    0 (Graph.nodes g)
+
+let plan_hbm g ~hbm_bytes =
+  if hbm_bytes < 1 then invalid_arg "Memory_planner.plan_hbm: hbm_bytes < 1";
+  let p = plan g in
+  let kv = kv_cache_bytes g in
+  let resident = p.weight_bytes + kv + p.peak_bytes in
+  if resident > hbm_bytes then
+    Error
+      (Printf.sprintf
+         "graph %s needs %d B resident (weights %d + kv cache %d + \
+          activations %d) but HBM holds %d B"
+         (Graph.name g) resident p.weight_bytes kv p.peak_bytes hbm_bytes)
+  else Ok p
+
 let working_set_by_node g =
   List.map
     (fun (n : Graph.node) ->

@@ -25,6 +25,20 @@ val validate : plan -> (unit, string) result
 (** No two live-range-overlapping allocations may overlap in address
     space (the property tests drive random graphs through this). *)
 
+val kv_cache_bytes : Ascend_nn.Graph.t -> int
+(** Device-memory KV-cache residency implied by the graph's
+    {!Ascend_nn.Op.Kv_attention} nodes: per node, K and V rows for
+    [cache_len + tokens] positions at the node's batch/hidden/dtype.
+    Zero for cache-free graphs.  This is serving-side state that outlives
+    one inference, so it budgets against HBM alongside weights rather
+    than inside the activation plan. *)
+
+val plan_hbm :
+  Ascend_nn.Graph.t -> hbm_bytes:int -> (plan, string) result
+(** {!plan}, then check the full resident footprint — weights + KV cache
+    + activation peak — against an HBM capacity.  [Error] describes the
+    overcommit.  Raises [Invalid_argument] on a non-positive capacity. *)
+
 val total_activation_bytes : Ascend_nn.Graph.t -> int
 (** Sum of every node's output footprint — what a training pass keeps
     resident for the backward computation (no rematerialisation). *)

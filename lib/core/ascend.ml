@@ -38,6 +38,10 @@
     - {!Serving} — request-level serving: seeded load generation,
       dynamic batching, QoS admission control and SLO metrics over the
       multi-core scheduler;
+    - {!Decode} — LLM decode serving: KV-cache-aware phase costing
+      (prefill vs decode over the 2-D batch x cache-length surrogate)
+      and a continuous batcher with per-token SLO metrics against a
+      static-batching baseline;
     - {!Vector_core} — the §3.3 SLAM extensions (quaternion, sort,
       stereo, clustering, linear programming).
 
@@ -70,6 +74,7 @@ module Baselines = Ascend_baselines
 module Runtime = Ascend_runtime
 module Cost = Ascend_cost
 module Serving = Ascend_serving
+module Decode = Ascend_decode
 module Fleet = Ascend_fleet
 module Vector_core = Ascend_vector_core
 

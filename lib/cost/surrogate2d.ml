@@ -1,0 +1,106 @@
+module Json = Ascend_util.Json
+
+type t = {
+  model : string;
+  (* sorted by cache length, distinct; one batch surrogate per length;
+     invariant established by [fit] *)
+  rows : (int * Surrogate.t) array;
+}
+
+let anchor_lens ~max_len =
+  if max_len < 1 then invalid_arg "Surrogate2d.anchor_lens: max_len < 1";
+  let rec powers l acc = if l > max_len then acc else powers (2 * l) (l :: acc) in
+  List.sort_uniq compare (max_len :: powers 1 [])
+
+let probe_lens ~max_len =
+  (* the anchor schedule plus the midpoint of every bracket: the
+     validation grid the calibration drives the exact oracle over *)
+  let anchors = anchor_lens ~max_len in
+  let rec mids = function
+    | a :: (b :: _ as rest) ->
+      let m = (a + b) / 2 in
+      if m > a && m < b then m :: mids rest else mids rest
+    | _ -> []
+  in
+  List.sort_uniq compare (anchors @ mids anchors)
+
+let fit ~model ~rows =
+  match rows with
+  | [] -> Error (model ^ ": no cache-length rows")
+  | _ when List.exists (fun (l, _) -> l < 1) rows ->
+    Error (model ^ ": cache length < 1")
+  | _ ->
+    let rows =
+      Array.of_list (List.sort (fun (a, _) (b, _) -> compare a b) rows)
+    in
+    let dup = ref false in
+    Array.iteri
+      (fun i (l, _) -> if i > 0 && fst rows.(i - 1) = l then dup := true)
+      rows;
+    if !dup then Error (model ^ ": duplicate cache length")
+    else if
+      Array.exists (fun (_, s) -> Surrogate.model s <> model) rows
+    then Error (model ^ ": row fitted for a different model")
+    else Ok { model; rows }
+
+let model t = t.model
+let lens t = Array.to_list (Array.map fst t.rows)
+let min_len t = fst t.rows.(0)
+let max_len t = fst t.rows.(Array.length t.rows - 1)
+
+let in_range t ~batch ~cache_len =
+  cache_len >= min_len t
+  && cache_len <= max_len t
+  && Array.for_all (fun (_, s) -> Surrogate.in_range s ~batch) t.rows
+
+(* largest index whose length is <= [cache_len]; caller checked range *)
+let bracket t cache_len =
+  let lo = ref 0 and hi = ref (Array.length t.rows - 1) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.rows.(mid) <= cache_len then lo := mid else hi := mid
+  done;
+  if fst t.rows.(!hi) <= cache_len then !hi else !lo
+
+let lookup t ~batch ~cache_len =
+  if batch < 1 then invalid_arg "Surrogate2d.lookup: batch < 1";
+  if cache_len < 1 then invalid_arg "Surrogate2d.lookup: cache_len < 1";
+  if cache_len < min_len t || cache_len > max_len t then None
+  else
+    let i = bracket t cache_len in
+    let l0, s0 = t.rows.(i) in
+    if l0 = cache_len then Surrogate.lookup s0 ~batch
+    else
+      let l1, s1 = t.rows.(i + 1) in
+      match (Surrogate.lookup s0 ~batch, Surrogate.lookup s1 ~batch) with
+      | Some e0, Some e1 ->
+        let w =
+          float_of_int (cache_len - l0) /. float_of_int (l1 - l0)
+        in
+        let lerp a b = a +. ((b -. a) *. w) in
+        Some
+          {
+            Surrogate.cycles =
+              (let c =
+                 lerp
+                   (float_of_int e0.Surrogate.cycles)
+                   (float_of_int e1.Surrogate.cycles)
+               in
+               max 1 (int_of_float (Float.round c)));
+            latency_s = lerp e0.Surrogate.latency_s e1.Surrogate.latency_s;
+            energy_j = lerp e0.Surrogate.energy_j e1.Surrogate.energy_j;
+          }
+      | _ -> None
+
+let to_json t =
+  Json.Obj
+    [
+      ("model", Json.String t.model);
+      ( "rows",
+        Json.List
+          (Array.to_list t.rows
+          |> List.map (fun (l, s) ->
+                 Json.Obj
+                   [ ("cache_len", Json.Int l); ("surrogate", Surrogate.to_json s) ])
+          ) );
+    ]

@@ -1,0 +1,46 @@
+(** The {!Surrogate}'s second interpolation axis, for autoregressive
+    decode: latency is a function of (batch, KV-cache length), so the
+    table becomes a grid — one batch surrogate per anchor cache length,
+    bilinear between them.
+
+    Each row is an independently calibrated {!Surrogate.t} (its batch
+    anchors may differ per length: tiling steps move), and a lookup
+    brackets the cache length, answers each bracketing row's batch
+    interpolation, and lerps the two.  As in 1-D, anchors reproduce
+    exactly and interpolation cannot overshoot its endpoints; fidelity
+    between anchors is {!Calibration2d}'s business. *)
+
+type t
+
+val anchor_lens : max_len:int -> int list
+(** 1 and every power of two up to [max_len], plus [max_len]; sorted,
+    distinct.  Raises [Invalid_argument] on [max_len < 1]. *)
+
+val probe_lens : max_len:int -> int list
+(** The validation grid: {!anchor_lens} plus each bracket's midpoint —
+    the cache lengths the calibration prices through the exact oracle
+    to measure (and bound) interpolation error. *)
+
+val fit : model:string -> rows:(int * Surrogate.t) list -> (t, string) result
+(** Build the grid from per-length batch surrogates.  [Error] on an
+    empty list, a length below 1, duplicate lengths, or a row fitted
+    for a different model. *)
+
+val model : t -> string
+
+val lens : t -> int list
+(** Anchor cache lengths, sorted. *)
+
+val min_len : t -> int
+val max_len : t -> int
+
+val in_range : t -> batch:int -> cache_len:int -> bool
+(** Whether {!lookup} answers without extrapolating on either axis. *)
+
+val lookup : t -> batch:int -> cache_len:int -> Surrogate.entry option
+(** O(log lens + log anchors): batch interpolation within the bracketing
+    rows, linear in cache length between them; [None] outside the grid
+    on either axis.  Raises [Invalid_argument] on [batch < 1] or
+    [cache_len < 1]. *)
+
+val to_json : t -> Ascend_util.Json.t

@@ -22,6 +22,7 @@ type model_spec = {
   slo_ms : float;
   workload : Serve.workload;
   replicas : int;
+  kv_bytes : int;
 }
 
 type train_job = {
@@ -43,6 +44,7 @@ type config = {
   bucket_s : float;
   policy : Router.policy;
   costing : Cost.costing;
+  hbm_bytes_per_node : int option;
 }
 
 let default_config ~core ~nodes =
@@ -59,6 +61,7 @@ let default_config ~core ~nodes =
     bucket_s = 50e-3;
     policy = Router.Least_loaded;
     costing = `Exact;
+    hbm_bytes_per_node = None;
   }
 
 let costing_name = function `Exact -> "exact" | `Surrogate -> "surrogate"
@@ -234,12 +237,34 @@ let run ?train config specs_list =
   match
     let weight_bytes = Array.map (fun s -> model_weight_bytes s.build) specs in
     let placement =
-      Placement.build ~nodes
+      Placement.build ?hbm_bytes_per_node:config.hbm_bytes_per_node ~nodes
         (Array.to_list
            (Array.mapi
-              (fun i s -> (s.name, weight_bytes.(i), s.replicas))
+              (fun i s -> (s.name, weight_bytes.(i), s.kv_bytes, s.replicas))
               specs))
     in
+    (* whole-plan residency: each node must hold every resident model's
+       weights plus its reserved KV working set at t = 0 *)
+    (match config.hbm_bytes_per_node with
+    | None -> ()
+    | Some cap ->
+      for node = 0 to nodes - 1 do
+        let resident =
+          List.fold_left
+            (fun acc (e : Placement.entry) ->
+              if List.mem node e.Placement.replicas then
+                acc + e.Placement.weight_bytes + e.Placement.kv_bytes
+              else acc)
+            0 placement.Placement.entries
+        in
+        if resident > cap then
+          raise
+            (Cost_error
+               (Printf.sprintf
+                  "placement overcommits node %d: %d B resident (weights + \
+                   kv) of %d B HBM"
+                  node resident cap))
+      done);
     let training = Option.map (train_contention config) train in
     let train_nodes =
       match training with Some t -> t.tr_nodes | None -> 0

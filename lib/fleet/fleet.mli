@@ -33,6 +33,12 @@ type model_spec = {
   replicas : int;
       (** resident copies per the placement plan; [<= 0] or [>= nodes]
           replicates everywhere (hot), [1] pins to the home node (cold) *)
+  kv_bytes : int;
+      (** reserved KV-cache working set per resident replica, counted
+          against per-node HBM alongside the weights — the decode model
+          class ({!Ascend_nn.Llm}, served by {!Ascend_decode}) budgets
+          [max concurrent sequences x Llm.kv_cache_bytes] here; 0 for
+          stateless model classes *)
 }
 
 type train_job = {
@@ -58,6 +64,11 @@ type config = {
           [`Surrogate] interpolates per-model tables calibrated on
           anchor batches up to [max_batch]
           (see {!Ascend_serving.Cost}). *)
+  hbm_bytes_per_node : int option;
+      (** when given, every node's resident footprint — each resident
+          model's weights plus reserved KV cache — is checked against
+          this capacity: a single unservable model raises at placement
+          build, a whole-plan overcommit returns [Error] from {!run} *)
 }
 
 val default_config :

@@ -3,6 +3,7 @@ module Json = Ascend_util.Json
 type entry = {
   model : string;
   weight_bytes : int;
+  kv_bytes : int;
   home : int;
   replicas : int list;
 }
@@ -21,23 +22,26 @@ let stable_home ~nodes name =
 
 let build ?hbm_bytes_per_node ~nodes specs =
   if nodes < 1 then invalid_arg "Placement.build: nodes < 1";
-  let names = List.map (fun (m, _, _) -> m) specs in
+  let names = List.map (fun (m, _, _, _) -> m) specs in
   if List.length (List.sort_uniq compare names) <> List.length names then
     invalid_arg "Placement.build: duplicate model names";
   let entries =
     List.map
-      (fun (model, weight_bytes, replicas) ->
+      (fun (model, weight_bytes, kv_bytes, replicas) ->
         if weight_bytes < 0 then
           invalid_arg "Placement.build: negative weight bytes";
+        if kv_bytes < 0 then
+          invalid_arg "Placement.build: negative kv bytes";
         (match hbm_bytes_per_node with
-        | Some cap when weight_bytes > cap ->
-          (* no replica choice can serve this model: its weights alone
-             overflow every node's HBM *)
+        | Some cap when weight_bytes + kv_bytes > cap ->
+          (* no replica choice can serve this model: its weights plus
+             its reserved KV-cache working set overflow every node's
+             HBM on their own *)
           invalid_arg
             (Printf.sprintf
-               "Placement.build: model %s weights (%d B) exceed a node's \
-                %d B HBM — unservable on any node"
-               model weight_bytes cap)
+               "Placement.build: model %s weights (%d B) + kv cache (%d B) \
+                exceed a node's %d B HBM — unservable on any node"
+               model weight_bytes kv_bytes cap)
         | _ -> ());
         let home = stable_home ~nodes model in
         let count =
@@ -46,14 +50,16 @@ let build ?hbm_bytes_per_node ~nodes specs =
         let replicas =
           List.sort compare (List.init count (fun i -> (home + i) mod nodes))
         in
-        { model; weight_bytes; home; replicas })
+        { model; weight_bytes; kv_bytes; home; replicas })
       specs
   in
   { nodes; entries }
 
-(* the verifier's neutral placement type: same (model, weight, replica
-   set) triples, plus the routing policy that decides which nodes a
-   model can page in on *)
+(* the verifier's neutral placement type: same (model, footprint,
+   replica set) triples, plus the routing policy that decides which
+   nodes a model can page in on.  The footprint handed to the verifier
+   is weights + reserved KV cache, so its HBM overcommit lint counts
+   decode-class serving state too. *)
 let verify_plan ?hbm_bytes_per_node ~policy t =
   {
     Ascend_verify.Cluster.plan_name =
@@ -62,7 +68,9 @@ let verify_plan ?hbm_bytes_per_node ~policy t =
     hbm_bytes_per_node;
     policy;
     models =
-      List.map (fun e -> (e.model, e.weight_bytes, e.replicas)) t.entries;
+      List.map
+        (fun e -> (e.model, e.weight_bytes + e.kv_bytes, e.replicas))
+        t.entries;
   }
 
 let find t model =
@@ -80,6 +88,7 @@ let to_json t =
            [
              ("model", Json.String e.model);
              ("weight_bytes", Json.Int e.weight_bytes);
+             ("kv_bytes", Json.Int e.kv_bytes);
              ("home", Json.Int e.home);
              ( "replicas",
                Json.List (List.map (fun n -> Json.Int n) e.replicas) );

@@ -14,6 +14,10 @@
 type entry = {
   model : string;
   weight_bytes : int;   (** resident weight footprint, from the fused graph *)
+  kv_bytes : int;
+      (** reserved KV-cache working set per resident replica — decode-class
+          models hold generation state in HBM beyond their weights; 0 for
+          stateless model classes *)
   home : int;           (** primary replica, a stable hash of the name *)
   replicas : int list;  (** sorted node indices resident at t = 0 *)
 }
@@ -21,15 +25,16 @@ type entry = {
 type t = { nodes : int; entries : entry list }
 
 val build :
-  ?hbm_bytes_per_node:int -> nodes:int -> (string * int * int) list -> t
+  ?hbm_bytes_per_node:int -> nodes:int -> (string * int * int * int) list -> t
 (** [build ~nodes specs] with [specs] listing (model, weight_bytes,
-    replicas).  A replica count [<= 0] or [>= nodes] replicates on every
-    node (hot); [1] pins the model to its home node only (cold); [r]
-    spreads over [r] consecutive nodes starting at the home.  Raises
+    kv_bytes, replicas).  A replica count [<= 0] or [>= nodes] replicates
+    on every node (hot); [1] pins the model to its home node only (cold);
+    [r] spreads over [r] consecutive nodes starting at the home.  Raises
     [Invalid_argument] on [nodes < 1], duplicate model names, negative
-    weight bytes, or — when [hbm_bytes_per_node] is given — a single
-    model whose weights alone exceed a node's HBM (unservable on any
-    node; whole-plan overcommit is {!verify_plan}'s job). *)
+    weight or kv bytes, or — when [hbm_bytes_per_node] is given — a
+    single model whose weights plus reserved KV cache exceed a node's
+    HBM on their own (unservable on any node; whole-plan overcommit is
+    {!verify_plan}'s job). *)
 
 val verify_plan :
   ?hbm_bytes_per_node:int -> policy:string -> t ->
@@ -37,7 +42,9 @@ val verify_plan :
 (** The plan in the static verifier's neutral representation, ready for
     [Verify.Cluster.lint_placement] / [predicted_page_ins].  [policy]
     is a {!Router.policy_name} ("round-robin", "least-loaded",
-    "affinity"). *)
+    "affinity").  Each model's footprint is handed over as
+    [weight_bytes + kv_bytes], so the verifier's HBM overcommit lint
+    counts decode-class serving state against node capacity. *)
 
 val find : t -> string -> entry
 (** Raises [Invalid_argument] on an unknown model. *)

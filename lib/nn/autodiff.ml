@@ -387,6 +387,10 @@ let backward g params ~inputs ?loss_grad () =
           done)
         idd;
       accumulate_param n.Graph.node_name dtab
+    | Op.Kv_attention _ ->
+      (* the KV cache is serving-side state, not a differentiable graph
+         tensor; training cost of attention is modelled in Training *)
+      invalid_arg "Autodiff.backward: kv_attention is inference-only"
   in
   (* reverse topological order = reverse declaration order *)
   List.iter

@@ -115,6 +115,9 @@ let concat t ?name ~axis xs =
 let embedding t ?name ~vocab_size ~hidden x =
   add_node t ?name ~op:(Op.Embedding { vocab_size; hidden }) [ x ]
 
+let kv_attention t ?name ~heads ~cache_len q k v =
+  add_node t ?name ~op:(Op.Kv_attention { heads; cache_len }) [ q; k; v ]
+
 let upsample t ?name ~factor x =
   add_node t ?name ~op:(Op.Upsample { factor }) [ x ]
 

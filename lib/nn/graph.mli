@@ -58,6 +58,13 @@ val add : t -> ?name:string -> int -> int -> int
 val mul : t -> ?name:string -> int -> int -> int
 val concat : t -> ?name:string -> axis:int -> int list -> int
 val embedding : t -> ?name:string -> vocab_size:int -> hidden:int -> int -> int
+
+val kv_attention :
+  t -> ?name:string -> heads:int -> cache_len:int -> int -> int -> int -> int
+(** [kv_attention g ~heads ~cache_len q k v]: causal multi-head attention
+    of the (projected) q/k/v chunk against a KV cache of [cache_len]
+    positions — see {!Op.Kv_attention}. *)
+
 val upsample : t -> ?name:string -> factor:int -> int -> int
 val reshape : t -> ?name:string -> int list -> int -> int
 val transpose_last_two : t -> ?name:string -> int -> int

@@ -1,0 +1,77 @@
+module Shape = Ascend_tensor.Shape
+
+type config = {
+  layers : int;
+  hidden : int;
+  heads : int;
+  intermediate : int;
+  vocab_size : int;
+  max_position : int;
+}
+
+let tiny_config =
+  { layers = 2; hidden = 256; heads = 4; intermediate = 1024;
+    vocab_size = 8192; max_position = 512 }
+
+let small_config =
+  { layers = 4; hidden = 512; heads = 8; intermediate = 2048;
+    vocab_size = 16384; max_position = 1024 }
+
+(* pre-LN decoder block on a rank-3 [batch; tokens; hidden] stream *)
+let decoder_block g ~cfg ~cache_len ~tag x =
+  let { hidden; heads; intermediate; _ } = cfg in
+  let ln1 = Graph.layer_norm g ~name:(tag ^ ".ln1") x in
+  let q = Graph.linear g ~name:(tag ^ ".q") ~out_features:hidden ln1 in
+  let k = Graph.linear g ~name:(tag ^ ".k") ~out_features:hidden ln1 in
+  let v = Graph.linear g ~name:(tag ^ ".v") ~out_features:hidden ln1 in
+  let attn = Graph.kv_attention g ~name:(tag ^ ".kvattn") ~heads ~cache_len q k v in
+  let proj = Graph.linear g ~name:(tag ^ ".attn.out") ~out_features:hidden attn in
+  let res1 = Graph.add g ~name:(tag ^ ".attn.residual") proj x in
+  let ln2 = Graph.layer_norm g ~name:(tag ^ ".ln2") res1 in
+  let ffn1 = Graph.linear g ~name:(tag ^ ".ffn.1") ~out_features:intermediate ln2 in
+  let act = Graph.gelu g ~name:(tag ^ ".ffn.gelu") ffn1 in
+  let ffn2 = Graph.linear g ~name:(tag ^ ".ffn.2") ~out_features:hidden act in
+  Graph.add g ~name:(tag ^ ".ffn.residual") ffn2 res1
+
+let build ~phase ?(batch = 1) ?(dtype = Ascend_arch.Precision.Fp16) ~tokens
+    ~cache_len cfg =
+  if cfg.hidden mod cfg.heads <> 0 then
+    invalid_arg "Llm.build: hidden not divisible by heads";
+  if batch < 1 then invalid_arg "Llm.build: batch < 1";
+  if tokens < 1 then invalid_arg "Llm.build: tokens < 1";
+  if cache_len < 0 then invalid_arg "Llm.build: negative cache_len";
+  if cache_len + tokens > cfg.max_position then
+    invalid_arg "Llm.build: cache_len + tokens exceeds max_position";
+  let g = Graph.create ~name:("llm." ^ phase) ~dtype in
+  let ids = Graph.input g ~name:"input_ids" (Shape.matrix batch tokens) in
+  let x =
+    ref
+      (Graph.embedding g ~name:"embeddings" ~vocab_size:cfg.vocab_size
+         ~hidden:cfg.hidden ids)
+  in
+  for layer = 0 to cfg.layers - 1 do
+    x :=
+      decoder_block g ~cfg ~cache_len
+        ~tag:(Printf.sprintf "layer%d" layer)
+        !x
+  done;
+  let ln_f = Graph.layer_norm g ~name:"ln_f" !x in
+  let logits =
+    Graph.linear g ~name:"lm_head" ~out_features:cfg.vocab_size ln_f
+  in
+  ignore (Graph.output g ~name:"logits" logits);
+  g
+
+let prefill ?batch ?dtype ?(seq_len = 128) cfg =
+  build ~phase:"prefill" ?batch ?dtype ~tokens:seq_len ~cache_len:0 cfg
+
+let decode ?batch ?dtype ~cache_len cfg =
+  build ~phase:"decode" ?batch ?dtype ~tokens:1 ~cache_len cfg
+
+let kv_bytes_per_token ?(dtype = Ascend_arch.Precision.Fp16) cfg =
+  (* one K row + one V row per layer, per sequence position *)
+  Shape.bytes (Shape.of_list [ 2; cfg.layers; cfg.hidden ]) ~dtype
+
+let kv_cache_bytes ?dtype cfg ~tokens =
+  if tokens < 0 then invalid_arg "Llm.kv_cache_bytes: negative tokens";
+  tokens * kv_bytes_per_token ?dtype cfg

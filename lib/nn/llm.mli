@@ -1,0 +1,59 @@
+(** Decoder-only LLM model builders for the two phases of autoregressive
+    generation.
+
+    Both phases share one pre-LN decoder-block structure (embedding, then
+    per layer: LN, q/k/v projections, {!Op.Kv_attention}, output
+    projection, residual, LN, FFN, residual; final LN + LM head), and
+    differ only in the attention's chunk/cache split:
+
+    - {b prefill} processes the whole prompt at once ([cache_len = 0],
+      [tokens = seq_len]) and leaves a [seq_len]-position KV cache behind;
+    - {b decode} processes one new token against a cache of [cache_len]
+      positions and appends to it.
+
+    The KV cache itself is serving-side HBM state: its traffic is costed
+    inside {!Op.Kv_attention}'s workload and its residency is planned by
+    {!Ascend_compiler.Memory_planner.kv_cache_bytes} and the decode
+    engine, not materialised as a graph tensor. *)
+
+type config = {
+  layers : int;
+  hidden : int;
+  heads : int;
+  intermediate : int;
+  vocab_size : int;
+  max_position : int;  (** cap on [cache_len + tokens] *)
+}
+
+val tiny_config : config
+(** 2 layers, hidden 256, 4 heads — small enough that the exact
+    cycle-level oracle stays cheap over a (batch x cache-length) sweep. *)
+
+val small_config : config
+(** 4 layers, hidden 512, 8 heads. *)
+
+val build :
+  phase:string -> ?batch:int -> ?dtype:Ascend_arch.Precision.t ->
+  tokens:int -> cache_len:int -> config -> Graph.t
+(** General form: a [tokens]-wide chunk against a [cache_len]-position
+    cache.  Raises [Invalid_argument] when hidden is not divisible by
+    heads, sizes are non-positive, or [cache_len + tokens] exceeds
+    [max_position]. *)
+
+val prefill :
+  ?batch:int -> ?dtype:Ascend_arch.Precision.t -> ?seq_len:int ->
+  config -> Graph.t
+(** [tokens = seq_len] (default 128), [cache_len = 0]. *)
+
+val decode :
+  ?batch:int -> ?dtype:Ascend_arch.Precision.t -> cache_len:int ->
+  config -> Graph.t
+(** One-token decode step: [tokens = 1]. *)
+
+val kv_bytes_per_token : ?dtype:Ascend_arch.Precision.t -> config -> int
+(** HBM bytes one decoded position adds to one sequence's cache:
+    K and V rows across all layers. *)
+
+val kv_cache_bytes :
+  ?dtype:Ascend_arch.Precision.t -> config -> tokens:int -> int
+(** [tokens * kv_bytes_per_token] — linear in the decoded length. *)

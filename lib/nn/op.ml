@@ -26,6 +26,7 @@ type t =
   | Mul
   | Concat of { axis : int }
   | Embedding of { vocab_size : int; hidden : int }
+  | Kv_attention of { heads : int; cache_len : int }
   | Upsample of { factor : int }
   | Reshape of int list
   | Transpose_last_two
@@ -56,6 +57,7 @@ let name = function
   | Mul -> "mul"
   | Concat _ -> "concat"
   | Embedding _ -> "embedding"
+  | Kv_attention _ -> "kvattn"
   | Upsample { factor } -> Printf.sprintf "upsample%dx" factor
   | Reshape _ -> "reshape"
   | Transpose_last_two -> "transpose"
@@ -120,6 +122,15 @@ let infer_shape op inputs =
       all;
     Shape.of_list (List.mapi (fun i d -> if i = axis then !sum else d) first)
   | Embedding { hidden; _ }, [ dims ] -> Shape.of_list (dims @ [ hidden ])
+  | Kv_attention { heads; cache_len }, [ q; k; v ] ->
+    (match q with
+    | [ _b; _t; h ] ->
+      if heads < 1 then fail op "heads < 1" inputs;
+      if cache_len < 0 then fail op "negative cache_len" inputs;
+      if h mod heads <> 0 then fail op "hidden not divisible by heads" inputs;
+      if k <> q || v <> q then fail op "q/k/v shapes differ" inputs;
+      Shape.of_list q
+    | _ -> fail op "expected [batch; tokens; hidden] operands" inputs)
   | Upsample { factor }, [ [ n; c; h; w ] ] ->
     if factor < 1 then fail op "factor < 1" inputs;
     Shape.nchw ~n ~c ~h:(h * factor) ~w:(w * factor)
@@ -136,6 +147,7 @@ let infer_shape op inputs =
   | _, _ -> fail op "wrong number or rank of inputs" inputs
 
 let arity = function
+  | Kv_attention _ -> 3
   | Matmul _ | Add | Mul | Concat _ -> 2
   | Input | Conv2d _ | Linear _ | Pool _ | Global_avg_pool | Activation _
   | Batch_norm | Layer_norm | Softmax | Embedding _ | Upsample _ | Reshape _
@@ -157,7 +169,7 @@ let weight_shape op ~input =
 let is_cube_op = function
   | Conv2d { groups; cout; _ } -> groups = 1 || groups < cout
       (* grouped but not depthwise convs still map to per-group GEMMs *)
-  | Linear _ | Matmul _ -> true
+  | Linear _ | Matmul _ | Kv_attention _ -> true
   | Input | Pool _ | Global_avg_pool | Activation _ | Batch_norm | Layer_norm
   | Softmax | Add | Mul | Concat _ | Embedding _ | Upsample _ | Reshape _
   | Transpose_last_two | Output ->
@@ -179,4 +191,4 @@ let vector_passes = function
   | Upsample _ -> 1.
   | Reshape _ | Transpose_last_two -> 1.
   | Input | Output -> 0.
-  | Conv2d _ | Linear _ | Matmul _ -> 0.
+  | Conv2d _ | Linear _ | Matmul _ | Kv_attention _ -> 0.

@@ -35,6 +35,16 @@ type t =
   | Mul
   | Concat of { axis : int }
   | Embedding of { vocab_size : int; hidden : int }
+  | Kv_attention of { heads : int; cache_len : int }
+      (** Causal multi-head attention against a KV cache of [cache_len]
+          already-decoded positions.  Three operands (projected q, k, v),
+          each [batch; tokens; hidden]: token [t] of the new chunk attends
+          over [cache_len + t + 1] positions — the cached prefix plus the
+          causal part of the chunk — and the chunk's k/v rows are appended
+          to the cache.  Prefill is [cache_len = 0, tokens = seq]; a decode
+          step is [cache_len = L, tokens = 1].  The cache itself lives in
+          HBM and is costed as operand traffic ({!Workload}), not as a
+          graph tensor. *)
   | Upsample of { factor : int }
       (** nearest-neighbour spatial upsample of an NCHW tensor — the FPN
           top-down pathway; executes on the vector unit as a format
@@ -51,8 +61,8 @@ val infer_shape : t -> Ascend_tensor.Shape.t list -> Ascend_tensor.Shape.t
     descriptive message when the operator/shape combination is illegal. *)
 
 val arity : t -> int
-(** Expected number of inputs (2 for Matmul/Add/Mul, 1 otherwise; Concat
-    accepts >= 2 and reports 2). *)
+(** Expected number of inputs (3 for Kv_attention, 2 for Matmul/Add/Mul,
+    1 otherwise; Concat accepts >= 2 and reports 2). *)
 
 val weight_shape : t -> input:Ascend_tensor.Shape.t -> Ascend_tensor.Shape.t option
 (** Shape of the learned parameter tensor, if the op has one. *)

@@ -58,6 +58,10 @@ let backward_of_node g (n : Graph.node) =
     { fwd with gemms = []; vector_elems = out_elems +. update_elems }
   | Op.Reshape _ | Op.Transpose_last_two ->
     { fwd with gemms = []; vector_elems = 0. }
+  | Op.Kv_attention _ ->
+    (* weightless: gradients flow to q/k/v through the two GEMMs; the
+       softmax backward costs about what the forward passes did *)
+    { fwd with cube_macs = 2 * fwd.cube_macs; gemms = backward_gemms fwd.gemms }
   | Op.Input | Op.Output -> Workload.zero
 
 let node_training_workload g n =

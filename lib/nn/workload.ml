@@ -91,12 +91,39 @@ let of_node g (node : Graph.node) =
       cube_macs = batch * m * k * n;
       gemms = [ { count = batch; m; k; n } ];
     }
+  | Op.Kv_attention { heads; cache_len }, [ [ b; t; h ]; _; _ ] ->
+    let d = h / heads in
+    (* token t of the chunk attends over span = cache_len + t + 1; the
+       batched kernel pads every row to the mean span (ceil), which is
+       exact for a single-token decode step *)
+    let span_total = (t * cache_len) + (t * (t + 1) / 2) in
+    let avg_span = (span_total + t - 1) / t in
+    let scores = { count = b * heads; m = t; k = d; n = avg_span } in
+    let context = { count = b * heads; m = t; k = avg_span; n = d } in
+    (* K and V cache rows stream in from HBM; the chunk's k/v rows are
+       appended back, so the cache grows by t positions per call *)
+    let cache_read_bytes =
+      if cache_len = 0 then 0
+      else 2 * Shape.bytes (Shape.of_list [ b; cache_len; h ]) ~dtype
+    in
+    let cache_append_bytes =
+      2 * Shape.bytes (Shape.of_list [ b; t; h ]) ~dtype
+    in
+    {
+      base with
+      cube_macs = gemm_macs scores + gemm_macs context;
+      gemms = [ scores; context ];
+      (* row softmax over the score matrix: max, exp-sub, sum, div *)
+      vector_elems = float_of_int (b * heads * span_total) *. 4.;
+      input_bytes = base.input_bytes + cache_read_bytes;
+      output_bytes = base.output_bytes + cache_append_bytes;
+    }
   | (Op.Pool _ | Op.Global_avg_pool | Op.Activation _ | Op.Batch_norm
     | Op.Layer_norm | Op.Softmax | Op.Add | Op.Mul | Op.Concat _
     | Op.Embedding _ | Op.Upsample _ | Op.Reshape _ | Op.Transpose_last_two), _ ->
     { base with vector_elems = out_elems *. Op.vector_passes node.op }
   | (Op.Input | Op.Output), _ -> base
-  | (Op.Conv2d _ | Op.Linear _ | Op.Matmul _), _ ->
+  | (Op.Conv2d _ | Op.Linear _ | Op.Matmul _ | Op.Kv_attention _), _ ->
     invalid_arg "Workload.of_node: malformed node inputs"
 
 let of_graph g =

@@ -70,3 +70,37 @@ let process_name = function
   | Uniform -> "uniform"
   | Poisson -> "poisson"
   | Bursty _ -> "bursty"
+
+type length_dist =
+  | Fixed of int
+  | Geometric of { mean : float; max_len : int }
+
+let validate_length_dist = function
+  | Fixed n -> if n < 1 then invalid_arg "Load_gen.lengths: fixed length < 1"
+  | Geometric { mean; max_len } ->
+    if mean < 1. then invalid_arg "Load_gen.lengths: geometric mean < 1";
+    if max_len < 1 then invalid_arg "Load_gen.lengths: geometric max_len < 1"
+
+(* inversion sampling of the geometric law on {1, 2, ...} with success
+   probability p = 1/mean: ceil(ln(1-U) / ln(1-p)); mean 1 degenerates
+   to the constant 1 *)
+let geometric rng ~mean ~max_len =
+  if mean <= 1. then 1
+  else
+    let p = 1. /. mean in
+    let u = Prng.float rng ~bound:1. in
+    let k = int_of_float (ceil (log (1. -. u) /. log (1. -. p))) in
+    min max_len (max 1 k)
+
+let lengths dist ~seed ~n =
+  if n < 0 then invalid_arg "Load_gen.lengths: negative count";
+  validate_length_dist dist;
+  match dist with
+  | Fixed len -> List.init n (fun _ -> len)
+  | Geometric { mean; max_len } ->
+    let rng = Prng.create ~seed in
+    List.init n (fun _ -> geometric rng ~mean ~max_len)
+
+let length_dist_name = function
+  | Fixed _ -> "fixed"
+  | Geometric _ -> "geometric"

@@ -37,3 +37,20 @@ val arrivals : t -> float list
 (** Strictly increasing-or-equal sorted times in [0, duration_s). *)
 
 val process_name : process -> string
+
+type length_dist =
+  | Fixed of int  (** Every request gets the same length. *)
+  | Geometric of { mean : float; max_len : int }
+      (** Geometric law on [{1, 2, ...}] with the given mean, sampled by
+          inversion of a seeded {!Ascend_util.Prng} stream and clamped to
+          [max_len] — the standard shape for decode output lengths (many
+          short answers, a long tail). *)
+
+val lengths : length_dist -> seed:int -> n:int -> int list
+(** [n] per-request token counts, a pure function of (dist, seed, n) —
+    the decode serving loop draws prompt and output lengths here so a
+    trace is reproducible end to end.  Raises [Invalid_argument] on a
+    negative [n], a fixed length < 1, a geometric mean < 1 or a
+    geometric [max_len] < 1. *)
+
+val length_dist_name : length_dist -> string

@@ -17,7 +17,8 @@ module Json = Ascend.Util.Json
 
 let test_placement_structure () =
   let p =
-    Placement.build ~nodes:4 [ ("hot", 10, 0); ("cold", 20, 1); ("warm", 5, 2) ]
+    Placement.build ~nodes:4
+      [ ("hot", 10, 0, 0); ("cold", 20, 0, 1); ("warm", 5, 0, 2) ]
   in
   let hot = Placement.find p "hot" in
   Alcotest.(check (list int)) "hot everywhere" [ 0; 1; 2; 3 ]
@@ -37,30 +38,40 @@ let test_placement_structure () =
     (Placement.resident p ~model:"cold" ~node:cold.Placement.home);
   (* a second build is byte-identical: placement is pure *)
   let p2 =
-    Placement.build ~nodes:4 [ ("hot", 10, 0); ("cold", 20, 1); ("warm", 5, 2) ]
+    Placement.build ~nodes:4
+      [ ("hot", 10, 0, 0); ("cold", 20, 0, 1); ("warm", 5, 0, 2) ]
   in
   Alcotest.(check string) "pure function of specs"
     (Json.to_string (Placement.to_json p))
     (Json.to_string (Placement.to_json p2));
   Alcotest.check_raises "duplicate models rejected"
     (Invalid_argument "Placement.build: duplicate model names") (fun () ->
-      ignore (Placement.build ~nodes:2 [ ("m", 1, 0); ("m", 1, 0) ]))
+      ignore (Placement.build ~nodes:2 [ ("m", 1, 0, 0); ("m", 1, 0, 0) ]))
 
 let test_placement_hbm_capacity () =
   (* a model whose weights alone overflow a node's HBM is unservable on
      any node — build refuses the plan outright *)
   Alcotest.check_raises "oversized model rejected"
     (Invalid_argument
-       "Placement.build: model big weights (100 B) exceed a node's 10 B HBM \
-        — unservable on any node")
+       "Placement.build: model big weights (100 B) + kv cache (0 B) exceed \
+        a node's 10 B HBM — unservable on any node")
     (fun () ->
       ignore
         (Placement.build ~hbm_bytes_per_node:10 ~nodes:2
-           [ ("small", 5, 0); ("big", 100, 1) ]));
+           [ ("small", 5, 0, 0); ("big", 100, 0, 1) ]));
+  (* reserved KV cache counts against capacity just like weights *)
+  Alcotest.check_raises "kv cache counted against HBM"
+    (Invalid_argument
+       "Placement.build: model kv weights (4 B) + kv cache (8 B) exceed \
+        a node's 10 B HBM — unservable on any node")
+    (fun () ->
+      ignore
+        (Placement.build ~hbm_bytes_per_node:10 ~nodes:2
+           [ ("kv", 4, 8, 0) ]));
   (* fitting weights build fine with the capacity given *)
   let p =
     Placement.build ~hbm_bytes_per_node:10 ~nodes:2
-      [ ("small", 5, 0); ("other", 10, 1) ]
+      [ ("small", 5, 0, 0); ("other", 8, 2, 1) ]
   in
   Alcotest.(check int) "both placed" 2 (List.length p.Placement.entries)
 
@@ -68,7 +79,7 @@ let test_placement_hbm_capacity () =
 (* Router                                                              *)
 
 let test_router_policies () =
-  let p = Placement.build ~nodes:4 [ ("cold", 8, 1); ("hot", 8, 0) ] in
+  let p = Placement.build ~nodes:4 [ ("cold", 8, 0, 1); ("hot", 8, 0, 0) ] in
   let rr = Router.create ~policy:Router.Round_robin ~nodes:4 () in
   let picks =
     List.init 5 (fun _ ->
@@ -98,6 +109,7 @@ let open_spec ?(rate = 300.) ?(replicas = 0) ?(seed = 3) name build =
     priority = 0;
     slo_ms = 50.;
     replicas;
+    kv_bytes = 0;
     workload =
       Serve.Open_loop
         (Load_gen.create ~rate_per_s:rate ~duration_s:0.2 ~seed ());

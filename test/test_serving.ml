@@ -76,6 +76,43 @@ let test_poisson_rate () =
   Alcotest.(check bool) "count near rate * duration" true
     (n > 140 && n < 260)
 
+let test_length_dist_pinned () =
+  (* fixed lengths are constant regardless of seed *)
+  Alcotest.(check (list int)) "fixed" [ 7; 7; 7 ]
+    (Load_gen.lengths (Load_gen.Fixed 7) ~seed:1 ~n:3);
+  (* the geometric stream is a pinned pure function of its seed *)
+  let geo = Load_gen.Geometric { mean = 8.; max_len = 32 } in
+  let a = Load_gen.lengths geo ~seed:42 ~n:8 in
+  Alcotest.(check (list int)) "geometric pinned trace"
+    [ 7; 2; 2; 1; 30; 3; 3; 2 ] a;
+  Alcotest.(check (list int)) "reproducible" a
+    (Load_gen.lengths geo ~seed:42 ~n:8);
+  Alcotest.(check bool) "seed matters" true
+    (Load_gen.lengths geo ~seed:43 ~n:8 <> a);
+  Alcotest.(check string) "dist names" "fixed:geometric"
+    (Load_gen.length_dist_name (Load_gen.Fixed 1)
+    ^ ":"
+    ^ Load_gen.length_dist_name geo)
+
+let test_length_dist_shape () =
+  let geo = Load_gen.Geometric { mean = 8.; max_len = 32 } in
+  let draws = Load_gen.lengths geo ~seed:7 ~n:500 in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "draw within [1, max_len]" true (l >= 1 && l <= 32))
+    draws;
+  let mean =
+    float_of_int (List.fold_left ( + ) 0 draws) /. float_of_int 500
+  in
+  Alcotest.(check bool) "empirical mean near the target" true
+    (mean > 6. && mean < 10.);
+  Alcotest.check_raises "bad mean rejected"
+    (Invalid_argument "Load_gen.lengths: geometric mean < 1") (fun () ->
+      ignore
+        (Load_gen.lengths
+           (Load_gen.Geometric { mean = 0.5; max_len = 4 })
+           ~seed:0 ~n:1))
+
 let test_bursty_structure () =
   let factor = 4. and period_s = 0.1 in
   let g =
@@ -141,6 +178,96 @@ let test_admission_sheds_only_past_depth () =
   ignore (Batcher.take b);
   Alcotest.(check bool) "admits again after drain" true
     (Batcher.offer b (req 9 1.) = Batcher.Admitted)
+
+(* random op sequences against a FIFO reference model: drains come out
+   in offer order, the shed counter counts exactly the over-depth
+   offers, and the live length always agrees with the model *)
+let batcher_fifo_model_prop =
+  QCheck.Test.make ~count:200 ~name:"offer/drain matches a FIFO reference"
+    QCheck.(pair (int_range 1 6) (small_list (int_bound 3)))
+    (fun (max_batch, ops) ->
+      let depth = 5 in
+      let b =
+        Batcher.create ~max_batch ~max_delay_s:1. ~queue_depth:depth ()
+      in
+      let model = Queue.create () in
+      let next = ref 0 and sheds = ref 0 and ok = ref true in
+      List.iter
+        (fun op ->
+          if op = 0 then (
+            (* drain: up to max_batch ids, oldest first *)
+            let expect = ref [] in
+            for _ = 1 to min max_batch (Queue.length model) do
+              expect := Queue.pop model :: !expect
+            done;
+            let got = List.map (fun r -> r.Request.id) (Batcher.take b) in
+            if got <> List.rev !expect then ok := false)
+          else (
+            let id = !next in
+            incr next;
+            let v = Batcher.offer b (req id 0.) in
+            if Queue.length model >= depth then (
+              incr sheds;
+              if v <> Batcher.Shed then ok := false)
+            else (
+              Queue.push id model;
+              if v <> Batcher.Admitted then ok := false)))
+        ops;
+      !ok
+      && Batcher.sheds b = !sheds
+      && Batcher.length b = Queue.length model)
+
+(* the shed counter never decreases, and moves only on a Shed verdict *)
+let batcher_sheds_monotone_prop =
+  QCheck.Test.make ~count:200 ~name:"sheds counter is monotone"
+    QCheck.(small_list bool)
+    (fun ops ->
+      let b =
+        Batcher.create ~max_batch:2 ~max_delay_s:1. ~queue_depth:3 ()
+      in
+      let last = ref 0 and id = ref 0 and ok = ref true in
+      List.iter
+        (fun offer ->
+          (if offer then (
+             let v = Batcher.offer b (req !id 0.) in
+             incr id;
+             let s = Batcher.sheds b in
+             let bumped = s = !last + 1 and flat = s = !last in
+             if not (if v = Batcher.Shed then bumped else flat) then
+               ok := false)
+           else ignore (Batcher.take b));
+          if Batcher.sheds b < !last then ok := false;
+          last := Batcher.sheds b)
+        ops;
+      !ok)
+
+(* ready holds exactly when the queue is a full batch, or the oldest
+   queued request has exhausted its delay bound *)
+let batcher_ready_iff_prop =
+  QCheck.Test.make ~count:300 ~name:"ready iff full batch or delay bound"
+    QCheck.(
+      triple (int_range 1 8)
+        (small_list (float_bound_inclusive 0.01))
+        (float_bound_inclusive 0.05))
+    (fun (max_batch, gaps, wait) ->
+      let max_delay_s = 0.02 in
+      let b =
+        Batcher.create ~max_batch ~max_delay_s ~queue_depth:64 ()
+      in
+      let t = ref 0. in
+      List.iteri
+        (fun i gap ->
+          t := !t +. Float.abs gap;
+          ignore (Batcher.offer b (req i !t)))
+        gaps;
+      let now = !t +. Float.abs wait in
+      let expect =
+        Batcher.length b >= max_batch
+        || (match Batcher.oldest b with
+           | Some r -> now -. r.Request.arrival_s >= max_delay_s
+           | None -> false)
+      in
+      Batcher.ready b ~now = expect)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics vs a hand-computed trace                                    *)
@@ -383,6 +510,10 @@ let () =
             test_load_gen_uniform_spacing;
           Alcotest.test_case "poisson rate" `Quick test_poisson_rate;
           Alcotest.test_case "bursty structure" `Quick test_bursty_structure;
+          Alcotest.test_case "length dist pinned" `Quick
+            test_length_dist_pinned;
+          Alcotest.test_case "length dist shape" `Quick
+            test_length_dist_shape;
           q arrivals_well_formed_prop;
         ] );
       ( "batcher",
@@ -392,6 +523,9 @@ let () =
           Alcotest.test_case "delay bound" `Quick test_batcher_delay_bound;
           Alcotest.test_case "admission depth" `Quick
             test_admission_sheds_only_past_depth;
+          q batcher_fifo_model_prop;
+          q batcher_sheds_monotone_prop;
+          q batcher_ready_iff_prop;
         ] );
       ( "metrics",
         [
